@@ -1,0 +1,108 @@
+// E9 (paper §4.3): machine-crash handling. A machine dies mid-stream; the
+// failure is detected by the first send that cannot reach it, the master
+// broadcasts it, and the shared hash ring reroutes that machine's keys to
+// survivors. Events queued on the dead machine (plus the detecting sends)
+// are lost and logged — the paper accepts bounded loss for low latency.
+// Reported: loss, detection, and completeness before/after the crash.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/slate.h"
+#include "engine/muppet1.h"
+#include "engine/muppet2.h"
+#include "json/json.h"
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace bench {
+namespace {
+
+constexpr int kBefore = 10000;
+constexpr int kAfter = 10000;
+constexpr int kMachines = 4;
+
+void BuildCounting(AppConfig* config) {
+  CheckOk(config->DeclareInputStream("in"), "declare");
+  CheckOk(config->AddUpdater(
+              "count",
+              MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                                    const Bytes* slate) {
+                JsonSlate s(slate);
+                s.data()["count"] = s.data().GetInt("count") + 1;
+                (void)out.ReplaceSlate(s.Serialize());
+              }),
+              {"in"}),
+          "add updater");
+}
+
+void Run(bool muppet2, Table& table) {
+  AppConfig config;
+  BuildCounting(&config);
+  EngineOptions options;
+  options.num_machines = kMachines;
+  options.workers_per_function = kMachines;
+  options.threads_per_machine = 2;
+  options.queue_capacity = 1 << 16;
+  std::unique_ptr<Engine> engine;
+  if (muppet2) {
+    engine = std::make_unique<Muppet2Engine>(config, options);
+  } else {
+    engine = std::make_unique<Muppet1Engine>(config, options);
+  }
+  CheckOk(engine->Start(), "start");
+
+  workload::ZipfKeyGenerator keys(200, 0.0, "k", 23);
+  Stopwatch timer;
+  for (int i = 0; i < kBefore; ++i) {
+    CheckOk(engine->Publish("in", keys.Next(), "", i + 1), "publish");
+  }
+  CheckOk(engine->Drain(), "drain");
+  const EngineStats before = engine->Stats();
+
+  CheckOk(engine->CrashMachine(1), "crash");
+  Stopwatch recovery;
+  for (int i = 0; i < kAfter; ++i) {
+    CheckOk(engine->Publish("in", keys.Next(), "", kBefore + i + 1),
+            "publish");
+  }
+  CheckOk(engine->Drain(), "drain");
+  const int64_t total_elapsed = timer.ElapsedMicros();
+  const EngineStats after = engine->Stats();
+
+  // Completeness: every published event was processed or accounted lost.
+  const int64_t processed_after =
+      after.events_processed - before.events_processed;
+  const int64_t lost = after.events_lost_failure;
+  table.Row({muppet2 ? "Muppet2.0" : "Muppet1.0",
+             FmtInt(after.failures_detected), FmtInt(lost),
+             Fmt(100.0 * static_cast<double>(lost) / (kBefore + kAfter), 3),
+             FmtInt(processed_after),
+             Eps(kBefore + kAfter, total_elapsed),
+             (processed_after + lost == kAfter) ? "yes" : "NO"});
+  (void)recovery;
+  CheckOk(engine->Stop(), "stop");
+}
+
+void Main() {
+  Banner("E9: machine crash mid-stream (crash 1 of 4 after 10k events, "
+         "then 10k more)");
+  Table table({"engine", "detected", "lost", "lost%", "post_crash_ok",
+               "events/s", "accounted"});
+  Run(false, table);
+  Run(true, table);
+  std::printf("\nPaper trend: failure detected by the first failed send "
+              "(not by pinging);\nloss is a tiny fraction of the stream; "
+              "processing continues on survivors\nwith the same keys "
+              "rerouted deterministically.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace muppet
+
+int main() {
+  muppet::bench::Main();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E8 (paper §5, Example 6): relieving a hotspot updater by key splitting.
+// "Counting Best Buy events is associative and commutative ... instead of
+// using just a single updater U, we can use a set of updaters, each of
+// which counts just a subset of Best Buy events" whose partial counts are
+// re-aggregated under the original key.
+//
+// Workload: 90% of events carry one hot key. Sweep the number of shards
+// the hot key is split into and report drain throughput and correctness
+// (the re-aggregated total must equal the true count).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/keysplit.h"
+#include "core/slate.h"
+#include "engine/muppet2.h"
+#include "json/json.h"
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace bench {
+namespace {
+
+constexpr int kEvents = 20000;
+constexpr char kHotKey[] = "Best Buy";
+
+// Workflow per Example 6:
+//   in --splitter(map)--> counted(by subkey) --U_partial--> partials
+//   partials(key = base key) --U_total--> total counts
+void BuildSplitApp(AppConfig* config, int shards, int report_every) {
+  CheckOk(config->DeclareInputStream("in"), "declare in");
+  CheckOk(config->DeclareStream("counted"), "declare counted");
+  CheckOk(config->DeclareStream("partials"), "declare partials");
+
+  CheckOk(config->AddMapper(
+              "splitter",
+              [shards](const AppConfig&, const std::string& name) {
+                auto splitter = std::make_shared<KeySplitter>(
+                    shards, std::map<Bytes, bool>{{Bytes(kHotKey), true}});
+                return std::make_unique<LambdaMapper>(
+                    name,
+                    [splitter](PerformerUtilities& out, const Event& e) {
+                      (void)out.Publish("counted",
+                                        splitter->RouteKey(e.key), e.value);
+                    });
+              },
+              {"in"}),
+          "add splitter");
+
+  // Partial counter: counts per (sub)key; every `report_every` events it
+  // emits its delta under the *base* key.
+  CheckOk(config->AddUpdater(
+              "U_partial",
+              MakeUpdaterFactory([report_every](PerformerUtilities& out,
+                                                const Event& e,
+                                                const Bytes* slate) {
+                JsonSlate s(slate);
+                const int64_t count = s.data().GetInt("count") + 1;
+                const int64_t reported = s.data().GetInt("reported");
+                s.data()["count"] = count;
+                if (count - reported >= report_every) {
+                  Bytes base = e.key;
+                  int shard;
+                  Bytes parsed;
+                  if (ParseSplitKey(e.key, &parsed, &shard).ok()) {
+                    base = parsed;
+                  }
+                  Json delta = Json::MakeObject();
+                  delta["delta"] = count - reported;
+                  (void)out.Publish("partials", base, delta.Dump());
+                  s.data()["reported"] = count;
+                }
+                (void)out.ReplaceSlate(s.Serialize());
+              }),
+              {"counted"}),
+          "add partial");
+
+  // Total counter: sums deltas under the base key.
+  CheckOk(config->AddUpdater(
+              "U_total",
+              MakeUpdaterFactory([](PerformerUtilities& out, const Event& e,
+                                    const Bytes* slate) {
+                Result<Json> payload = Json::Parse(e.value);
+                if (!payload.ok()) return;
+                JsonSlate s(slate);
+                s.data()["count"] =
+                    s.data().GetInt("count") + payload.value().GetInt("delta");
+                (void)out.ReplaceSlate(s.Serialize());
+              }),
+              {"partials"}),
+          "add total");
+}
+
+void Run(int shards, Table& table) {
+  AppConfig config;
+  BuildSplitApp(&config, shards, /*report_every=*/1);
+  EngineOptions options;
+  options.num_machines = 4;
+  options.threads_per_machine = 2;
+  options.queue_capacity = 1 << 16;
+  Muppet2Engine engine(config, options);
+  CheckOk(engine.Start(), "start");
+
+  workload::ZipfKeyGenerator cold_keys(1000, 0.0, "cold", 3);
+  Rng rng(17);
+  int64_t hot_published = 0;
+  Stopwatch timer;
+  for (int i = 0; i < kEvents; ++i) {
+    Bytes key;
+    if (rng.Chance(0.9)) {
+      key = kHotKey;
+      ++hot_published;
+    } else {
+      key = cold_keys.Next();
+    }
+    CheckOk(engine.Publish("in", key, "", i + 1), "publish");
+  }
+  CheckOk(engine.Drain(), "drain");
+  const int64_t elapsed = timer.ElapsedMicros();
+
+  int64_t total = -1;
+  Result<Bytes> slate = engine.FetchSlate("U_total", kHotKey);
+  if (slate.ok()) {
+    JsonSlate s(&slate.value());
+    total = s.data().GetInt("count");
+  }
+  table.Row({FmtInt(shards), Eps(kEvents, elapsed), FmtInt(hot_published),
+             FmtInt(total), total == hot_published ? "yes" : "NO"});
+  CheckOk(engine.Stop(), "stop");
+}
+
+void Main() {
+  Banner("E8: hot-key splitting (paper §5 Example 6; 90% of events on "
+         "one key)");
+  Table table({"shards", "events/s", "hot_true", "hot_total", "exact"});
+  for (int shards : {1, 2, 4, 8}) Run(shards, table);
+  std::printf("\nPaper trend: splitting the hot key spreads its load over "
+              "several updaters\n(throughput recovers on multicore hosts) "
+              "while re-aggregation keeps the\ncount exact — the "
+              "associative/commutative trick of Example 6.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace muppet
+
+int main() {
+  muppet::bench::Main();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the primitives the engines lean
+// on: event wire codec, slate compression, JSON slate round-trips, hash
+// ring routing, queue operations, and the 1.0 task-processor protocol.
+// These quantify the §4.5 argument that eliminating serialization inside
+// a machine is worth a generation bump.
+#include <benchmark/benchmark.h>
+
+#include "common/compress.h"
+#include "common/hash.h"
+#include "core/event.h"
+#include "core/hash_ring.h"
+#include "core/slate.h"
+#include "engine/queue.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace {
+
+Event MakeEvent(size_t value_bytes) {
+  Event e;
+  e.stream = "S2";
+  e.ts = 1234567890;
+  e.key = "user1234567";
+  e.value = Bytes(value_bytes, 'v');
+  e.seq = 42;
+  e.origin_ts = 1234567000;
+  return e;
+}
+
+void BM_EventEncode(benchmark::State& state) {
+  const Event e = MakeEvent(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    Bytes wire;
+    EncodeEvent(e, &wire);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventEncode)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EventDecode(benchmark::State& state) {
+  const Event e = MakeEvent(static_cast<size_t>(state.range(0)));
+  Bytes wire;
+  EncodeEvent(e, &wire);
+  for (auto _ : state) {
+    Event decoded;
+    benchmark::DoNotOptimize(DecodeEvent(wire, &decoded));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventDecode)->Arg(100)->Arg(1000)->Arg(10000);
+
+Bytes MakeJsonSlateBytes(int fields) {
+  Json j = Json::MakeObject();
+  for (int i = 0; i < fields; ++i) {
+    j["counter_field_" + std::to_string(i)] = 123456 + i;
+  }
+  return j.Dump();
+}
+
+void BM_SlateCompress(benchmark::State& state) {
+  const Bytes slate = MakeJsonSlateBytes(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Bytes compressed;
+    CompressBytes(slate, &compressed);
+    benchmark::DoNotOptimize(compressed);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(slate.size()));
+}
+BENCHMARK(BM_SlateCompress)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SlateDecompress(benchmark::State& state) {
+  const Bytes slate = MakeJsonSlateBytes(static_cast<int>(state.range(0)));
+  const Bytes compressed = Compress(slate);
+  for (auto _ : state) {
+    Bytes restored;
+    benchmark::DoNotOptimize(DecompressBytes(compressed, &restored));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(slate.size()));
+}
+BENCHMARK(BM_SlateDecompress)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_JsonSlateUpdateCycle(benchmark::State& state) {
+  // The canonical updater body: parse slate, bump counter, serialize.
+  Bytes slate = MakeJsonSlateBytes(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    JsonSlate s(&slate);
+    s.data()["counter_field_0"] = s.data().GetInt("counter_field_0") + 1;
+    slate = s.Serialize();
+  }
+  benchmark::DoNotOptimize(slate);
+}
+BENCHMARK(BM_JsonSlateUpdateCycle)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_HashRingRoute(benchmark::State& state) {
+  HashRing ring;
+  for (int m = 0; m < static_cast<int>(state.range(0)); ++m) {
+    ring.AddWorker("U1", WorkerRef{m, 0});
+  }
+  const std::set<MachineId> no_failures;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.Route("U1", "key" + std::to_string(i++ % 1000), no_failures));
+  }
+}
+BENCHMARK(BM_HashRingRoute)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  EventQueue queue(1 << 16);
+  RoutedEvent re;
+  re.function = "count";
+  re.event = MakeEvent(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.TryPush(re));
+    RoutedEvent out;
+    benchmark::DoNotOptimize(queue.TryPop(&out));
+  }
+}
+BENCHMARK(BM_QueuePushPop);
+
+void BM_Fnv1a64(benchmark::State& state) {
+  const Bytes key(static_cast<size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(key));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fnv1a64)->Arg(16)->Arg(256);
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes data(static_cast<size_t>(state.range(0)), 'd');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096);
+
+}  // namespace
+}  // namespace muppet
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E16 (paper §5 "Placing Mappers and Updaters"): how much network traffic
+// could locality-aware placement save over the hash ring, and what does
+// the balance cap cost? The paper leaves this open ("Muppet cannot
+// determine this assignment in advance"); this harness quantifies the
+// opportunity offline from observed flows, across key skews and balance
+// slacks — the ablation DESIGN.md calls out.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "engine/placement.h"
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace bench {
+namespace {
+
+// Build flows resembling Example 4: mappers on every machine emit
+// retailer events whose keys are Zipf-popular; each emission's source is
+// the machine of the checkin's mapper (uniform across machines).
+PlacementAdvisor BuildFlows(int machines, double key_skew,
+                            double balance_slack, double source_locality) {
+  PlacementAdvisor advisor(machines, balance_slack);
+  workload::ZipfKeyGenerator keys(500, key_skew, "retailer", 5);
+  Rng rng(41);
+  for (int i = 0; i < 100000; ++i) {
+    const Bytes key = keys.Next();
+    // With probability `source_locality`, a key's events keep coming from
+    // its "home" machine (e.g. geographic affinity); otherwise uniform.
+    MachineId source;
+    if (rng.Chance(source_locality)) {
+      source = static_cast<MachineId>(Fnv1a64(key) % machines);
+    } else {
+      source = static_cast<MachineId>(rng.Uniform(machines));
+    }
+    advisor.ObserveFlow(source, "U1", key, 1);
+  }
+  return advisor;
+}
+
+void Main() {
+  constexpr int kMachines = 8;
+
+  Banner("E16a: cross-machine traffic — hash ring vs locality-aware "
+         "proposal");
+  {
+    Table table({"src_locality", "key_skew", "hash_cross%",
+                 "proposed_cross%", "saving%"});
+    for (double locality : {0.0, 0.5, 0.9}) {
+      for (double skew : {0.0, 1.0}) {
+        PlacementAdvisor advisor =
+            BuildFlows(kMachines, skew, /*slack=*/0.25, locality);
+        HashRing ring;
+        for (int m = 0; m < kMachines; ++m) {
+          ring.AddWorker("U1", WorkerRef{m, 0});
+        }
+        const auto hashed = advisor.AnalyzeRing(ring);
+        PlacementAdvisor::Analysis proposed;
+        advisor.Propose(&proposed);
+        const double hash_cross = 100.0 * hashed.CrossTrafficFraction();
+        const double prop_cross = 100.0 * proposed.CrossTrafficFraction();
+        table.Row({Fmt(locality, 1), Fmt(skew, 1), Fmt(hash_cross, 1),
+                   Fmt(prop_cross, 1), Fmt(hash_cross - prop_cross, 1)});
+      }
+    }
+  }
+
+  Banner("E16b: the balance cap's cost (source locality 0.9, skew 1.0)");
+  {
+    Table table({"balance_slack", "proposed_cross%", "max_load/avg"});
+    for (double slack : {0.0, 0.1, 0.25, 1.0, 10.0}) {
+      PlacementAdvisor advisor = BuildFlows(kMachines, 1.0, slack, 0.9);
+      PlacementAdvisor::Analysis proposed;
+      advisor.Propose(&proposed);
+      int64_t max_load = 0;
+      for (int64_t load : proposed.machine_load) {
+        max_load = std::max(max_load, load);
+      }
+      const double avg = static_cast<double>(advisor.total_events()) /
+                         kMachines;
+      table.Row({Fmt(slack, 2),
+                 Fmt(100.0 * proposed.CrossTrafficFraction(), 1),
+                 Fmt(static_cast<double>(max_load) / avg, 2)});
+    }
+  }
+  std::printf("\nPaper context: hashing is placement-oblivious, so its "
+              "cross-machine traffic\nsits near (machines-1)/machines "
+              "regardless of source affinity. When sources\nhave affinity, "
+              "locality-aware assignment recovers most of it — but only by\n"
+              "letting load skew grow (the §5 tension between locality and "
+              "balance).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace muppet
+
+int main() {
+  muppet::bench::Main();
+  return 0;
+}

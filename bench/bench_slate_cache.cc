@@ -1,0 +1,118 @@
+// E13 (paper §4.2): the slate cache. Hit rate and store traffic vs cache
+// capacity under Zipf-skewed slate popularity, plus the cold-start warm-up
+// the paper describes ("When Muppet starts up, its slate cache is empty,
+// so early update events may require many row fetches from the store").
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/slate_cache.h"
+#include "core/slate_store.h"
+#include "kvstore/cluster.h"
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace bench {
+namespace {
+
+void HitRateVsCapacity() {
+  Banner("E13a: hit rate vs cache capacity (Zipf 1.0 popularity over 50k "
+         "slates)");
+  Table table({"capacity", "accesses", "hit%", "store_writes(evict)"});
+  constexpr int kAccesses = 200000;
+  for (const size_t capacity : {100u, 1000u, 10000u, 50000u}) {
+    int64_t store_writes = 0;
+    SlateCache cache(
+        SlateCacheOptions{capacity},
+        [&store_writes](const SlateCache::DirtySlate&) {
+          ++store_writes;
+          return Status::OK();
+        });
+    workload::ZipfKeyGenerator keys(50000, 1.0, "s", 13);
+    for (int i = 0; i < kAccesses; ++i) {
+      const SlateId id{"U1", keys.Next()};
+      Bytes value;
+      Status s = cache.Lookup(id, &value);
+      // Miss -> simulate fetch+update (dirty insert).
+      CheckOk(cache.Update(id, "slate-bytes", i, /*write_through=*/false),
+              "update");
+      (void)s;
+    }
+    const double hits = static_cast<double>(cache.hits());
+    const double total = hits + static_cast<double>(cache.misses());
+    table.Row({FmtInt(static_cast<int64_t>(capacity)), FmtInt(kAccesses),
+               Fmt(100.0 * hits / total, 2), FmtInt(store_writes)});
+  }
+}
+
+void WarmupCurve() {
+  Banner("E13b: cold-start warm-up — store fetches per 10k events after "
+         "startup");
+  ScratchDir dir;
+  kv::KvClusterOptions kv_options;
+  kv_options.num_nodes = 1;
+  kv_options.replication_factor = 1;
+  kv_options.node.data_dir = dir.path();
+  kv::KvCluster cluster(kv_options);
+  CheckOk(cluster.Open(), "open");
+  SlateStore store(&cluster, SlateStoreOptions{});
+
+  // Persist 20k slates (the pre-restart state).
+  for (int i = 0; i < 20000; ++i) {
+    CheckOk(store.Write(SlateId{"U1", "s" + std::to_string(i)}, "prior", 0),
+            "write");
+  }
+
+  // Fresh cache; replay a skewed access stream and watch misses decay.
+  int64_t store_reads = 0;
+  SlateCache cache(SlateCacheOptions{30000},
+                   [](const SlateCache::DirtySlate&) {
+                     return Status::OK();
+                   });
+  workload::ZipfKeyGenerator keys(20000, 1.0, "s", 31);
+  Table table({"window", "store_fetches", "hit%"});
+  int64_t window_misses = 0, window_hits = 0;
+  int window = 0;
+  for (int i = 0; i < 80000; ++i) {
+    const SlateId id{"U1", keys.Next()};
+    Bytes value;
+    if (cache.Lookup(id, &value).ok()) {
+      ++window_hits;
+    } else {
+      ++window_misses;
+      ++store_reads;
+      Result<Bytes> fetched = store.Read(id);
+      if (fetched.ok()) {
+        CheckOk(cache.Insert(id, fetched.value()), "insert");
+      } else {
+        cache.InsertAbsent(id);
+      }
+    }
+    if ((i + 1) % 10000 == 0) {
+      table.Row({FmtInt(window++), FmtInt(window_misses),
+                 Fmt(100.0 * static_cast<double>(window_hits) /
+                         (window_hits + window_misses),
+                     1)});
+      window_misses = window_hits = 0;
+    }
+  }
+  std::printf("\nPaper trends: hit rate climbs with capacity (skew makes a "
+              "small cache\neffective); after a cold start, store fetches "
+              "concentrate in the first\nwindows and the cache warms — "
+              "exactly why the store needs random-read\ncapacity at "
+              "startup (§4.2).\n");
+}
+
+void Main() {
+  HitRateVsCapacity();
+  WarmupCurve();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace muppet
+
+int main() {
+  muppet::bench::Main();
+  return 0;
+}

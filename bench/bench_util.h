@@ -1,0 +1,114 @@
+// Shared helpers for the experiment harness binaries. Each bench binary
+// reproduces one experiment from DESIGN.md §4 and prints the rows/series
+// EXPERIMENTS.md records.
+#ifndef MUPPET_BENCH_BENCH_UTIL_H_
+#define MUPPET_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace muppet {
+namespace bench {
+
+// Wall-clock stopwatch (microseconds).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) {
+      std::printf("%-16s", h.c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i) std::printf("%-16s", "----");
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%-16s", c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+inline std::string Fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+// Throughput in events/sec given a drained event count and elapsed time.
+inline std::string Eps(int64_t events, int64_t micros) {
+  if (micros <= 0) return "inf";
+  return Fmt(static_cast<double>(events) * 1e6 /
+             static_cast<double>(micros), 0);
+}
+
+// Section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// A scratch directory under /tmp, removed on destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    std::random_device rd;
+    path_ = (std::filesystem::temp_directory_path() /
+             ("muppet_bench_" + std::to_string(rd())))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Abort the bench with a message if a Status is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace bench
+}  // namespace muppet
+
+#endif  // MUPPET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// Paper §4.3 walkthrough: machine crash, detection on send, master
+// broadcast, hash-ring rerouting, and recovery of flushed slates from the
+// durable store.
+//
+//   build/examples/fault_tolerance_demo
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/slate.h"
+#include "core/slate_store.h"
+#include "engine/muppet2.h"
+#include "json/json.h"
+#include "kvstore/cluster.h"
+#include "workload/zipf_keys.h"
+
+namespace {
+
+int64_t CountOf(muppet::Engine& engine, const std::string& key) {
+  muppet::Result<muppet::Bytes> slate = engine.FetchSlate("count", key);
+  if (!slate.ok()) return -1;
+  muppet::JsonSlate s(&slate.value());
+  return s.data().GetInt("count");
+}
+
+}  // namespace
+
+int main() {
+  const std::string data_dir =
+      (std::filesystem::temp_directory_path() / "muppet_ft_demo").string();
+  std::filesystem::remove_all(data_dir);
+
+  muppet::kv::KvClusterOptions kv_options;
+  kv_options.num_nodes = 2;
+  kv_options.replication_factor = 2;
+  kv_options.node.data_dir = data_dir;
+  muppet::kv::KvCluster kv_cluster(kv_options);
+  if (!kv_cluster.Open().ok()) return 1;
+  muppet::SlateStore store(&kv_cluster, muppet::SlateStoreOptions{});
+
+  muppet::AppConfig config;
+  if (!config.DeclareInputStream("in").ok()) return 1;
+  muppet::UpdaterOptions updater_options;
+  updater_options.flush_policy = muppet::SlateFlushPolicy::kWriteThrough;
+  muppet::Status s = config.AddUpdater(
+      "count",
+      muppet::MakeUpdaterFactory([](muppet::PerformerUtilities& out,
+                                    const muppet::Event&,
+                                    const muppet::Bytes* slate) {
+        muppet::JsonSlate state(slate);
+        state.data()["count"] = state.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(state.Serialize());
+      }),
+      {"in"}, updater_options);
+  if (!s.ok()) return 1;
+
+  muppet::EngineOptions options;
+  options.num_machines = 4;
+  options.threads_per_machine = 2;
+  options.queue_capacity = 1 << 16;
+  options.slate_store = &store;
+  muppet::Muppet2Engine engine(config, options);
+  if (!engine.Start().ok()) return 1;
+
+  muppet::workload::ZipfKeyGenerator keys(50, 0.0, "k", 3);
+  std::printf("phase 1: 5000 events over 50 keys on 4 machines...\n");
+  for (int i = 0; i < 5000; ++i) {
+    if (!engine.Publish("in", keys.Next(), "", i + 1).ok()) return 1;
+  }
+  if (!engine.Drain().ok()) return 1;
+  std::printf("  k0 count = %lld\n",
+              static_cast<long long>(CountOf(engine, "k0")));
+
+  std::printf("\nphase 2: crashing machine 1 "
+              "(its queued events and cache die with it)...\n");
+  if (!engine.CrashMachine(1).ok()) return 1;
+
+  std::printf("phase 3: 5000 more events — the first send to the dead "
+              "machine detects the\nfailure, the master broadcasts it, and "
+              "the ring reroutes those keys...\n");
+  for (int i = 0; i < 5000; ++i) {
+    if (!engine.Publish("in", keys.Next(), "", 10000 + i).ok()) return 1;
+  }
+  if (!engine.Drain().ok()) return 1;
+
+  const muppet::EngineStats stats = engine.Stats();
+  std::printf("\noutcome:\n");
+  std::printf("  failures detected : %lld\n",
+              static_cast<long long>(stats.failures_detected));
+  std::printf("  events lost       : %lld of %lld (%.3f%%)\n",
+              static_cast<long long>(stats.events_lost_failure),
+              static_cast<long long>(stats.events_published),
+              100.0 * static_cast<double>(stats.events_lost_failure) /
+                  static_cast<double>(stats.events_published));
+  std::printf("  k0 count now      : %lld (write-through slates survived "
+              "on the store)\n",
+              static_cast<long long>(CountOf(engine, "k0")));
+  std::printf("\nper the paper, the lost events are logged rather than "
+              "re-dispatched:\nlow latency wins over completeness (§4.3).\n");
+
+  const bool ok = engine.Stop().ok();
+  std::filesystem::remove_all(data_dir);
+  return ok ? 0 : 1;
+}

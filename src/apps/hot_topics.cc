@@ -1,0 +1,177 @@
+#include "apps/hot_topics.h"
+
+#include <charconv>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "core/slate.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace apps {
+
+std::string TopicMinuteKey(const std::string& topic, int minute) {
+  return topic + "_" + std::to_string(minute);
+}
+
+Status ParseTopicMinuteKey(const std::string& key, std::string* topic,
+                           int* minute) {
+  const size_t sep = key.rfind('_');
+  if (sep == std::string::npos || sep + 1 >= key.size()) {
+    return Status::InvalidArgument("not a topic-minute key: " + key);
+  }
+  int value = 0;
+  auto [p, ec] = std::from_chars(key.data() + sep + 1,
+                                 key.data() + key.size(), value);
+  if (ec != std::errc() || p != key.data() + key.size()) {
+    return Status::InvalidArgument("bad minute suffix in: " + key);
+  }
+  *topic = key.substr(0, sep);
+  *minute = value;
+  return Status::OK();
+}
+
+TopicMapper::TopicMapper(const AppConfig& /*config*/, std::string name,
+                         std::string output_stream)
+    : name_(std::move(name)), output_stream_(std::move(output_stream)) {}
+
+void TopicMapper::Map(PerformerUtilities& out, const Event& event) {
+  Result<Json> tweet = Json::Parse(event.value);
+  if (!tweet.ok()) return;
+  const Json& topics = tweet.value()["topics"];
+  if (!topics.is_array()) return;
+  // One event per inferred topic, keyed by the topic (U1 aggregates per
+  // topic; the minute travels in the payload).
+  const int minute = MinuteOfDay(event.ts);
+  const int64_t day = DayIndex(event.ts);
+  for (const Json& topic : topics.AsArray()) {
+    if (!topic.is_string()) continue;
+    Json payload = Json::MakeObject();
+    payload["minute"] = minute;
+    payload["day"] = day;
+    Status s = out.Publish(output_stream_, topic.AsString(), payload.Dump());
+    if (!s.ok()) {
+      MUPPET_LOG(kError) << "TopicMapper: " << s.ToString();
+    }
+  }
+}
+
+MinuteCountUpdater::MinuteCountUpdater(const AppConfig& /*config*/,
+                                       std::string name,
+                                       std::string output_stream)
+    : name_(std::move(name)), output_stream_(std::move(output_stream)) {}
+
+void MinuteCountUpdater::Update(PerformerUtilities& out, const Event& event,
+                                const Bytes* slate) {
+  Result<Json> payload = Json::Parse(event.value);
+  if (!payload.ok()) return;
+  const int minute = static_cast<int>(payload.value().GetInt("minute", -1));
+  const int64_t day = payload.value().GetInt("day", -1);
+  if (minute < 0) return;
+  const std::string topic(event.key);
+
+  JsonSlate s(slate);
+  const int prev_minute = static_cast<int>(s.data().GetInt("minute", -1));
+  const int64_t prev_day = s.data().GetInt("day", -1);
+  int64_t count = s.data().GetInt("count");
+
+  // Absolute minute indices make the rollover monotonic: a distributed
+  // engine may deliver a few events slightly out of order (§3 allows the
+  // implementation to approximate the exact order), and a strictly
+  // forward-only rollover keeps stragglers from thrashing the window —
+  // late events fold into the current minute instead.
+  const int64_t abs_minute = day * (24 * 60) + minute;
+  const int64_t prev_abs = prev_day * (24 * 60) + prev_minute;
+
+  if (!s.fresh() && abs_minute > prev_abs) {
+    // Minute rollover: publish the completed minute's count (the paper's
+    // "(key = v_m, value = count)" event into S3).
+    Json closed = Json::MakeObject();
+    closed["count"] = count;
+    Status st = out.Publish(output_stream_,
+                            TopicMinuteKey(topic, prev_minute),
+                            closed.Dump());
+    if (!st.ok()) {
+      MUPPET_LOG(kError) << "MinuteCountUpdater: " << st.ToString();
+    }
+    count = 0;
+  }
+  if (s.fresh() || abs_minute > prev_abs) {
+    s.data()["minute"] = minute;
+    s.data()["day"] = day;
+  }
+  s.data()["count"] = count + 1;
+  (void)out.ReplaceSlate(s.Serialize());
+}
+
+HotTopicUpdater::HotTopicUpdater(const AppConfig& /*config*/,
+                                 std::string name, std::string output_stream,
+                                 double threshold, int64_t min_count)
+    : name_(std::move(name)),
+      output_stream_(std::move(output_stream)),
+      threshold_(threshold),
+      min_count_(min_count) {}
+
+void HotTopicUpdater::Update(PerformerUtilities& out, const Event& event,
+                             const Bytes* slate) {
+  Result<Json> payload = Json::Parse(event.value);
+  if (!payload.ok()) return;
+  const int64_t count = payload.value().GetInt("count");
+
+  // The two Example 5 summaries: total_count and days.
+  JsonSlate s(slate);
+  const int64_t total_count = s.data().GetInt("total_count");
+  const int64_t days = s.data().GetInt("days");
+
+  if (days > 0 && count >= min_count_) {
+    const double avg = static_cast<double>(total_count) /
+                       static_cast<double>(days);
+    if (avg > 0 && static_cast<double>(count) / avg >= threshold_) {
+      Json hot = Json::MakeObject();
+      hot["count"] = count;
+      hot["avg"] = avg;
+      Status st = out.Publish(output_stream_, event.key, hot.Dump());
+      if (!st.ok()) {
+        MUPPET_LOG(kError) << "HotTopicUpdater: " << st.ToString();
+      }
+    }
+  }
+
+  s.data()["total_count"] = total_count + count;
+  s.data()["days"] = days + 1;
+  (void)out.ReplaceSlate(s.Serialize());
+}
+
+Status BuildHotTopicsApp(AppConfig* config, double threshold,
+                         int64_t min_count, HotTopicsAppNames names) {
+  MUPPET_RETURN_IF_ERROR(config->DeclareInputStream(names.tweet_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.mention_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.counts_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.hot_stream));
+  MUPPET_RETURN_IF_ERROR(config->AddMapper(
+      names.mapper,
+      [out = names.mention_stream](const AppConfig& cfg,
+                                   const std::string& name) {
+        return std::make_unique<TopicMapper>(cfg, name, out);
+      },
+      {names.tweet_stream}));
+  MUPPET_RETURN_IF_ERROR(config->AddUpdater(
+      names.minute_counter,
+      [out = names.counts_stream](const AppConfig& cfg,
+                                  const std::string& name) {
+        return std::make_unique<MinuteCountUpdater>(cfg, name, out);
+      },
+      {names.mention_stream}));
+  MUPPET_RETURN_IF_ERROR(config->AddUpdater(
+      names.hot_detector,
+      [out = names.hot_stream, threshold, min_count](
+          const AppConfig& cfg, const std::string& name) {
+        return std::make_unique<HotTopicUpdater>(cfg, name, out, threshold,
+                                                 min_count);
+      },
+      {names.counts_stream}));
+  return Status::OK();
+}
+
+}  // namespace apps
+}  // namespace muppet

@@ -1,0 +1,107 @@
+#include "apps/reputation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/slate.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace apps {
+
+ReputationMapper::ReputationMapper(const AppConfig& /*config*/,
+                                   std::string name,
+                                   std::string output_stream)
+    : name_(std::move(name)), output_stream_(std::move(output_stream)) {}
+
+void ReputationMapper::Map(PerformerUtilities& out, const Event& event) {
+  Result<Json> tweet = Json::Parse(event.value);
+  if (!tweet.ok()) return;
+  const std::string author = tweet.value().GetString("user");
+  if (author.empty()) return;
+  Status s = out.Publish(output_stream_, author, event.value);
+  if (!s.ok()) {
+    MUPPET_LOG(kError) << "ReputationMapper: " << s.ToString();
+  }
+}
+
+ReputationUpdater::ReputationUpdater(const AppConfig& /*config*/,
+                                     std::string name,
+                                     std::string mention_stream,
+                                     ReputationParams params)
+    : name_(std::move(name)),
+      mention_stream_(std::move(mention_stream)),
+      params_(params) {}
+
+double ReputationUpdater::ScoreOf(BytesView slate, double initial_score) {
+  Result<Json> parsed = Json::Parse(slate);
+  if (!parsed.ok()) return initial_score;
+  return parsed.value().GetDouble("score", initial_score);
+}
+
+void ReputationUpdater::Update(PerformerUtilities& out, const Event& event,
+                               const Bytes* slate) {
+  JsonSlate s(slate);
+  double score = s.data().GetDouble("score", params_.initial_score);
+
+  Result<Json> parsed = Json::Parse(event.value);
+  if (!parsed.ok()) return;
+  const Json& payload = parsed.value();
+
+  if (payload.Contains("mention_score")) {
+    // A mention event (this slate's user is B): B's score moves by a
+    // function of A's score, which traveled inside the event.
+    const double from_score = payload.GetDouble("mention_score");
+    score += params_.mention_factor * from_score;
+    s.data()["mentions"] = s.data().GetInt("mentions") + 1;
+  } else {
+    // A tweet by this slate's user (A): bump activity, and if the tweet
+    // targets B, emit a mention event carrying A's *current* score.
+    score += params_.tweet_bonus;
+    s.data()["tweets"] = s.data().GetInt("tweets") + 1;
+    std::string target = payload.GetString("retweet_of");
+    if (target.empty()) target = payload.GetString("reply_to");
+    if (!target.empty()) {
+      Json mention = Json::MakeObject();
+      mention["mention_score"] = score;
+      mention["from"] = payload.GetString("user");
+      Status st = out.Publish(mention_stream_, target, mention.Dump());
+      if (!st.ok()) {
+        MUPPET_LOG(kError) << "ReputationUpdater: " << st.ToString();
+      }
+    }
+  }
+
+  score = std::clamp(score, 0.0, params_.max_score);
+  s.data()["score"] = score;
+  (void)out.ReplaceSlate(s.Serialize());
+}
+
+Status BuildReputationApp(AppConfig* config, ReputationParams params,
+                          ReputationAppNames names) {
+  MUPPET_RETURN_IF_ERROR(config->DeclareInputStream(names.tweet_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.author_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.mention_stream));
+  MUPPET_RETURN_IF_ERROR(config->AddMapper(
+      names.mapper,
+      [out = names.author_stream](const AppConfig& cfg,
+                                  const std::string& name) {
+        return std::make_unique<ReputationMapper>(cfg, name, out);
+      },
+      {names.tweet_stream}));
+  // The updater subscribes to both the author stream and its own mention
+  // stream — the workflow graph has a cycle, which §3's timestamp rule
+  // keeps well-defined.
+  MUPPET_RETURN_IF_ERROR(config->AddUpdater(
+      names.updater,
+      [mention = names.mention_stream, params](const AppConfig& cfg,
+                                               const std::string& name) {
+        return std::make_unique<ReputationUpdater>(cfg, name, mention,
+                                                   params);
+      },
+      {names.author_stream, names.mention_stream}));
+  return Status::OK();
+}
+
+}  // namespace apps
+}  // namespace muppet

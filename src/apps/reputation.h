@@ -1,0 +1,77 @@
+// The user-reputation application (paper Example 3): maintain a reputation
+// score per Twitter user, live. "If a user A retweets or replies to a user
+// B, then the score of B may change, depending on the score of A."
+//
+// Workflow (a cyclic graph — the updater feeds itself):
+//
+//   S1 (tweets) --M1--> S2 (by author) --U1--> slates {score, tweets}
+//                                       \--publishes--> S3 (mentions)
+//   S3 (mentions, keyed by target) -----U1 (same updater)
+//
+// Processing a tweet under the *author's* slate lets U1 read A's current
+// score and forward it inside the mention event, so B's slate update can
+// depend on A's score without any cross-slate read — the MapUpdate way to
+// express cross-entity dependencies.
+#ifndef MUPPET_APPS_REPUTATION_H_
+#define MUPPET_APPS_REPUTATION_H_
+
+#include <string>
+
+#include "core/operator.h"
+#include "core/topology.h"
+
+namespace muppet {
+namespace apps {
+
+struct ReputationParams {
+  double initial_score = 1.0;
+  double tweet_bonus = 0.01;       // author's score bump per tweet
+  double mention_factor = 0.05;    // B += factor * score(A) per mention
+  double max_score = 100.0;
+};
+
+class ReputationMapper final : public Mapper {
+ public:
+  ReputationMapper(const AppConfig& config, std::string name,
+                   std::string output_stream);
+  const std::string& GetName() const override { return name_; }
+  // Re-keys each tweet by its author.
+  void Map(PerformerUtilities& out, const Event& event) override;
+
+ private:
+  std::string name_;
+  std::string output_stream_;
+};
+
+class ReputationUpdater final : public Updater {
+ public:
+  ReputationUpdater(const AppConfig& config, std::string name,
+                    std::string mention_stream, ReputationParams params);
+  const std::string& GetName() const override { return name_; }
+  void Update(PerformerUtilities& out, const Event& event,
+              const Bytes* slate) override;
+
+  // Read a score out of a ReputationUpdater slate.
+  static double ScoreOf(BytesView slate, double initial_score = 1.0);
+
+ private:
+  std::string name_;
+  std::string mention_stream_;
+  ReputationParams params_;
+};
+
+struct ReputationAppNames {
+  std::string tweet_stream = "S1";
+  std::string author_stream = "S2";
+  std::string mention_stream = "S3";
+  std::string mapper = "M1";
+  std::string updater = "U1";
+};
+
+Status BuildReputationApp(AppConfig* config, ReputationParams params = {},
+                          ReputationAppNames names = {});
+
+}  // namespace apps
+}  // namespace muppet
+
+#endif  // MUPPET_APPS_REPUTATION_H_

@@ -1,0 +1,99 @@
+#include "apps/retailer.h"
+
+#include "common/logging.h"
+#include "core/slate.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace apps {
+
+namespace {
+
+struct RetailerPattern {
+  const char* canonical;
+  std::regex pattern;
+};
+
+const std::vector<RetailerPattern>& Patterns() {
+  static const std::vector<RetailerPattern>* kPatterns = [] {
+    auto* v = new std::vector<RetailerPattern>();
+    const auto flags = std::regex::icase | std::regex::optimize;
+    v->push_back({"Walmart", std::regex(".*wal.?mart.*", flags)});
+    v->push_back({"Sam's Club", std::regex(".*sam.?s\\s*club.*", flags)});
+    v->push_back({"Best Buy", std::regex(".*best\\s*buy.*", flags)});
+    v->push_back({"JCPenney", std::regex(".*jc\\s*penney.*", flags)});
+    v->push_back({"Target", std::regex(".*target.*", flags)});
+    return v;
+  }();
+  return *kPatterns;
+}
+
+}  // namespace
+
+RetailerMapper::RetailerMapper(const AppConfig& /*config*/, std::string name,
+                               std::string output_stream)
+    : name_(std::move(name)), output_stream_(std::move(output_stream)) {}
+
+std::string RetailerMapper::MatchRetailer(const std::string& venue) {
+  for (const RetailerPattern& p : Patterns()) {
+    if (std::regex_match(venue, p.pattern)) return p.canonical;
+  }
+  return "";
+}
+
+void RetailerMapper::Map(PerformerUtilities& out, const Event& event) {
+  Result<Json> checkin = Json::Parse(event.value);
+  if (!checkin.ok()) return;  // malformed checkins are skipped
+  const std::string venue = checkin.value().GetString("venue");
+  const std::string retailer = MatchRetailer(venue);
+  if (retailer.empty()) return;
+  Status s = out.Publish(output_stream_, retailer, event.value);
+  if (!s.ok()) {
+    MUPPET_LOG(kError) << "RetailerMapper: could not publish: "
+                       << s.ToString();
+  }
+}
+
+CountingUpdater::CountingUpdater(const AppConfig& /*config*/,
+                                 std::string name)
+    : name_(std::move(name)) {}
+
+int64_t CountingUpdater::CountOf(BytesView slate) {
+  Result<Json> parsed = Json::Parse(slate);
+  if (!parsed.ok()) return 0;
+  return parsed.value().GetInt("count");
+}
+
+void CountingUpdater::Update(PerformerUtilities& out, const Event& /*event*/,
+                             const Bytes* slate) {
+  // First access initializes count = 0 (§3), then increments per event.
+  JsonSlate s(slate);
+  s.data()["count"] = s.data().GetInt("count") + 1;
+  Status st = out.ReplaceSlate(s.Serialize());
+  if (!st.ok()) {
+    MUPPET_LOG(kError) << "CountingUpdater: " << st.ToString();
+  }
+}
+
+Status BuildRetailerApp(AppConfig* config, RetailerAppNames names,
+                        UpdaterOptions counter_options) {
+  MUPPET_RETURN_IF_ERROR(config->DeclareInputStream(names.input_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.retailer_stream));
+  MUPPET_RETURN_IF_ERROR(config->AddMapper(
+      names.mapper,
+      [out = names.retailer_stream](const AppConfig& cfg,
+                                    const std::string& name) {
+        return std::make_unique<RetailerMapper>(cfg, name, out);
+      },
+      {names.input_stream}));
+  MUPPET_RETURN_IF_ERROR(config->AddUpdater(
+      names.counter,
+      [](const AppConfig& cfg, const std::string& name) {
+        return std::make_unique<CountingUpdater>(cfg, name);
+      },
+      {names.retailer_stream}, counter_options));
+  return Status::OK();
+}
+
+}  // namespace apps
+}  // namespace muppet

@@ -1,0 +1,68 @@
+// The retailer-checkin application (paper Examples 1 & 4, Appendix A).
+// A RetailerMapper inspects each Foursquare checkin and, when the venue is
+// a recognized retailer, emits an event keyed by the retailer's canonical
+// name; a CountingUpdater keeps one count slate per retailer. The output
+// of the application is the set of slates maintained by the updater.
+#ifndef MUPPET_APPS_RETAILER_H_
+#define MUPPET_APPS_RETAILER_H_
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "core/operator.h"
+#include "core/topology.h"
+
+namespace muppet {
+namespace apps {
+
+// Mirrors the paper's Appendix A RetailerMapper (regex venue matching),
+// extended with the full retailer list used by the checkin generator.
+class RetailerMapper final : public Mapper {
+ public:
+  RetailerMapper(const AppConfig& config, std::string name,
+                 std::string output_stream);
+
+  const std::string& GetName() const override { return name_; }
+  void Map(PerformerUtilities& out, const Event& event) override;
+
+  // Canonical retailer for a venue string, or "" if unrecognized.
+  static std::string MatchRetailer(const std::string& venue);
+
+ private:
+  std::string name_;
+  std::string output_stream_;
+};
+
+// Mirrors the Appendix A Counter. The slate is a JSON object {"count": n}.
+class CountingUpdater final : public Updater {
+ public:
+  CountingUpdater(const AppConfig& config, std::string name);
+
+  const std::string& GetName() const override { return name_; }
+  void Update(PerformerUtilities& out, const Event& event,
+              const Bytes* slate) override;
+
+  // Parse a CountingUpdater slate back into a count.
+  static int64_t CountOf(BytesView slate);
+
+ private:
+  std::string name_;
+};
+
+struct RetailerAppNames {
+  std::string input_stream = "S1";
+  std::string retailer_stream = "S2";
+  std::string mapper = "M1";
+  std::string counter = "U1";
+};
+
+// Declare the full Example 4 workflow on `config`:
+//   S1 --M1--> S2 --U1--> (count slates)
+Status BuildRetailerApp(AppConfig* config, RetailerAppNames names = {},
+                        UpdaterOptions counter_options = {});
+
+}  // namespace apps
+}  // namespace muppet
+
+#endif  // MUPPET_APPS_RETAILER_H_

@@ -1,0 +1,139 @@
+#include "apps/top_urls.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/slate.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace apps {
+
+constexpr char UrlCountUpdater::kAggregationKey[];
+
+UrlMapper::UrlMapper(const AppConfig& /*config*/, std::string name,
+                     std::string output_stream)
+    : name_(std::move(name)), output_stream_(std::move(output_stream)) {}
+
+void UrlMapper::Map(PerformerUtilities& out, const Event& event) {
+  Result<Json> tweet = Json::Parse(event.value);
+  if (!tweet.ok()) return;
+  const std::string url = tweet.value().GetString("url");
+  if (url.empty()) return;
+  Status s = out.Publish(output_stream_, url, "");
+  if (!s.ok()) {
+    MUPPET_LOG(kError) << "UrlMapper: " << s.ToString();
+  }
+}
+
+UrlCountUpdater::UrlCountUpdater(const AppConfig& /*config*/,
+                                 std::string name, std::string output_stream,
+                                 int report_every)
+    : name_(std::move(name)),
+      output_stream_(std::move(output_stream)),
+      report_every_(report_every < 1 ? 1 : report_every) {}
+
+void UrlCountUpdater::Update(PerformerUtilities& out, const Event& event,
+                             const Bytes* slate) {
+  JsonSlate s(slate);
+  const int64_t count = s.data().GetInt("count") + 1;
+  s.data()["count"] = count;
+  (void)out.ReplaceSlate(s.Serialize());
+
+  if (count % report_every_ == 0) {
+    Json report = Json::MakeObject();
+    report["url"] = std::string(event.key);
+    report["count"] = count;
+    Status st = out.Publish(output_stream_, kAggregationKey, report.Dump());
+    if (!st.ok()) {
+      MUPPET_LOG(kError) << "UrlCountUpdater: " << st.ToString();
+    }
+  }
+}
+
+TopKUpdater::TopKUpdater(const AppConfig& /*config*/, std::string name,
+                         int k)
+    : name_(std::move(name)), k_(k < 1 ? 1 : k) {}
+
+std::vector<std::pair<std::string, int64_t>> TopKUpdater::TopOf(
+    BytesView slate) {
+  std::vector<std::pair<std::string, int64_t>> out;
+  Result<Json> parsed = Json::Parse(slate);
+  if (!parsed.ok()) return out;
+  const Json& top = parsed.value()["top"];
+  if (!top.is_array()) return out;
+  for (const Json& entry : top.AsArray()) {
+    out.emplace_back(entry.GetString("url"), entry.GetInt("count"));
+  }
+  return out;
+}
+
+void TopKUpdater::Update(PerformerUtilities& out, const Event& event,
+                         const Bytes* slate) {
+  Result<Json> parsed = Json::Parse(event.value);
+  if (!parsed.ok()) return;
+  const std::string url = parsed.value().GetString("url");
+  const int64_t count = parsed.value().GetInt("count");
+  if (url.empty()) return;
+
+  JsonSlate s(slate);
+  // Rebuild the ranked list with this url's new count.
+  std::vector<std::pair<std::string, int64_t>> top;
+  const Json& existing = s.data()["top"];
+  if (existing.is_array()) {
+    for (const Json& entry : existing.AsArray()) {
+      const std::string u = entry.GetString("url");
+      if (u != url) top.emplace_back(u, entry.GetInt("count"));
+    }
+  }
+  top.emplace_back(url, count);
+  std::sort(top.begin(), top.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (top.size() > static_cast<size_t>(k_)) {
+    top.resize(static_cast<size_t>(k_));
+  }
+
+  Json array = Json::MakeArray();
+  for (const auto& [u, c] : top) {
+    Json entry = Json::MakeObject();
+    entry["url"] = u;
+    entry["count"] = c;
+    array.Append(std::move(entry));
+  }
+  s.data()["top"] = std::move(array);
+  (void)out.ReplaceSlate(s.Serialize());
+}
+
+Status BuildTopUrlsApp(AppConfig* config, int k, int report_every,
+                       TopUrlsAppNames names) {
+  MUPPET_RETURN_IF_ERROR(config->DeclareInputStream(names.tweet_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.url_stream));
+  MUPPET_RETURN_IF_ERROR(config->DeclareStream(names.report_stream));
+  MUPPET_RETURN_IF_ERROR(config->AddMapper(
+      names.mapper,
+      [out = names.url_stream](const AppConfig& cfg,
+                               const std::string& name) {
+        return std::make_unique<UrlMapper>(cfg, name, out);
+      },
+      {names.tweet_stream}));
+  MUPPET_RETURN_IF_ERROR(config->AddUpdater(
+      names.counter,
+      [out = names.report_stream, report_every](const AppConfig& cfg,
+                                                const std::string& name) {
+        return std::make_unique<UrlCountUpdater>(cfg, name, out,
+                                                 report_every);
+      },
+      {names.url_stream}));
+  MUPPET_RETURN_IF_ERROR(config->AddUpdater(
+      names.topk,
+      [k](const AppConfig& cfg, const std::string& name) {
+        return std::make_unique<TopKUpdater>(cfg, name, k);
+      },
+      {names.report_stream}));
+  return Status::OK();
+}
+
+}  // namespace apps
+}  // namespace muppet

@@ -1,0 +1,80 @@
+// The top-URLs application (paper §2: "maintaining the top-ten URLs being
+// passed around on Twitter"). Global top-k over a keyed framework needs
+// two stages: U1 counts per URL and periodically reports (url, count) under
+// a single aggregation key; U2 keeps the current top-k list in one slate.
+//
+//   S1 (tweets) --M1--> S2 (by url) --U1--> S3 (count reports, key="top")
+//   S3 --U2--> slate {top: [{url, count}, ...]}
+#ifndef MUPPET_APPS_TOP_URLS_H_
+#define MUPPET_APPS_TOP_URLS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operator.h"
+#include "core/topology.h"
+
+namespace muppet {
+namespace apps {
+
+class UrlMapper final : public Mapper {
+ public:
+  UrlMapper(const AppConfig& config, std::string name,
+            std::string output_stream);
+  const std::string& GetName() const override { return name_; }
+  void Map(PerformerUtilities& out, const Event& event) override;
+
+ private:
+  std::string name_;
+  std::string output_stream_;
+};
+
+// Counts per URL; reports the count under the aggregation key every
+// `report_every` increments (amortizing the single-key hotspot on U2).
+class UrlCountUpdater final : public Updater {
+ public:
+  UrlCountUpdater(const AppConfig& config, std::string name,
+                  std::string output_stream, int report_every);
+  const std::string& GetName() const override { return name_; }
+  void Update(PerformerUtilities& out, const Event& event,
+              const Bytes* slate) override;
+
+  static constexpr char kAggregationKey[] = "top";
+
+ private:
+  std::string name_;
+  std::string output_stream_;
+  int report_every_;
+};
+
+class TopKUpdater final : public Updater {
+ public:
+  TopKUpdater(const AppConfig& config, std::string name, int k);
+  const std::string& GetName() const override { return name_; }
+  void Update(PerformerUtilities& out, const Event& event,
+              const Bytes* slate) override;
+
+  // Decode the ranked (url, count) list from a TopKUpdater slate.
+  static std::vector<std::pair<std::string, int64_t>> TopOf(BytesView slate);
+
+ private:
+  std::string name_;
+  int k_;
+};
+
+struct TopUrlsAppNames {
+  std::string tweet_stream = "S1";
+  std::string url_stream = "S2";
+  std::string report_stream = "S3";
+  std::string mapper = "M1";
+  std::string counter = "U1";
+  std::string topk = "U2";
+};
+
+Status BuildTopUrlsApp(AppConfig* config, int k = 10, int report_every = 1,
+                       TopUrlsAppNames names = {});
+
+}  // namespace apps
+}  // namespace muppet
+
+#endif  // MUPPET_APPS_TOP_URLS_H_

@@ -1,0 +1,25 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace muppet {
+
+Timestamp SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepFor(Timestamp micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace muppet

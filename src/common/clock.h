@@ -1,0 +1,71 @@
+// Time. MapUpdate assumes globally ordered timestamps across streams (§3).
+// Timestamps are microseconds since the epoch (int64). The Clock interface
+// lets production code read wall time while tests and the reference executor
+// drive a simulated clock deterministically.
+#ifndef MUPPET_COMMON_CLOCK_H_
+#define MUPPET_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace muppet {
+
+// Microseconds since epoch (or since simulation start for SimulatedClock).
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerMilli = 1000;
+constexpr Timestamp kMicrosPerSecond = 1000 * 1000;
+constexpr Timestamp kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Timestamp kMicrosPerDay = 24 * 60 * kMicrosPerMinute;
+
+// Minute-of-day in [0, 1439] for a timestamp, as used by the hot-topics
+// application (paper Example 5: 00:14 -> 14, 23:59 -> 1439).
+inline int MinuteOfDay(Timestamp ts) {
+  const Timestamp in_day = ((ts % kMicrosPerDay) + kMicrosPerDay) % kMicrosPerDay;
+  return static_cast<int>(in_day / kMicrosPerMinute);
+}
+
+// Day index since epoch for a timestamp.
+inline int64_t DayIndex(Timestamp ts) { return ts / kMicrosPerDay; }
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() const = 0;
+  // Block (or logically advance) for the given duration.
+  virtual void SleepFor(Timestamp micros) = 0;
+};
+
+// Real wall-clock time (steady for intervals, system for absolute).
+class SystemClock final : public Clock {
+ public:
+  Timestamp Now() const override;
+  void SleepFor(Timestamp micros) override;
+
+  // Process-wide instance.
+  static SystemClock* Default();
+};
+
+// Manually advanced clock for deterministic tests and simulations.
+// Thread-safe: many workload threads may read while a driver advances.
+class SimulatedClock final : public Clock {
+ public:
+  explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void SleepFor(Timestamp micros) override { Advance(micros); }
+
+  void Advance(Timestamp micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+  void Set(Timestamp t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_CLOCK_H_

@@ -1,0 +1,142 @@
+#include "common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace muppet {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 3 + 128;       // control byte encodes 0..127
+constexpr size_t kMaxLiteralRun = 128;
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr uint32_t kMaxDistance = 1u << 20;  // 1 MiB window
+
+inline uint32_t HashQuad(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(const char* start, size_t n, Bytes* out) {
+  while (n > 0) {
+    size_t run = n < kMaxLiteralRun ? n : kMaxLiteralRun;
+    out->push_back(static_cast<char>((run - 1) << 1));
+    out->append(start, run);
+    start += run;
+    n -= run;
+  }
+}
+
+}  // namespace
+
+void CompressBytes(BytesView input, Bytes* output) {
+  PutVarint64(output, input.size());
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n < kMinMatch + 4) {
+    if (n > 0) EmitLiterals(base, n, output);
+    return;
+  }
+
+  // Single-probe hash chain: table maps a 4-byte hash to the latest position.
+  std::vector<uint32_t> table(kHashSize, 0);
+  std::vector<bool> valid(kHashSize, false);
+
+  size_t i = 0;
+  size_t literal_start = 0;
+  const size_t limit = n - kMinMatch;  // last position where a match can start
+
+  while (i <= limit) {
+    const uint32_t h = HashQuad(base + i);
+    size_t candidate = table[h];
+    const bool have = valid[h];
+    table[h] = static_cast<uint32_t>(i);
+    valid[h] = true;
+
+    if (have && i > candidate && i - candidate <= kMaxDistance &&
+        std::memcmp(base + candidate, base + i, kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      const size_t max_len = (n - i) < kMaxMatch ? (n - i) : kMaxMatch;
+      while (len < max_len && base[candidate + len] == base[i + len]) ++len;
+
+      EmitLiterals(base + literal_start, i - literal_start, output);
+      output->push_back(static_cast<char>(((len - kMinMatch) << 1) | 1));
+      PutVarint32(output, static_cast<uint32_t>(i - candidate));
+
+      // Index a couple of positions inside the match to improve later finds.
+      const size_t end = i + len;
+      for (size_t j = i + 1; j + kMinMatch <= end && j <= limit; j += 2) {
+        const uint32_t hj = HashQuad(base + j);
+        table[hj] = static_cast<uint32_t>(j);
+        valid[hj] = true;
+      }
+      i = end;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  EmitLiterals(base + literal_start, n - literal_start, output);
+}
+
+Status DecompressBytes(BytesView input, Bytes* output) {
+  const char* p = input.data();
+  const char* limit = p + input.size();
+  uint64_t expected = 0;
+  if (!GetVarint64(&p, limit, &expected)) {
+    return Status::Corruption("compress: missing length header");
+  }
+  const size_t out_base = output->size();
+  output->reserve(out_base + expected);
+
+  while (p < limit) {
+    const uint8_t control = static_cast<uint8_t>(*p++);
+    if ((control & 1) == 0) {
+      const size_t run = (control >> 1) + 1;
+      if (static_cast<size_t>(limit - p) < run) {
+        return Status::Corruption("compress: truncated literal run");
+      }
+      output->append(p, run);
+      p += run;
+    } else {
+      const size_t len = (control >> 1) + kMinMatch;
+      uint32_t dist = 0;
+      if (!GetVarint32(&p, limit, &dist) || dist == 0) {
+        return Status::Corruption("compress: bad match distance");
+      }
+      const size_t produced = output->size() - out_base;
+      if (dist > produced) {
+        return Status::Corruption("compress: distance before start");
+      }
+      // Byte-by-byte copy: overlapping matches (dist < len) replicate, which
+      // is the RLE case and must be preserved.
+      size_t src = output->size() - dist;
+      for (size_t k = 0; k < len; ++k) {
+        output->push_back((*output)[src + k]);
+      }
+    }
+  }
+  if (output->size() - out_base != expected) {
+    return Status::Corruption("compress: length mismatch");
+  }
+  return Status::OK();
+}
+
+Bytes Compress(BytesView input) {
+  Bytes out;
+  CompressBytes(input, &out);
+  return out;
+}
+
+Result<Bytes> Decompress(BytesView input) {
+  Bytes out;
+  Status s = DecompressBytes(input, &out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+}  // namespace muppet

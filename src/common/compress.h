@@ -1,0 +1,32 @@
+// Byte-oriented LZ77-style compression, implemented from scratch.
+// Muppet compresses each slate before persisting it in the key-value store
+// (paper §4.2: "Muppet compresses each slate before storing it"); slates are
+// JSON-encoded and highly repetitive, which this codec exploits.
+//
+// Format: a varint64 uncompressed length, then a token stream. Each token is
+// a control byte: low bit 0 -> literal run (length = byte >> 1, 1..128
+// literal bytes follow); low bit 1 -> match (length = (byte >> 1) + kMinMatch,
+// followed by a varint32 backward distance).
+#ifndef MUPPET_COMMON_COMPRESS_H_
+#define MUPPET_COMMON_COMPRESS_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace muppet {
+
+// Compress `input` and append to `*output` (which is not cleared).
+// Worst case expansion is input.size() * (129/128) + ~12 bytes.
+void CompressBytes(BytesView input, Bytes* output);
+
+// Decompress a buffer produced by CompressBytes. Fails with Corruption on
+// malformed input (truncated stream, distance past start, length mismatch).
+Status DecompressBytes(BytesView input, Bytes* output);
+
+// Convenience: round-trip helpers returning by value.
+Bytes Compress(BytesView input);
+Result<Bytes> Decompress(BytesView input);
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_COMPRESS_H_

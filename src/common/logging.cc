@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace muppet {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_sink_mutex;
+std::string* g_capture = nullptr;  // guarded by g_sink_mutex
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogCapture(std::string* capture) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_capture = capture;
+}
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  // Strip directories from __FILE__ for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_capture != nullptr) {
+    g_capture->append(LevelName(level));
+    g_capture->push_back(' ');
+    g_capture->append(msg);
+    g_capture->push_back('\n');
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+
+namespace logging_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* cond)
+    : file_(file), line_(line), cond_(cond) {}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s %s\n", file_, line_,
+               cond_, stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace logging_internal
+}  // namespace muppet

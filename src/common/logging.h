@@ -1,0 +1,86 @@
+// Minimal leveled logger. Muppet workers log lost events, failures, and
+// overflow actions (paper §4.3 "logged as lost"); tests lower the level to
+// keep output quiet. Thread-safe; a single global sink.
+#ifndef MUPPET_COMMON_LOGGING_H_
+#define MUPPET_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace muppet {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global minimum level; messages below it are discarded (cheaply: the
+// stream is still built by the macro's ostringstream, so keep hot-path
+// logging at Debug level only).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Append a formatted line to the global sink (stderr by default).
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& msg);
+
+// Redirect log output into a string buffer (for tests). Passing nullptr
+// restores stderr.
+void SetLogCapture(std::string* capture);
+
+namespace logging_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+
+#define MUPPET_LOG(level)                                              \
+  if (::muppet::LogLevel::level < ::muppet::GetLogLevel()) {           \
+  } else                                                               \
+    ::muppet::logging_internal::LogMessage(::muppet::LogLevel::level,  \
+                                           __FILE__, __LINE__)         \
+        .stream()
+
+// Invariant check that survives NDEBUG: aborts with a message. Used for
+// conditions that indicate a bug in this library, not bad user input.
+#define MUPPET_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::muppet::logging_internal::CheckFailure(__FILE__, __LINE__, #cond)\
+        .stream()
+
+namespace logging_internal {
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* cond_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_LOGGING_H_

@@ -1,0 +1,153 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+namespace muppet {
+
+Histogram::Histogram() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 1) value = 1;
+  // Geometric buckets: bucket = floor(log(value) / log(1.08)).
+  // Computed via bit tricks would be faster; this is not on the data path.
+  static const double kInvLog = 1.0 / std::log(1.08);
+  int b = static_cast<int>(std::log(static_cast<double>(value)) * kInvLog);
+  if (b < 0) b = 0;
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  return b;
+}
+
+int64_t Histogram::BucketValue(int bucket) {
+  // Geometric mid-point of the bucket.
+  return static_cast<int64_t>(std::pow(1.08, bucket + 0.5));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 1) value = 1;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev_min = min_.load(std::memory_order_relaxed);
+  while (value < prev_min &&
+         !min_.compare_exchange_weak(prev_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  int64_t prev_max = max_.load(std::memory_order_relaxed);
+  while (value > prev_max &&
+         !max_.compare_exchange_weak(prev_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  int64_t m = min_.load(std::memory_order_relaxed);
+  return m == INT64_MAX ? 0 : m;
+}
+
+int64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  int64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  const int64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max();
+  int64_t target = static_cast<int64_t>(std::ceil(q * static_cast<double>(total)));
+  if (target < 1) target = 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      int64_t v = BucketValue(i);
+      return std::clamp<int64_t>(v, min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    int64_t om = other.min();
+    int64_t prev = min_.load(std::memory_order_relaxed);
+    while (om < prev &&
+           !min_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+    }
+    int64_t ox = other.max();
+    prev = max_.load(std::memory_order_relaxed);
+    while (ox > prev &&
+           !max_.compare_exchange_weak(prev, ox, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << Mean()
+     << " p50=" << Percentile(0.50) << " p95=" << Percentile(0.95)
+     << " p99=" << Percentile(0.99) << " max=" << max();
+  return os.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->Get();
+  return out;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c->Get() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ": " << h->Summary() << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace muppet

@@ -1,0 +1,91 @@
+// Runtime metrics: counters and latency histograms. The benchmark harness
+// (EXPERIMENTS.md E4, E7, E9, E10) reads these to report the latency and
+// loss figures the paper quotes ("latency of under 2 seconds", §5).
+#ifndef MUPPET_COMMON_METRICS_H_
+#define MUPPET_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace muppet {
+
+// Monotonic event counter, thread-safe and wait-free.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-bucketed histogram for latency measurements (microseconds). Buckets
+// grow geometrically (~8% relative error) from 1us to ~1.2 hours, so p99 of
+// both microsecond in-process hops and multi-second backlog latencies fit.
+class Histogram {
+ public:
+  Histogram();
+
+  // Record a sample (values < 1 clamp to 1).
+  void Record(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t min() const;
+  int64_t max() const;
+  double Mean() const;
+
+  // Approximate quantile in [0,1]; returns the representative value of the
+  // bucket containing the q-th sample. 0 samples -> 0.
+  int64_t Percentile(double q) const;
+
+  void Reset();
+
+  // Merge another histogram's samples into this one.
+  void MergeFrom(const Histogram& other);
+
+  // "count=... mean=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+  static constexpr int kNumBuckets = 256;
+
+ private:
+  static int BucketFor(int64_t value);
+  static int64_t BucketValue(int bucket);
+
+  std::atomic<int64_t> buckets_[kNumBuckets];
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{0};
+};
+
+// Named registry so engines and benches can share metric objects without
+// plumbing. Pointers remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Snapshot of all counters (name -> value).
+  std::map<std::string, int64_t> CounterValues() const;
+  // Multi-line human-readable dump of everything.
+  std::string Report() const;
+
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_METRICS_H_

@@ -1,0 +1,127 @@
+// Deterministic pseudo-random generators for workloads and tests.
+// We avoid std::mt19937 in hot paths (workload generators emit millions of
+// events) and avoid std::*_distribution because their output differs across
+// standard library implementations; these generators make workloads
+// reproducible bit-for-bit.
+#ifndef MUPPET_COMMON_RNG_H_
+#define MUPPET_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace muppet {
+
+// xoshiro256** seeded via SplitMix64. Fast, high-quality, 2^256 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). Uses Lemire's multiply-shift; slight modulo bias is
+  // irrelevant for workload generation but we debias via rejection anyway.
+  uint64_t Uniform(uint64_t n) {
+    if (n == 0) return 0;
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+// Zipf(s) sampler over {0, .., n-1} using the Gray-et-al. rejection-inversion
+// method — O(1) per sample with no O(n) table, so we can model the paper's
+// strongly skewed key distributions ("e.g., follow a Zipfian distribution",
+// §5) over millions of keys.
+class ZipfSampler {
+ public:
+  // skew == 0 degenerates to uniform. Typical values: 0.8 (mild), 1.2 (hot).
+  ZipfSampler(uint64_t n, double skew)
+      : n_(n == 0 ? 1 : n), s_(skew) {
+    if (s_ > 1e-9) {
+      dist_ = H(static_cast<double>(n_) + 0.5) - H(0.5);
+    }
+  }
+
+  uint64_t Sample(Rng& rng) {
+    if (s_ <= 1e-9) return rng.Uniform(n_);
+    // Rejection-inversion (Hormann & Derflinger).
+    while (true) {
+      const double u = H(0.5) + rng.NextDouble() * dist_;
+      const double x = Hinv(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      const double kd = static_cast<double>(k);
+      if (u >= H(kd + 0.5) - std::exp(-s_ * std::log(kd))) {
+        return k - 1;  // 0-based rank; rank 0 is hottest
+      }
+    }
+  }
+
+  uint64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  // H(x) = integral of x^-s  (cases for s == 1).
+  double H(double x) const {
+    if (std::abs(s_ - 1.0) < 1e-9) return std::log(x);
+    return std::exp((1.0 - s_) * std::log(x)) / (1.0 - s_);
+  }
+  double Hinv(double u) const {
+    if (std::abs(s_ - 1.0) < 1e-9) return std::exp(u);
+    return std::exp(std::log((1.0 - s_) * u) / (1.0 - s_));
+  }
+
+  uint64_t n_;
+  double s_;
+  double dist_ = 0;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_RNG_H_

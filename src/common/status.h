@@ -1,0 +1,168 @@
+// Status and Result<T>: exception-free error handling, in the style of
+// RocksDB/Arrow. Library code returns Status (or Result<T>) instead of
+// throwing; callers inspect with ok()/code()/message().
+#ifndef MUPPET_COMMON_STATUS_H_
+#define MUPPET_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace muppet {
+
+// Error taxonomy for the whole library. Keep this small: a code identifies
+// how a caller should react, the message carries the details.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,         // key/slate/file does not exist
+  kInvalidArgument = 2,  // caller passed something malformed
+  kCorruption = 3,       // stored bytes failed validation
+  kIOError = 4,          // filesystem/socket failure
+  kUnavailable = 5,      // machine/worker down or queue refused (retryable)
+  kTimedOut = 6,         // deadline exceeded
+  kResourceExhausted = 7,// queue/cache/memory limit reached
+  kFailedPrecondition = 8,// operation illegal in current state
+  kAlreadyExists = 9,    // duplicate registration
+  kAborted = 10,         // operation abandoned (e.g. shutdown)
+  kUnimplemented = 11,   // feature intentionally absent
+  kInternal = 12,        // invariant violation: a bug in this library
+};
+
+// Human-readable name of a status code ("NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
+  static Status TimedOut(std::string_view msg) {
+    return Status(StatusCode::kTimedOut, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status Aborted(std::string_view msg) {
+    return Status(StatusCode::kAborted, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// A value-or-error. Holds T when status().ok(), otherwise only the Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value: `return value;` in a Result-returning function.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  // Implicit from error status. Must not be OK (an OK Result needs a value).
+  Result(Status status) : status_(std::move(status)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  // Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define MUPPET_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::muppet::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+// Evaluate a Result<T> expression; on error return its status, otherwise
+// bind the value to `lhs`.
+#define MUPPET_ASSIGN_OR_RETURN(lhs, expr)          \
+  MUPPET_ASSIGN_OR_RETURN_IMPL(                     \
+      MUPPET_STATUS_CONCAT(_res, __LINE__), lhs, expr)
+
+#define MUPPET_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define MUPPET_STATUS_CONCAT_INNER(a, b) a##b
+#define MUPPET_STATUS_CONCAT(a, b) MUPPET_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#include "core/event.h"
+
+namespace muppet {
+
+void EncodeEvent(const Event& event, Bytes* out) {
+  PutLengthPrefixed(out, event.stream);
+  PutVarint64(out, static_cast<uint64_t>(event.ts));
+  PutLengthPrefixed(out, event.key);
+  PutLengthPrefixed(out, event.value);
+  PutVarint64(out, event.seq);
+  PutVarint64(out, static_cast<uint64_t>(event.origin_ts));
+}
+
+Status DecodeEvent(BytesView data, Event* event) {
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  BytesView stream, key, value;
+  uint64_t ts = 0, seq = 0, origin = 0;
+  if (!GetLengthPrefixed(&p, limit, &stream) || !GetVarint64(&p, limit, &ts) ||
+      !GetLengthPrefixed(&p, limit, &key) ||
+      !GetLengthPrefixed(&p, limit, &value) || !GetVarint64(&p, limit, &seq) ||
+      !GetVarint64(&p, limit, &origin) || p != limit) {
+    return Status::Corruption("event: malformed wire data");
+  }
+  event->stream.assign(stream);
+  event->ts = static_cast<Timestamp>(ts);
+  event->key.assign(key);
+  event->value.assign(value);
+  event->seq = seq;
+  event->origin_ts = static_cast<Timestamp>(origin);
+  return Status::OK();
+}
+
+}  // namespace muppet

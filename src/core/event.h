@@ -1,0 +1,51 @@
+// Events and streams (paper §3). An event is a tuple <sid, ts, k, v>:
+// stream id, globally ordered timestamp, grouping key, and an opaque value
+// blob. A stream is the sequence of events with one sid in increasing
+// timestamp order, with a deterministic tie-break.
+#ifndef MUPPET_CORE_EVENT_H_
+#define MUPPET_CORE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace muppet {
+
+struct Event {
+  // Stream id this event belongs to.
+  std::string stream;
+  // Global timestamp (microseconds). Output events must carry a timestamp
+  // greater than their input event's, which keeps cyclic workflows
+  // well-defined (§3).
+  Timestamp ts = 0;
+  // Grouping key; events with equal keys reach the same updater (and
+  // therefore the same slate). Not necessarily unique.
+  Bytes key;
+  // Opaque payload ("any blob associated with the event").
+  Bytes value;
+
+  // Deterministic tie-breaker for events with equal timestamps: a
+  // per-application publish sequence number. Assigned by the engine.
+  uint64_t seq = 0;
+
+  // Wall-clock time the event's external ancestor entered the system;
+  // carried through the workflow for end-to-end latency measurement.
+  Timestamp origin_ts = 0;
+};
+
+// The §3 stream order: (ts, then seq) — seq is the deterministic tie-break.
+inline bool EventOrderLess(const Event& a, const Event& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.seq < b.seq;
+}
+
+// Wire form for cross-machine transport (and tests of it).
+void EncodeEvent(const Event& event, Bytes* out);
+Status DecodeEvent(BytesView data, Event* event);
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_EVENT_H_

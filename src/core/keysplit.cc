@@ -1,0 +1,86 @@
+#include "core/keysplit.h"
+
+#include <charconv>
+
+namespace muppet {
+
+Bytes MakeSplitKey(BytesView base_key, int shard) {
+  Bytes out;
+  out.reserve(base_key.size() + 4);
+  for (char c : base_key) {
+    out.push_back(c);
+    if (c == '#') out.push_back('#');  // escape
+  }
+  out.push_back('#');
+  out.append(std::to_string(shard));
+  return out;
+}
+
+Status ParseSplitKey(BytesView split_key, Bytes* base_key, int* shard) {
+  // Find the unescaped '#' separator: scan from the end — the suffix after
+  // it must be all digits, and the '#' must not be part of an "##" escape.
+  size_t sep = Bytes::npos;
+  for (size_t i = split_key.size(); i-- > 0;) {
+    if (split_key[i] == '#') {
+      // Count preceding '#'s; separator only if that count is even.
+      size_t hashes = 0;
+      size_t j = i;
+      while (j > 0 && split_key[j - 1] == '#') {
+        ++hashes;
+        --j;
+      }
+      if (hashes % 2 == 0) {
+        sep = i;
+      }
+      break;  // only the last run of '#'s can hold the separator
+    }
+    if (split_key[i] < '0' || split_key[i] > '9') break;
+  }
+  if (sep == Bytes::npos || sep + 1 >= split_key.size()) {
+    return Status::InvalidArgument("keysplit: not a split key");
+  }
+  int value = 0;
+  auto [p, ec] = std::from_chars(split_key.data() + sep + 1,
+                                 split_key.data() + split_key.size(), value);
+  if (ec != std::errc() || p != split_key.data() + split_key.size() ||
+      value < 0) {
+    return Status::InvalidArgument("keysplit: bad shard suffix");
+  }
+  // Unescape the base key.
+  base_key->clear();
+  for (size_t i = 0; i < sep; ++i) {
+    base_key->push_back(split_key[i]);
+    if (split_key[i] == '#') {
+      if (i + 1 >= sep || split_key[i + 1] != '#') {
+        return Status::InvalidArgument("keysplit: unescaped '#' in base key");
+      }
+      ++i;  // skip the escape twin
+    }
+  }
+  *shard = value;
+  return Status::OK();
+}
+
+KeySplitter::KeySplitter(int shards, std::map<Bytes, bool> hot_keys)
+    : shards_(shards < 1 ? 1 : shards),
+      split_all_(false),
+      hot_keys_(std::move(hot_keys)) {}
+
+KeySplitter::KeySplitter(int shards)
+    : shards_(shards < 1 ? 1 : shards), split_all_(true) {}
+
+bool KeySplitter::IsSplit(BytesView key) const {
+  if (shards_ <= 1) return false;
+  if (split_all_) return true;
+  return hot_keys_.count(Bytes(key)) > 0;
+}
+
+Bytes KeySplitter::RouteKey(BytesView key) {
+  if (!IsSplit(key)) return Bytes(key);
+  uint64_t& cursor = cursors_[Bytes(key)];
+  const int shard = static_cast<int>(cursor % static_cast<uint64_t>(shards_));
+  ++cursor;
+  return MakeSplitKey(key, shard);
+}
+
+}  // namespace muppet

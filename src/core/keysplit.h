@@ -1,0 +1,57 @@
+// Hotspot mitigation by key splitting (paper §5, Example 6). When an
+// update computation is associative and commutative, an overloaded key
+// ("Best Buy") can be partitioned into sub-keys ("Best Buy#0", "Best
+// Buy#1", ...) counted by independent updaters whose partial results are
+// periodically re-aggregated under the original key by a downstream
+// updater. These helpers implement the mechanical parts: sub-key naming,
+// deterministic-but-balanced shard selection, and parsing back.
+#ifndef MUPPET_CORE_KEYSPLIT_H_
+#define MUPPET_CORE_KEYSPLIT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace muppet {
+
+// "key#shard". The separator '#' is escaped in the base key ("##") so
+// parsing is unambiguous for arbitrary keys.
+Bytes MakeSplitKey(BytesView base_key, int shard);
+
+// Inverse. Returns InvalidArgument for inputs not produced by MakeSplitKey.
+Status ParseSplitKey(BytesView split_key, Bytes* base_key, int* shard);
+
+// Chooses a shard for each event of a hot key. Round-robin per key gives
+// the even spread Example 6 wants; it is deterministic given the sequence
+// of calls (the engines call it from the single mapper that owns the
+// split).
+class KeySplitter {
+ public:
+  // `shards` sub-keys per split key; keys not in `hot_keys` are passed
+  // through unchanged (shards <= 1 disables splitting entirely).
+  KeySplitter(int shards, std::map<Bytes, bool> hot_keys);
+
+  // Convenience: split every key.
+  explicit KeySplitter(int shards);
+
+  // Returns the (possibly split) routing key for an event with `key`.
+  Bytes RouteKey(BytesView key);
+
+  int shards() const { return shards_; }
+  bool IsSplit(BytesView key) const;
+
+ private:
+  int shards_;
+  bool split_all_;
+  std::map<Bytes, bool> hot_keys_;
+  // Per-key round-robin cursors.
+  std::map<Bytes, uint64_t> cursors_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_KEYSPLIT_H_

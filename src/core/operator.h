@@ -1,0 +1,131 @@
+// The user-facing MapUpdate operator API. Mirrors the paper's Appendix A
+// Java interfaces: applications implement `Mapper` and `Updater`, which are
+// constructed from (config, function name) by registered factories (the
+// same class can back several named functions), and interact with the
+// runtime through `PerformerUtilities`.
+#ifndef MUPPET_CORE_OPERATOR_H_
+#define MUPPET_CORE_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/event.h"
+#include "json/json.h"
+
+namespace muppet {
+
+class AppConfig;
+
+// Handed to map/update calls for their side of the contract: publishing
+// events downstream and (for updaters) replacing the slate.
+//
+// Timestamps: Publish() stamps the output event with a timestamp strictly
+// greater than the input event's (input.ts + 1), preserving the §3
+// well-definedness condition even in cyclic workflows. PublishAt() lets the
+// operator choose a later timestamp explicitly (e.g. the hot-topics U1
+// emits its per-minute count at the minute boundary).
+class PerformerUtilities {
+ public:
+  virtual ~PerformerUtilities() = default;
+
+  // Emit an event with the runtime-assigned timestamp input.ts + 1.
+  // Fails with InvalidArgument if `stream` is not declared in the app
+  // config; delivery errors surface per the engine's overflow policy.
+  virtual Status Publish(const std::string& stream, BytesView key,
+                         BytesView value) = 0;
+
+  // Emit an event at an explicit timestamp, which must be greater than the
+  // input event's timestamp (InvalidArgument otherwise).
+  virtual Status PublishAt(const std::string& stream, BytesView key,
+                           BytesView value, Timestamp ts) = 0;
+
+  // Updaters only: replace the slate for (this updater, current key).
+  // Calling it from a mapper returns FailedPrecondition.
+  virtual Status ReplaceSlate(BytesView slate) = 0;
+
+  // Updaters only: delete the slate for (this updater, current key).
+  virtual Status DeleteSlate() = 0;
+
+  // The event being processed.
+  virtual const Event& current_event() const = 0;
+};
+
+// A map function: stateless, event in, zero or more events out (§3).
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  // The function's unique name within the application.
+  virtual const std::string& GetName() const = 0;
+
+  // Process one event. `slate`-free by design ("memoryless", §3).
+  virtual void Map(PerformerUtilities& out, const Event& event) = 0;
+};
+
+// An update function: stateful via slates. `slate` is nullptr on first
+// touch of (this updater, event.key) — including after TTL expiry — in
+// which case the updater must initialize its state (§3). To persist state
+// changes the updater calls out.ReplaceSlate().
+class Updater {
+ public:
+  virtual ~Updater() = default;
+
+  virtual const std::string& GetName() const = 0;
+
+  virtual void Update(PerformerUtilities& out, const Event& event,
+                      const Bytes* slate) = 0;
+};
+
+// Factories mirror the Appendix A constructor signature
+// `Performer(Config config, String name)`.
+using MapperFactory = std::function<std::unique_ptr<Mapper>(
+    const AppConfig& config, const std::string& name)>;
+using UpdaterFactory = std::function<std::unique_ptr<Updater>(
+    const AppConfig& config, const std::string& name)>;
+
+// Convenience adaptors for lambda-style operators: wrap a callable into a
+// Mapper/Updater so examples and tests need no boilerplate classes.
+class LambdaMapper final : public Mapper {
+ public:
+  using Fn = std::function<void(PerformerUtilities&, const Event&)>;
+  LambdaMapper(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& GetName() const override { return name_; }
+  void Map(PerformerUtilities& out, const Event& event) override {
+    fn_(out, event);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+class LambdaUpdater final : public Updater {
+ public:
+  using Fn =
+      std::function<void(PerformerUtilities&, const Event&, const Bytes*)>;
+  LambdaUpdater(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& GetName() const override { return name_; }
+  void Update(PerformerUtilities& out, const Event& event,
+              const Bytes* slate) override {
+    fn_(out, event, slate);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+// Factory helpers for the adaptors.
+MapperFactory MakeMapperFactory(LambdaMapper::Fn fn);
+UpdaterFactory MakeUpdaterFactory(LambdaUpdater::Fn fn);
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_OPERATOR_H_

@@ -1,0 +1,157 @@
+#include "core/reference_executor.h"
+
+#include "common/logging.h"
+
+namespace muppet {
+
+// PerformerUtilities implementation scoped to one Deliver() call.
+class ReferenceExecutor::Utilities final : public PerformerUtilities {
+ public:
+  Utilities(ReferenceExecutor* executor, const Event& event,
+            const std::string& op_name, bool is_updater)
+      : executor_(executor),
+        event_(event),
+        op_name_(op_name),
+        is_updater_(is_updater) {}
+
+  Status Publish(const std::string& stream, BytesView key,
+                 BytesView value) override {
+    return PublishAt(stream, key, value, event_.ts + 1);
+  }
+
+  Status PublishAt(const std::string& stream, BytesView key, BytesView value,
+                   Timestamp ts) override {
+    if (!executor_->config_.HasStream(stream)) {
+      return Status::InvalidArgument("publish: undeclared stream '" + stream +
+                                     "'");
+    }
+    if (executor_->config_.IsInputStream(stream)) {
+      return Status::InvalidArgument(
+          "publish: operators may not emit into input stream '" + stream +
+          "'");
+    }
+    if (ts <= event_.ts) {
+      return Status::InvalidArgument(
+          "publish: output timestamp must exceed input timestamp");
+    }
+    Event out;
+    out.stream = stream;
+    out.ts = ts;
+    out.key.assign(key);
+    out.value.assign(value);
+    out.origin_ts = event_.origin_ts;
+    return executor_->Enqueue(std::move(out));
+  }
+
+  Status ReplaceSlate(BytesView slate) override {
+    if (!is_updater_) {
+      return Status::FailedPrecondition("mapper cannot replace a slate");
+    }
+    executor_->slates_[SlateId{op_name_, event_.key}] = Bytes(slate);
+    return Status::OK();
+  }
+
+  Status DeleteSlate() override {
+    if (!is_updater_) {
+      return Status::FailedPrecondition("mapper cannot delete a slate");
+    }
+    executor_->slates_.erase(SlateId{op_name_, event_.key});
+    return Status::OK();
+  }
+
+  const Event& current_event() const override { return event_; }
+
+ private:
+  ReferenceExecutor* executor_;
+  const Event& event_;
+  const std::string& op_name_;
+  bool is_updater_;
+};
+
+ReferenceExecutor::ReferenceExecutor(const AppConfig& config)
+    : config_(config) {}
+
+Status ReferenceExecutor::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  MUPPET_RETURN_IF_ERROR(config_.Validate());
+  for (const auto& [name, spec] : config_.operators()) {
+    if (spec.kind == OperatorKind::kMapper) {
+      mappers_[name] = spec.mapper_factory(config_, name);
+      if (mappers_[name] == nullptr) {
+        return Status::Internal("mapper factory returned null for " + name);
+      }
+    } else {
+      updaters_[name] = spec.updater_factory(config_, name);
+      if (updaters_[name] == nullptr) {
+        return Status::Internal("updater factory returned null for " + name);
+      }
+    }
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Status ReferenceExecutor::Publish(const std::string& stream, BytesView key,
+                                  BytesView value, Timestamp ts) {
+  if (!started_) return Status::FailedPrecondition("not started");
+  if (!config_.IsInputStream(stream)) {
+    return Status::InvalidArgument("'" + stream +
+                                   "' is not a declared input stream");
+  }
+  Event event;
+  event.stream = stream;
+  event.ts = ts;
+  event.key.assign(key);
+  event.value.assign(value);
+  event.origin_ts = ts;
+  return Enqueue(std::move(event));
+}
+
+Status ReferenceExecutor::Enqueue(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(QueuedEvent{std::move(event)});
+  return Status::OK();
+}
+
+Status ReferenceExecutor::Deliver(const Event& event) {
+  stream_logs_[event.stream].push_back(event);
+  // Deterministic fan-out: subscribers in sorted name order.
+  for (const std::string& sub : config_.SubscribersOf(event.stream)) {
+    const OperatorSpec* spec = config_.FindOperator(sub);
+    MUPPET_CHECK(spec != nullptr);
+    if (spec->kind == OperatorKind::kMapper) {
+      Utilities utils(this, event, sub, /*is_updater=*/false);
+      mappers_[sub]->Map(utils, event);
+    } else {
+      Utilities utils(this, event, sub, /*is_updater=*/true);
+      auto it = slates_.find(SlateId{sub, event.key});
+      const Bytes* slate = it == slates_.end() ? nullptr : &it->second;
+      updaters_[sub]->Update(utils, event, slate);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReferenceExecutor::Run(uint64_t max_events) {
+  if (!started_) return Status::FailedPrecondition("not started");
+  while (!queue_.empty()) {
+    if (events_processed_ >= max_events) {
+      return Status::Aborted("reference executor exceeded max_events (cyclic "
+                             "workflow not converging?)");
+    }
+    Event event = queue_.top().event;
+    queue_.pop();
+    ++events_processed_;
+    MUPPET_RETURN_IF_ERROR(Deliver(event));
+  }
+  return Status::OK();
+}
+
+const std::vector<Event>& ReferenceExecutor::StreamLog(
+    const std::string& stream) const {
+  static const std::vector<Event>* kEmpty = new std::vector<Event>();
+  auto it = stream_logs_.find(stream);
+  return it == stream_logs_.end() ? *kEmpty : it->second;
+}
+
+}  // namespace muppet

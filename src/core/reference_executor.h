@@ -1,0 +1,86 @@
+// Reference executor: a single-threaded interpreter of the exact MapUpdate
+// semantics of §3. Events are processed in increasing (timestamp, seq)
+// order — seq being the deterministic tie-break — and each operator sees
+// the events of its subscribed streams in that global order. Given
+// deterministic map/update functions, the resulting streams and slate
+// sequences are *the* well-defined output of the application; the paper
+// says a distributed implementation "should try to [approximate] them as
+// closely as possible". Tests compare both Muppet engines against this
+// executor (exact equality for commutative applications after Drain).
+#ifndef MUPPET_CORE_REFERENCE_EXECUTOR_H_
+#define MUPPET_CORE_REFERENCE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/event.h"
+#include "core/operator.h"
+#include "core/slate.h"
+#include "core/topology.h"
+
+namespace muppet {
+
+class ReferenceExecutor {
+ public:
+  // `config` must outlive the executor and already Validate() OK.
+  explicit ReferenceExecutor(const AppConfig& config);
+
+  ReferenceExecutor(const ReferenceExecutor&) = delete;
+  ReferenceExecutor& operator=(const ReferenceExecutor&) = delete;
+
+  // Instantiate all operators. Call once before publishing.
+  Status Start();
+
+  // Inject an external event. `ts` orders it against everything else.
+  Status Publish(const std::string& stream, BytesView key, BytesView value,
+                 Timestamp ts);
+
+  // Process events until the queue is empty. `max_events` guards cyclic
+  // workflows against unbounded loops (Aborted when exceeded).
+  Status Run(uint64_t max_events = 10'000'000);
+
+  // Final slates: (updater, key) -> bytes. Slates deleted (or never
+  // created) are absent. TTL is not modeled here: the reference semantics
+  // of §3 are timeless; TTL is an operational storage policy.
+  const std::map<SlateId, Bytes>& slates() const { return slates_; }
+
+  // Every event ever published to `stream`, in processed order.
+  const std::vector<Event>& StreamLog(const std::string& stream) const;
+
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  class Utilities;
+
+  struct QueuedEvent {
+    Event event;
+    // Min-heap by EventOrderLess.
+    friend bool operator<(const QueuedEvent& a, const QueuedEvent& b) {
+      return EventOrderLess(b.event, a.event);  // reversed: priority_queue
+    }
+  };
+
+  Status Enqueue(Event event);
+  Status Deliver(const Event& event);
+
+  const AppConfig& config_;
+  bool started_ = false;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+
+  std::map<std::string, std::unique_ptr<Mapper>> mappers_;
+  std::map<std::string, std::unique_ptr<Updater>> updaters_;
+
+  std::priority_queue<QueuedEvent> queue_;
+  std::map<SlateId, Bytes> slates_;
+  std::map<std::string, std::vector<Event>> stream_logs_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_REFERENCE_EXECUTOR_H_

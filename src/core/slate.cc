@@ -1,0 +1,43 @@
+#include "core/slate.h"
+
+#include "common/hash.h"
+
+namespace muppet {
+
+Bytes EncodeSlateId(const SlateId& id) {
+  Bytes out;
+  PutLengthPrefixed(&out, id.updater);
+  out.append(id.key);
+  return out;
+}
+
+Status DecodeSlateId(BytesView encoded, SlateId* id) {
+  const char* p = encoded.data();
+  const char* limit = p + encoded.size();
+  BytesView updater;
+  if (!GetLengthPrefixed(&p, limit, &updater)) {
+    return Status::Corruption("slate id: malformed");
+  }
+  id->updater.assign(updater);
+  id->key.assign(p, static_cast<size_t>(limit - p));
+  return Status::OK();
+}
+
+size_t SlateIdHash::operator()(const SlateId& id) const {
+  return static_cast<size_t>(
+      HashCombine(Fnv1a64(id.updater), Fnv1a64(id.key)));
+}
+
+JsonSlate::JsonSlate(const Bytes* bytes) : fresh_(true) {
+  if (bytes != nullptr && !bytes->empty()) {
+    Result<Json> parsed = Json::Parse(*bytes);
+    if (parsed.ok()) {
+      data_ = std::move(parsed).value();
+      fresh_ = false;
+      return;
+    }
+  }
+  data_ = Json::MakeObject();
+}
+
+}  // namespace muppet

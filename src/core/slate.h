@@ -1,0 +1,67 @@
+// Slates (paper §3): per-<update function, key> summaries — the explicit,
+// first-class "memory" of an update function. At the byte level a slate is
+// an opaque blob; SlateId names one, and JsonSlate is the convenience
+// wrapper the examples use ("Our applications often use JSON to encode
+// slates", §4.2).
+#ifndef MUPPET_CORE_SLATE_H_
+#define MUPPET_CORE_SLATE_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "json/json.h"
+
+namespace muppet {
+
+// Identifies a slate: the update function's name and the event key.
+// "each pair <update U, key k> uniquely determines a slate" (§3).
+struct SlateId {
+  std::string updater;
+  Bytes key;
+
+  friend bool operator==(const SlateId& a, const SlateId& b) {
+    return a.updater == b.updater && a.key == b.key;
+  }
+  friend bool operator<(const SlateId& a, const SlateId& b) {
+    if (a.updater != b.updater) return a.updater < b.updater;
+    return a.key < b.key;
+  }
+};
+
+// Canonical single-string form, usable as a hash-map key.
+Bytes EncodeSlateId(const SlateId& id);
+Status DecodeSlateId(BytesView encoded, SlateId* id);
+
+struct SlateIdHash {
+  size_t operator()(const SlateId& id) const;
+};
+
+// Mutable JSON view over slate bytes. Typical updater shape:
+//
+//   JsonSlate s(slate);                     // nullptr-tolerant
+//   s.data()["count"] = s.data().GetInt("count") + 1;
+//   out.ReplaceSlate(s.Serialize());
+class JsonSlate {
+ public:
+  // Parse existing bytes; nullptr or empty (or unparseable) begins a fresh
+  // object — matching the §3 contract that the updater initializes its
+  // variables on first access.
+  explicit JsonSlate(const Bytes* bytes);
+
+  Json& data() { return data_; }
+  const Json& data() const { return data_; }
+
+  // True if the constructor found no usable prior state.
+  bool fresh() const { return fresh_; }
+
+  Bytes Serialize() const { return data_.Dump(); }
+
+ private:
+  Json data_;
+  bool fresh_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_SLATE_H_

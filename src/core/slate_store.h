@@ -1,0 +1,58 @@
+// Binding between slates and the durable key-value store (paper §4.2):
+// "Muppet stores slate S(U,k) ... as a value at row k and column U" within
+// the application's configured column family, compressing each slate
+// before the write and decompressing on fetch. Per-updater TTLs map to the
+// store's per-write TTL.
+#ifndef MUPPET_CORE_SLATE_STORE_H_
+#define MUPPET_CORE_SLATE_STORE_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/slate.h"
+#include "kvstore/cluster.h"
+
+namespace muppet {
+
+struct SlateStoreOptions {
+  std::string column_family = "slates";
+  bool compress = true;
+  kv::ConsistencyLevel read_cl = kv::ConsistencyLevel::kOne;
+  kv::ConsistencyLevel write_cl = kv::ConsistencyLevel::kOne;
+};
+
+class SlateStore {
+ public:
+  SlateStore(kv::KvCluster* cluster, SlateStoreOptions options);
+
+  SlateStore(const SlateStore&) = delete;
+  SlateStore& operator=(const SlateStore&) = delete;
+
+  // Persist a slate. `ttl_micros` 0 = forever.
+  Status Write(const SlateId& id, BytesView slate, Timestamp ttl_micros);
+
+  // Fetch and decompress. NotFound if absent/expired.
+  Result<Bytes> Read(const SlateId& id);
+
+  Status Delete(const SlateId& id);
+
+  // All slates of one updater for a given key-range scan is not supported
+  // by the row/column layout (rows are keys); instead, bulk reads fetch
+  // every column of a row: all updaters' slates for one key (§5 "Bulk
+  // Reading of Slates" notes users must know the layout).
+  Status ReadRow(BytesView key, std::vector<std::pair<std::string, Bytes>>*
+                                    updater_slates);
+
+  kv::KvCluster* cluster() { return cluster_; }
+  const SlateStoreOptions& options() const { return options_; }
+
+ private:
+  kv::KvCluster* cluster_;
+  SlateStoreOptions options_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_SLATE_STORE_H_

@@ -1,0 +1,143 @@
+#include "core/topology.h"
+
+#include <utility>
+
+namespace muppet {
+
+MapperFactory MakeMapperFactory(LambdaMapper::Fn fn) {
+  return [fn = std::move(fn)](const AppConfig&, const std::string& name) {
+    return std::make_unique<LambdaMapper>(name, fn);
+  };
+}
+
+UpdaterFactory MakeUpdaterFactory(LambdaUpdater::Fn fn) {
+  return [fn = std::move(fn)](const AppConfig&, const std::string& name) {
+    return std::make_unique<LambdaUpdater>(name, fn);
+  };
+}
+
+Status AppConfig::DeclareStreamInternal(const std::string& sid,
+                                        bool is_input) {
+  if (sid.empty()) {
+    return Status::InvalidArgument("config: empty stream id");
+  }
+  if (streams_.count(sid) > 0) {
+    return Status::AlreadyExists("config: stream '" + sid +
+                                 "' already declared");
+  }
+  streams_.insert(sid);
+  if (is_input) input_streams_.insert(sid);
+  return Status::OK();
+}
+
+Status AppConfig::DeclareInputStream(const std::string& sid) {
+  return DeclareStreamInternal(sid, /*is_input=*/true);
+}
+
+Status AppConfig::DeclareStream(const std::string& sid) {
+  return DeclareStreamInternal(sid, /*is_input=*/false);
+}
+
+Status AppConfig::AddMapper(const std::string& name, MapperFactory factory,
+                            std::vector<std::string> subscriptions) {
+  if (name.empty()) return Status::InvalidArgument("config: empty name");
+  if (factory == nullptr) {
+    return Status::InvalidArgument("config: null mapper factory");
+  }
+  if (operators_.count(name) > 0) {
+    return Status::AlreadyExists("config: operator '" + name +
+                                 "' already declared");
+  }
+  OperatorSpec spec;
+  spec.name = name;
+  spec.kind = OperatorKind::kMapper;
+  spec.subscriptions = std::move(subscriptions);
+  spec.mapper_factory = std::move(factory);
+  for (const std::string& sid : spec.subscriptions) {
+    subscribers_[sid].insert(name);
+  }
+  operators_.emplace(name, std::move(spec));
+  return Status::OK();
+}
+
+Status AppConfig::AddUpdater(const std::string& name, UpdaterFactory factory,
+                             std::vector<std::string> subscriptions,
+                             UpdaterOptions options) {
+  if (name.empty()) return Status::InvalidArgument("config: empty name");
+  if (factory == nullptr) {
+    return Status::InvalidArgument("config: null updater factory");
+  }
+  if (operators_.count(name) > 0) {
+    return Status::AlreadyExists("config: operator '" + name +
+                                 "' already declared");
+  }
+  OperatorSpec spec;
+  spec.name = name;
+  spec.kind = OperatorKind::kUpdater;
+  spec.subscriptions = std::move(subscriptions);
+  spec.updater_factory = std::move(factory);
+  spec.updater_options = options;
+  for (const std::string& sid : spec.subscriptions) {
+    subscribers_[sid].insert(name);
+  }
+  operators_.emplace(name, std::move(spec));
+  return Status::OK();
+}
+
+Status AppConfig::Validate() const {
+  if (operators_.empty()) {
+    return Status::InvalidArgument("config: no map/update functions");
+  }
+  for (const auto& [name, spec] : operators_) {
+    if (spec.subscriptions.empty()) {
+      return Status::InvalidArgument("config: operator '" + name +
+                                     "' subscribes to no streams");
+    }
+    for (const std::string& sid : spec.subscriptions) {
+      if (streams_.count(sid) == 0) {
+        return Status::InvalidArgument("config: operator '" + name +
+                                       "' subscribes to undeclared stream '" +
+                                       sid + "'");
+      }
+    }
+    if (spec.updater_options.slate_ttl_micros < 0) {
+      return Status::InvalidArgument("config: negative slate TTL on '" +
+                                     name + "'");
+    }
+  }
+  if (input_streams_.empty()) {
+    return Status::InvalidArgument("config: no input streams declared");
+  }
+  return Status::OK();
+}
+
+const OperatorSpec* AppConfig::FindOperator(const std::string& name) const {
+  auto it = operators_.find(name);
+  return it == operators_.end() ? nullptr : &it->second;
+}
+
+bool AppConfig::HasStream(const std::string& sid) const {
+  return streams_.count(sid) > 0;
+}
+
+bool AppConfig::IsInputStream(const std::string& sid) const {
+  return input_streams_.count(sid) > 0;
+}
+
+std::vector<std::string> AppConfig::SubscribersOf(
+    const std::string& sid) const {
+  auto it = subscribers_.find(sid);
+  if (it == subscribers_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> AppConfig::InputStreams() const {
+  return std::vector<std::string>(input_streams_.begin(),
+                                  input_streams_.end());
+}
+
+std::vector<std::string> AppConfig::AllStreams() const {
+  return std::vector<std::string>(streams_.begin(), streams_.end());
+}
+
+}  // namespace muppet

@@ -1,0 +1,29 @@
+#include "engine/engine.h"
+
+#include <sstream>
+
+namespace muppet {
+
+std::string EngineStats::ToString() const {
+  std::ostringstream os;
+  os << "published=" << events_published
+     << " processed=" << events_processed << " emitted=" << events_emitted
+     << " lost_failure=" << events_lost_failure
+     << " dropped_overflow=" << events_dropped_overflow
+     << " redirected_overflow=" << events_redirected_overflow
+     << " throttle_signals=" << throttle_signals
+     << " deadlocks_avoided=" << deadlocks_avoided << "\n"
+     << "slate cache: hits=" << slate_cache_hits
+     << " misses=" << slate_cache_misses
+     << " evictions=" << slate_cache_evictions
+     << " store_reads=" << slate_store_reads
+     << " store_writes=" << slate_store_writes << "\n"
+     << "failures_detected=" << failures_detected
+     << " operator_instances=" << operator_instances << "\n"
+     << "latency us: mean=" << latency_mean_us << " p50=" << latency_p50_us
+     << " p95=" << latency_p95_us << " p99=" << latency_p99_us
+     << " max=" << latency_max_us;
+  return os.str();
+}
+
+}  // namespace muppet

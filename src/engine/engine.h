@@ -1,0 +1,141 @@
+// The engine interface: what a running Muppet deployment exposes to the
+// outside world. Both generations (Muppet1Engine, §4.1–4.4, and
+// Muppet2Engine, §4.5) implement it, so applications, the slate service,
+// tests, and benchmarks are engine-agnostic.
+#ifndef MUPPET_ENGINE_ENGINE_H_
+#define MUPPET_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "core/slate.h"
+#include "core/slate_store.h"
+#include "core/topology.h"
+#include "engine/overflow.h"
+#include "engine/throttle.h"
+#include "net/transport.h"
+
+namespace muppet {
+
+struct EngineOptions {
+  // Cluster shape.
+  int num_machines = 1;
+  // Muppet 1.0: worker processes per map/update function, spread
+  // round-robin over machines.
+  int workers_per_function = 1;
+  // Muppet 2.0: worker threads per machine ("as large a number of threads
+  // as the parallelization of the application code allows", §4.5).
+  int threads_per_machine = 4;
+
+  // Per-worker input queue capacity (events).
+  size_t queue_capacity = 1024;
+  // Slate cache capacity in slates. Muppet 2.0 gives the whole budget to
+  // one central cache per machine; Muppet 1.0 divides it among each
+  // function's workers on the machine (§4.5's 100-vs-125 discussion).
+  size_t slate_cache_capacity = 16384;
+
+  // Queue-overflow handling (§4.3).
+  OverflowOptions overflow;
+  ThrottleOptions throttle;
+
+  // Muppet 2.0 dispatch: place the event on the secondary queue when it is
+  // at least this many events shorter than the primary ("significantly
+  // shorter").
+  int secondary_queue_bias = 4;
+  // Muppet 2.0: disable the secondary queue entirely (ablation for E7 —
+  // degenerates to Muppet 1.0-style single ownership).
+  bool enable_two_choice = true;
+
+  // Durable slate store; nullptr runs cache-only (volatile slates).
+  SlateStore* slate_store = nullptr;
+
+  // Background flusher cadence for SlateFlushPolicy::kInterval updaters.
+  Timestamp flush_poll_micros = 10 * kMicrosPerMilli;
+
+  // Simulated network between machines.
+  TransportOptions transport;
+
+  // Hash ring shape.
+  int ring_vnodes = 128;
+  uint64_t ring_seed = 0x9173ull;
+
+  // Clock for timestamps/latency (nullptr -> system clock).
+  Clock* clock = nullptr;
+};
+
+// A point-in-time snapshot of engine counters.
+struct EngineStats {
+  int64_t events_published = 0;   // external events accepted
+  int64_t events_processed = 0;   // operator invocations completed
+  int64_t events_emitted = 0;     // operator-published events
+  int64_t events_lost_failure = 0;    // lost to machine failure (§4.3)
+  int64_t events_dropped_overflow = 0;  // dropped by overflow policy
+  int64_t events_redirected_overflow = 0;  // sent to the overflow stream
+  int64_t throttle_signals = 0;
+  int64_t deadlocks_avoided = 0;  // self-emit blocking averted (§5)
+
+  int64_t slate_cache_hits = 0;
+  int64_t slate_cache_misses = 0;
+  int64_t slate_cache_evictions = 0;
+  int64_t slate_store_reads = 0;
+  int64_t slate_store_writes = 0;
+
+  int64_t failures_detected = 0;
+
+  // End-to-end latency (external publish -> operator completion), usec.
+  int64_t latency_p50_us = 0;
+  int64_t latency_p95_us = 0;
+  int64_t latency_p99_us = 0;
+  int64_t latency_max_us = 0;
+  double latency_mean_us = 0.0;
+
+  // Approximate peak memory devoted to operator code copies, in "operator
+  // instances" (Muppet 1.0 constructs one per worker; 2.0 one per machine).
+  int64_t operator_instances = 0;
+
+  std::string ToString() const;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  // Build workers/threads, instantiate operators, start the cluster.
+  virtual Status Start() = 0;
+
+  // Inject an external event into a declared input stream, acting as the
+  // paper's special mapper M0 (§4.1). `ts` must be nonnegative; pass
+  // clock->Now() for live sources. Applies source throttling when the
+  // overflow policy is kThrottle.
+  virtual Status Publish(const std::string& stream, BytesView key,
+                         BytesView value, Timestamp ts) = 0;
+
+  // Block until every queue is empty and no event is in flight.
+  virtual Status Drain() = 0;
+
+  // Flush dirty slates and stop all threads. Idempotent.
+  virtual Status Stop() = 0;
+
+  // Live slate fetch (§4.4): reads the owning worker's cache (forwarding
+  // across machines if needed) rather than the durable store, falling back
+  // to the store only on a cache miss. NotFound if the slate does not
+  // exist anywhere.
+  virtual Result<Bytes> FetchSlate(const std::string& updater,
+                                   BytesView key) = 0;
+
+  // Crash a machine: its queued events and unflushed slate updates are
+  // lost; senders detect the failure on their next send and the hash ring
+  // reroutes (§4.3).
+  virtual Status CrashMachine(MachineId machine) = 0;
+
+  virtual EngineStats Stats() const = 0;
+
+  virtual const AppConfig& config() const = 0;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_ENGINE_H_

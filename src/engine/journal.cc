@@ -1,0 +1,128 @@
+#include "engine/journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace muppet {
+
+EventJournal::~EventJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status EventJournal::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("journal: already open");
+  }
+  // Count existing records so indices continue.
+  std::vector<JournaledEvent> existing;
+  MUPPET_RETURN_IF_ERROR(Read(path, 0, &existing));
+  next_index_ = existing.size();
+
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("journal: open " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status EventJournal::Record(const std::string& stream, BytesView key,
+                            BytesView value, Timestamp ts) {
+  Bytes payload;
+  PutLengthPrefixed(&payload, stream);
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+  PutVarint64(&payload, static_cast<uint64_t>(ts));
+
+  Bytes frame;
+  PutFixed32(&frame, Crc32(payload));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::FailedPrecondition("journal: closed");
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("journal: short write");
+  }
+  ++next_index_;
+  return Status::OK();
+}
+
+Status EventJournal::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) return Status::IOError("journal: flush");
+  return Status::OK();
+}
+
+Status EventJournal::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("journal: close failed");
+  return Status::OK();
+}
+
+Status EventJournal::Read(const std::string& path, uint64_t from_index,
+                          std::vector<JournaledEvent>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // fresh journal
+  Bytes header(8, '\0');
+  Bytes payload;
+  uint64_t index = 0;
+  while (true) {
+    const size_t got = std::fread(header.data(), 1, 8, f);
+    if (got < 8) break;  // clean EOF or torn tail
+    const uint32_t crc = DecodeFixed32(header.data());
+    const uint32_t len = DecodeFixed32(header.data() + 4);
+    if (len > (64u << 20)) break;
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, f) != len) break;
+    if (Crc32(payload) != crc) break;
+
+    if (index >= from_index) {
+      const char* p = payload.data();
+      const char* limit = p + payload.size();
+      BytesView stream, key, value;
+      uint64_t ts = 0;
+      if (!GetLengthPrefixed(&p, limit, &stream) ||
+          !GetLengthPrefixed(&p, limit, &key) ||
+          !GetLengthPrefixed(&p, limit, &value) ||
+          !GetVarint64(&p, limit, &ts)) {
+        break;
+      }
+      JournaledEvent event;
+      event.stream.assign(stream);
+      event.key.assign(key);
+      event.value.assign(value);
+      event.ts = static_cast<Timestamp>(ts);
+      event.index = index;
+      out->push_back(std::move(event));
+    }
+    ++index;
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<int64_t> EventJournal::ReplayInto(const std::string& path,
+                                         uint64_t from_index,
+                                         Engine* engine) {
+  std::vector<JournaledEvent> events;
+  Status s = Read(path, from_index, &events);
+  if (!s.ok()) return s;
+  int64_t replayed = 0;
+  for (const JournaledEvent& event : events) {
+    MUPPET_RETURN_IF_ERROR(
+        engine->Publish(event.stream, event.key, event.value, event.ts));
+    ++replayed;
+  }
+  return replayed;
+}
+
+}  // namespace muppet

@@ -1,0 +1,41 @@
+#include "engine/master.h"
+
+#include "common/logging.h"
+
+namespace muppet {
+
+void Master::AddListener(FailureListener listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
+bool Master::ReportFailure(MachineId machine) {
+  std::vector<FailureListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failed_.insert(machine).second) return false;  // already known
+    listeners = listeners_;
+  }
+  failures_reported_.Add();
+  MUPPET_LOG(kWarning) << "master: machine " << machine
+                       << " reported failed; broadcasting";
+  for (const FailureListener& l : listeners) l(machine);
+  return true;
+}
+
+void Master::ClearFailure(MachineId machine) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failed_.erase(machine);
+}
+
+std::set<MachineId> Master::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+bool Master::IsFailed(MachineId machine) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_.count(machine) > 0;
+}
+
+}  // namespace muppet

@@ -1,0 +1,55 @@
+// The Muppet master (§4.1, §4.3). Deliberately *off* the data path: "Muppet
+// lets the workers pass events directly to one another without going
+// through any master. (The master in Muppet is used for handling
+// failures.)" A worker that cannot contact a machine reports it here; the
+// master broadcasts the failure so every worker updates its failed-machine
+// list and the shared hash ring reroutes that machine's keys.
+#ifndef MUPPET_ENGINE_MASTER_H_
+#define MUPPET_ENGINE_MASTER_H_
+
+#include <functional>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/transport.h"
+
+namespace muppet {
+
+class Master {
+ public:
+  // Invoked (synchronously, on the reporter's thread) once per newly
+  // failed machine — the "broadcast".
+  using FailureListener = std::function<void(MachineId)>;
+
+  Master() = default;
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  void AddListener(FailureListener listener);
+
+  // Report a machine as failed. Idempotent: only the first report
+  // broadcasts. Returns true if this was the first report.
+  bool ReportFailure(MachineId machine);
+
+  // Bring a machine back (test/ops path; the paper's Muppet cannot change
+  // cluster membership on the fly, §5 — we keep the same restriction for
+  // workers and only use this for store-level tests).
+  void ClearFailure(MachineId machine);
+
+  std::set<MachineId> failed() const;
+  bool IsFailed(MachineId machine) const;
+  int64_t failures_reported() const { return failures_reported_.Get(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::set<MachineId> failed_;
+  std::vector<FailureListener> listeners_;
+  Counter failures_reported_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_MASTER_H_

@@ -1,0 +1,678 @@
+#include "engine/muppet1.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "engine/wire.h"
+
+namespace muppet {
+
+namespace engine_internal {
+
+// Collects the outputs of one map/update call for serialization back to
+// the conductor.
+class TaskProcessor::CollectingUtilities final : public PerformerUtilities {
+ public:
+  CollectingUtilities(const AppConfig& config, const Event& event,
+                      bool is_updater)
+      : config_(config), event_(event), is_updater_(is_updater) {}
+
+  Status Publish(const std::string& stream, BytesView key,
+                 BytesView value) override {
+    return PublishAt(stream, key, value, event_.ts + 1);
+  }
+
+  Status PublishAt(const std::string& stream, BytesView key, BytesView value,
+                   Timestamp ts) override {
+    if (!config_.HasStream(stream)) {
+      return Status::InvalidArgument("publish: undeclared stream '" + stream +
+                                     "'");
+    }
+    if (config_.IsInputStream(stream)) {
+      return Status::InvalidArgument(
+          "publish: operators may not emit into input stream '" + stream +
+          "'");
+    }
+    if (ts <= event_.ts) {
+      return Status::InvalidArgument(
+          "publish: output timestamp must exceed input timestamp");
+    }
+    Event out;
+    out.stream = stream;
+    out.ts = ts;
+    out.key.assign(key);
+    out.value.assign(value);
+    out.origin_ts = event_.origin_ts;
+    outputs.push_back(std::move(out));
+    return Status::OK();
+  }
+
+  Status ReplaceSlate(BytesView slate) override {
+    if (!is_updater_) {
+      return Status::FailedPrecondition("mapper cannot replace a slate");
+    }
+    slate_action = 1;
+    new_slate.assign(slate);
+    return Status::OK();
+  }
+
+  Status DeleteSlate() override {
+    if (!is_updater_) {
+      return Status::FailedPrecondition("mapper cannot delete a slate");
+    }
+    slate_action = 2;
+    new_slate.clear();
+    return Status::OK();
+  }
+
+  const Event& current_event() const override { return event_; }
+
+  std::vector<Event> outputs;
+  uint8_t slate_action = 0;
+  Bytes new_slate;
+
+ private:
+  const AppConfig& config_;
+  const Event& event_;
+  bool is_updater_;
+};
+
+TaskProcessor::TaskProcessor(const AppConfig& config,
+                             const OperatorSpec& spec)
+    : config_(config), spec_(spec) {
+  if (spec_.kind == OperatorKind::kMapper) {
+    mapper_ = spec_.mapper_factory(config_, spec_.name);
+  } else {
+    updater_ = spec_.updater_factory(config_, spec_.name);
+  }
+}
+
+void TaskProcessor::EncodeRequest(const Event& event, const Bytes* slate,
+                                  Bytes* out) {
+  Bytes event_bytes;
+  EncodeEvent(event, &event_bytes);
+  PutLengthPrefixed(out, event_bytes);
+  out->push_back(slate != nullptr ? 1 : 0);
+  if (slate != nullptr) PutLengthPrefixed(out, *slate);
+}
+
+Status TaskProcessor::DecodeResponse(BytesView data, Response* out) {
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  uint32_t n = 0;
+  if (!GetVarint32(&p, limit, &n)) {
+    return Status::Corruption("taskproc: bad response header");
+  }
+  out->outputs.clear();
+  out->outputs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    BytesView event_bytes;
+    if (!GetLengthPrefixed(&p, limit, &event_bytes)) {
+      return Status::Corruption("taskproc: truncated output event");
+    }
+    Event event;
+    MUPPET_RETURN_IF_ERROR(DecodeEvent(event_bytes, &event));
+    out->outputs.push_back(std::move(event));
+  }
+  if (p >= limit) return Status::Corruption("taskproc: missing slate action");
+  out->slate_action = static_cast<uint8_t>(*p++);
+  if (out->slate_action == 1) {
+    BytesView slate;
+    if (!GetLengthPrefixed(&p, limit, &slate)) {
+      return Status::Corruption("taskproc: truncated slate");
+    }
+    out->slate.assign(slate);
+  }
+  if (p != limit) return Status::Corruption("taskproc: trailing bytes");
+  return Status::OK();
+}
+
+Status TaskProcessor::Process(BytesView request, Bytes* response) {
+  // Decode the request (the conductor -> task-processor copy).
+  const char* p = request.data();
+  const char* limit = p + request.size();
+  BytesView event_bytes;
+  if (!GetLengthPrefixed(&p, limit, &event_bytes) || p >= limit) {
+    return Status::Corruption("taskproc: bad request");
+  }
+  Event event;
+  MUPPET_RETURN_IF_ERROR(DecodeEvent(event_bytes, &event));
+  const bool has_slate = *p++ != 0;
+  Bytes slate;
+  if (has_slate) {
+    BytesView slate_view;
+    if (!GetLengthPrefixed(&p, limit, &slate_view)) {
+      return Status::Corruption("taskproc: truncated request slate");
+    }
+    slate.assign(slate_view);
+  }
+
+  CollectingUtilities utils(config_, event,
+                            spec_.kind == OperatorKind::kUpdater);
+  if (spec_.kind == OperatorKind::kMapper) {
+    mapper_->Map(utils, event);
+  } else {
+    updater_->Update(utils, event, has_slate ? &slate : nullptr);
+  }
+
+  // Encode the response (the task-processor -> conductor copy).
+  PutVarint32(response, static_cast<uint32_t>(utils.outputs.size()));
+  for (const Event& out : utils.outputs) {
+    Bytes out_bytes;
+    EncodeEvent(out, &out_bytes);
+    PutLengthPrefixed(response, out_bytes);
+  }
+  response->push_back(static_cast<char>(utils.slate_action));
+  if (utils.slate_action == 1) {
+    PutLengthPrefixed(response, utils.new_slate);
+  }
+  return Status::OK();
+}
+
+}  // namespace engine_internal
+
+Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
+    : config_(config),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()),
+      transport_([&] {
+        TransportOptions t = options.transport;
+        if (t.clock == nullptr) t.clock = options.clock;
+        return t;
+      }()),
+      ring_(options.ring_vnodes, options.ring_seed),
+      throttle_(options.throttle, clock_) {}
+
+Muppet1Engine::~Muppet1Engine() { (void)Stop(); }
+
+Status Muppet1Engine::Start() {
+  if (started_) return Status::FailedPrecondition("engine already started");
+  MUPPET_RETURN_IF_ERROR(config_.Validate());
+  if (options_.num_machines < 1 || options_.workers_per_function < 1) {
+    return Status::InvalidArgument("engine: bad cluster shape");
+  }
+  if (options_.overflow.policy == OverflowPolicy::kOverflowStream) {
+    if (!config_.HasStream(options_.overflow.overflow_stream)) {
+      return Status::InvalidArgument(
+          "engine: overflow stream is not declared");
+    }
+  }
+
+  for (int m = 0; m < options_.num_machines; ++m) {
+    auto machine = std::make_unique<MachineCtx>();
+    machine->id = m;
+    machines_.push_back(std::move(machine));
+  }
+
+  // One set of workers per function, round-robin over machines.
+  std::vector<int32_t> next_slot(static_cast<size_t>(options_.num_machines),
+                                 0);
+  // Count updater workers per machine first, to divide the cache budget
+  // (§4.5: Muppet 1.0 scatters the machine's slate cache across workers).
+  std::vector<int> updater_workers(
+      static_cast<size_t>(options_.num_machines), 0);
+  for (const auto& [name, spec] : config_.operators()) {
+    if (spec.kind != OperatorKind::kUpdater) continue;
+    for (int i = 0; i < options_.workers_per_function; ++i) {
+      ++updater_workers[static_cast<size_t>(i % options_.num_machines)];
+    }
+  }
+
+  for (const auto& [name, spec] : config_.operators()) {
+    for (int i = 0; i < options_.workers_per_function; ++i) {
+      const MachineId machine_id = i % options_.num_machines;
+      MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+
+      auto worker = std::make_unique<Worker>();
+      worker->function = name;
+      worker->kind = spec.kind;
+      worker->ref =
+          WorkerRef{machine_id, next_slot[static_cast<size_t>(machine_id)]++};
+      worker->queue = std::make_unique<EventQueue>(options_.queue_capacity);
+      worker->task =
+          std::make_unique<engine_internal::TaskProcessor>(config_, spec);
+      operator_instances_.Add();
+      if (spec.kind == OperatorKind::kUpdater) {
+        worker->updater_options = spec.updater_options;
+        const size_t share = std::max<size_t>(
+            1, options_.slate_cache_capacity /
+                   std::max(1, updater_workers[static_cast<size_t>(
+                                   machine_id)]));
+        worker->cache = std::make_unique<SlateCache>(
+            SlateCacheOptions{share},
+            MakeWriteBack(name, spec.updater_options.slate_ttl_micros));
+      }
+      ring_.AddWorker(name, worker->ref);
+      machine->workers.push_back(worker.get());
+      machine->by_slot[{name, worker->ref.slot}] = worker.get();
+      workers_.push_back(std::move(worker));
+    }
+  }
+
+  for (auto& machine : machines_) {
+    const MachineId id = machine->id;
+    MUPPET_RETURN_IF_ERROR(transport_.RegisterMachine(
+        id, [this, id](MachineId /*from*/, BytesView payload) {
+          return HandleIncoming(id, payload);
+        }));
+  }
+
+  // Failure broadcast: every machine keeps its own failed list (§4.3).
+  master_.AddListener([this](MachineId failed) {
+    for (auto& machine : machines_) {
+      std::lock_guard<std::mutex> lock(machine->failed_mutex);
+      machine->failed.insert(failed);
+    }
+  });
+
+  // Spin up conductors and per-machine flushers.
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { ConductorLoop(w); });
+  }
+  for (auto& machine : machines_) {
+    MachineCtx* m = machine.get();
+    m->flusher = std::thread([this, m] { FlusherLoop(m); });
+  }
+
+  started_ = true;
+  return Status::OK();
+}
+
+SlateCache::WriteBack Muppet1Engine::MakeWriteBack(const std::string& updater,
+                                                   Timestamp ttl) {
+  return [this, updater, ttl](const SlateCache::DirtySlate& dirty) -> Status {
+    if (options_.slate_store == nullptr) return Status::OK();
+    store_writes_.Add();
+    if (dirty.deleted) {
+      return options_.slate_store->Delete(dirty.id);
+    }
+    return options_.slate_store->Write(dirty.id, dirty.value, ttl);
+  };
+}
+
+std::set<MachineId> Muppet1Engine::FailedSetFor(MachineId machine) const {
+  if (machine >= 0 &&
+      machine < static_cast<MachineId>(machines_.size())) {
+    const MachineCtx* m = machines_[static_cast<size_t>(machine)].get();
+    std::lock_guard<std::mutex> lock(m->failed_mutex);
+    return m->failed;
+  }
+  return master_.failed();
+}
+
+void Muppet1Engine::TapStream(const std::string& stream,
+                              std::function<void(const Event&)> tap) {
+  std::unique_lock lock(taps_mutex_);
+  taps_[stream].push_back(std::move(tap));
+}
+
+void Muppet1Engine::RunTaps(const Event& event) {
+  std::shared_lock lock(taps_mutex_);
+  auto it = taps_.find(event.stream);
+  if (it == taps_.end()) return;
+  for (const auto& tap : it->second) tap(event);
+}
+
+Status Muppet1Engine::Publish(const std::string& stream, BytesView key,
+                              BytesView value, Timestamp ts) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  if (!config_.IsInputStream(stream)) {
+    return Status::InvalidArgument("'" + stream +
+                                   "' is not a declared input stream");
+  }
+  if (options_.overflow.policy == OverflowPolicy::kThrottle) {
+    // Source throttling (§5): safe because nothing emits into input
+    // streams, so slowing here cannot deadlock the workflow.
+    throttle_.PaceSource();
+  }
+  Event event;
+  event.stream = stream;
+  event.ts = ts;
+  event.key.assign(key);
+  event.value.assign(value);
+  event.seq = NextSeq();
+  event.origin_ts = clock_->Now();
+  published_.Add();
+  // The paper's special mapper M0 reads the input stream on one machine
+  // and hashes events out to workers (§4.1); machine 0 plays that role.
+  DeliverEvent(/*from=*/0, /*sender=*/nullptr, event);
+  return Status::OK();
+}
+
+void Muppet1Engine::DeliverEvent(MachineId from, const Worker* sender,
+                                 const Event& event) {
+  RunTaps(event);
+  for (const std::string& function : config_.SubscribersOf(event.stream)) {
+    SendToWorker(from, sender, function, event);
+  }
+}
+
+void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
+                                 const std::string& function,
+                                 const Event& event) {
+  const std::set<MachineId> failed = FailedSetFor(from);
+  Result<WorkerRef> target = ring_.Route(function, event.key, failed);
+  if (!target.ok()) {
+    lost_failure_.Add();
+    MUPPET_LOG(kWarning) << "engine: no live worker for " << function
+                         << ", event lost";
+    return;
+  }
+
+  RoutedEvent re{function, event};
+  re.event.seq = NextSeq();
+  Bytes payload;
+  PutVarint32(&payload, static_cast<uint32_t>(target.value().slot));
+  EncodeRoutedEvent(re, &payload);
+
+  int attempts = 0;
+  const int kMaxThrottleRetries = 50;
+  while (true) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    Status s = transport_.Send(from, target.value().machine, payload);
+    if (s.ok()) return;
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+    if (s.IsUnavailable()) {
+      // Failure detected on send (§4.3): report to the master, which
+      // broadcasts; the event itself is lost, not re-dispatched.
+      master_.ReportFailure(target.value().machine);
+      lost_failure_.Add();
+      MUPPET_LOG(kWarning) << "engine: machine " << target.value().machine
+                           << " unreachable; event logged as lost";
+      return;
+    }
+    if (!s.IsResourceExhausted()) {
+      lost_failure_.Add();
+      return;
+    }
+
+    // Queue overflow (§4.3): apply the configured policy.
+    switch (options_.overflow.policy) {
+      case OverflowPolicy::kDrop:
+        dropped_overflow_.Add();
+        MUPPET_LOG(kDebug) << "engine: queue full, event dropped";
+        return;
+      case OverflowPolicy::kOverflowStream: {
+        if (event.stream == options_.overflow.overflow_stream) {
+          dropped_overflow_.Add();  // the degraded path is itself full
+          return;
+        }
+        redirected_overflow_.Add();
+        Event redirected = event;
+        redirected.stream = options_.overflow.overflow_stream;
+        DeliverEvent(from, sender, redirected);
+        return;
+      }
+      case OverflowPolicy::kThrottle: {
+        throttle_.NoteOverflow();
+        // Emitting back into a queue this worker itself drains can never
+        // succeed by waiting — that is the paper's §5 deadlock scenario.
+        if (sender != nullptr && target.value() == sender->ref) {
+          deadlocks_avoided_.Add();
+          dropped_overflow_.Add();
+          return;
+        }
+        if (++attempts > kMaxThrottleRetries) {
+          dropped_overflow_.Add();
+          return;
+        }
+        clock_->SleepFor(200);
+        continue;
+      }
+    }
+  }
+}
+
+Status Muppet1Engine::HandleIncoming(MachineId to, BytesView payload) {
+  MachineCtx* machine = machines_[static_cast<size_t>(to)].get();
+  if (machine->crashed.load()) {
+    return Status::Unavailable("machine crashed");
+  }
+  const char* p = payload.data();
+  const char* limit = p + payload.size();
+  uint32_t slot = 0;
+  if (!GetVarint32(&p, limit, &slot)) {
+    return Status::Corruption("engine: bad payload");
+  }
+  RoutedEvent re;
+  MUPPET_RETURN_IF_ERROR(DecodeRoutedEvent(
+      BytesView(p, static_cast<size_t>(limit - p)), &re));
+  auto it = machine->by_slot.find({re.function, static_cast<int32_t>(slot)});
+  if (it == machine->by_slot.end()) {
+    return Status::NotFound("engine: no such worker slot");
+  }
+  // The queue declines when full; the decline propagates to the sender.
+  return it->second->queue->TryPush(std::move(re));
+}
+
+void Muppet1Engine::ConductorLoop(Worker* worker) {
+  RoutedEvent re;
+  while (worker->queue->Pop(&re)) {
+    Status s = ProcessOne(worker, re.event);
+    if (!s.ok()) {
+      MUPPET_LOG(kError) << "worker " << worker->function << "@"
+                         << worker->ref.machine << ": " << s.ToString();
+    }
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+Status Muppet1Engine::FetchSlateForWorker(Worker* worker, BytesView key,
+                                          Bytes* slate) {
+  const SlateId id{worker->function, Bytes(key)};
+  bool absent = false;
+  Status s = worker->cache->LookupWithAbsent(id, slate, &absent);
+  if (s.ok()) {
+    if (absent) return Status::NotFound("slate absent (cached)");
+    return Status::OK();
+  }
+  // Cache miss: fetch from the durable store (§4.2).
+  if (options_.slate_store != nullptr) {
+    store_reads_.Add();
+    Result<Bytes> fetched = options_.slate_store->Read(id);
+    if (fetched.ok()) {
+      *slate = std::move(fetched).value();
+      (void)worker->cache->Insert(id, *slate);
+      return Status::OK();
+    }
+    if (!fetched.status().IsNotFound()) return fetched.status();
+  }
+  // Nowhere: "Muppet initializes a new slate in the cache" — we model the
+  // fresh slate as a negative entry so the updater sees nullptr and
+  // initializes its variables (§3).
+  worker->cache->InsertAbsent(id);
+  return Status::NotFound("slate absent");
+}
+
+Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event) {
+  // Conductor: gather the slate, serialize the request, cross the
+  // process boundary, decode the response.
+  Bytes slate;
+  bool has_slate = false;
+  if (worker->kind == OperatorKind::kUpdater) {
+    Status s = FetchSlateForWorker(worker, event.key, &slate);
+    if (s.ok()) {
+      has_slate = true;
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+  }
+
+  Bytes request;
+  engine_internal::TaskProcessor::EncodeRequest(
+      event, has_slate ? &slate : nullptr, &request);
+  Bytes response;
+  MUPPET_RETURN_IF_ERROR(worker->task->Process(request, &response));
+  engine_internal::TaskProcessor::Response decoded;
+  MUPPET_RETURN_IF_ERROR(
+      engine_internal::TaskProcessor::DecodeResponse(response, &decoded));
+
+  if (worker->kind == OperatorKind::kUpdater) {
+    const SlateId id{worker->function, event.key};
+    if (decoded.slate_action == 1) {
+      const bool write_through = worker->updater_options.flush_policy ==
+                                 SlateFlushPolicy::kWriteThrough;
+      MUPPET_RETURN_IF_ERROR(worker->cache->Update(
+          id, decoded.slate, clock_->Now(), write_through));
+    } else if (decoded.slate_action == 2) {
+      MUPPET_RETURN_IF_ERROR(worker->cache->Delete(id));
+    }
+  }
+
+  for (Event& out : decoded.outputs) {
+    emitted_.Add();
+    DeliverEvent(worker->ref.machine, worker, out);
+  }
+
+  processed_.Add();
+  if (event.origin_ts > 0) {
+    latency_.Record(clock_->Now() - event.origin_ts);
+  }
+  return Status::OK();
+}
+
+void Muppet1Engine::FlusherLoop(MachineCtx* machine) {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    clock_->SleepFor(options_.flush_poll_micros);
+    if (machine->crashed.load()) return;
+    const Timestamp now = clock_->Now();
+    for (Worker* worker : machine->workers) {
+      if (worker->cache == nullptr) continue;
+      if (worker->updater_options.flush_policy != SlateFlushPolicy::kInterval) {
+        continue;
+      }
+      (void)worker->cache->FlushDirty(
+          now - worker->updater_options.flush_interval_micros);
+    }
+  }
+}
+
+Status Muppet1Engine::Drain() {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  while (inflight_.load(std::memory_order_acquire) > 0) {
+    SystemClock::Default()->SleepFor(100);
+  }
+  return Status::OK();
+}
+
+Status Muppet1Engine::Stop() {
+  if (!started_ || stopped_) return Status::OK();
+  stopped_ = true;
+
+  // Let in-flight work finish, flush slates, then tear down.
+  (void)Drain();
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& machine : machines_) {
+    if (machine->flusher.joinable()) machine->flusher.join();
+  }
+  for (auto& worker : workers_) {
+    if (worker->cache != nullptr && !machines_[static_cast<size_t>(
+                                        worker->ref.machine)]
+                                        ->crashed.load()) {
+      (void)worker->cache->FlushDirty(INT64_MAX);
+    }
+    worker->queue->Stop();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& machine : machines_) {
+    transport_.UnregisterMachine(machine->id);
+  }
+  return Status::OK();
+}
+
+Result<Bytes> Muppet1Engine::FetchSlate(const std::string& updater,
+                                        BytesView key) {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  const OperatorSpec* spec = config_.FindOperator(updater);
+  if (spec == nullptr || spec->kind != OperatorKind::kUpdater) {
+    return Status::NotFound("no such updater: " + updater);
+  }
+  // §4.4: resolve the owning worker and read its cache (forwarding
+  // "internally" — here, direct access), not the durable store. Machines
+  // this engine instance knows are crashed count as failed even before a
+  // data-path send has detected them.
+  std::set<MachineId> failed = master_.failed();
+  for (const auto& machine : machines_) {
+    if (machine->crashed.load()) failed.insert(machine->id);
+  }
+  Result<WorkerRef> target = ring_.Route(updater, key, failed);
+  if (!target.ok()) return target.status();
+  MachineCtx* machine =
+      machines_[static_cast<size_t>(target.value().machine)].get();
+  auto it = machine->by_slot.find({updater, target.value().slot});
+  if (it == machine->by_slot.end()) {
+    return Status::Internal("ring routed to unknown worker");
+  }
+  Worker* worker = it->second;
+  Bytes slate;
+  Status s = FetchSlateForWorker(worker, key, &slate);
+  if (!s.ok()) return s;
+  return slate;
+}
+
+Status Muppet1Engine::CrashMachine(MachineId machine_id) {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  if (machine_id < 0 ||
+      machine_id >= static_cast<MachineId>(machines_.size())) {
+    return Status::InvalidArgument("no such machine");
+  }
+  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+  if (machine->crashed.exchange(true)) return Status::OK();
+
+  transport_.Crash(machine_id);
+  // Queued events are lost with the machine (§4.3), as are unflushed slate
+  // changes (the caches die with the process).
+  for (Worker* worker : machine->workers) {
+    const size_t lost = worker->queue->Clear();
+    worker->queue->Stop();
+    lost_failure_.Add(static_cast<int64_t>(lost));
+    inflight_.fetch_sub(static_cast<int64_t>(lost),
+                        std::memory_order_acq_rel);
+  }
+  for (Worker* worker : machine->workers) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  // The caches die with the machine's processes: unflushed updates lost.
+  for (Worker* worker : machine->workers) {
+    if (worker->cache != nullptr) worker->cache->Clear();
+  }
+  return Status::OK();
+}
+
+EngineStats Muppet1Engine::Stats() const {
+  EngineStats stats;
+  stats.events_published = published_.Get();
+  stats.events_processed = processed_.Get();
+  stats.events_emitted = emitted_.Get();
+  stats.events_lost_failure = lost_failure_.Get();
+  stats.events_dropped_overflow = dropped_overflow_.Get();
+  stats.events_redirected_overflow = redirected_overflow_.Get();
+  stats.throttle_signals = throttle_.overflow_signals();
+  stats.deadlocks_avoided = deadlocks_avoided_.Get();
+  for (const auto& worker : workers_) {
+    if (worker->cache != nullptr) {
+      stats.slate_cache_hits += worker->cache->hits();
+      stats.slate_cache_misses += worker->cache->misses();
+      stats.slate_cache_evictions += worker->cache->evictions();
+    }
+  }
+  stats.slate_store_reads = store_reads_.Get();
+  stats.slate_store_writes = store_writes_.Get();
+  stats.failures_detected = master_.failures_reported();
+  stats.latency_p50_us = latency_.Percentile(0.50);
+  stats.latency_p95_us = latency_.Percentile(0.95);
+  stats.latency_p99_us = latency_.Percentile(0.99);
+  stats.latency_max_us = latency_.max();
+  stats.latency_mean_us = latency_.Mean();
+  stats.operator_instances = operator_instances_.Get();
+  return stats;
+}
+
+}  // namespace muppet

@@ -1,0 +1,183 @@
+// Muppet 1.0 (§4.1–4.4). Each worker is the paper's pair of tightly coupled
+// processes: a *conductor* (Muppet logistics: its input queue, slate
+// fetches, hashing and enqueueing output events) and a *task processor*
+// (runs the map/update code). We model the pair as one thread whose
+// conductor half talks to the task-processor half exclusively through
+// serialized byte buffers, reproducing 1.0's IPC copy cost; each worker
+// also constructs its own operator instance and owns its own slate-cache
+// partition, reproducing 1.0's duplicated code/cache memory (§4.5).
+#ifndef MUPPET_ENGINE_MUPPET1_H_
+#define MUPPET_ENGINE_MUPPET1_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/hash_ring.h"
+#include "core/slate_cache.h"
+#include "engine/engine.h"
+#include "engine/master.h"
+#include "engine/queue.h"
+
+namespace muppet {
+
+namespace engine_internal {
+
+// The "JVM task processor": owns one operator instance for one function and
+// processes serialized requests into serialized responses. Shared by both
+// the real Muppet1Engine and its tests.
+class TaskProcessor {
+ public:
+  TaskProcessor(const AppConfig& config, const OperatorSpec& spec);
+
+  // Request:  len-prefixed event bytes, u8 has_slate, [len-prefixed slate].
+  // Response: varint32 n_outputs, n * len-prefixed event bytes,
+  //           u8 slate_action (0 none / 1 replace / 2 delete),
+  //           [len-prefixed slate if action==1].
+  Status Process(BytesView request, Bytes* response);
+
+  static void EncodeRequest(const Event& event, const Bytes* slate,
+                            Bytes* out);
+  struct Response {
+    std::vector<Event> outputs;
+    uint8_t slate_action = 0;  // 0 none, 1 replace, 2 delete
+    Bytes slate;
+  };
+  static Status DecodeResponse(BytesView data, Response* out);
+
+  const OperatorSpec& spec() const { return spec_; }
+
+ private:
+  class CollectingUtilities;
+
+  const AppConfig& config_;
+  const OperatorSpec& spec_;
+  std::unique_ptr<Mapper> mapper_;
+  std::unique_ptr<Updater> updater_;
+};
+
+}  // namespace engine_internal
+
+class Muppet1Engine final : public Engine {
+ public:
+  // `config` must outlive the engine and Validate() OK at Start().
+  Muppet1Engine(const AppConfig& config, EngineOptions options);
+  ~Muppet1Engine() override;
+
+  Status Start() override;
+  Status Publish(const std::string& stream, BytesView key, BytesView value,
+                 Timestamp ts) override;
+  Status Drain() override;
+  Status Stop() override;
+  Result<Bytes> FetchSlate(const std::string& updater,
+                           BytesView key) override;
+  Status CrashMachine(MachineId machine) override;
+  EngineStats Stats() const override;
+  const AppConfig& config() const override { return config_; }
+
+  // Observe events published to `stream` (tests/examples; invoked inline
+  // on the publishing thread). Register before Start().
+  void TapStream(const std::string& stream,
+                 std::function<void(const Event&)> tap);
+
+  // Introspection for tests and the slate service.
+  Transport& transport() { return transport_; }
+  Master& master() { return master_; }
+  ThrottleGovernor& throttle() { return throttle_; }
+  int64_t events_lost() const { return lost_failure_.Get(); }
+
+ private:
+  struct Worker {
+    std::string function;
+    OperatorKind kind = OperatorKind::kMapper;
+    WorkerRef ref;
+    std::unique_ptr<EventQueue> queue;
+    std::unique_ptr<engine_internal::TaskProcessor> task;
+    std::unique_ptr<SlateCache> cache;  // updaters only
+    UpdaterOptions updater_options;
+    std::thread thread;
+  };
+
+  struct MachineCtx {
+    MachineId id = kInvalidMachine;
+    std::vector<Worker*> workers;
+    // (function, slot) -> worker for incoming dispatch.
+    std::map<std::pair<std::string, int32_t>, Worker*> by_slot;
+    mutable std::mutex failed_mutex;
+    std::set<MachineId> failed;
+    std::atomic<bool> crashed{false};
+    std::thread flusher;
+  };
+
+  void ConductorLoop(Worker* worker);
+  void FlusherLoop(MachineCtx* machine);
+  Status ProcessOne(Worker* worker, const Event& event);
+
+  // Fetch the slate for (worker's updater, key): worker cache, then store.
+  // Returns NotFound if absent everywhere; *absent_cached true if the
+  // cache already knew it was absent.
+  Status FetchSlateForWorker(Worker* worker, BytesView key, Bytes* slate);
+
+  // Route an emitted/published event to all subscribers of its stream.
+  // `sender` is the emitting worker (nullptr for external publishes).
+  void DeliverEvent(MachineId from, const Worker* sender, const Event& event);
+
+  // Send one routed event to a specific worker, applying failure handling
+  // and the overflow policy.
+  void SendToWorker(MachineId from, const Worker* sender,
+                    const std::string& function, const Event& event);
+
+  Status HandleIncoming(MachineId to, BytesView payload);
+
+  std::set<MachineId> FailedSetFor(MachineId machine) const;
+  SlateCache::WriteBack MakeWriteBack(const std::string& updater,
+                                      Timestamp ttl);
+  void RunTaps(const Event& event);
+  uint64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  const AppConfig& config_;
+  EngineOptions options_;
+  Clock* clock_;
+  Transport transport_;
+  Master master_;
+  HashRing ring_;
+  ThrottleGovernor throttle_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<MachineCtx>> machines_;
+
+  std::atomic<uint64_t> seq_{1};
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::shared_mutex taps_mutex_;
+  std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_;
+
+  // Counters (see EngineStats).
+  Counter published_;
+  Counter processed_;
+  Counter emitted_;
+  Counter lost_failure_;
+  Counter dropped_overflow_;
+  Counter redirected_overflow_;
+  Counter deadlocks_avoided_;
+  Counter store_reads_;
+  Counter store_writes_;
+  Counter operator_instances_;
+  Histogram latency_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_MUPPET1_H_

@@ -1,0 +1,583 @@
+#include "engine/muppet2.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "engine/wire.h"
+
+namespace muppet {
+
+// PerformerUtilities that routes outputs immediately — no serialization
+// within the machine (the 1.0 IPC cost 2.0 eliminates, §4.5). Slate
+// mutations are applied to the central cache as they happen.
+class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
+ public:
+  DirectUtilities(Muppet2Engine* engine, MachineCtx* machine,
+                  const Event& event, const std::string& function,
+                  bool is_updater, uint64_t work,
+                  const UpdaterOptions* updater_options)
+      : engine_(engine),
+        machine_(machine),
+        event_(event),
+        function_(function),
+        is_updater_(is_updater),
+        work_(work),
+        updater_options_(updater_options) {}
+
+  Status Publish(const std::string& stream, BytesView key,
+                 BytesView value) override {
+    return PublishAt(stream, key, value, event_.ts + 1);
+  }
+
+  Status PublishAt(const std::string& stream, BytesView key, BytesView value,
+                   Timestamp ts) override {
+    const AppConfig& config = engine_->config_;
+    if (!config.HasStream(stream)) {
+      return Status::InvalidArgument("publish: undeclared stream '" + stream +
+                                     "'");
+    }
+    if (config.IsInputStream(stream)) {
+      return Status::InvalidArgument(
+          "publish: operators may not emit into input stream '" + stream +
+          "'");
+    }
+    if (ts <= event_.ts) {
+      return Status::InvalidArgument(
+          "publish: output timestamp must exceed input timestamp");
+    }
+    Event out;
+    out.stream = stream;
+    out.ts = ts;
+    out.key.assign(key);
+    out.value.assign(value);
+    out.origin_ts = event_.origin_ts;
+    engine_->emitted_.Add();
+    engine_->DeliverEvent(machine_->id, work_, out);
+    return Status::OK();
+  }
+
+  Status ReplaceSlate(BytesView slate) override {
+    if (!is_updater_) {
+      return Status::FailedPrecondition("mapper cannot replace a slate");
+    }
+    const bool write_through = updater_options_->flush_policy ==
+                               SlateFlushPolicy::kWriteThrough;
+    return machine_->cache->Update(SlateId{function_, event_.key}, slate,
+                                   engine_->clock_->Now(), write_through);
+  }
+
+  Status DeleteSlate() override {
+    if (!is_updater_) {
+      return Status::FailedPrecondition("mapper cannot delete a slate");
+    }
+    return machine_->cache->Delete(SlateId{function_, event_.key});
+  }
+
+  const Event& current_event() const override { return event_; }
+
+ private:
+  Muppet2Engine* engine_;
+  MachineCtx* machine_;
+  const Event& event_;
+  const std::string& function_;
+  bool is_updater_;
+  uint64_t work_;
+  const UpdaterOptions* updater_options_;
+};
+
+Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
+    : config_(config),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()),
+      transport_([&] {
+        TransportOptions t = options.transport;
+        if (t.clock == nullptr) t.clock = options.clock;
+        return t;
+      }()),
+      ring_(options.ring_vnodes, options.ring_seed),
+      throttle_(options.throttle, clock_) {}
+
+Muppet2Engine::~Muppet2Engine() { (void)Stop(); }
+
+uint64_t Muppet2Engine::WorkHash(const std::string& function,
+                                 BytesView key) {
+  uint64_t h = HashCombine(Fnv1a64(function), Fnv1a64(key));
+  if (h == 0) h = 1;  // 0 means "idle"
+  return h;
+}
+
+Status Muppet2Engine::Start() {
+  if (started_) return Status::FailedPrecondition("engine already started");
+  MUPPET_RETURN_IF_ERROR(config_.Validate());
+  if (options_.num_machines < 1 || options_.threads_per_machine < 1) {
+    return Status::InvalidArgument("engine: bad cluster shape");
+  }
+  if (options_.overflow.policy == OverflowPolicy::kOverflowStream &&
+      !config_.HasStream(options_.overflow.overflow_stream)) {
+    return Status::InvalidArgument("engine: overflow stream is not declared");
+  }
+
+  for (int m = 0; m < options_.num_machines; ++m) {
+    auto machine = std::make_unique<MachineCtx>();
+    machine->id = m;
+
+    // Central slate cache; the write-back resolves each updater's TTL.
+    machine->cache = std::make_unique<SlateCache>(
+        SlateCacheOptions{options_.slate_cache_capacity},
+        [this](const SlateCache::DirtySlate& dirty) -> Status {
+          if (options_.slate_store == nullptr) return Status::OK();
+          store_writes_.Add();
+          if (dirty.deleted) return options_.slate_store->Delete(dirty.id);
+          Timestamp ttl = 0;
+          const OperatorSpec* spec = config_.FindOperator(dirty.id.updater);
+          if (spec != nullptr) ttl = spec->updater_options.slate_ttl_micros;
+          return options_.slate_store->Write(dirty.id, dirty.value, ttl);
+        });
+
+    // One shared operator instance per function per machine.
+    for (const auto& [name, spec] : config_.operators()) {
+      if (spec.kind == OperatorKind::kMapper) {
+        machine->mappers[name] = spec.mapper_factory(config_, name);
+      } else {
+        machine->updaters[name] = spec.updater_factory(config_, name);
+      }
+      operator_instances_.Add();
+      // Every machine hosts every function; the ring routes keys among
+      // machines.
+      if (m == 0) {
+        for (int mm = 0; mm < options_.num_machines; ++mm) {
+          ring_.AddWorker(name, WorkerRef{mm, 0});
+        }
+      }
+    }
+
+    for (int t = 0; t < options_.threads_per_machine; ++t) {
+      auto thread_ctx = std::make_unique<ThreadCtx>();
+      thread_ctx->index = t;
+      thread_ctx->queue = std::make_unique<EventQueue>(options_.queue_capacity);
+      machine->threads.push_back(std::move(thread_ctx));
+    }
+    machines_.push_back(std::move(machine));
+  }
+
+  for (auto& machine : machines_) {
+    const MachineId id = machine->id;
+    MUPPET_RETURN_IF_ERROR(transport_.RegisterMachine(
+        id, [this, id](MachineId /*from*/, BytesView payload) {
+          return HandleIncoming(id, payload);
+        }));
+  }
+
+  master_.AddListener([this](MachineId failed) {
+    for (auto& machine : machines_) {
+      std::lock_guard<std::mutex> lock(machine->failed_mutex);
+      machine->failed.insert(failed);
+    }
+  });
+
+  for (auto& machine : machines_) {
+    MachineCtx* m = machine.get();
+    for (auto& thread_ctx : m->threads) {
+      ThreadCtx* t = thread_ctx.get();
+      t->thread = std::thread([this, m, t] { WorkerLoop(m, t); });
+    }
+    m->flusher = std::thread([this, m] { FlusherLoop(m); });
+  }
+
+  started_ = true;
+  return Status::OK();
+}
+
+void Muppet2Engine::TapStream(const std::string& stream,
+                              std::function<void(const Event&)> tap) {
+  std::unique_lock lock(taps_mutex_);
+  taps_[stream].push_back(std::move(tap));
+}
+
+void Muppet2Engine::RunTaps(const Event& event) {
+  std::shared_lock lock(taps_mutex_);
+  auto it = taps_.find(event.stream);
+  if (it == taps_.end()) return;
+  for (const auto& tap : it->second) tap(event);
+}
+
+std::set<MachineId> Muppet2Engine::FailedSetFor(MachineId machine) const {
+  if (machine >= 0 && machine < static_cast<MachineId>(machines_.size())) {
+    const MachineCtx* m = machines_[static_cast<size_t>(machine)].get();
+    std::lock_guard<std::mutex> lock(m->failed_mutex);
+    return m->failed;
+  }
+  return master_.failed();
+}
+
+Status Muppet2Engine::Publish(const std::string& stream, BytesView key,
+                              BytesView value, Timestamp ts) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("engine not running");
+  }
+  if (!config_.IsInputStream(stream)) {
+    return Status::InvalidArgument("'" + stream +
+                                   "' is not a declared input stream");
+  }
+  if (options_.overflow.policy == OverflowPolicy::kThrottle) {
+    throttle_.PaceSource();
+  }
+  Event event;
+  event.stream = stream;
+  event.ts = ts;
+  event.key.assign(key);
+  event.value.assign(value);
+  event.seq = NextSeq();
+  event.origin_ts = clock_->Now();
+  published_.Add();
+  DeliverEvent(/*from=*/0, /*sender_work=*/0, event);
+  return Status::OK();
+}
+
+void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
+                                 const Event& event) {
+  RunTaps(event);
+  for (const std::string& function : config_.SubscribersOf(event.stream)) {
+    SendToMachine(from, sender_work, function, event);
+  }
+}
+
+void Muppet2Engine::SendToMachine(MachineId from, uint64_t sender_work,
+                                  const std::string& function,
+                                  const Event& event) {
+  const std::set<MachineId> failed = FailedSetFor(from);
+  Result<WorkerRef> target = ring_.Route(function, event.key, failed);
+  if (!target.ok()) {
+    lost_failure_.Add();
+    return;
+  }
+
+  RoutedEvent re{function, event};
+  re.event.seq = NextSeq();
+  Bytes payload;
+  EncodeRoutedEvent(re, &payload);
+
+  int attempts = 0;
+  const int kMaxThrottleRetries = 50;
+  while (true) {
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    Status s = transport_.Send(from, target.value().machine, payload);
+    if (s.ok()) return;
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+
+    if (s.IsUnavailable()) {
+      master_.ReportFailure(target.value().machine);
+      lost_failure_.Add();
+      return;
+    }
+    if (!s.IsResourceExhausted()) {
+      lost_failure_.Add();
+      return;
+    }
+
+    switch (options_.overflow.policy) {
+      case OverflowPolicy::kDrop:
+        dropped_overflow_.Add();
+        return;
+      case OverflowPolicy::kOverflowStream: {
+        if (event.stream == options_.overflow.overflow_stream) {
+          dropped_overflow_.Add();
+          return;
+        }
+        redirected_overflow_.Add();
+        Event redirected = event;
+        redirected.stream = options_.overflow.overflow_stream;
+        DeliverEvent(from, sender_work, redirected);
+        return;
+      }
+      case OverflowPolicy::kThrottle: {
+        throttle_.NoteOverflow();
+        // A worker emitting to its own (function,key) work unit while its
+        // queues are full can never make progress by waiting (§5).
+        if (sender_work != 0 &&
+            WorkHash(function, event.key) == sender_work &&
+            target.value().machine == from) {
+          deadlocks_avoided_.Add();
+          dropped_overflow_.Add();
+          return;
+        }
+        if (++attempts > kMaxThrottleRetries) {
+          dropped_overflow_.Add();
+          return;
+        }
+        clock_->SleepFor(200);
+        continue;
+      }
+    }
+  }
+}
+
+Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
+  MachineCtx* machine = machines_[static_cast<size_t>(to)].get();
+  if (machine->crashed.load()) {
+    return Status::Unavailable("machine crashed");
+  }
+  RoutedEvent re;
+  MUPPET_RETURN_IF_ERROR(DecodeRoutedEvent(payload, &re));
+  return Dispatch(machine, std::move(re));
+}
+
+Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent re) {
+  const size_t W = machine->threads.size();
+  const uint64_t work = WorkHash(re.function, re.event.key);
+  const size_t primary = Mix64(work) % W;
+  size_t secondary = Mix64(work ^ 0x5ec0dULL) % W;
+  if (secondary == primary) secondary = (primary + 1) % W;
+
+  if (!options_.enable_two_choice || W == 1) {
+    return machine->threads[primary]->queue->TryPush(std::move(re));
+  }
+
+  // "an incoming event locks no more than two queues": the pick itself is
+  // serialized, then at most the two candidate queues are touched.
+  std::lock_guard<std::mutex> lock(machine->dispatch_mutex);
+  ThreadCtx* tp = machine->threads[primary].get();
+  ThreadCtx* ts = machine->threads[secondary].get();
+
+  size_t choice;
+  if (tp->current.load(std::memory_order_acquire) == work) {
+    choice = primary;
+  } else if (ts->current.load(std::memory_order_acquire) == work) {
+    choice = secondary;
+  } else if (ts->queue->size() +
+                 static_cast<size_t>(options_.secondary_queue_bias) <
+             tp->queue->size()) {
+    choice = secondary;
+  } else {
+    choice = primary;
+  }
+  if (choice == secondary) secondary_dispatch_.Add();
+
+  Status s = machine->threads[choice]->queue->TryPush(re);
+  if (s.IsResourceExhausted()) {
+    // Try the other candidate before declining to the sender.
+    const size_t other = (choice == primary) ? secondary : primary;
+    if (other == secondary) secondary_dispatch_.Add();
+    s = machine->threads[other]->queue->TryPush(std::move(re));
+  }
+  return s;
+}
+
+void Muppet2Engine::WorkerLoop(MachineCtx* machine, ThreadCtx* thread) {
+  RoutedEvent re;
+  while (thread->queue->Pop(&re)) {
+    const uint64_t work = WorkHash(re.function, re.event.key);
+    thread->current.store(work, std::memory_order_release);
+    Status s = ProcessOne(machine, re);
+    if (!s.ok()) {
+      MUPPET_LOG(kError) << "worker thread " << thread->index << "@"
+                         << machine->id << ": " << s.ToString();
+    }
+    thread->current.store(0, std::memory_order_release);
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+Status Muppet2Engine::FetchSlateOnMachine(MachineCtx* machine,
+                                          const std::string& updater,
+                                          BytesView key, Bytes* slate) {
+  const SlateId id{updater, Bytes(key)};
+  bool absent = false;
+  Status s = machine->cache->LookupWithAbsent(id, slate, &absent);
+  if (s.ok()) {
+    if (absent) return Status::NotFound("slate absent (cached)");
+    return Status::OK();
+  }
+  if (options_.slate_store != nullptr) {
+    store_reads_.Add();
+    Result<Bytes> fetched = options_.slate_store->Read(id);
+    if (fetched.ok()) {
+      *slate = std::move(fetched).value();
+      (void)machine->cache->Insert(id, *slate);
+      return Status::OK();
+    }
+    if (!fetched.status().IsNotFound()) return fetched.status();
+  }
+  machine->cache->InsertAbsent(id);
+  return Status::NotFound("slate absent");
+}
+
+Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
+  const OperatorSpec* spec = config_.FindOperator(re.function);
+  if (spec == nullptr) return Status::NotFound("unknown function");
+  const Event& event = re.event;
+  const uint64_t work = WorkHash(re.function, event.key);
+
+  if (spec->kind == OperatorKind::kMapper) {
+    DirectUtilities utils(this, machine, event, re.function,
+                          /*is_updater=*/false, work, nullptr);
+    machine->mappers[re.function]->Map(utils, event);
+  } else {
+    // Up to two threads can vie for the same slate (§4.5); the striped
+    // lock serializes the contending pair.
+    std::mutex& slate_lock =
+        machine->slate_locks[work % kSlateLockStripes];
+    if (!slate_lock.try_lock()) {
+      slate_contention_.Add();
+      slate_lock.lock();
+    }
+    std::lock_guard<std::mutex> guard(slate_lock, std::adopt_lock);
+
+    Bytes slate;
+    bool has_slate = false;
+    Status s = FetchSlateOnMachine(machine, re.function, event.key, &slate);
+    if (s.ok()) {
+      has_slate = true;
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+    DirectUtilities utils(this, machine, event, re.function,
+                          /*is_updater=*/true, work,
+                          &spec->updater_options);
+    machine->updaters[re.function]->Update(utils, event,
+                                           has_slate ? &slate : nullptr);
+  }
+
+  processed_.Add();
+  if (event.origin_ts > 0) {
+    latency_.Record(clock_->Now() - event.origin_ts);
+  }
+  return Status::OK();
+}
+
+void Muppet2Engine::FlusherLoop(MachineCtx* machine) {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    clock_->SleepFor(options_.flush_poll_micros);
+    if (machine->crashed.load()) return;
+    const Timestamp now = clock_->Now();
+    for (const auto& [name, spec] : config_.operators()) {
+      if (spec.kind != OperatorKind::kUpdater) continue;
+      if (spec.updater_options.flush_policy != SlateFlushPolicy::kInterval) {
+        continue;
+      }
+      (void)machine->cache->FlushDirtyFor(
+          name, now - spec.updater_options.flush_interval_micros);
+    }
+  }
+}
+
+Status Muppet2Engine::Drain() {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  while (inflight_.load(std::memory_order_acquire) > 0) {
+    SystemClock::Default()->SleepFor(100);
+  }
+  return Status::OK();
+}
+
+Status Muppet2Engine::Stop() {
+  if (!started_ || stopped_) return Status::OK();
+  stopped_ = true;
+
+  (void)Drain();
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& machine : machines_) {
+    if (machine->flusher.joinable()) machine->flusher.join();
+  }
+  for (auto& machine : machines_) {
+    if (!machine->crashed.load()) {
+      (void)machine->cache->FlushDirty(INT64_MAX);
+    }
+    for (auto& thread_ctx : machine->threads) {
+      thread_ctx->queue->Stop();
+    }
+  }
+  for (auto& machine : machines_) {
+    for (auto& thread_ctx : machine->threads) {
+      if (thread_ctx->thread.joinable()) thread_ctx->thread.join();
+    }
+    transport_.UnregisterMachine(machine->id);
+  }
+  return Status::OK();
+}
+
+Result<Bytes> Muppet2Engine::FetchSlate(const std::string& updater,
+                                        BytesView key) {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  const OperatorSpec* spec = config_.FindOperator(updater);
+  if (spec == nullptr || spec->kind != OperatorKind::kUpdater) {
+    return Status::NotFound("no such updater: " + updater);
+  }
+  std::set<MachineId> failed = master_.failed();
+  for (const auto& m : machines_) {
+    if (m->crashed.load()) failed.insert(m->id);
+  }
+  Result<WorkerRef> target = ring_.Route(updater, key, failed);
+  if (!target.ok()) return target.status();
+  MachineCtx* machine =
+      machines_[static_cast<size_t>(target.value().machine)].get();
+  Bytes slate;
+  Status s = FetchSlateOnMachine(machine, updater, key, &slate);
+  if (!s.ok()) return s;
+  return slate;
+}
+
+Status Muppet2Engine::CrashMachine(MachineId machine_id) {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  if (machine_id < 0 ||
+      machine_id >= static_cast<MachineId>(machines_.size())) {
+    return Status::InvalidArgument("no such machine");
+  }
+  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+  if (machine->crashed.exchange(true)) return Status::OK();
+
+  transport_.Crash(machine_id);
+  for (auto& thread_ctx : machine->threads) {
+    const size_t lost = thread_ctx->queue->Clear();
+    thread_ctx->queue->Stop();
+    lost_failure_.Add(static_cast<int64_t>(lost));
+    inflight_.fetch_sub(static_cast<int64_t>(lost),
+                        std::memory_order_acq_rel);
+  }
+  for (auto& thread_ctx : machine->threads) {
+    if (thread_ctx->thread.joinable()) thread_ctx->thread.join();
+  }
+  // The central slate cache dies with the machine: unflushed updates lost.
+  machine->cache->Clear();
+  return Status::OK();
+}
+
+size_t Muppet2Engine::LargestQueueDepth() const {
+  size_t largest = 0;
+  for (const auto& machine : machines_) {
+    for (const auto& thread_ctx : machine->threads) {
+      largest = std::max(largest, thread_ctx->queue->size());
+    }
+  }
+  return largest;
+}
+
+EngineStats Muppet2Engine::Stats() const {
+  EngineStats stats;
+  stats.events_published = published_.Get();
+  stats.events_processed = processed_.Get();
+  stats.events_emitted = emitted_.Get();
+  stats.events_lost_failure = lost_failure_.Get();
+  stats.events_dropped_overflow = dropped_overflow_.Get();
+  stats.events_redirected_overflow = redirected_overflow_.Get();
+  stats.throttle_signals = throttle_.overflow_signals();
+  stats.deadlocks_avoided = deadlocks_avoided_.Get();
+  for (const auto& machine : machines_) {
+    stats.slate_cache_hits += machine->cache->hits();
+    stats.slate_cache_misses += machine->cache->misses();
+    stats.slate_cache_evictions += machine->cache->evictions();
+  }
+  stats.slate_store_reads = store_reads_.Get();
+  stats.slate_store_writes = store_writes_.Get();
+  stats.failures_detected = master_.failures_reported();
+  stats.latency_p50_us = latency_.Percentile(0.50);
+  stats.latency_p95_us = latency_.Percentile(0.95);
+  stats.latency_p99_us = latency_.Percentile(0.99);
+  stats.latency_max_us = latency_.max();
+  stats.latency_mean_us = latency_.Mean();
+  stats.operator_instances = operator_instances_.Get();
+  return stats;
+}
+
+}  // namespace muppet

@@ -1,0 +1,157 @@
+// Muppet 2.0 (§4.5). Per machine: a dedicated pool of worker threads, any
+// of which can run any map or update function; one shared operator
+// instance per function; a single central slate cache; a background
+// flusher thread for store I/O; and two-choice event dispatch — each
+// incoming event hashes to a primary and a secondary queue and is placed
+// on the one already processing its (function, key), else on the primary
+// unless the secondary is significantly shorter. This bounds slate
+// contention to two threads per slate while relieving hotspots.
+#ifndef MUPPET_ENGINE_MUPPET2_H_
+#define MUPPET_ENGINE_MUPPET2_H_
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/hash_ring.h"
+#include "core/slate_cache.h"
+#include "engine/engine.h"
+#include "engine/master.h"
+#include "engine/queue.h"
+
+namespace muppet {
+
+class Muppet2Engine final : public Engine {
+ public:
+  Muppet2Engine(const AppConfig& config, EngineOptions options);
+  ~Muppet2Engine() override;
+
+  Status Start() override;
+  Status Publish(const std::string& stream, BytesView key, BytesView value,
+                 Timestamp ts) override;
+  Status Drain() override;
+  Status Stop() override;
+  Result<Bytes> FetchSlate(const std::string& updater,
+                           BytesView key) override;
+  Status CrashMachine(MachineId machine) override;
+  EngineStats Stats() const override;
+  const AppConfig& config() const override { return config_; }
+
+  // Observe events published to `stream` (register before Start()).
+  void TapStream(const std::string& stream,
+                 std::function<void(const Event&)> tap);
+
+  // Test/bench introspection.
+  Transport& transport() { return transport_; }
+  Master& master() { return master_; }
+  ThrottleGovernor& throttle() { return throttle_; }
+  // Events that went to their secondary rather than primary queue.
+  int64_t secondary_dispatches() const { return secondary_dispatch_.Get(); }
+  // Peak distinct threads that ever held the same slate concurrently is
+  // bounded by 2 by construction; this counts lock contentions observed.
+  int64_t slate_contentions() const { return slate_contention_.Get(); }
+  // Status endpoint data (§4.5: "basic status information (such as the
+  // event count of the largest event queues)").
+  size_t LargestQueueDepth() const;
+
+ private:
+  static constexpr size_t kSlateLockStripes = 64;
+
+  struct ThreadCtx {
+    int index = 0;
+    std::unique_ptr<EventQueue> queue;
+    std::thread thread;
+    // Hash of the (function, key) currently being processed; 0 = idle.
+    std::atomic<uint64_t> current{0};
+  };
+
+  struct MachineCtx {
+    MachineId id = kInvalidMachine;
+    std::vector<std::unique_ptr<ThreadCtx>> threads;
+    std::unique_ptr<SlateCache> cache;  // the central cache
+    // One shared instance per function ("constructed only once and shared
+    // by all threads").
+    std::map<std::string, std::unique_ptr<Mapper>> mappers;
+    std::map<std::string, std::unique_ptr<Updater>> updaters;
+    // Serializes the two-queue pick so an event locks at most two queues.
+    std::mutex dispatch_mutex;
+    // Striped per-slate locks: the two contending threads serialize here.
+    std::array<std::mutex, kSlateLockStripes> slate_locks;
+    mutable std::mutex failed_mutex;
+    std::set<MachineId> failed;
+    std::atomic<bool> crashed{false};
+    std::thread flusher;
+  };
+
+  class DirectUtilities;
+
+  void WorkerLoop(MachineCtx* machine, ThreadCtx* thread);
+  void FlusherLoop(MachineCtx* machine);
+  Status ProcessOne(MachineCtx* machine, const RoutedEvent& re);
+
+  // Two-choice dispatch of an arrived event into one of the machine's
+  // thread queues. ResourceExhausted when both candidate queues are full.
+  Status Dispatch(MachineCtx* machine, RoutedEvent re);
+
+  Status HandleIncoming(MachineId to, BytesView payload);
+  void DeliverEvent(MachineId from, uint64_t sender_work, const Event& event);
+  void SendToMachine(MachineId from, uint64_t sender_work,
+                     const std::string& function, const Event& event);
+
+  Status FetchSlateOnMachine(MachineCtx* machine,
+                             const std::string& updater, BytesView key,
+                             Bytes* slate);
+
+  std::set<MachineId> FailedSetFor(MachineId machine) const;
+  void RunTaps(const Event& event);
+  uint64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  static uint64_t WorkHash(const std::string& function, BytesView key);
+
+  const AppConfig& config_;
+  EngineOptions options_;
+  Clock* clock_;
+  Transport transport_;
+  Master master_;
+  HashRing ring_;
+  ThrottleGovernor throttle_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<MachineCtx>> machines_;
+
+  std::atomic<uint64_t> seq_{1};
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::shared_mutex taps_mutex_;
+  std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_;
+
+  Counter published_;
+  Counter processed_;
+  Counter emitted_;
+  Counter lost_failure_;
+  Counter dropped_overflow_;
+  Counter redirected_overflow_;
+  Counter deadlocks_avoided_;
+  Counter store_reads_;
+  Counter store_writes_;
+  Counter operator_instances_;
+  Counter secondary_dispatch_;
+  Counter slate_contention_;
+  Histogram latency_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_MUPPET2_H_

@@ -1,0 +1,37 @@
+// Queue-overflow policies (§4.3). When worker B's queue declines an event,
+// worker A's overflow mechanism takes one of three actions the paper
+// enumerates: drop (and log) the event; redirect it to a designated
+// "overflow" stream whose subscribers implement degraded service; or slow
+// the pace of event passing (source throttling, §5).
+#ifndef MUPPET_ENGINE_OVERFLOW_H_
+#define MUPPET_ENGINE_OVERFLOW_H_
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace muppet {
+
+enum class OverflowPolicy : uint8_t {
+  kDrop,            // drop + log (the default; latency over completeness)
+  kOverflowStream,  // redirect to `overflow_stream` (degraded service)
+  kThrottle,        // signal the source-throttling governor
+};
+
+struct OverflowOptions {
+  OverflowPolicy policy = OverflowPolicy::kDrop;
+  // Target stream for kOverflowStream. Its subscribers should be cheap
+  // ("substituting expensive operations ... with approximate operations").
+  std::string overflow_stream;
+};
+
+// Shared counters so engines and benches report consistent numbers.
+struct OverflowStats {
+  Counter dropped;        // events dropped by policy
+  Counter redirected;     // events diverted to the overflow stream
+  Counter throttle_hits;  // overflow signals forwarded to the governor
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_OVERFLOW_H_

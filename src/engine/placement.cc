@@ -1,0 +1,108 @@
+#include "engine/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace muppet {
+
+PlacementAdvisor::PlacementAdvisor(int num_machines, double balance_slack)
+    : num_machines_(num_machines < 1 ? 1 : num_machines),
+      balance_slack_(balance_slack < 0 ? 0 : balance_slack) {}
+
+void PlacementAdvisor::ObserveFlow(MachineId source_machine,
+                                   const std::string& function, BytesView key,
+                                   int64_t count) {
+  if (count <= 0) return;
+  flows_[FlowKey{function, Bytes(key)}][source_machine] += count;
+  total_events_ += count;
+}
+
+PlacementAdvisor::Analysis PlacementAdvisor::AnalyzeRing(
+    const HashRing& ring) const {
+  Analysis analysis;
+  analysis.machine_load.assign(static_cast<size_t>(num_machines_), 0);
+  for (const auto& [flow, sources] : flows_) {
+    Result<WorkerRef> target = ring.Route(flow.function, flow.key, {});
+    const MachineId machine =
+        target.ok() ? target.value().machine : kInvalidMachine;
+    for (const auto& [source, count] : sources) {
+      analysis.total_events += count;
+      if (machine == kInvalidMachine || source != machine) {
+        analysis.cross_machine_events += count;
+      }
+      if (machine >= 0 && machine < num_machines_) {
+        analysis.machine_load[static_cast<size_t>(machine)] += count;
+      }
+    }
+  }
+  return analysis;
+}
+
+std::vector<PlacementAdvisor::Assignment> PlacementAdvisor::Propose(
+    Analysis* analysis) const {
+  // Heaviest flows first: they matter most and should claim their best
+  // machine before the balance cap fills up.
+  struct Item {
+    const FlowKey* flow;
+    const std::map<MachineId, int64_t>* sources;
+    int64_t events;
+  };
+  std::vector<Item> items;
+  items.reserve(flows_.size());
+  for (const auto& [flow, sources] : flows_) {
+    int64_t events = 0;
+    for (const auto& [source, count] : sources) events += count;
+    items.push_back(Item{&flow, &sources, events});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.events > b.events;
+  });
+
+  const double cap =
+      (1.0 + balance_slack_) * static_cast<double>(total_events_) /
+      static_cast<double>(num_machines_);
+  std::vector<int64_t> load(static_cast<size_t>(num_machines_), 0);
+  std::vector<Assignment> proposal;
+  proposal.reserve(items.size());
+  int64_t cross = 0;
+
+  for (const Item& item : items) {
+    // Candidate machines by descending local traffic for this flow.
+    std::vector<std::pair<int64_t, MachineId>> candidates;
+    for (const auto& [source, count] : *item.sources) {
+      if (source >= 0 && source < num_machines_) {
+        candidates.emplace_back(count, source);
+      }
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+
+    MachineId chosen = kInvalidMachine;
+    for (const auto& [count, machine] : candidates) {
+      if (static_cast<double>(load[static_cast<size_t>(machine)] +
+                              item.events) <= cap) {
+        chosen = machine;
+        break;
+      }
+    }
+    if (chosen == kInvalidMachine) {
+      // Balance first: least-loaded machine takes it.
+      chosen = static_cast<MachineId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    load[static_cast<size_t>(chosen)] += item.events;
+    for (const auto& [source, count] : *item.sources) {
+      if (source != chosen) cross += count;
+    }
+    proposal.push_back(
+        Assignment{item.flow->function, item.flow->key, chosen, item.events});
+  }
+
+  if (analysis != nullptr) {
+    analysis->cross_machine_events = cross;
+    analysis->total_events = total_events_;
+    analysis->machine_load = std::move(load);
+  }
+  return proposal;
+}
+
+}  // namespace muppet

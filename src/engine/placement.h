@@ -1,0 +1,90 @@
+// Operator/slate placement analysis (paper §5 "Placing Mappers and
+// Updaters"). Muppet's placement "is in effect decided by the hashing
+// function"; the authors explore placing updaters near their data to cut
+// network traffic, and explain why it is hard: the hot keys are only known
+// from the event contents, popularity shifts, and workflows chain multiple
+// functions whose flows pull in different directions.
+//
+// PlacementAdvisor reproduces that exploration as an offline tool: feed it
+// the observed event flows (source machine -> <function, key> counts) and
+// it (a) scores the current hash placement's cross-machine traffic and
+// (b) greedily proposes a key->machine assignment that reduces it, under a
+// per-machine load-balance cap — quantifying the §5 trade-off between
+// locality and balance.
+#ifndef MUPPET_ENGINE_PLACEMENT_H_
+#define MUPPET_ENGINE_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/hash_ring.h"
+
+namespace muppet {
+
+class PlacementAdvisor {
+ public:
+  // `num_machines`: cluster size. `balance_slack`: a machine may carry up
+  // to (1 + slack) * average load before the advisor refuses to add more
+  // keys to it (0.25 = 25% over average).
+  PlacementAdvisor(int num_machines, double balance_slack = 0.25);
+
+  // Record that `count` events for <function, key> originated on
+  // `source_machine` (e.g. the mapper machine that emits them).
+  void ObserveFlow(MachineId source_machine, const std::string& function,
+                   BytesView key, int64_t count);
+
+  struct Assignment {
+    std::string function;
+    Bytes key;
+    MachineId machine = kInvalidMachine;
+    int64_t events = 0;
+  };
+
+  struct Analysis {
+    // Events that crossed machines under the given placement.
+    int64_t cross_machine_events = 0;
+    int64_t total_events = 0;
+    // Per-machine processing load (events handled).
+    std::vector<int64_t> machine_load;
+    double CrossTrafficFraction() const {
+      return total_events == 0
+                 ? 0.0
+                 : static_cast<double>(cross_machine_events) /
+                       static_cast<double>(total_events);
+    }
+  };
+
+  // Score the placement induced by `ring` (the engine's actual routing).
+  Analysis AnalyzeRing(const HashRing& ring) const;
+
+  // Greedy locality-aware proposal: assign each <function,key> to the
+  // machine sending it the most events, spilling to the next-best machine
+  // when the balance cap is hit. Returns the proposal and fills *analysis
+  // with its score.
+  std::vector<Assignment> Propose(Analysis* analysis) const;
+
+  int64_t total_events() const { return total_events_; }
+
+ private:
+  struct FlowKey {
+    std::string function;
+    Bytes key;
+    friend bool operator<(const FlowKey& a, const FlowKey& b) {
+      if (a.function != b.function) return a.function < b.function;
+      return a.key < b.key;
+    }
+  };
+
+  int num_machines_;
+  double balance_slack_;
+  // <function,key> -> per-source-machine counts.
+  std::map<FlowKey, std::map<MachineId, int64_t>> flows_;
+  int64_t total_events_ = 0;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_PLACEMENT_H_

@@ -1,0 +1,63 @@
+#include "engine/queue.h"
+
+namespace muppet {
+
+EventQueue::EventQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Status EventQueue::TryPush(RoutedEvent item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return Status::Aborted("queue: stopped");
+    if (items_.size() >= capacity_) {
+      return Status::ResourceExhausted("queue: full");
+    }
+    items_.push_back(std::move(item));
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+bool EventQueue::Pop(RoutedEvent* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return stopped_ || !items_.empty(); });
+  if (items_.empty()) return false;  // stopped and drained
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+bool EventQueue::TryPop(RoutedEvent* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void EventQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+size_t EventQueue::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t n = items_.size();
+  items_.clear();
+  return n;
+}
+
+size_t EventQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool EventQueue::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopped_;
+}
+
+}  // namespace muppet

@@ -1,0 +1,63 @@
+// Bounded per-worker event queue. "Each worker has its own queue for input
+// events" (§4.1) "maintained in memory"; a full queue *declines* the push,
+// triggering the sender's queue-overflow mechanism (§4.3) — so TryPush is
+// non-blocking by design.
+#ifndef MUPPET_ENGINE_QUEUE_H_
+#define MUPPET_ENGINE_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/status.h"
+#include "core/event.h"
+
+namespace muppet {
+
+// An event addressed to a specific function (the queue of a Muppet 2.0
+// thread holds events for many functions; the destination is part of the
+// queued item).
+struct RoutedEvent {
+  std::string function;
+  Event event;
+};
+
+class EventQueue {
+ public:
+  explicit EventQueue(size_t capacity);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Non-blocking enqueue. ResourceExhausted when full (the §4.3 decline),
+  // Aborted after Stop().
+  Status TryPush(RoutedEvent item);
+
+  // Blocking dequeue. Returns false when stopped and drained.
+  bool Pop(RoutedEvent* out);
+
+  // Non-blocking dequeue; false when empty (does not wait).
+  bool TryPop(RoutedEvent* out);
+
+  // Wake all poppers and refuse further pushes. Remaining items stay
+  // poppable (graceful stop) — use Clear() for crash simulation.
+  void Stop();
+
+  // Drop everything queued; returns how many were discarded.
+  size_t Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool stopped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<RoutedEvent> items_;
+  bool stopped_ = false;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_QUEUE_H_

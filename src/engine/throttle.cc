@@ -1,0 +1,41 @@
+#include "engine/throttle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace muppet {
+
+ThrottleGovernor::ThrottleGovernor(ThrottleOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()) {
+  last_decay_ = clock_->Now();
+}
+
+void ThrottleGovernor::NoteOverflow() {
+  signals_.Add();
+  std::lock_guard<std::mutex> lock(mutex_);
+  delay_micros_ = std::min<double>(
+      delay_micros_ + static_cast<double>(options_.step_micros),
+      static_cast<double>(options_.max_delay_micros));
+}
+
+Timestamp ThrottleGovernor::CurrentDelayMicros() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Timestamp now = clock_->Now();
+  if (now > last_decay_ && delay_micros_ > 0.0 &&
+      options_.halflife_micros > 0) {
+    const double halflives = static_cast<double>(now - last_decay_) /
+                             static_cast<double>(options_.halflife_micros);
+    delay_micros_ *= std::pow(0.5, halflives);
+    if (delay_micros_ < 1.0) delay_micros_ = 0.0;
+  }
+  last_decay_ = now;
+  return static_cast<Timestamp>(delay_micros_);
+}
+
+void ThrottleGovernor::PaceSource() {
+  const Timestamp delay = CurrentDelayMicros();
+  if (delay > 0) clock_->SleepFor(delay);
+}
+
+}  // namespace muppet

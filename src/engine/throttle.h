@@ -1,0 +1,59 @@
+// Source throttling (§5): "when Muppet detects a hotspot, it can slow down
+// the pace at which it consumes events from its input streams ... to allow
+// ... the hotspot updater ... to catch up." Throttling is safe only at the
+// *input* streams: no operator may publish into them (enforced by
+// AppConfig), which is exactly why the paper's emit-loop deadlock (an
+// updater blocked emitting 10,000 events into its own input) cannot arise
+// at the source. The governor turns overflow signals into a publish delay
+// that decays as pressure subsides.
+#ifndef MUPPET_ENGINE_THROTTLE_H_
+#define MUPPET_ENGINE_THROTTLE_H_
+
+#include <atomic>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace muppet {
+
+struct ThrottleOptions {
+  // Delay added per overflow signal.
+  Timestamp step_micros = 200;
+  // Ceiling on the publish delay.
+  Timestamp max_delay_micros = 20 * kMicrosPerMilli;
+  // The delay halves every `halflife_micros` without new signals.
+  Timestamp halflife_micros = 50 * kMicrosPerMilli;
+};
+
+class ThrottleGovernor {
+ public:
+  explicit ThrottleGovernor(ThrottleOptions options = {},
+                            Clock* clock = nullptr);
+
+  ThrottleGovernor(const ThrottleGovernor&) = delete;
+  ThrottleGovernor& operator=(const ThrottleGovernor&) = delete;
+
+  // A queue somewhere declined an event: increase pressure.
+  void NoteOverflow();
+
+  // Delay the source should insert before its next publish, after decay.
+  Timestamp CurrentDelayMicros();
+
+  // Convenience for sources: sleep for the current delay (no-op at zero).
+  void PaceSource();
+
+  int64_t overflow_signals() const { return signals_.Get(); }
+
+ private:
+  ThrottleOptions options_;
+  Clock* clock_;
+  std::mutex mutex_;
+  double delay_micros_ = 0.0;
+  Timestamp last_decay_ = 0;
+  Counter signals_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_THROTTLE_H_

@@ -1,0 +1,37 @@
+// Cross-machine wire encoding of routed events. Muppet 1.0 additionally
+// uses the same encoding *within* a machine for the conductor <-> task
+// processor hop, reproducing the 1.0 IPC copy cost that Muppet 2.0
+// eliminated (§4.5: "Passing data between processes ... can be
+// computationally wasteful").
+#ifndef MUPPET_ENGINE_WIRE_H_
+#define MUPPET_ENGINE_WIRE_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/event.h"
+#include "engine/queue.h"
+
+namespace muppet {
+
+inline void EncodeRoutedEvent(const RoutedEvent& re, Bytes* out) {
+  PutLengthPrefixed(out, re.function);
+  Bytes event_bytes;
+  EncodeEvent(re.event, &event_bytes);
+  PutLengthPrefixed(out, event_bytes);
+}
+
+inline Status DecodeRoutedEvent(BytesView data, RoutedEvent* re) {
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  BytesView function, event_bytes;
+  if (!GetLengthPrefixed(&p, limit, &function) ||
+      !GetLengthPrefixed(&p, limit, &event_bytes) || p != limit) {
+    return Status::Corruption("wire: malformed routed event");
+  }
+  re->function.assign(function);
+  return DecodeEvent(event_bytes, &re->event);
+}
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_WIRE_H_

@@ -1,0 +1,478 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace muppet {
+
+namespace {
+
+const Json& NullJson() {
+  static const Json* kNull = new Json();
+  return *kNull;
+}
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kObject;
+  }
+  MUPPET_CHECK(type_ == Type::kObject) << "operator[] on non-object";
+  return object_[key];
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  if (type_ != Type::kObject) return NullJson();
+  auto it = object_.find(key);
+  return it == object_.end() ? NullJson() : it->second;
+}
+
+bool Json::Contains(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+int64_t Json::GetInt(const std::string& key, int64_t def) const {
+  const Json& v = (*this)[key];
+  return v.is_number() ? v.AsInt() : def;
+}
+
+double Json::GetDouble(const std::string& key, double def) const {
+  const Json& v = (*this)[key];
+  return v.is_number() ? v.AsDouble() : def;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& def) const {
+  const Json& v = (*this)[key];
+  return v.is_string() ? v.AsString() : def;
+}
+
+bool Json::GetBool(const std::string& key, bool def) const {
+  const Json& v = (*this)[key];
+  return v.is_bool() ? v.AsBool() : def;
+}
+
+void Json::Append(Json v) {
+  if (type_ == Type::kNull) {
+    type_ = Type::kArray;
+  }
+  MUPPET_CHECK(type_ == Type::kArray) << "Append on non-array";
+  array_.push_back(std::move(v));
+}
+
+size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray: return array_.size();
+    case Type::kObject: return object_.size();
+    default: return 0;
+  }
+}
+
+void JsonEscape(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (pretty) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kInt: {
+      char buf[32];
+      auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), int_);
+      out->append(buf, p);
+      break;
+    }
+    case Type::kDouble: {
+      if (std::isnan(double_) || std::isinf(double_)) {
+        out->append("null");  // JSON has no NaN/Inf
+        break;
+      }
+      char buf[64];
+      // %.17g round-trips doubles exactly.
+      int n = std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out->append(buf, static_cast<size_t>(n));
+      break;
+    }
+    case Type::kString:
+      JsonEscape(string_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        JsonEscape(k, out);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0, 0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(&out, 2, 0);
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) {
+    if (a.type_ == b.type_) {
+      return a.type_ == Json::Type::kInt ? a.int_ == b.int_
+                                         : a.double_ == b.double_;
+    }
+    return a.AsDouble() == b.AsDouble();
+  }
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.bool_ == b.bool_;
+    case Json::Type::kString: return a.string_ == b.string_;
+    case Json::Type::kArray: return a.array_ == b.array_;
+    case Json::Type::kObject: return a.object_ == b.object_;
+    default: return false;  // numbers handled above
+  }
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view. Depth-limited to guard
+// against stack exhaustion from adversarial inputs.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : p_(text.data()),
+                                           end_(text.data() + text.size()) {}
+
+  Result<Json> ParseDocument() {
+    Json value;
+    Status s = ParseValue(&value, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (p_ != end_) {
+      return Status::InvalidArgument("json: trailing characters at offset " +
+                                     std::to_string(Offset()));
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  size_t Offset() const { return static_cast<size_t>(p_ - start_); }
+
+  void SkipWhitespace() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const char* what) {
+    return Status::InvalidArgument(std::string("json: ") + what +
+                                   " at offset " + std::to_string(Offset()));
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (p_ >= end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        MUPPET_RETURN_IF_ERROR(ParseString(&s));
+        *out = Json(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (Match("true")) { *out = Json(true); return Status::OK(); }
+        return Fail("invalid literal");
+      case 'f':
+        if (Match("false")) { *out = Json(false); return Status::OK(); }
+        return Fail("invalid literal");
+      case 'n':
+        if (Match("null")) { *out = Json(); return Status::OK(); }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool Match(const char* lit) {
+    size_t len = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < len) return false;
+    if (std::memcmp(p_, lit, len) != 0) return false;
+    p_ += len;
+    return true;
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    ++p_;  // '{'
+    JsonObject obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = Json(std::move(obj));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (p_ >= end_ || *p_ != '"') return Fail("expected object key");
+      std::string key;
+      MUPPET_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      Json value;
+      MUPPET_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      obj[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}'");
+    }
+    *out = Json(std::move(obj));
+    return Status::OK();
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    ++p_;  // '['
+    JsonArray arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = Json(std::move(arr));
+      return Status::OK();
+    }
+    while (true) {
+      Json value;
+      MUPPET_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      arr.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']'");
+    }
+    *out = Json(std::move(arr));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++p_;  // '"'
+    while (p_ < end_) {
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ >= end_) return Fail("unterminated escape");
+        switch (*p_) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            MUPPET_RETURN_IF_ERROR(ParseUnicodeEscape(out));
+            continue;  // ParseUnicodeEscape advanced p_ past the escape
+          }
+          default: return Fail("invalid escape");
+        }
+        ++p_;
+      } else if (c < 0x20) {
+        return Fail("control character in string");
+      } else {
+        out->push_back(static_cast<char>(c));
+        ++p_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseUnicodeEscape(std::string* out) {
+    // p_ points at 'u'.
+    uint32_t cp = 0;
+    MUPPET_RETURN_IF_ERROR(ParseHex4(&cp));
+    // Surrogate pair?
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (end_ - p_ >= 2 && p_[0] == '\\' && p_[1] == 'u') {
+        p_ += 2;
+        uint32_t lo = 0;
+        MUPPET_RETURN_IF_ERROR(ParseHex4(&lo));
+        if (lo >= 0xDC00 && lo <= 0xDFFF) {
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+        } else {
+          return Fail("invalid low surrogate");
+        }
+      } else {
+        return Fail("unpaired surrogate");
+      }
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      return Fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    // p_ points at 'u'.
+    ++p_;
+    if (end_ - p_ < 4) return Fail("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = *p_++;
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Fail("invalid hex digit");
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseNumber(Json* out) {
+    const char* num_start = p_;
+    if (p_ < end_ && *p_ == '-') ++p_;
+    bool integral = true;
+    if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return Fail("invalid number");
+    }
+    while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ < end_ && *p_ == '.') {
+      integral = false;
+      ++p_;
+      if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Fail("invalid fraction");
+      }
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+      integral = false;
+      ++p_;
+      if (p_ < end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ >= end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Fail("invalid exponent");
+      }
+      while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    std::string_view text(num_start, static_cast<size_t>(p_ - num_start));
+    if (integral) {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec == std::errc() && ptr == text.data() + text.size()) {
+        *out = Json(v);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), d);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return Fail("unparseable number");
+    }
+    *out = Json(d);
+    return Status::OK();
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* start_ = p_;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace muppet

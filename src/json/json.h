@@ -1,0 +1,139 @@
+// A small JSON library. The paper notes (§4.2) that applications "often use
+// JSON to encode slates for language independence and flexibility"; the
+// example applications in this repo do the same, and the workload generators
+// emit tweet/checkin payloads as JSON objects (§2 Example 1).
+//
+// Design: a single variant-like value type `Json` with parse/serialize.
+// Numbers preserve int64 exactly when the source text is integral (slate
+// counters must not lose precision through a double round-trip).
+#ifndef MUPPET_JSON_JSON_H_
+#define MUPPET_JSON_JSON_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace muppet {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered so serialization is deterministic — required
+// for the byte-identical determinism tests in tests/core.
+using JsonObject = std::map<std::string, Json>;
+
+// A JSON document node. Copyable, movable; equality is deep.
+class Json {
+ public:
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kInt,     // integral number (exact int64)
+    kDouble,  // non-integral number
+    kString,
+    kArray,
+    kObject,
+  };
+
+  // Constructors for each JSON type. Default is null.
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(uint64_t v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Json(const Json&) = default;
+  Json& operator=(const Json&) = default;
+  Json(Json&&) noexcept = default;
+  Json& operator=(Json&&) noexcept = default;
+
+  static Json MakeArray() { return Json(JsonArray{}); }
+  static Json MakeObject() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors. Preconditions: matching type (numbers coerce between
+  // int and double).
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+  const JsonArray& AsArray() const { return array_; }
+  JsonArray& AsArray() { return array_; }
+  const JsonObject& AsObject() const { return object_; }
+  JsonObject& AsObject() { return object_; }
+
+  // Object field access. Non-const creates missing fields (and converts a
+  // null node into an object, so `j["a"]["b"] = 1` works on a fresh Json).
+  Json& operator[](const std::string& key);
+  // Const lookup: returns a shared null node when absent.
+  const Json& operator[](const std::string& key) const;
+  bool Contains(const std::string& key) const;
+
+  // Field access with defaults — the idiom update functions use to
+  // initialize slate variables on first touch (paper §3).
+  int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+  bool GetBool(const std::string& key, bool def = false) const;
+
+  // Array append.
+  void Append(Json v);
+  size_t size() const;
+
+  // Compact serialization (no whitespace, keys in sorted order).
+  std::string Dump() const;
+  // Pretty serialization with 2-space indentation.
+  std::string DumpPretty() const;
+
+  // Parse a complete JSON document. Trailing non-whitespace is an error.
+  static Result<Json> Parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b);
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+// Escape a string for embedding in JSON output (adds surrounding quotes).
+void JsonEscape(std::string_view s, std::string* out);
+
+}  // namespace muppet
+
+#endif  // MUPPET_JSON_JSON_H_

@@ -1,0 +1,67 @@
+#include "kvstore/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace muppet {
+namespace kv {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  if (expected_keys == 0) expected_keys = 1;
+  if (bits_per_key < 1) bits_per_key = 1;
+  size_t bits = expected_keys * static_cast<size_t>(bits_per_key);
+  bits = std::max<size_t>(bits, 64);
+  bits_.assign((bits + 7) / 8, 0);
+  // Optimal number of probes: bits_per_key * ln2, clamped to [1, 30].
+  k_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30);
+}
+
+BloomFilter BloomFilter::Deserialize(BytesView data) {
+  BloomFilter f;
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  uint32_t k = 0;
+  if (!GetVarint32(&p, limit, &k) || k == 0 || k > 30) {
+    // Treat malformed filters as "always maybe": correctness preserved, the
+    // table read just loses its short-circuit.
+    f.k_ = 0;
+    return f;
+  }
+  f.k_ = static_cast<int>(k);
+  f.bits_.assign(p, limit);
+  return f;
+}
+
+void BloomFilter::Add(BytesView key) {
+  if (bits_.empty()) return;
+  const uint64_t nbits = bits_.size() * 8;
+  // Double hashing: h1 + i*h2 (Kirsch–Mitzenmacher).
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < k_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(BytesView key) const {
+  if (k_ == 0 || bits_.empty()) return true;
+  const uint64_t nbits = bits_.size() * 8;
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < k_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Serialize(Bytes* out) const {
+  PutVarint32(out, static_cast<uint32_t>(k_));
+  out->append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+}
+
+}  // namespace kv
+}  // namespace muppet

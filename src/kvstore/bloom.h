@@ -1,0 +1,45 @@
+// Bloom filter over SSTable keys. Saves a device read for keys a table
+// cannot contain — important because Muppet's slate fetch path consults the
+// store on every cache miss (§4.2) and compaction can leave several tables.
+#ifndef MUPPET_KVSTORE_BLOOM_H_
+#define MUPPET_KVSTORE_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace muppet {
+namespace kv {
+
+class BloomFilter {
+ public:
+  // Build an empty filter sized for `expected_keys` at `bits_per_key`
+  // (10 bits/key ~ 1% false positives).
+  BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  // Reconstruct from serialized bytes (as produced by Serialize).
+  static BloomFilter Deserialize(BytesView data);
+
+  void Add(BytesView key);
+
+  // False means definitely absent; true means possibly present.
+  bool MayContain(BytesView key) const;
+
+  // Append the wire form (varint k, bit array) to *out.
+  void Serialize(Bytes* out) const;
+
+  size_t bit_count() const { return bits_.size() * 8; }
+  int num_hashes() const { return k_; }
+
+ private:
+  BloomFilter() = default;
+
+  int k_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace kv
+}  // namespace muppet
+
+#endif  // MUPPET_KVSTORE_BLOOM_H_

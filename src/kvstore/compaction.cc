@@ -1,0 +1,87 @@
+#include "kvstore/compaction.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace muppet {
+namespace kv {
+
+std::vector<std::vector<size_t>> PickSizeTieredCompactions(
+    const std::vector<uint64_t>& table_sizes, const CompactionPolicy& policy) {
+  std::vector<size_t> order(table_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return table_sizes[a] < table_sizes[b];
+  });
+
+  std::vector<std::vector<size_t>> groups;
+  std::vector<size_t> bucket;
+  uint64_t bucket_min = 0;
+
+  auto close_bucket = [&]() {
+    if (static_cast<int>(bucket.size()) >= policy.min_threshold) {
+      if (static_cast<int>(bucket.size()) > policy.max_threshold) {
+        bucket.resize(static_cast<size_t>(policy.max_threshold));
+      }
+      groups.push_back(bucket);
+    }
+    bucket.clear();
+  };
+
+  for (size_t idx : order) {
+    const uint64_t size = table_sizes[idx];
+    if (bucket.empty()) {
+      bucket.push_back(idx);
+      bucket_min = size;
+      continue;
+    }
+    // Tables bucket together while the largest stays within ratio of the
+    // smallest (sizes arrive ascending).
+    if (static_cast<double>(size) <=
+        static_cast<double>(std::max<uint64_t>(bucket_min, 1)) *
+            policy.bucket_ratio) {
+      bucket.push_back(idx);
+    } else {
+      close_bucket();
+      bucket.push_back(idx);
+      bucket_min = size;
+    }
+  }
+  close_bucket();
+  return groups;
+}
+
+std::vector<Record> MergeRecordStreams(std::vector<std::vector<Record>> inputs,
+                                       Timestamp now, bool drop_garbage) {
+  // Concatenate then sort by (key asc, seqno desc); first occurrence of a
+  // key is its newest version. Input sizes are bounded by the compaction
+  // policy, so an O(n log n) sort is simpler than a k-way heap and fast
+  // enough.
+  std::vector<Record> all;
+  size_t total = 0;
+  for (const auto& in : inputs) total += in.size();
+  all.reserve(total);
+  for (auto& in : inputs) {
+    std::move(in.begin(), in.end(), std::back_inserter(all));
+  }
+  std::sort(all.begin(), all.end(), [](const Record& a, const Record& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seqno > b.seqno;
+  });
+
+  std::vector<Record> out;
+  out.reserve(all.size());
+  bool have_last = false;
+  Bytes last_key;
+  for (Record& rec : all) {
+    if (have_last && rec.key == last_key) continue;  // shadowed version
+    have_last = true;
+    last_key = rec.key;
+    if (drop_garbage && (rec.tombstone || rec.ExpiredAt(now))) continue;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace kv
+}  // namespace muppet

@@ -1,0 +1,44 @@
+// Size-tiered compaction, Cassandra-style. The paper's §4.2 motivates it:
+// each flush of a hot row adds another file that reads must check, so the
+// store periodically merges similar-sized SSTables — and those compactions
+// compete with slate fetches for I/O capacity (which is why the authors ran
+// on SSDs). bench_kvstore (E11) reproduces both effects.
+#ifndef MUPPET_KVSTORE_COMPACTION_H_
+#define MUPPET_KVSTORE_COMPACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "kvstore/format.h"
+
+namespace muppet {
+namespace kv {
+
+struct CompactionPolicy {
+  // A size tier compacts once it holds at least this many tables.
+  int min_threshold = 4;
+  // Cap on tables merged at once (bounds compaction memory).
+  int max_threshold = 32;
+  // Two tables share a tier if their sizes are within this factor.
+  double bucket_ratio = 1.5;
+};
+
+// Given table sizes (index-aligned with the caller's table list), return
+// groups of table indices to merge, per the size-tiered policy. Groups are
+// disjoint; an empty result means no compaction is due.
+std::vector<std::vector<size_t>> PickSizeTieredCompactions(
+    const std::vector<uint64_t>& table_sizes, const CompactionPolicy& policy);
+
+// Merge multiple record streams (one per input table, each sorted by key)
+// into one sorted stream keeping only the newest version of each key.
+// If `drop_garbage` is true (merge covers the whole keyspace history),
+// tombstones and records expired at `now` are dropped entirely; otherwise
+// they are retained so they keep shadowing older tables.
+std::vector<Record> MergeRecordStreams(std::vector<std::vector<Record>> inputs,
+                                       Timestamp now, bool drop_garbage);
+
+}  // namespace kv
+}  // namespace muppet
+
+#endif  // MUPPET_KVSTORE_COMPACTION_H_

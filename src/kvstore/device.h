@@ -1,0 +1,100 @@
+// Storage-device latency model. The paper runs Cassandra on SSDs and
+// explains why (§4.2): cold-cache slate fetches need random-read capacity,
+// and compactions need I/O bandwidth concurrently. We reproduce that
+// trade-off (EXPERIMENTS.md E11) by charging each SSTable access a
+// profile-dependent latency against an injectable clock — a SimulatedClock
+// makes the comparison free of real sleeps, a SystemClock makes it tangible.
+#ifndef MUPPET_KVSTORE_DEVICE_H_
+#define MUPPET_KVSTORE_DEVICE_H_
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace muppet {
+namespace kv {
+
+struct DeviceProfile {
+  // Latency charged per random access (seek/queue).
+  Timestamp seek_micros = 0;
+  // Transfer cost per KiB moved.
+  double read_micros_per_kib = 0.0;
+  double write_micros_per_kib = 0.0;
+
+  // Instantaneous device (default for unit tests).
+  static DeviceProfile None() { return {}; }
+
+  // Commodity SATA SSD circa the paper: ~80us random read, ~400 MiB/s.
+  static DeviceProfile Ssd() {
+    return DeviceProfile{.seek_micros = 80,
+                         .read_micros_per_kib = 2.5,
+                         .write_micros_per_kib = 3.0};
+  }
+
+  // 7200rpm disk: ~8ms seek, ~120 MiB/s sequential.
+  static DeviceProfile Hdd() {
+    return DeviceProfile{.seek_micros = 8000,
+                         .read_micros_per_kib = 8.0,
+                         .write_micros_per_kib = 8.0};
+  }
+};
+
+// Charges latencies and keeps I/O accounting. Thread-safe.
+class DeviceModel {
+ public:
+  explicit DeviceModel(DeviceProfile profile = DeviceProfile::None(),
+                       Clock* clock = nullptr)
+      : profile_(profile),
+        clock_(clock != nullptr ? clock : SystemClock::Default()) {}
+
+  void OnRandomRead(size_t bytes) {
+    Charge(profile_.seek_micros +
+           static_cast<Timestamp>(profile_.read_micros_per_kib *
+                                  (static_cast<double>(bytes) / 1024.0)));
+    random_reads_.Add();
+    bytes_read_.Add(static_cast<int64_t>(bytes));
+  }
+
+  void OnSequentialRead(size_t bytes) {
+    Charge(static_cast<Timestamp>(profile_.read_micros_per_kib *
+                                  (static_cast<double>(bytes) / 1024.0)));
+    bytes_read_.Add(static_cast<int64_t>(bytes));
+  }
+
+  void OnSequentialWrite(size_t bytes) {
+    Charge(static_cast<Timestamp>(profile_.write_micros_per_kib *
+                                  (static_cast<double>(bytes) / 1024.0)));
+    writes_.Add();
+    bytes_written_.Add(static_cast<int64_t>(bytes));
+  }
+
+  int64_t random_reads() const { return random_reads_.Get(); }
+  int64_t writes() const { return writes_.Get(); }
+  int64_t bytes_read() const { return bytes_read_.Get(); }
+  int64_t bytes_written() const { return bytes_written_.Get(); }
+  // Total latency charged so far, in microseconds.
+  int64_t busy_micros() const { return busy_micros_.Get(); }
+
+  const DeviceProfile& profile() const { return profile_; }
+
+ private:
+  void Charge(Timestamp micros) {
+    if (micros <= 0) return;
+    busy_micros_.Add(micros);
+    clock_->SleepFor(micros);
+  }
+
+  DeviceProfile profile_;
+  Clock* clock_;
+  Counter random_reads_;
+  Counter writes_;
+  Counter bytes_read_;
+  Counter bytes_written_;
+  Counter busy_micros_;
+};
+
+}  // namespace kv
+}  // namespace muppet
+
+#endif  // MUPPET_KVSTORE_DEVICE_H_

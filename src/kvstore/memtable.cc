@@ -1,0 +1,70 @@
+#include "kvstore/memtable.h"
+
+namespace muppet {
+namespace kv {
+
+namespace {
+constexpr size_t kPerEntryOverhead = 64;  // map node + bookkeeping estimate
+}  // namespace
+
+void MemTable::Put(Record rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(rec.key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.key.size() + it->second.value.size();
+    bytes_ += rec.key.size() + rec.value.size();
+    it->second = std::move(rec);
+  } else {
+    bytes_ += rec.key.size() + rec.value.size() + kPerEntryOverhead;
+    Bytes key = rec.key;
+    entries_.emplace(std::move(key), std::move(rec));
+  }
+}
+
+bool MemTable::Get(BytesView key, Record* rec) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  *rec = it->second;
+  return true;
+}
+
+std::vector<Record> MemTable::Scan(BytesView prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Record> out;
+  for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix.data(), prefix.size()) !=
+        0) {
+      break;
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<Record> MemTable::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Record> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, rec] : entries_) out.push_back(rec);
+  return out;
+}
+
+size_t MemTable::entry_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+size_t MemTable::approximate_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+void MemTable::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace kv
+}  // namespace muppet

@@ -1,0 +1,61 @@
+// In-memory write buffer (Cassandra's "memory table", paper §4.2). The paper
+// leans on write buffering: "it is advantageous for us to delay flushing the
+// writes (i.e., the memory table) to disk as long as possible" — repeated
+// overwrites of a popular slate coalesce here and cost one device write at
+// flush time. bench_kvstore (E11) measures exactly that effect.
+#ifndef MUPPET_KVSTORE_MEMTABLE_H_
+#define MUPPET_KVSTORE_MEMTABLE_H_
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+#include "kvstore/format.h"
+
+namespace muppet {
+namespace kv {
+
+// Sorted, thread-safe buffer of the newest version per key. Overwrites
+// replace in place (coalescing); deletes are buffered as tombstones so they
+// shadow older SSTable versions until compaction drops them.
+class MemTable {
+ public:
+  MemTable() = default;
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Insert or overwrite. `rec.key` is the composite storage key.
+  void Put(Record rec);
+
+  // Lookup. Returns true and copies the record if the key is present
+  // (including as a tombstone — the caller interprets it). TTL expiry is
+  // the caller's concern: the memtable stores what it is given.
+  bool Get(BytesView key, Record* rec) const;
+
+  // All records with storage keys beginning with `prefix`, in key order.
+  std::vector<Record> Scan(BytesView prefix) const;
+
+  // All records in key order (for flush).
+  std::vector<Record> Snapshot() const;
+
+  size_t entry_count() const;
+  // Approximate heap footprint: keys + values + per-entry overhead.
+  size_t approximate_bytes() const;
+  bool empty() const { return entry_count() == 0; }
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  // Key is owned by the Record; the map key references... no: map key is its
+  // own copy. Memory is doubled for keys, acceptable for a write buffer.
+  std::map<Bytes, Record, std::less<>> entries_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace kv
+}  // namespace muppet
+
+#endif  // MUPPET_KVSTORE_MEMTABLE_H_

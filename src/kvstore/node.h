@@ -1,0 +1,173 @@
+// A single storage node: the unit that "runs the Cassandra program" in the
+// paper's store cluster (§4.2). A node hosts one shard per column family;
+// each shard is an LSM stack (WAL -> memtable -> SSTables with size-tiered
+// compaction) over a shared device model.
+#ifndef MUPPET_KVSTORE_NODE_H_
+#define MUPPET_KVSTORE_NODE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "kvstore/compaction.h"
+#include "kvstore/device.h"
+#include "kvstore/format.h"
+#include "kvstore/memtable.h"
+#include "kvstore/sstable.h"
+#include "kvstore/wal.h"
+
+namespace muppet {
+namespace kv {
+
+struct NodeOptions {
+  // Directory for this node's data (one subdirectory per column family).
+  std::string data_dir;
+  // Memtable flush threshold in bytes. The paper argues for large write
+  // buffers ("delay flushing the writes ... as long as possible").
+  size_t memtable_flush_bytes = 4u << 20;
+  // Write-ahead logging (off trades durability for write latency).
+  bool enable_wal = true;
+  // fsync every WAL append (Muppet prefers latency, so default off).
+  bool sync_wal = false;
+  // Storage device latency profile (SSD/HDD/None).
+  DeviceProfile device = DeviceProfile::None();
+  // Clock for TTL expiry and device latency. nullptr -> system clock.
+  Clock* clock = nullptr;
+  // Size-tiered compaction policy; compaction runs inline after flushes.
+  CompactionPolicy compaction;
+  // Disable automatic compaction (benchmarks that measure read amp).
+  bool auto_compact = true;
+  // SSTable data block size.
+  size_t block_bytes = kDefaultBlockBytes;
+};
+
+struct WriteOptions {
+  // Relative time-to-live; 0 = live forever. The store may garbage-collect
+  // the value after now + ttl (paper §4.2 "Flushing, Quorum, and
+  // Time-to-Live Parameters").
+  Timestamp ttl_micros = 0;
+  // Explicit write timestamp; 0 means the shard stamps its clock. The
+  // cluster coordinator stamps one timestamp per logical write so all
+  // replicas agree on version order.
+  Timestamp write_ts = 0;
+};
+
+// One column family on one node.
+class Shard {
+ public:
+  Shard(std::string dir, const NodeOptions& options, Clock* clock);
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Create the directory, replay the WAL, open existing SSTables.
+  Status Open();
+
+  Status Put(BytesView row, BytesView column, BytesView value,
+             const WriteOptions& opts);
+  Status Delete(BytesView row, BytesView column,
+                const WriteOptions& opts = {});
+
+  // Point read. NotFound covers absent, tombstoned, and TTL-expired keys.
+  Result<Record> Get(BytesView row, BytesView column);
+
+  // Point read of the newest stored version, *including* tombstones and
+  // expired records. The cluster coordinator needs these to reconcile
+  // replicas (a newer tombstone must beat an older live value).
+  Result<Record> GetRaw(BytesView row, BytesView column);
+
+  // All live columns of a row, in column order (bulk slate reads, §5).
+  Status ScanRow(BytesView row, std::vector<Record>* out);
+
+  // Every live record in the shard, in key order ("large-volume row reads
+  // from the durable key-value store itself", §5 Bulk Reading of Slates).
+  Status ScanAll(std::vector<Record>* out);
+
+  // Force the memtable to an SSTable regardless of size.
+  Status Flush();
+
+  // Merge everything into a single table, dropping tombstones and expired
+  // records.
+  Status CompactAll();
+
+  // Stats.
+  size_t memtable_bytes() const { return memtable_.approximate_bytes(); }
+  size_t sstable_count() const;
+  uint64_t flush_count() const { return flushes_.load(); }
+  uint64_t compaction_count() const { return compactions_.load(); }
+
+ private:
+  Status WriteRecord(Record rec);
+  Status GetFromTablesLocked(BytesView key, Record* out);
+  Status FlushLocked();  // requires tables_mutex_
+  Status MaybeCompactLocked();
+  Status CompactGroupLocked(const std::vector<size_t>& group,
+                            bool drop_garbage);
+  std::string NextTablePath();
+
+  const std::string dir_;
+  const NodeOptions& options_;
+  Clock* clock_;
+  DeviceModel* device_ = nullptr;  // owned by StorageNode, set via set_device
+  friend class StorageNode;
+
+  MemTable memtable_;
+  WalWriter wal_;
+  std::atomic<uint64_t> next_seqno_{1};
+  std::atomic<uint64_t> next_table_number_{1};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> compactions_{0};
+
+  // Newest-first list of open tables. Guarded for flush/compact vs read.
+  mutable std::mutex tables_mutex_;
+  std::vector<std::unique_ptr<SsTableReader>> tables_;
+};
+
+// A storage node hosting many column families.
+class StorageNode {
+ public:
+  explicit StorageNode(NodeOptions options);
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  // Create/open the data directory and any column families found in it.
+  Status Open();
+
+  // Get (create on demand) a column family shard.
+  Result<Shard*> GetColumnFamily(const std::string& name);
+
+  Status Put(const std::string& cf, BytesView row, BytesView column,
+             BytesView value, const WriteOptions& opts = {});
+  Status Delete(const std::string& cf, BytesView row, BytesView column);
+  Result<Record> Get(const std::string& cf, BytesView row, BytesView column);
+  Status ScanRow(const std::string& cf, BytesView row,
+                 std::vector<Record>* out);
+  Status ScanAll(const std::string& cf, std::vector<Record>* out);
+
+  // Flush all shards (shutdown path).
+  Status FlushAll();
+
+  DeviceModel& device() { return device_; }
+  const NodeOptions& options() const { return options_; }
+  std::vector<std::string> ColumnFamilies() const;
+
+ private:
+  NodeOptions options_;
+  Clock* clock_;
+  DeviceModel device_;
+
+  mutable std::mutex cf_mutex_;
+  std::map<std::string, std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace kv
+}  // namespace muppet
+
+#endif  // MUPPET_KVSTORE_NODE_H_

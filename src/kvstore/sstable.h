@@ -1,0 +1,105 @@
+// SSTable: immutable sorted table file produced by memtable flushes and
+// compactions (the Cassandra design the paper's §4.2 discussion rests on:
+// "the more times a row is flushed to disk by the store since its last file
+// compaction, the more files will have to be checked for the row").
+//
+// File layout:
+//   repeated data blocks:   [u32 len][records...][u32 crc]
+//   index block:            per data block: len-prefixed first_key,
+//                           varint64 file_offset, varint32 block_len
+//   bloom block:            serialized BloomFilter over all keys
+//   footer (56 bytes):      fixed64 index_off, index_len, bloom_off,
+//                           bloom_len, entry_count, max_seqno, magic
+#ifndef MUPPET_KVSTORE_SSTABLE_H_
+#define MUPPET_KVSTORE_SSTABLE_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "kvstore/bloom.h"
+#include "kvstore/device.h"
+#include "kvstore/format.h"
+
+namespace muppet {
+namespace kv {
+
+constexpr uint64_t kSstMagic = 0x4d55505053535431ULL;  // "MUPPSST1"
+constexpr size_t kDefaultBlockBytes = 4096;
+
+// Write `records` (must be sorted by key, unique keys) to a new SSTable at
+// `path`. Charges the device model for the sequential write.
+Status WriteSsTable(const std::string& path,
+                    const std::vector<Record>& records, DeviceModel* device,
+                    size_t block_bytes = kDefaultBlockBytes);
+
+// Read-only handle on an SSTable. Open() loads the index and bloom filter
+// into memory; Get/Scan read data blocks through the device model.
+// Thread-safe for concurrent reads.
+class SsTableReader {
+ public:
+  static Result<std::unique_ptr<SsTableReader>> Open(const std::string& path,
+                                                     DeviceModel* device);
+
+  ~SsTableReader();
+
+  SsTableReader(const SsTableReader&) = delete;
+  SsTableReader& operator=(const SsTableReader&) = delete;
+
+  // Point lookup. NotFound if absent (bloom filter short-circuits most
+  // true negatives without touching the device).
+  Status Get(BytesView key, Record* rec);
+
+  // Append all records whose key starts with `prefix` to *out, in key order.
+  Status Scan(BytesView prefix, std::vector<Record>* out);
+
+  // Sequentially decode the entire table (compaction input).
+  Status ReadAll(std::vector<Record>* out);
+
+  const std::string& path() const { return path_; }
+  uint64_t entry_count() const { return entry_count_; }
+  uint64_t max_seqno() const { return max_seqno_; }
+  uint64_t file_size() const { return file_size_; }
+  const Bytes& smallest_key() const { return smallest_key_; }
+  const Bytes& largest_key() const { return largest_key_; }
+
+ private:
+  struct IndexEntry {
+    Bytes first_key;
+    uint64_t offset;
+    uint32_t length;  // full framed block length
+  };
+
+  SsTableReader(std::string path, DeviceModel* device)
+      : path_(std::move(path)), device_(device) {}
+
+  Status Load();
+
+  // Read and verify the framed block at index position `i`; decode records
+  // into *out. `random` selects the device charge model.
+  Status ReadBlock(size_t i, bool random, std::vector<Record>* out);
+
+  Status ReadRange(uint64_t offset, size_t length, Bytes* out);
+
+  std::string path_;
+  DeviceModel* device_;
+  std::FILE* file_ = nullptr;
+  std::mutex file_mutex_;
+
+  std::vector<IndexEntry> index_;
+  BloomFilter bloom_{0};
+  uint64_t entry_count_ = 0;
+  uint64_t max_seqno_ = 0;
+  uint64_t file_size_ = 0;
+  Bytes smallest_key_;
+  Bytes largest_key_;
+};
+
+}  // namespace kv
+}  // namespace muppet
+
+#endif  // MUPPET_KVSTORE_SSTABLE_H_

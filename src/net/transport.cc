@@ -1,0 +1,100 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+namespace muppet {
+
+Transport::Transport(TransportOptions options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : SystemClock::Default()),
+      rng_(options.seed) {}
+
+Status Transport::RegisterMachine(MachineId id, Handler handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("transport: null handler");
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = machines_.try_emplace(id);
+  if (!inserted) {
+    return Status::AlreadyExists("transport: machine " + std::to_string(id) +
+                                 " already registered");
+  }
+  it->second.handler = std::move(handler);
+  it->second.up = true;
+  return Status::OK();
+}
+
+void Transport::UnregisterMachine(MachineId id) {
+  std::unique_lock lock(mutex_);
+  machines_.erase(id);
+}
+
+Status Transport::Send(MachineId from, MachineId to, BytesView payload) {
+  Handler handler;
+  {
+    std::shared_lock lock(mutex_);
+    auto it = machines_.find(to);
+    if (it == machines_.end() || !it->second.up) {
+      messages_dropped_.Add();
+      return Status::Unavailable("transport: machine " + std::to_string(to) +
+                                 " unreachable");
+    }
+    handler = it->second.handler;
+  }
+
+  const bool local = (from == to);
+  if (!local) {
+    if (options_.loss_probability > 0.0) {
+      bool drop;
+      {
+        std::lock_guard<std::mutex> lock(rng_mutex_);
+        drop = rng_.Chance(options_.loss_probability);
+      }
+      if (drop) {
+        messages_dropped_.Add();
+        return Status::Unavailable("transport: message lost");
+      }
+    }
+    if (options_.hop_latency_micros > 0) {
+      clock_->SleepFor(options_.hop_latency_micros);
+    }
+  }
+
+  messages_sent_.Add();
+  bytes_sent_.Add(static_cast<int64_t>(payload.size()));
+  Status s = handler(from, payload);
+  if (s.IsResourceExhausted()) {
+    messages_declined_.Add();
+  }
+  return s;
+}
+
+void Transport::Crash(MachineId id) {
+  std::unique_lock lock(mutex_);
+  auto it = machines_.find(id);
+  if (it != machines_.end()) it->second.up = false;
+}
+
+void Transport::Restore(MachineId id) {
+  std::unique_lock lock(mutex_);
+  auto it = machines_.find(id);
+  if (it != machines_.end()) it->second.up = true;
+}
+
+bool Transport::IsUp(MachineId id) const {
+  std::shared_lock lock(mutex_);
+  auto it = machines_.find(id);
+  return it != machines_.end() && it->second.up;
+}
+
+std::vector<MachineId> Transport::Machines() const {
+  std::shared_lock lock(mutex_);
+  std::vector<MachineId> out;
+  out.reserve(machines_.size());
+  for (const auto& [id, state] : machines_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace muppet

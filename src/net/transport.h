@@ -1,0 +1,123 @@
+// Simulated cluster transport.
+//
+// The paper runs Muppet on "a cluster of commodity machines ... linked by
+// inexpensive gigabit Ethernet" (§6). This repo substitutes an in-process
+// simulation (see DESIGN.md §5): each logical machine registers a delivery
+// handler, and Send() routes a serialized payload to the destination
+// machine's handler, applying a configurable per-hop latency and failure
+// model. Everything the paper's control plane needs is preserved:
+//
+//  * peer-to-peer sends with no master on the data path (§4.1);
+//  * a send to a crashed machine fails, which is how workers *detect*
+//    failures ("If A cannot contact B, then it assumes the machine hosting
+//    B has failed", §4.3);
+//  * the receiver may decline a message (queue full), which triggers the
+//    sender's queue-overflow mechanism (§4.3).
+#ifndef MUPPET_NET_TRANSPORT_H_
+#define MUPPET_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace muppet {
+
+using MachineId = int32_t;
+constexpr MachineId kInvalidMachine = -1;
+
+struct TransportOptions {
+  // One-way delivery latency applied to every cross-machine send, in
+  // microseconds. 0 disables the delay (throughput benchmarks). With a
+  // SimulatedClock this advances logical time; with the system clock it
+  // sleeps.
+  Timestamp hop_latency_micros = 0;
+  // Probability in [0,1] that a send to a healthy machine is dropped
+  // (models transient packet/connection loss; the sender sees Unavailable).
+  double loss_probability = 0.0;
+  // Clock used for latency simulation. nullptr -> SystemClock::Default().
+  Clock* clock = nullptr;
+  // Seed for the loss model.
+  uint64_t seed = 1;
+};
+
+// Thread-safe message fabric between simulated machines.
+class Transport {
+ public:
+  // Handler invoked on the *caller's* thread when a payload arrives for the
+  // machine. Return OK to accept; ResourceExhausted to decline (queue full);
+  // any other error is reported to the sender verbatim.
+  using Handler = std::function<Status(MachineId from, BytesView payload)>;
+
+  explicit Transport(TransportOptions options = {});
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // Register a machine and its delivery handler. Fails with AlreadyExists
+  // if the id is taken.
+  Status RegisterMachine(MachineId id, Handler handler);
+
+  // Remove a machine entirely (shutdown, not crash).
+  void UnregisterMachine(MachineId id);
+
+  // Deliver `payload` to machine `to`. Local sends (from == to) bypass the
+  // latency/loss model — Muppet 2.0 passes events between threads of one
+  // machine without any network hop (§4.5).
+  // Errors: Unavailable (crashed/unknown/dropped), ResourceExhausted
+  // (receiver declined), or whatever the handler returned.
+  Status Send(MachineId from, MachineId to, BytesView payload);
+
+  // Crash a machine: subsequent sends to it fail with Unavailable. The
+  // handler is retained so the machine can be restored (tests of recovery).
+  void Crash(MachineId id);
+
+  // Bring a crashed machine back.
+  void Restore(MachineId id);
+
+  bool IsUp(MachineId id) const;
+
+  // All currently registered machine ids (up or crashed), sorted.
+  std::vector<MachineId> Machines() const;
+
+  // Fabric-wide delivery stats.
+  int64_t messages_sent() const { return messages_sent_.Get(); }
+  int64_t messages_dropped() const { return messages_dropped_.Get(); }
+  int64_t messages_declined() const { return messages_declined_.Get(); }
+  int64_t bytes_sent() const { return bytes_sent_.Get(); }
+
+  const TransportOptions& options() const { return options_; }
+
+ private:
+  struct MachineState {
+    Handler handler;
+    bool up = true;
+  };
+
+  TransportOptions options_;
+  Clock* clock_;
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<MachineId, MachineState> machines_;
+
+  std::mutex rng_mutex_;
+  Rng rng_;
+
+  Counter messages_sent_;
+  Counter messages_dropped_;
+  Counter messages_declined_;
+  Counter bytes_sent_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_NET_TRANSPORT_H_

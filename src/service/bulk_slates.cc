@@ -1,0 +1,143 @@
+#include "service/bulk_slates.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/compress.h"
+#include "common/hash.h"
+#include "kvstore/format.h"
+
+namespace muppet {
+
+BulkSlateReader::BulkSlateReader(SlateStore* store) : store_(store) {}
+
+Status BulkSlateReader::DumpAll(
+    std::vector<std::pair<SlateId, Bytes>>* slates) {
+  std::vector<kv::Record> records;
+  MUPPET_RETURN_IF_ERROR(store_->cluster()->ScanAll(
+      store_->options().column_family, &records));
+  for (kv::Record& rec : records) {
+    Bytes row, column;
+    if (!kv::DecodeStorageKey(rec.key, &row, &column)) {
+      return Status::Corruption("bulk: undecodable storage key");
+    }
+    Bytes plain;
+    if (store_->options().compress) {
+      Result<Bytes> decompressed = Decompress(rec.value);
+      if (!decompressed.ok()) return decompressed.status();
+      plain = std::move(decompressed).value();
+    } else {
+      plain = std::move(rec.value);
+    }
+    slates->emplace_back(SlateId{std::string(column), std::move(row)},
+                         std::move(plain));
+  }
+  return Status::OK();
+}
+
+Status BulkSlateReader::DumpUpdater(
+    const std::string& updater,
+    std::vector<std::pair<Bytes, Bytes>>* key_slates) {
+  std::vector<std::pair<SlateId, Bytes>> all;
+  MUPPET_RETURN_IF_ERROR(DumpAll(&all));
+  for (auto& [id, slate] : all) {
+    if (id.updater == updater) {
+      key_slates->emplace_back(std::move(id.key), std::move(slate));
+    }
+  }
+  return Status::OK();
+}
+
+Status BulkSlateReader::ForEach(
+    const std::string& updater,
+    const std::function<void(BytesView key, BytesView slate)>& fn) {
+  std::vector<std::pair<Bytes, Bytes>> key_slates;
+  MUPPET_RETURN_IF_ERROR(DumpUpdater(updater, &key_slates));
+  for (const auto& [key, slate] : key_slates) fn(key, slate);
+  return Status::OK();
+}
+
+SlateLogger::~SlateLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SlateLogger::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("slate logger: already open");
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("slate logger: open " + path + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SlateLogger::Append(BytesView key, BytesView payload) {
+  Bytes record;
+  PutLengthPrefixed(&record, key);
+  PutLengthPrefixed(&record, payload);
+  Bytes frame;
+  PutFixed32(&frame, Crc32(record));
+  PutFixed32(&frame, static_cast<uint32_t>(record.size()));
+  frame.append(record);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("slate logger: not open");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("slate logger: short write");
+  }
+  ++records_written_;
+  return Status::OK();
+}
+
+Status SlateLogger::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("slate logger: flush failed");
+  }
+  return Status::OK();
+}
+
+Status SlateLogger::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("slate logger: close failed");
+  return Status::OK();
+}
+
+Status SlateLogger::ReadLog(const std::string& path,
+                            std::vector<std::pair<Bytes, Bytes>>* records) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no log yet
+  Bytes header(8, '\0');
+  Bytes payload;
+  while (true) {
+    const size_t got = std::fread(header.data(), 1, 8, f);
+    if (got < 8) break;
+    const uint32_t crc = DecodeFixed32(header.data());
+    const uint32_t len = DecodeFixed32(header.data() + 4);
+    if (len > (64u << 20)) break;
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, f) != len) break;
+    if (Crc32(payload) != crc) break;
+    const char* p = payload.data();
+    const char* limit = p + payload.size();
+    BytesView key, value;
+    if (!GetLengthPrefixed(&p, limit, &key) ||
+        !GetLengthPrefixed(&p, limit, &value)) {
+      break;
+    }
+    records->emplace_back(Bytes(key), Bytes(value));
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace muppet

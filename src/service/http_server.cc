@@ -1,0 +1,235 @@
+#include "service/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace muppet {
+
+std::string UrlEncode(std::string_view s) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string UrlDecode(std::string_view s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+HttpServer::~HttpServer() { (void)Stop(); }
+
+void HttpServer::RegisterHandler(const std::string& prefix, Handler handler) {
+  handlers_[prefix] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) {
+  if (running_.load()) return Status::FailedPrecondition("http: running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("http: socket() failed");
+  int opt = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("http: bind failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("http: listen failed");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+Status HttpServer::Stop() {
+  if (!running_.exchange(false)) return Status::OK();
+  // Closing the listen socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    // Reap finished threads opportunistically to bound the vector.
+    if (workers_.size() > 64) {
+      for (std::thread& t : workers_) {
+        if (t.joinable()) t.join();
+      }
+      workers_.clear();
+    }
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+HttpResponse HttpServer::Route(const HttpRequest& request) const {
+  const Handler* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, handler] : handlers_) {
+    if (request.path.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() >= best_len) {
+      best = &handler;
+      best_len = prefix.size();
+    }
+  }
+  if (best == nullptr) {
+    return HttpResponse{404, "text/plain", "not found\n"};
+  }
+  return (*best)(request);
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the end of headers (or 64KB cap).
+  std::string buffer;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (buffer.size() < (64u << 10)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+  }
+  if (header_end == std::string::npos) {
+    ::close(fd);
+    return;
+  }
+
+  HttpRequest request;
+  {
+    std::istringstream headers(buffer.substr(0, header_end));
+    std::string line;
+    std::getline(headers, line);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream request_line(line);
+    std::string target, version;
+    request_line >> request.method >> target >> version;
+    const size_t q = target.find('?');
+    if (q != std::string::npos) {
+      request.query = target.substr(q + 1);
+      target.resize(q);
+    }
+    // Keep the path raw (percent-encoded): handlers decode per segment so
+    // encoded '/' in slate keys survives routing.
+    request.path = target;
+    while (std::getline(headers, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = line.substr(0, colon);
+      for (char& c : name) c = static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(c)));
+      size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      request.headers[name] = line.substr(vstart);
+    }
+  }
+
+  // Body (Content-Length only).
+  size_t content_length = 0;
+  auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    content_length = static_cast<size_t>(std::strtoull(
+        it->second.c_str(), nullptr, 10));
+  }
+  request.body = buffer.substr(header_end + 4);
+  while (request.body.size() < content_length &&
+         request.body.size() < (16u << 20)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    request.body.append(chunk, static_cast<size_t>(n));
+  }
+
+  const HttpResponse response = Route(request);
+
+  std::ostringstream out;
+  const char* reason = response.status == 200   ? "OK"
+                       : response.status == 404 ? "Not Found"
+                       : response.status == 400 ? "Bad Request"
+                                                : "Error";
+  out << "HTTP/1.0 " << response.status << " " << reason << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  const std::string payload = out.str();
+  size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace muppet

@@ -1,0 +1,78 @@
+// Minimal HTTP/1.0 server over POSIX sockets. The paper's Muppet "provides
+// a small HTTP server on each node for slate fetches" (§4.4) plus "basic
+// status information" (§4.5); SlateService mounts those endpoints here.
+// One accept thread, one short-lived thread per connection, close after
+// each response — enough for live slate queries, not a general web server.
+#ifndef MUPPET_SERVICE_HTTP_SERVER_H_
+#define MUPPET_SERVICE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace muppet {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // decoded path, e.g. "/slate/U1/Walmart"
+  std::string query;   // raw query string (after '?'), may be empty
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// Percent-encoding helpers for path segments (slate keys are arbitrary
+// bytes).
+std::string UrlEncode(std::string_view s);
+std::string UrlDecode(std::string_view s);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Route requests whose path starts with `prefix` to `handler`; the
+  // longest matching prefix wins. Register before Start().
+  void RegisterHandler(const std::string& prefix, Handler handler);
+
+  // Bind 127.0.0.1:`port` (0 = ephemeral) and start serving.
+  Status Start(int port = 0);
+
+  // The bound port (valid after Start()).
+  int port() const { return port_; }
+
+  Status Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  HttpResponse Route(const HttpRequest& request) const;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::map<std::string, Handler> handlers_;  // by prefix
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_SERVICE_HTTP_SERVER_H_

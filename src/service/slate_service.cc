@@ -1,0 +1,70 @@
+#include "service/slate_service.h"
+
+#include "json/json.h"
+
+namespace muppet {
+
+SlateService::SlateService(Engine* engine) : engine_(engine) {}
+
+std::string SlateService::SlateUri(const std::string& updater,
+                                   BytesView key) {
+  return "/slate/" + UrlEncode(updater) + "/" + UrlEncode(key);
+}
+
+HttpResponse SlateService::Fetch(const std::string& path) const {
+  // Expect "/slate/<updater>/<key>". The path arrives already URL-decoded
+  // for in-process calls via HttpServer; decode defensively otherwise.
+  const std::string prefix = "/slate/";
+  if (path.compare(0, prefix.size(), prefix) != 0) {
+    return HttpResponse{400, "text/plain", "expected /slate/<updater>/<key>\n"};
+  }
+  const size_t sep = path.find('/', prefix.size());
+  if (sep == std::string::npos || sep + 1 > path.size()) {
+    return HttpResponse{400, "text/plain", "expected /slate/<updater>/<key>\n"};
+  }
+  const std::string updater =
+      UrlDecode(path.substr(prefix.size(), sep - prefix.size()));
+  const std::string key = UrlDecode(path.substr(sep + 1));
+
+  Result<Bytes> slate = engine_->FetchSlate(updater, key);
+  if (!slate.ok()) {
+    if (slate.status().IsNotFound()) {
+      return HttpResponse{404, "text/plain", "no such slate\n"};
+    }
+    return HttpResponse{500, "text/plain", slate.status().ToString() + "\n"};
+  }
+  return HttpResponse{200, "application/octet-stream",
+                      std::move(slate).value()};
+}
+
+HttpResponse SlateService::StatusPage() const {
+  const EngineStats stats = engine_->Stats();
+  Json j = Json::MakeObject();
+  j["events_published"] = stats.events_published;
+  j["events_processed"] = stats.events_processed;
+  j["events_emitted"] = stats.events_emitted;
+  j["events_lost_failure"] = stats.events_lost_failure;
+  j["events_dropped_overflow"] = stats.events_dropped_overflow;
+  j["events_redirected_overflow"] = stats.events_redirected_overflow;
+  j["slate_cache_hits"] = stats.slate_cache_hits;
+  j["slate_cache_misses"] = stats.slate_cache_misses;
+  j["slate_cache_evictions"] = stats.slate_cache_evictions;
+  j["slate_store_reads"] = stats.slate_store_reads;
+  j["slate_store_writes"] = stats.slate_store_writes;
+  j["failures_detected"] = stats.failures_detected;
+  j["latency_p50_us"] = stats.latency_p50_us;
+  j["latency_p99_us"] = stats.latency_p99_us;
+  return HttpResponse{200, "application/json", j.Dump() + "\n"};
+}
+
+void SlateService::AttachTo(HttpServer* server) {
+  server->RegisterHandler("/slate/",
+                          [this](const HttpRequest& request) {
+                            return Fetch(request.path);
+                          });
+  server->RegisterHandler("/status", [this](const HttpRequest&) {
+    return StatusPage();
+  });
+}
+
+}  // namespace muppet

@@ -1,0 +1,44 @@
+// Live slate reads (paper §4.4): "The URI of a slate fetch includes the
+// name of the updater and the key of the slate ... The fetch retrieves the
+// slate from Muppet's slate cache (on the appropriate machine, forwarding
+// the request internally if necessary) rather than from the durable
+// key-value store to ensure an up-to-date reply."
+//
+// SlateService answers those URIs against a running Engine (whose
+// FetchSlate implements the cache-first forwarding), and serves the
+// §4.5 status endpoint. It can be used in-process or mounted on an
+// HttpServer.
+#ifndef MUPPET_SERVICE_SLATE_SERVICE_H_
+#define MUPPET_SERVICE_SLATE_SERVICE_H_
+
+#include <string>
+
+#include "engine/engine.h"
+#include "service/http_server.h"
+
+namespace muppet {
+
+class SlateService {
+ public:
+  explicit SlateService(Engine* engine);
+
+  // In-process fetch by URI path: "/slate/<updater>/<url-encoded key>".
+  HttpResponse Fetch(const std::string& path) const;
+
+  // Status summary ("/status"): engine counters as JSON.
+  HttpResponse StatusPage() const;
+
+  // Mount "/slate/" and "/status" on `server` (register before Start()).
+  void AttachTo(HttpServer* server);
+
+  // Canonical URI for a slate.
+  static std::string SlateUri(const std::string& updater,
+                              BytesView key);
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_SERVICE_SLATE_SERVICE_H_

@@ -1,0 +1,88 @@
+#include "workload/checkins.h"
+
+#include <algorithm>
+
+namespace muppet {
+namespace workload {
+
+const std::vector<std::string>& RetailerNames() {
+  static const std::vector<std::string>* kNames =
+      new std::vector<std::string>{"Walmart", "Sam's Club", "Best Buy",
+                                   "JCPenney", "Target"};
+  return *kNames;
+}
+
+namespace {
+
+// Free-text venue spellings per retailer, to exercise the mapper's
+// pattern matching (the Appendix A mapper matches "(?i)\s*wal.*mart.*").
+std::string VenueSpelling(const std::string& retailer, Rng& rng) {
+  const uint64_t variant = rng.Uniform(3);
+  if (retailer == "Walmart") {
+    const char* v[] = {"Walmart Supercenter #31", "WAL-MART", "wal mart"};
+    return v[variant];
+  }
+  if (retailer == "Sam's Club") {
+    const char* v[] = {"Sam's Club", "SAMS CLUB #12", "sam s club"};
+    return v[variant];
+  }
+  if (retailer == "Best Buy") {
+    const char* v[] = {"Best Buy", "BEST BUY Store 101", "best buy mobile"};
+    return v[variant];
+  }
+  if (retailer == "JCPenney") {
+    const char* v[] = {"JCPenney", "JC Penney", "jcpenney outlet"};
+    return v[variant];
+  }
+  const char* v[] = {"Target", "Target Store T-204", "SuperTarget"};
+  return v[variant];
+}
+
+}  // namespace
+
+CheckinGenerator::CheckinGenerator(CheckinOptions options,
+                                   Timestamp start_ts)
+    : options_(options),
+      users_(options.num_users, /*skew=*/0.8),
+      venues_(options.num_venues, options.venue_skew),
+      rng_(options.seed),
+      ts_(start_ts),
+      step_(std::max<Timestamp>(
+          1, static_cast<Timestamp>(
+                 static_cast<double>(kMicrosPerSecond) /
+                 std::max(1.0, options.events_per_second)))) {}
+
+Checkin CheckinGenerator::Next() {
+  Checkin checkin;
+  ts_ += step_;
+  checkin.ts = ts_;
+  checkin.user = "u" + std::to_string(users_.Sample(rng_));
+
+  Json j = Json::MakeObject();
+  j["user"] = std::string(checkin.user);
+  j["ts"] = checkin.ts;
+
+  std::string venue_name;
+  if (rng_.Chance(options_.retailer_fraction)) {
+    const auto& retailers = RetailerNames();
+    size_t idx;
+    if (options_.hot_retailer >= 0 &&
+        static_cast<size_t>(options_.hot_retailer) < retailers.size() &&
+        rng_.Chance(options_.hot_fraction)) {
+      idx = static_cast<size_t>(options_.hot_retailer);
+    } else {
+      idx = rng_.Uniform(retailers.size());
+    }
+    checkin.retailer = retailers[idx];
+    venue_name = VenueSpelling(checkin.retailer, rng_);
+  } else {
+    venue_name = "Venue " + std::to_string(venues_.Sample(rng_));
+  }
+  j["venue"] = venue_name;
+  j["venue_id"] = static_cast<int64_t>(venues_.Sample(rng_));
+  checkin.json = j.Dump();
+  return checkin;
+}
+
+}  // namespace workload
+}  // namespace muppet

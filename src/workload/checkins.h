@@ -1,0 +1,66 @@
+// Synthetic Foursquare checkin stream (paper §2 Example 1, §5: "1.5
+// million checkins per day"). Venues mix recognizable retailers (the
+// paper's JCPenney / Best Buy / Walmart / Sam's Club examples) with
+// non-retail venues; venue popularity is Zipf-skewed; values are JSON
+// checkin objects whose free-text venue names exercise the
+// RetailerMapper's pattern matching (Appendix A).
+#ifndef MUPPET_WORKLOAD_CHECKINS_H_
+#define MUPPET_WORKLOAD_CHECKINS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace workload {
+
+struct CheckinOptions {
+  uint64_t num_users = 5000;
+  uint64_t num_venues = 2000;
+  double venue_skew = 1.0;
+  // Fraction of checkins that land at a recognizable retailer.
+  double retailer_fraction = 0.3;
+  double events_per_second = 1000.0;
+  // If >= 0: index into RetailerNames() that receives `hot_fraction` of
+  // all retailer checkins (the Example 6 "everyone is at Best Buy" load).
+  int hot_retailer = -1;
+  double hot_fraction = 0.9;
+  uint64_t seed = 11;
+};
+
+struct Checkin {
+  Bytes user;        // key: user id
+  Bytes json;        // value: checkin JSON
+  Timestamp ts = 0;
+  std::string retailer;  // canonical retailer name, empty if none
+};
+
+// The canonical retailer names the example mapper recognizes.
+const std::vector<std::string>& RetailerNames();
+
+class CheckinGenerator {
+ public:
+  explicit CheckinGenerator(CheckinOptions options, Timestamp start_ts = 0);
+
+  Checkin Next();
+
+  Timestamp current_ts() const { return ts_; }
+  const CheckinOptions& options() const { return options_; }
+
+ private:
+  CheckinOptions options_;
+  ZipfSampler users_;
+  ZipfSampler venues_;
+  Rng rng_;
+  Timestamp ts_;
+  Timestamp step_;
+};
+
+}  // namespace workload
+}  // namespace muppet
+
+#endif  // MUPPET_WORKLOAD_CHECKINS_H_

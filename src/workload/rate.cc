@@ -1,0 +1,29 @@
+#include "workload/rate.h"
+
+#include <algorithm>
+
+namespace muppet {
+namespace workload {
+
+RateController::RateController(double events_per_second, Clock* clock)
+    : events_per_second_(std::max(1e-6, events_per_second)),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      start_(clock_->Now()) {}
+
+void RateController::Pace() {
+  ++count_;
+  const Timestamp due =
+      start_ + static_cast<Timestamp>(static_cast<double>(count_) *
+                                      static_cast<double>(kMicrosPerSecond) /
+                                      events_per_second_);
+  const Timestamp now = clock_->Now();
+  if (due > now) clock_->SleepFor(due - now);
+}
+
+void RateController::Reset() {
+  start_ = clock_->Now();
+  count_ = 0;
+}
+
+}  // namespace workload
+}  // namespace muppet

@@ -1,0 +1,38 @@
+// Rate control for sources. Drives an engine at a target offered load —
+// the latency experiments (E4) sweep offered load to find the saturation
+// knee, and E10 deliberately over-drives the engine to trigger overflow.
+#ifndef MUPPET_WORKLOAD_RATE_H_
+#define MUPPET_WORKLOAD_RATE_H_
+
+#include "common/clock.h"
+
+namespace muppet {
+namespace workload {
+
+// Paces a loop to `events_per_second` against a clock using a token-bucket
+// style schedule (sleeps only when ahead of schedule, so a slow consumer
+// is never slowed further).
+class RateController {
+ public:
+  RateController(double events_per_second, Clock* clock = nullptr);
+
+  // Block until the next event is due. Call once per event.
+  void Pace();
+
+  // Events issued so far.
+  int64_t count() const { return count_; }
+
+  // Reset the schedule baseline to "now" (after a pause).
+  void Reset();
+
+ private:
+  double events_per_second_;
+  Clock* clock_;
+  Timestamp start_;
+  int64_t count_ = 0;
+};
+
+}  // namespace workload
+}  // namespace muppet
+
+#endif  // MUPPET_WORKLOAD_RATE_H_

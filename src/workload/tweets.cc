@@ -1,0 +1,84 @@
+#include "workload/tweets.h"
+
+#include <algorithm>
+
+namespace muppet {
+namespace workload {
+
+TweetGenerator::TweetGenerator(TweetOptions options, Timestamp start_ts)
+    : options_(options),
+      users_(options.num_users, options.user_skew),
+      topics_(static_cast<uint64_t>(std::max(1, options.num_topics)),
+              options.topic_skew),
+      urls_(options.num_urls, options.url_skew),
+      rng_(options.seed),
+      ts_(start_ts),
+      step_(std::max<Timestamp>(
+          1, static_cast<Timestamp>(
+                 static_cast<double>(kMicrosPerSecond) /
+                 std::max(1.0, options.events_per_second)))) {}
+
+std::string TweetGenerator::TopicName(int topic) {
+  return "topic" + std::to_string(topic);
+}
+
+Tweet TweetGenerator::Next() {
+  Tweet tweet;
+  ts_ += step_;
+  tweet.ts = ts_;
+  const uint64_t user_rank = users_.Sample(rng_);
+  tweet.user = "u" + std::to_string(user_rank);
+
+  Json j = Json::MakeObject();
+  j["user"] = std::string(tweet.user);
+  j["ts"] = tweet.ts;
+
+  // Topic mentions.
+  const bool in_burst = options_.burst_topic >= 0 &&
+                        tweet.ts >= options_.burst_start &&
+                        tweet.ts < options_.burst_end;
+  double topic_p = options_.topic_probability;
+  if (rng_.Chance(topic_p)) {
+    const int n_topics = 1 + (rng_.Chance(0.3) ? 1 : 0);
+    for (int i = 0; i < n_topics; ++i) {
+      int topic = static_cast<int>(topics_.Sample(rng_));
+      tweet.topics.push_back(topic);
+    }
+  }
+  // During a burst the hot topic piles on extra mentions.
+  if (in_burst &&
+      rng_.Chance(std::min(1.0, topic_p * options_.burst_multiplier / 4.0))) {
+    tweet.topics.push_back(options_.burst_topic);
+  }
+  std::sort(tweet.topics.begin(), tweet.topics.end());
+  tweet.topics.erase(std::unique(tweet.topics.begin(), tweet.topics.end()),
+                     tweet.topics.end());
+  Json topic_array = Json::MakeArray();
+  for (int topic : tweet.topics) topic_array.Append(TopicName(topic));
+  j["topics"] = std::move(topic_array);
+
+  // Retweets / replies reference another (typically popular) user.
+  const double roll = rng_.NextDouble();
+  if (roll < options_.retweet_probability) {
+    tweet.is_retweet = true;
+    tweet.target_user = "u" + std::to_string(users_.Sample(rng_));
+    j["retweet_of"] = std::string(tweet.target_user);
+  } else if (roll <
+             options_.retweet_probability + options_.reply_probability) {
+    tweet.is_reply = true;
+    tweet.target_user = "u" + std::to_string(users_.Sample(rng_));
+    j["reply_to"] = std::string(tweet.target_user);
+  }
+
+  if (rng_.Chance(options_.url_probability)) {
+    tweet.url = "http://ex.am/p" + std::to_string(urls_.Sample(rng_));
+    j["url"] = std::string(tweet.url);
+  }
+
+  j["text"] = "synthetic tweet #" + std::to_string(rng_.Next() % 100000);
+  tweet.json = j.Dump();
+  return tweet;
+}
+
+}  // namespace workload
+}  // namespace muppet

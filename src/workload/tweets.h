@@ -1,0 +1,85 @@
+// Synthetic Twitter Firehose. Stands in for the stream the paper's
+// production deployment consumed ("over 100 million tweets ... per day",
+// §5): Zipf-skewed users, a fixed topic vocabulary with per-tweet topic
+// mentions, retweets/replies referencing other users (for the reputation
+// application of Example 3), and timestamps advancing at a configurable
+// event rate. Values are JSON objects, like real tweets.
+#ifndef MUPPET_WORKLOAD_TWEETS_H_
+#define MUPPET_WORKLOAD_TWEETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "json/json.h"
+
+namespace muppet {
+namespace workload {
+
+struct TweetOptions {
+  uint64_t num_users = 10000;
+  double user_skew = 1.0;  // Zipf skew of tweet authorship
+  // Topic vocabulary size; each tweet mentions 0-2 topics.
+  int num_topics = 20;
+  double topic_skew = 0.8;
+  double retweet_probability = 0.2;
+  double reply_probability = 0.1;
+  // Probability that a tweet mentions at least one topic.
+  double topic_probability = 0.7;
+  // Probability that a tweet carries a URL (for the top-URLs application),
+  // and the URL popularity model.
+  double url_probability = 0.3;
+  uint64_t num_urls = 500;
+  double url_skew = 1.1;
+  // Simulated event spacing: events per second of stream time.
+  double events_per_second = 1000.0;
+  // A "burst topic": between burst_start and burst_end (stream time),
+  // this topic's mention probability is multiplied (hot-topic detection
+  // needs an actual hot topic).
+  int burst_topic = -1;  // -1 = no burst
+  Timestamp burst_start = 0;
+  Timestamp burst_end = 0;
+  double burst_multiplier = 10.0;
+  uint64_t seed = 7;
+};
+
+struct Tweet {
+  Bytes user;           // key: user id ("u<rank>")
+  Bytes json;           // value: the tweet JSON blob
+  Timestamp ts = 0;     // stream timestamp
+  std::vector<int> topics;
+  Bytes url;            // shared URL; empty if none
+  Bytes target_user;    // retweeted/replied-to user; empty if none
+  bool is_retweet = false;
+  bool is_reply = false;
+};
+
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(TweetOptions options, Timestamp start_ts = 0);
+
+  // Produce the next tweet; timestamps increase by 1/events_per_second.
+  Tweet Next();
+
+  // Topic name for an id ("topic<i>").
+  static std::string TopicName(int topic);
+
+  Timestamp current_ts() const { return ts_; }
+  const TweetOptions& options() const { return options_; }
+
+ private:
+  TweetOptions options_;
+  ZipfSampler users_;
+  ZipfSampler topics_;
+  ZipfSampler urls_;
+  Rng rng_;
+  Timestamp ts_;
+  Timestamp step_;
+};
+
+}  // namespace workload
+}  // namespace muppet
+
+#endif  // MUPPET_WORKLOAD_TWEETS_H_

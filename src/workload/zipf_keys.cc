@@ -1,0 +1,20 @@
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace workload {
+
+ZipfKeyGenerator::ZipfKeyGenerator(uint64_t n, double skew,
+                                   std::string prefix, uint64_t seed)
+    : sampler_(n, skew), rng_(seed), prefix_(std::move(prefix)) {}
+
+Bytes ZipfKeyGenerator::Next() {
+  last_rank_ = sampler_.Sample(rng_);
+  return KeyAt(last_rank_);
+}
+
+Bytes ZipfKeyGenerator::KeyAt(uint64_t rank) const {
+  return prefix_ + std::to_string(rank);
+}
+
+}  // namespace workload
+}  // namespace muppet

@@ -1,0 +1,45 @@
+// Zipf-skewed key generation. The paper observes that "the distribution of
+// event keys can be strongly skewed (e.g., follow a Zipfian distribution)"
+// (§5); every hotspot experiment (E7, E8) drives the engines with keys from
+// this generator.
+#ifndef MUPPET_WORKLOAD_ZIPF_KEYS_H_
+#define MUPPET_WORKLOAD_ZIPF_KEYS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace muppet {
+namespace workload {
+
+class ZipfKeyGenerator {
+ public:
+  // `n` distinct keys named "<prefix><rank>", rank 0 hottest; skew 0 =
+  // uniform.
+  ZipfKeyGenerator(uint64_t n, double skew, std::string prefix = "key",
+                   uint64_t seed = 42);
+
+  // Next key (sampled by popularity rank).
+  Bytes Next();
+
+  // Rank sampled for the most recent Next() (for assertions).
+  uint64_t last_rank() const { return last_rank_; }
+
+  // The key string for a given rank.
+  Bytes KeyAt(uint64_t rank) const;
+
+  uint64_t n() const { return sampler_.n(); }
+
+ private:
+  ZipfSampler sampler_;
+  Rng rng_;
+  std::string prefix_;
+  uint64_t last_rank_ = 0;
+};
+
+}  // namespace workload
+}  // namespace muppet
+
+#endif  // MUPPET_WORKLOAD_ZIPF_KEYS_H_

@@ -1,0 +1,266 @@
+// Tests of the example applications against the reference executor (exact
+// §3 semantics). Engine-level behaviour is covered by engine/parity_test.
+#include <map>
+#include <string>
+
+#include "apps/hot_topics.h"
+#include "apps/reputation.h"
+#include "apps/retailer.h"
+#include "apps/top_urls.h"
+#include "core/reference_executor.h"
+#include "core/slate.h"
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace apps {
+namespace {
+
+TEST(RetailerMapperTest, MatchesPaperPatterns) {
+  // Appendix A: "(?i)\s*wal.*mart.*" and "(?i)\s*sam.*s\s*club\s*".
+  EXPECT_EQ(RetailerMapper::MatchRetailer("Walmart Supercenter"), "Walmart");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("WAL-MART"), "Walmart");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("wal mart #33"), "Walmart");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("Sam's Club"), "Sam's Club");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("SAMS CLUB"), "Sam's Club");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("BEST BUY Store"), "Best Buy");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("JC Penney"), "JCPenney");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("SuperTarget"), "Target");
+  EXPECT_EQ(RetailerMapper::MatchRetailer("Joe's Diner"), "");
+  EXPECT_EQ(RetailerMapper::MatchRetailer(""), "");
+}
+
+TEST(RetailerAppTest, CountsCheckinsPerRetailer) {
+  AppConfig config;
+  ASSERT_OK(BuildRetailerApp(&config));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+
+  auto publish_checkin = [&](const std::string& venue, Timestamp ts) {
+    Json c = Json::MakeObject();
+    c["venue"] = venue;
+    ASSERT_OK(exec.Publish("S1", "user", c.Dump(), ts));
+  };
+  for (int i = 0; i < 7; ++i) publish_checkin("Walmart", 100 + i);
+  for (int i = 0; i < 3; ++i) publish_checkin("Best Buy", 200 + i);
+  for (int i = 0; i < 5; ++i) publish_checkin("Corner Cafe", 300 + i);
+  ASSERT_OK(exec.Run());
+
+  EXPECT_EQ(CountingUpdater::CountOf(
+                exec.slates().at(SlateId{"U1", "Walmart"})),
+            7);
+  EXPECT_EQ(CountingUpdater::CountOf(
+                exec.slates().at(SlateId{"U1", "Best Buy"})),
+            3);
+  EXPECT_EQ(exec.slates().count(SlateId{"U1", "Corner Cafe"}), 0u)
+      << "unrecognized venues produce no events";
+}
+
+TEST(RetailerAppTest, MalformedCheckinsSkipped) {
+  AppConfig config;
+  ASSERT_OK(BuildRetailerApp(&config));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("S1", "u", "this is not json", 1));
+  ASSERT_OK(exec.Publish("S1", "u", "{\"no_venue\": 1}", 2));
+  ASSERT_OK(exec.Run());
+  EXPECT_TRUE(exec.slates().empty());
+}
+
+TEST(HotTopicsKeyTest, TopicMinuteKeyRoundTrip) {
+  const std::string key = TopicMinuteKey("earthquake", 1439);
+  EXPECT_EQ(key, "earthquake_1439");
+  std::string topic;
+  int minute = 0;
+  ASSERT_OK(ParseTopicMinuteKey(key, &topic, &minute));
+  EXPECT_EQ(topic, "earthquake");
+  EXPECT_EQ(minute, 1439);
+  // Topics containing '_' still parse (rightmost separator).
+  ASSERT_OK(ParseTopicMinuteKey(TopicMinuteKey("a_b", 5), &topic, &minute));
+  EXPECT_EQ(topic, "a_b");
+  EXPECT_EQ(minute, 5);
+  EXPECT_FALSE(ParseTopicMinuteKey("nounderscore", &topic, &minute).ok());
+}
+
+Json TweetWithTopics(const std::vector<std::string>& topics) {
+  Json t = Json::MakeObject();
+  Json arr = Json::MakeArray();
+  for (const auto& topic : topics) arr.Append(topic);
+  t["topics"] = std::move(arr);
+  return t;
+}
+
+TEST(HotTopicsAppTest, DetectsBurstAgainstHistoricalAverage) {
+  AppConfig config;
+  ASSERT_OK(BuildHotTopicsApp(&config, /*threshold=*/3.0));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+
+  // Establish history: on days 0 and 1, minute 10 sees 2 mentions of
+  // "quake"; day 2 brings a 10x burst in the same minute.
+  auto at = [](int64_t day, int minute, int offset) {
+    return day * kMicrosPerDay + minute * kMicrosPerMinute + offset;
+  };
+  const Bytes tweet = TweetWithTopics({"quake"}).Dump();
+  for (int64_t day = 0; day < 2; ++day) {
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_OK(exec.Publish("S1", "u", tweet, at(day, 10, i + 1)));
+    }
+    // A later-minute tweet closes minute 10 for that day.
+    ASSERT_OK(exec.Publish("S1", "u", tweet, at(day, 11, 1)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(exec.Publish("S1", "u", tweet, at(2, 10, i + 1)));
+  }
+  ASSERT_OK(exec.Publish("S1", "u", tweet, at(2, 11, 1)));
+  ASSERT_OK(exec.Run());
+
+  const auto& hot = exec.StreamLog("S4");
+  ASSERT_EQ(hot.size(), 1u) << "exactly the day-2 burst is hot";
+  EXPECT_EQ(Bytes(hot[0].key), TopicMinuteKey("quake", 10));
+  Result<Json> payload = Json::Parse(hot[0].value);
+  ASSERT_OK(payload);
+  EXPECT_EQ(payload.value().GetInt("count"), 20);
+  EXPECT_DOUBLE_EQ(payload.value().GetDouble("avg"), 2.0);
+}
+
+TEST(HotTopicsAppTest, SteadyTopicNeverHot) {
+  AppConfig config;
+  ASSERT_OK(BuildHotTopicsApp(&config, /*threshold=*/3.0));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  const Bytes tweet = TweetWithTopics({"weather"}).Dump();
+  for (int64_t day = 0; day < 5; ++day) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_OK(exec.Publish("S1", "u", tweet,
+                             day * kMicrosPerDay + 10 * kMicrosPerMinute + i + 1));
+    }
+    ASSERT_OK(exec.Publish("S1", "u", tweet,
+                           day * kMicrosPerDay + 11 * kMicrosPerMinute + 1));
+  }
+  ASSERT_OK(exec.Run());
+  EXPECT_TRUE(exec.StreamLog("S4").empty());
+}
+
+TEST(ReputationAppTest, ScoresRespondToMentions) {
+  AppConfig config;
+  ReputationParams params;
+  ASSERT_OK(BuildReputationApp(&config, params));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+
+  auto tweet = [&](const std::string& user, const std::string& retweet_of,
+                   Timestamp ts) {
+    Json t = Json::MakeObject();
+    t["user"] = user;
+    if (!retweet_of.empty()) t["retweet_of"] = retweet_of;
+    ASSERT_OK(exec.Publish("S1", user, t.Dump(), ts));
+  };
+
+  // Alice tweets a lot (high score), then retweets Bob.
+  for (int i = 0; i < 50; ++i) tweet("alice", "", 100 + i);
+  tweet("alice", "bob", 1000);
+  // Carol (new, low score) retweets Bob too.
+  tweet("carol", "bob", 2000);
+  ASSERT_OK(exec.Run());
+
+  const double alice = ReputationUpdater::ScoreOf(
+      exec.slates().at(SlateId{"U1", "alice"}));
+  const double bob =
+      ReputationUpdater::ScoreOf(exec.slates().at(SlateId{"U1", "bob"}));
+  const double carol = ReputationUpdater::ScoreOf(
+      exec.slates().at(SlateId{"U1", "carol"}));
+  EXPECT_GT(alice, 1.4);  // 51 tweets * 0.01 + initial 1.0
+  EXPECT_GT(bob, 1.0) << "mentions raise the target's score";
+  // Bob gained from both mentions: 0.05*(alice score) + 0.05*(carol score).
+  EXPECT_NEAR(bob, 1.0 + 0.05 * alice + 0.05 * carol, 0.01);
+  JsonSlate bob_slate(&exec.slates().at(SlateId{"U1", "bob"}));
+  EXPECT_EQ(bob_slate.data().GetInt("mentions"), 2);
+}
+
+TEST(ReputationAppTest, MentionCarriesSenderScoreSnapshot) {
+  // The mention event must carry A's score at emit time — the MapUpdate
+  // idiom for cross-slate dependencies.
+  AppConfig config;
+  ASSERT_OK(BuildReputationApp(&config));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  Json t = Json::MakeObject();
+  t["user"] = "a";
+  t["reply_to"] = "b";
+  ASSERT_OK(exec.Publish("S1", "a", t.Dump(), 10));
+  ASSERT_OK(exec.Run());
+  const auto& mentions = exec.StreamLog("S3");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(Bytes(mentions[0].key), "b");
+  Result<Json> payload = Json::Parse(mentions[0].value);
+  ASSERT_OK(payload);
+  EXPECT_NEAR(payload.value().GetDouble("mention_score"), 1.01, 1e-9);
+  EXPECT_EQ(payload.value().GetString("from"), "a");
+}
+
+TEST(TopUrlsAppTest, MaintainsTopKRanking) {
+  AppConfig config;
+  ASSERT_OK(BuildTopUrlsApp(&config, /*k=*/3, /*report_every=*/1));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+
+  auto tweet_url = [&](const std::string& url, Timestamp ts) {
+    Json t = Json::MakeObject();
+    t["user"] = "u";
+    t["url"] = url;
+    ASSERT_OK(exec.Publish("S1", "u", t.Dump(), ts));
+  };
+  Timestamp ts = 1;
+  for (int i = 0; i < 10; ++i) tweet_url("http://a", ts++);
+  for (int i = 0; i < 7; ++i) tweet_url("http://b", ts++);
+  for (int i = 0; i < 3; ++i) tweet_url("http://c", ts++);
+  for (int i = 0; i < 1; ++i) tweet_url("http://d", ts++);
+  ASSERT_OK(exec.Run());
+
+  const auto& slate =
+      exec.slates().at(SlateId{"U2", UrlCountUpdater::kAggregationKey});
+  const auto top = TopKUpdater::TopOf(slate);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, "http://a");
+  EXPECT_EQ(top[0].second, 10);
+  EXPECT_EQ(top[1].first, "http://b");
+  EXPECT_EQ(top[2].first, "http://c");
+}
+
+TEST(TopUrlsAppTest, ReportEveryAmortizesHotspot) {
+  AppConfig config;
+  ASSERT_OK(BuildTopUrlsApp(&config, /*k=*/10, /*report_every=*/5));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  Json t = Json::MakeObject();
+  t["user"] = "u";
+  t["url"] = "http://x";
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(exec.Publish("S1", "u", t.Dump(), i + 1));
+  }
+  ASSERT_OK(exec.Run());
+  // 20 url events -> 4 reports (every 5th count).
+  EXPECT_EQ(exec.StreamLog("S3").size(), 4u);
+  const auto top = TopKUpdater::TopOf(
+      exec.slates().at(SlateId{"U2", UrlCountUpdater::kAggregationKey}));
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].second, 20);
+}
+
+TEST(TopUrlsAppTest, TweetsWithoutUrlsIgnored) {
+  AppConfig config;
+  ASSERT_OK(BuildTopUrlsApp(&config));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  Json t = Json::MakeObject();
+  t["user"] = "u";
+  ASSERT_OK(exec.Publish("S1", "u", t.Dump(), 1));
+  ASSERT_OK(exec.Run());
+  EXPECT_TRUE(exec.slates().empty());
+}
+
+}  // namespace
+}  // namespace apps
+}  // namespace muppet

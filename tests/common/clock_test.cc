@@ -1,0 +1,54 @@
+#include "common/clock.h"
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+TEST(ClockTest, SystemClockAdvances) {
+  SystemClock* clock = SystemClock::Default();
+  const Timestamp a = clock->Now();
+  clock->SleepFor(2000);  // 2ms
+  const Timestamp b = clock->Now();
+  EXPECT_GE(b - a, 1500);
+}
+
+TEST(ClockTest, SimulatedClockManualAdvance) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.Now(), 1000);
+  clock.Advance(500);
+  EXPECT_EQ(clock.Now(), 1500);
+  clock.SleepFor(250);  // sleeping advances logical time
+  EXPECT_EQ(clock.Now(), 1750);
+  clock.Set(42);
+  EXPECT_EQ(clock.Now(), 42);
+}
+
+TEST(ClockTest, MinuteOfDayMatchesPaperExamples) {
+  // Paper Example 5: "if the timestamp is 00:14 then m = 14; if the
+  // timestamp is 23:59 then m = 1439".
+  EXPECT_EQ(MinuteOfDay(14 * kMicrosPerMinute), 14);
+  EXPECT_EQ(MinuteOfDay(23 * 60 * kMicrosPerMinute + 59 * kMicrosPerMinute),
+            1439);
+  EXPECT_EQ(MinuteOfDay(0), 0);
+  // Second day wraps back to the same minutes.
+  EXPECT_EQ(MinuteOfDay(kMicrosPerDay + 14 * kMicrosPerMinute), 14);
+}
+
+TEST(ClockTest, DayIndex) {
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(DayIndex(kMicrosPerDay - 1), 0);
+  EXPECT_EQ(DayIndex(kMicrosPerDay), 1);
+  EXPECT_EQ(DayIndex(10 * kMicrosPerDay + 5), 10);
+}
+
+TEST(ClockTest, MinuteOfDayWithinRange) {
+  for (Timestamp ts = 0; ts < 3 * kMicrosPerDay; ts += 17 * kMicrosPerMinute) {
+    const int m = MinuteOfDay(ts);
+    EXPECT_GE(m, 0);
+    EXPECT_LE(m, 1439);
+  }
+}
+
+}  // namespace
+}  // namespace muppet

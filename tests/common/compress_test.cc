@@ -1,0 +1,119 @@
+#include "common/compress.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+void ExpectRoundTrip(const Bytes& input) {
+  Bytes compressed = Compress(input);
+  Result<Bytes> restored = Decompress(compressed);
+  ASSERT_OK(restored);
+  EXPECT_EQ(restored.value(), input) << "input size " << input.size();
+}
+
+TEST(CompressTest, EmptyInput) { ExpectRoundTrip(""); }
+
+TEST(CompressTest, TinyInputs) {
+  ExpectRoundTrip("a");
+  ExpectRoundTrip("ab");
+  ExpectRoundTrip("abc");
+  ExpectRoundTrip("abcd");
+}
+
+TEST(CompressTest, RepetitiveJsonShrinks) {
+  // Slate-like JSON: highly repetitive.
+  Bytes json = "{";
+  for (int i = 0; i < 200; ++i) {
+    json += "\"count_" + std::to_string(i) + "\": 12345,";
+  }
+  json += "\"end\": 0}";
+  Bytes compressed = Compress(json);
+  EXPECT_LT(compressed.size(), json.size() / 2)
+      << "expected at least 2x compression on repetitive JSON";
+  ExpectRoundTrip(json);
+}
+
+TEST(CompressTest, RunLengthCase) {
+  ExpectRoundTrip(Bytes(100000, 'x'));
+  Bytes compressed = Compress(Bytes(100000, 'x'));
+  EXPECT_LT(compressed.size(), 2000u);
+}
+
+TEST(CompressTest, OverlappingMatchReplication) {
+  // "abcabcabc..." exercises dist < len copies.
+  Bytes input;
+  for (int i = 0; i < 10000; ++i) input += "abc";
+  ExpectRoundTrip(input);
+}
+
+TEST(CompressTest, IncompressibleRandomData) {
+  Rng rng(42);
+  Bytes input;
+  input.reserve(50000);
+  for (int i = 0; i < 50000; ++i) {
+    input.push_back(static_cast<char>(rng.Next() & 0xFF));
+  }
+  Bytes compressed = Compress(input);
+  // Worst-case expansion bound: ~1% + header.
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 64 + 16);
+  ExpectRoundTrip(input);
+}
+
+TEST(CompressTest, BinaryWithEmbeddedNulsAndHighBytes) {
+  Bytes input;
+  for (int i = 0; i < 5000; ++i) {
+    input.push_back(static_cast<char>(i % 256));
+  }
+  ExpectRoundTrip(input);
+}
+
+TEST(CompressTest, ManySizesSweep) {
+  Rng rng(7);
+  for (size_t size : {1u, 2u, 5u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u,
+                      4095u, 4096u, 4097u, 100000u}) {
+    Bytes input;
+    input.reserve(size);
+    // Half compressible, half random.
+    for (size_t i = 0; i < size; ++i) {
+      input.push_back(i % 2 == 0 ? 'z'
+                                 : static_cast<char>(rng.Next() & 0xFF));
+    }
+    ExpectRoundTrip(input);
+  }
+}
+
+TEST(CompressTest, CorruptHeaderRejected) {
+  Result<Bytes> r = Decompress("");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CompressTest, TruncatedStreamRejected) {
+  Bytes compressed = Compress(Bytes(1000, 'q'));
+  compressed.resize(compressed.size() / 2);
+  Result<Bytes> r = Decompress(compressed);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompressTest, LengthMismatchRejected) {
+  Bytes compressed = Compress("hello world hello world");
+  // Tamper with the declared length (first varint byte).
+  compressed[0] = static_cast<char>(compressed[0] ^ 0x01);
+  Result<Bytes> r = Decompress(compressed);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CompressTest, DecompressAppendsToOutput) {
+  Bytes out = "prefix:";
+  Bytes compressed = Compress("payload");
+  ASSERT_OK(DecompressBytes(compressed, &out));
+  EXPECT_EQ(out, "prefix:payload");
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,182 @@
+#include "json/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(JsonTest, ScalarConstructionAndDump) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, ObjectBuildAndAccess) {
+  Json j = Json::MakeObject();
+  j["count"] = 10;
+  j["name"] = "walmart";
+  j["nested"]["deep"] = true;
+  EXPECT_EQ(j.GetInt("count"), 10);
+  EXPECT_EQ(j.GetString("name"), "walmart");
+  EXPECT_TRUE(j["nested"]["deep"].AsBool());
+  EXPECT_TRUE(j.Contains("count"));
+  EXPECT_FALSE(j.Contains("absent"));
+  EXPECT_EQ(j.GetInt("absent", -1), -1);
+}
+
+TEST(JsonTest, OperatorBracketOnFreshNodeCreatesObject) {
+  Json j;  // null
+  j["a"] = 1;
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.GetInt("a"), 1);
+}
+
+TEST(JsonTest, ConstAccessOfMissingKeyIsNull) {
+  const Json j = Json::MakeObject();
+  EXPECT_TRUE(j["missing"].is_null());
+}
+
+TEST(JsonTest, ArrayAppendAndSize) {
+  Json j = Json::MakeArray();
+  j.Append(1);
+  j.Append("two");
+  j.Append(Json::MakeObject());
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.Dump(), "[1,\"two\",{}]");
+}
+
+TEST(JsonTest, DumpSortsObjectKeys) {
+  Json j = Json::MakeObject();
+  j["b"] = 2;
+  j["a"] = 1;
+  EXPECT_EQ(j.Dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_EQ(Json::Parse("true").value().AsBool(), true);
+  EXPECT_EQ(Json::Parse("-123").value().AsInt(), -123);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.25").value().AsDouble(), 2.25);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3").value().AsDouble(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"str\"").value().AsString(), "str");
+}
+
+TEST(JsonTest, ParsePreservesInt64Exactly) {
+  const int64_t big = 9007199254740993;  // not representable as double
+  Result<Json> j = Json::Parse(std::to_string(big));
+  ASSERT_OK(j);
+  EXPECT_TRUE(j.value().is_int());
+  EXPECT_EQ(j.value().AsInt(), big);
+}
+
+TEST(JsonTest, ParseNestedDocument) {
+  const std::string doc = R"({
+    "user": "u42",
+    "topics": ["a", "b"],
+    "meta": {"retweet": true, "score": 1.5},
+    "count": 3
+  })";
+  Result<Json> j = Json::Parse(doc);
+  ASSERT_OK(j);
+  EXPECT_EQ(j.value().GetString("user"), "u42");
+  EXPECT_EQ(j.value()["topics"].size(), 2u);
+  EXPECT_EQ(j.value()["topics"].AsArray()[1].AsString(), "b");
+  EXPECT_TRUE(j.value()["meta"]["retweet"].AsBool());
+  EXPECT_EQ(j.value().GetInt("count"), 3);
+}
+
+TEST(JsonTest, RoundTripStability) {
+  const std::string doc =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":{"d":[{}]}},"e":-17})";
+  Result<Json> first = Json::Parse(doc);
+  ASSERT_OK(first);
+  const std::string dumped = first.value().Dump();
+  Result<Json> second = Json::Parse(dumped);
+  ASSERT_OK(second);
+  EXPECT_EQ(first.value(), second.value());
+  EXPECT_EQ(second.value().Dump(), dumped);  // fixed point
+}
+
+TEST(JsonTest, StringEscapes) {
+  Json j("line\nbreak \"quoted\" back\\slash \t tab");
+  const std::string dumped = j.Dump();
+  Result<Json> back = Json::Parse(dumped);
+  ASSERT_OK(back);
+  EXPECT_EQ(back.value().AsString(), j.AsString());
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  Result<Json> j = Json::Parse(R"("café")");
+  ASSERT_OK(j);
+  EXPECT_EQ(j.value().AsString(), "caf\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  Result<Json> emoji = Json::Parse(R"("😀")");
+  ASSERT_OK(emoji);
+  EXPECT_EQ(emoji.value().AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ControlCharactersEscapedOnDump) {
+  Json j(std::string("\x01\x02", 2));
+  EXPECT_EQ(j.Dump(), "\"\\u0001\\u0002\"");
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Json::Parse("\"\\ud800\"").ok());  // unpaired surrogate
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+}
+
+TEST(JsonTest, DeepNestingLimited) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+  std::string ok_depth(50, '[');
+  ok_depth += std::string(50, ']');
+  EXPECT_TRUE(Json::Parse(ok_depth).ok());
+}
+
+TEST(JsonTest, NumericEquality) {
+  EXPECT_EQ(Json(1), Json(1.0));
+  EXPECT_NE(Json(1), Json(2));
+  EXPECT_NE(Json(1), Json("1"));
+}
+
+TEST(JsonTest, PrettyDumpParsesBack) {
+  Json j = Json::MakeObject();
+  j["list"] = JsonArray{Json(1), Json(2)};
+  j["obj"]["k"] = "v";
+  const std::string pretty = j.DumpPretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  Result<Json> back = Json::Parse(pretty);
+  ASSERT_OK(back);
+  EXPECT_EQ(back.value(), j);
+}
+
+TEST(JsonTest, GetDoubleCoercesInt) {
+  Json j = Json::MakeObject();
+  j["n"] = 5;
+  EXPECT_DOUBLE_EQ(j.GetDouble("n"), 5.0);
+  j["d"] = 2.5;
+  EXPECT_EQ(j.GetInt("d"), 2);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,146 @@
+#include "common/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+TEST(CounterTest, AddAndGet) {
+  Counter c;
+  EXPECT_EQ(c.Get(), 0);
+  c.Add();
+  c.Add(5);
+  EXPECT_EQ(c.Get(), 6);
+  c.Reset();
+  EXPECT_EQ(c.Get(), 0);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Get(), kThreads * kAddsPerThread);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.Mean(), 50.5, 0.01);
+}
+
+TEST(HistogramTest, PercentilesApproximateWithinBucketError) {
+  Histogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.Record(v);
+  // Buckets are ~8% wide; allow 15% relative error.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.5)), 5000.0, 750.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.99)), 9900.0, 1500.0);
+  EXPECT_EQ(h.Percentile(1.0), 10000);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  for (int64_t v : {1, 10, 100, 1000, 10000, 100000}) {
+    for (int i = 0; i < 10; ++i) h.Record(v);
+  }
+  int64_t prev = 0;
+  for (double q : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const int64_t p = h.Percentile(q);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(HistogramTest, ClampsNonPositiveToOne) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.min(), 1);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.Record(10);
+  for (int i = 1; i <= 50; ++i) b.Record(1000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 100);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.Mean(), 505.0, 0.5);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  const int64_t hour_us = 3600LL * 1000 * 1000;
+  h.Record(hour_us);
+  EXPECT_EQ(h.max(), hour_us);
+  EXPECT_GT(h.Percentile(0.5), hour_us / 2);
+}
+
+TEST(HistogramTest, SummaryMentionsFields) {
+  Histogram h;
+  h.Record(5);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GetCreatesOnce) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(registry.CounterValues().at("x"), 3);
+}
+
+TEST(MetricsRegistryTest, ReportIncludesEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("events")->Add(7);
+  registry.GetHistogram("latency")->Record(100);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("events = 7"), std::string::npos);
+  EXPECT_NE(report.find("latency:"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAll) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Add(5);
+  registry.GetHistogram("h")->Record(5);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->Get(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->count(), 0);
+}
+
+}  // namespace
+}  // namespace muppet

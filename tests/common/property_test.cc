@@ -1,0 +1,168 @@
+// Parameterized property sweeps for the common primitives:
+//   * compression round-trips across entropy levels and sizes;
+//   * JSON parse(dump(x)) is the identity and dump is a fixed point,
+//     for randomly generated documents;
+//   * varint codecs round-trip across the whole width range.
+#include <string>
+#include <tuple>
+
+#include "common/bytes.h"
+#include "common/compress.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+// ---- compression sweep ----------------------------------------------
+
+// (size, entropy) where entropy 0 = constant bytes, 1 = byte-random.
+using CompressParams = std::tuple<size_t, double>;
+
+class CompressPropertyTest
+    : public ::testing::TestWithParam<CompressParams> {};
+
+TEST_P(CompressPropertyTest, RoundTripIdentity) {
+  const auto [size, entropy] = GetParam();
+  Rng rng(size * 1315423911ull + static_cast<uint64_t>(entropy * 100));
+  Bytes input;
+  input.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    if (rng.NextDouble() < entropy) {
+      input.push_back(static_cast<char>(rng.Next() & 0xFF));
+    } else {
+      input.push_back(static_cast<char>('a' + (i % 7)));
+    }
+  }
+  const Bytes compressed = Compress(input);
+  Result<Bytes> restored = Decompress(compressed);
+  ASSERT_OK(restored);
+  EXPECT_EQ(restored.value(), input);
+  // Low-entropy inputs must actually shrink.
+  if (entropy <= 0.1 && size >= 1024) {
+    EXPECT_LT(compressed.size(), input.size() / 2);
+  }
+}
+
+TEST_P(CompressPropertyTest, TruncationsNeverCrashAndNeverLie) {
+  const auto [size, entropy] = GetParam();
+  if (size > 4096) GTEST_SKIP() << "truncation sweep on small inputs only";
+  Rng rng(size + 17);
+  Bytes input;
+  for (size_t i = 0; i < size; ++i) {
+    input.push_back(rng.NextDouble() < entropy
+                        ? static_cast<char>(rng.Next() & 0xFF)
+                        : 'q');
+  }
+  const Bytes compressed = Compress(input);
+  for (size_t cut = 0; cut < compressed.size();
+       cut += 1 + compressed.size() / 64) {
+    Result<Bytes> r = Decompress(BytesView(compressed.data(), cut));
+    // A truncated stream must either fail or (never) silently return the
+    // full input: it can never return OK with wrong-length output.
+    if (r.ok()) {
+      EXPECT_EQ(r.value(), input)
+          << "decompressor returned OK for a lying prefix";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(0, 1, 100, 4096, 100000),
+                       ::testing::Values(0.0, 0.3, 1.0)),
+    [](const ::testing::TestParamInfo<CompressParams>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_e" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+// ---- JSON round-trip sweep -------------------------------------------
+
+Json RandomJson(Rng& rng, int depth) {
+  const uint64_t kind = rng.Uniform(depth > 3 ? 5 : 7);
+  switch (kind) {
+    case 0: return Json();
+    case 1: return Json(rng.Chance(0.5));
+    case 2: return Json(static_cast<int64_t>(rng.Next()));
+    case 3: return Json(rng.NextDouble() * 1e6 - 5e5);
+    case 4: {
+      Bytes s;
+      const uint64_t len = rng.Uniform(20);
+      for (uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.Uniform(95) + 32));  // printable
+      }
+      if (rng.Chance(0.3)) s += "\n\t\"\\";  // escapes
+      return Json(std::move(s));
+    }
+    case 5: {
+      Json array = Json::MakeArray();
+      const uint64_t n = rng.Uniform(5);
+      for (uint64_t i = 0; i < n; ++i) {
+        array.Append(RandomJson(rng, depth + 1));
+      }
+      return array;
+    }
+    default: {
+      Json object = Json::MakeObject();
+      const uint64_t n = rng.Uniform(5);
+      for (uint64_t i = 0; i < n; ++i) {
+        object["field" + std::to_string(rng.Uniform(10))] =
+            RandomJson(rng, depth + 1);
+      }
+      return object;
+    }
+  }
+}
+
+class JsonPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonPropertyTest, DumpParseIdentityAndFixedPoint) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Json original = RandomJson(rng, 0);
+    const std::string dumped = original.Dump();
+    Result<Json> parsed = Json::Parse(dumped);
+    ASSERT_OK(parsed);
+    EXPECT_EQ(parsed.value(), original) << dumped;
+    EXPECT_EQ(parsed.value().Dump(), dumped) << "dump must be a fixed point";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonPropertyTest,
+                         ::testing::Values(1, 42, 12345, 777777));
+
+// ---- varint sweep ------------------------------------------------------
+
+class VarintPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintPropertyTest, AllBitWidthsRoundTrip) {
+  const int bit = GetParam();
+  // Values straddling each bit boundary.
+  for (int64_t delta = -2; delta <= 2; ++delta) {
+    const uint64_t v =
+        (bit == 0 ? 0 : (uint64_t{1} << bit)) + static_cast<uint64_t>(delta);
+    Bytes b;
+    PutVarint64(&b, v);
+    const char* p = b.data();
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&p, b.data() + b.size(), &decoded));
+    EXPECT_EQ(decoded, v);
+    if (bit < 32) {
+      const uint32_t v32 = static_cast<uint32_t>(v);
+      Bytes b32;
+      PutVarint32(&b32, v32);
+      const char* q = b32.data();
+      uint32_t decoded32 = 0;
+      ASSERT_TRUE(GetVarint32(&q, b32.data() + b32.size(), &decoded32));
+      EXPECT_EQ(decoded32, v32);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, VarintPropertyTest,
+                         ::testing::Range(0, 64, 7));
+
+}  // namespace
+}  // namespace muppet

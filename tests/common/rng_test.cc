@@ -1,0 +1,133 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next(), vb = b.Next(), vc = c.Next();
+    all_equal &= (va == vb);
+    any_differs |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(0), 0u);
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) counts[rng.Uniform(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfSampler zipf(100, 0.0);
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.Sample(rng)]++;
+  // Every key should appear, no key should dominate.
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [k, c] : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  ZipfSampler zipf(50, 1.2);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 50u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfSampler zipf(10000, 1.2);
+  Rng rng(11);
+  int head = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 10) ++head;
+  }
+  // With skew 1.2 over 10k keys, the top-10 ranks should draw a large
+  // fraction of all samples (uniform would give ~0.1%).
+  EXPECT_GT(static_cast<double>(head) / kSamples, 0.3);
+}
+
+TEST(ZipfTest, HigherSkewMoreConcentrated) {
+  Rng rng1(5), rng2(5);
+  ZipfSampler mild(1000, 0.8), hot(1000, 1.4);
+  int mild_head = 0, hot_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild.Sample(rng1) == 0) ++mild_head;
+    if (hot.Sample(rng2) == 0) ++hot_head;
+  }
+  EXPECT_GT(hot_head, mild_head);
+}
+
+TEST(ZipfTest, RankFrequenciesMonotone) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) counts[zipf.Sample(rng)]++;
+  // Aggregate adjacent ranks into buckets to smooth noise; the bucket
+  // frequencies must decrease.
+  int prev = counts[0] + counts[1] + counts[2] + counts[3];
+  for (size_t b = 4; b + 4 <= 20; b += 4) {
+    int cur = counts[b] + counts[b + 1] + counts[b + 2] + counts[b + 3];
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(ZipfTest, DegenerateDomainOfOne) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  ZipfSampler zero(0, 1.0);
+  EXPECT_EQ(zero.n(), 1u);
+}
+
+}  // namespace
+}  // namespace muppet

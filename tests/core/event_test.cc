@@ -1,0 +1,108 @@
+#include "core/event.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+TEST(EventTest, EncodeDecodeRoundTrip) {
+  Event e;
+  e.stream = "S1";
+  e.ts = 1234567;
+  e.key = "user42";
+  e.value = "{\"payload\": true}";
+  e.seq = 99;
+  e.origin_ts = 1000;
+
+  Bytes wire;
+  EncodeEvent(e, &wire);
+  Event decoded;
+  ASSERT_OK(DecodeEvent(wire, &decoded));
+  EXPECT_EQ(decoded.stream, e.stream);
+  EXPECT_EQ(decoded.ts, e.ts);
+  EXPECT_EQ(decoded.key, e.key);
+  EXPECT_EQ(decoded.value, e.value);
+  EXPECT_EQ(decoded.seq, e.seq);
+  EXPECT_EQ(decoded.origin_ts, e.origin_ts);
+}
+
+TEST(EventTest, BinaryKeyAndValue) {
+  Event e;
+  e.stream = "s";
+  e.key = Bytes("\x00\x01\x02", 3);
+  e.value = Bytes("\xff\x00\xfe", 3);
+  Bytes wire;
+  EncodeEvent(e, &wire);
+  Event decoded;
+  ASSERT_OK(DecodeEvent(wire, &decoded));
+  EXPECT_EQ(decoded.key, e.key);
+  EXPECT_EQ(decoded.value, e.value);
+}
+
+TEST(EventTest, EmptyFields) {
+  Event e;
+  Bytes wire;
+  EncodeEvent(e, &wire);
+  Event decoded;
+  ASSERT_OK(DecodeEvent(wire, &decoded));
+  EXPECT_EQ(decoded.stream, "");
+  EXPECT_EQ(decoded.key, "");
+}
+
+TEST(EventTest, TruncatedWireRejected) {
+  Event e;
+  e.stream = "S1";
+  e.key = "key";
+  e.value = "value";
+  Bytes wire;
+  EncodeEvent(e, &wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    Event decoded;
+    EXPECT_FALSE(DecodeEvent(BytesView(wire.data(), cut), &decoded).ok());
+  }
+}
+
+TEST(EventTest, TrailingBytesRejected) {
+  Event e;
+  e.stream = "S1";
+  Bytes wire;
+  EncodeEvent(e, &wire);
+  wire.push_back('x');
+  Event decoded;
+  EXPECT_FALSE(DecodeEvent(wire, &decoded).ok());
+}
+
+TEST(EventOrderTest, OrdersByTimestampThenSeq) {
+  Event a, b, c;
+  a.ts = 100;
+  a.seq = 5;
+  b.ts = 100;
+  b.seq = 6;
+  c.ts = 99;
+  c.seq = 100;
+  EXPECT_TRUE(EventOrderLess(a, b));   // same ts, lower seq first
+  EXPECT_FALSE(EventOrderLess(b, a));
+  EXPECT_TRUE(EventOrderLess(c, a));   // lower ts first regardless of seq
+  EXPECT_FALSE(EventOrderLess(a, a));  // irreflexive
+}
+
+TEST(EventOrderTest, SortProducesDeterministicStreamOrder) {
+  std::vector<Event> events;
+  for (int i = 0; i < 100; ++i) {
+    Event e;
+    e.ts = 100 - (i % 10);
+    e.seq = static_cast<uint64_t>(i);
+    events.push_back(e);
+  }
+  std::sort(events.begin(), events.end(), EventOrderLess);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_FALSE(EventOrderLess(events[i], events[i - 1]));
+  }
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,88 @@
+#include "core/keysplit.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+TEST(KeySplitTest, MakeAndParseRoundTrip) {
+  for (const Bytes& base : {Bytes("Best Buy"), Bytes(""), Bytes("a#b"),
+                            Bytes("##"), Bytes("key#7"), Bytes("#")}) {
+    for (int shard : {0, 1, 7, 12345}) {
+      const Bytes split = MakeSplitKey(base, shard);
+      Bytes parsed_base;
+      int parsed_shard = -1;
+      ASSERT_OK(ParseSplitKey(split, &parsed_base, &parsed_shard));
+      EXPECT_EQ(parsed_base, base);
+      EXPECT_EQ(parsed_shard, shard);
+    }
+  }
+}
+
+TEST(KeySplitTest, PaperExampleKeys) {
+  // Example 6: "Best Buy" splits into "Best Buy1" / "Best Buy2"-style
+  // subkeys; ours use a '#' separator.
+  EXPECT_EQ(MakeSplitKey("Best Buy", 0), "Best Buy#0");
+  EXPECT_EQ(MakeSplitKey("Best Buy", 1), "Best Buy#1");
+}
+
+TEST(KeySplitTest, ParseRejectsNonSplitKeys) {
+  Bytes base;
+  int shard;
+  EXPECT_FALSE(ParseSplitKey("plainkey", &base, &shard).ok());
+  EXPECT_FALSE(ParseSplitKey("", &base, &shard).ok());
+  EXPECT_FALSE(ParseSplitKey("key#", &base, &shard).ok());
+  EXPECT_FALSE(ParseSplitKey("key#x1", &base, &shard).ok());
+  EXPECT_FALSE(ParseSplitKey("key#-1", &base, &shard).ok());
+}
+
+TEST(KeySplitTest, DistinctShardsDistinctKeys) {
+  std::set<Bytes> keys;
+  for (int i = 0; i < 16; ++i) keys.insert(MakeSplitKey("hot", i));
+  EXPECT_EQ(keys.size(), 16u);
+}
+
+TEST(KeySplitterTest, RoundRobinBalancesExactly) {
+  KeySplitter splitter(4);
+  std::map<Bytes, int> counts;
+  for (int i = 0; i < 400; ++i) counts[splitter.RouteKey("hot")]++;
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [key, count] : counts) EXPECT_EQ(count, 100);
+}
+
+TEST(KeySplitterTest, OnlyHotKeysSplit) {
+  KeySplitter splitter(4, {{Bytes("Best Buy"), true}});
+  EXPECT_TRUE(splitter.IsSplit("Best Buy"));
+  EXPECT_FALSE(splitter.IsSplit("JCPenney"));
+  EXPECT_EQ(splitter.RouteKey("JCPenney"), "JCPenney");
+  const Bytes routed = splitter.RouteKey("Best Buy");
+  Bytes base;
+  int shard;
+  ASSERT_OK(ParseSplitKey(routed, &base, &shard));
+  EXPECT_EQ(base, "Best Buy");
+  EXPECT_LT(shard, 4);
+}
+
+TEST(KeySplitterTest, SingleShardPassThrough) {
+  KeySplitter splitter(1);
+  EXPECT_FALSE(splitter.IsSplit("anything"));
+  EXPECT_EQ(splitter.RouteKey("anything"), "anything");
+}
+
+TEST(KeySplitterTest, PerKeyCursorsIndependent) {
+  KeySplitter splitter(2);
+  // Alternating keys each get their own round-robin.
+  EXPECT_EQ(splitter.RouteKey("a"), MakeSplitKey("a", 0));
+  EXPECT_EQ(splitter.RouteKey("b"), MakeSplitKey("b", 0));
+  EXPECT_EQ(splitter.RouteKey("a"), MakeSplitKey("a", 1));
+  EXPECT_EQ(splitter.RouteKey("b"), MakeSplitKey("b", 1));
+  EXPECT_EQ(splitter.RouteKey("a"), MakeSplitKey("a", 0));
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,269 @@
+#include "core/reference_executor.h"
+
+#include <string>
+
+#include "apps/retailer.h"
+#include "core/slate.h"
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+// A config with one counting updater fed directly from the input.
+AppConfig CountingConfig() {
+  AppConfig config;
+  EXPECT_TRUE(config.DeclareInputStream("in").ok());
+  EXPECT_TRUE(config
+                  .AddUpdater("U1",
+                              MakeUpdaterFactory([](PerformerUtilities& out,
+                                                    const Event&,
+                                                    const Bytes* slate) {
+                                JsonSlate s(slate);
+                                s.data()["count"] =
+                                    s.data().GetInt("count") + 1;
+                                (void)out.ReplaceSlate(s.Serialize());
+                              }),
+                              {"in"})
+                  .ok());
+  return config;
+}
+
+TEST(ReferenceExecutorTest, CountsPerKey) {
+  AppConfig config = CountingConfig();
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(exec.Publish("in", "a", "", 100 + i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(exec.Publish("in", "b", "", 200 + i));
+  }
+  ASSERT_OK(exec.Run());
+  const auto& slates = exec.slates();
+  ASSERT_EQ(slates.size(), 2u);
+  JsonSlate a(&slates.at(SlateId{"U1", "a"}));
+  JsonSlate b(&slates.at(SlateId{"U1", "b"}));
+  EXPECT_EQ(a.data().GetInt("count"), 10);
+  EXPECT_EQ(b.data().GetInt("count"), 5);
+  EXPECT_EQ(exec.events_processed(), 15u);
+}
+
+TEST(ReferenceExecutorTest, ProcessesInTimestampOrder) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  std::vector<Timestamp> seen;
+  ASSERT_OK(config.AddMapper(
+      "M1",
+      MakeMapperFactory([&seen](PerformerUtilities&, const Event& e) {
+        seen.push_back(e.ts);
+      }),
+      {"in"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  // Publish out of order; execution must be in ts order.
+  for (Timestamp ts : {50, 10, 30, 20, 40}) {
+    ASSERT_OK(exec.Publish("in", "k", "", ts));
+  }
+  ASSERT_OK(exec.Run());
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(ReferenceExecutorTest, TieBreakBySeqIsPublishOrder) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  std::vector<std::string> seen;
+  ASSERT_OK(config.AddMapper(
+      "M1",
+      MakeMapperFactory([&seen](PerformerUtilities&, const Event& e) {
+        seen.push_back(std::string(e.value));
+      }),
+      {"in"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("in", "k", "first", 100));
+  ASSERT_OK(exec.Publish("in", "k", "second", 100));
+  ASSERT_OK(exec.Publish("in", "k", "third", 100));
+  ASSERT_OK(exec.Run());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "first");
+  EXPECT_EQ(seen[1], "second");
+  EXPECT_EQ(seen[2], "third");
+}
+
+TEST(ReferenceExecutorTest, MapperChainsToUpdater) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("mid"));
+  ASSERT_OK(config.AddMapper(
+      "M1", MakeMapperFactory([](PerformerUtilities& out, const Event& e) {
+        // Double each event.
+        (void)out.Publish("mid", e.key, e.value);
+        (void)out.Publish("mid", e.key, e.value);
+      }),
+      {"in"}));
+  ASSERT_OK(config.AddUpdater(
+      "U1", MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                                  const Bytes* slate) {
+        JsonSlate s(slate);
+        s.data()["count"] = s.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(s.Serialize());
+      }),
+      {"mid"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  for (int i = 0; i < 7; ++i) ASSERT_OK(exec.Publish("in", "k", "", i + 1));
+  ASSERT_OK(exec.Run());
+  JsonSlate s(&exec.slates().at(SlateId{"U1", "k"}));
+  EXPECT_EQ(s.data().GetInt("count"), 14);
+  EXPECT_EQ(exec.StreamLog("mid").size(), 14u);
+}
+
+TEST(ReferenceExecutorTest, OutputTimestampsExceedInput) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("mid"));
+  ASSERT_OK(config.AddMapper(
+      "M1", MakeMapperFactory([](PerformerUtilities& out, const Event& e) {
+        (void)out.Publish("mid", e.key, "");
+      }),
+      {"in"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("in", "k", "", 100));
+  ASSERT_OK(exec.Run());
+  const auto& mid = exec.StreamLog("mid");
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_GT(mid[0].ts, 100);
+}
+
+TEST(ReferenceExecutorTest, PublishValidation) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("mid"));
+  Status publish_undeclared, publish_into_input, publish_bad_ts;
+  ASSERT_OK(config.AddMapper(
+      "M1",
+      MakeMapperFactory([&](PerformerUtilities& out, const Event& e) {
+        publish_undeclared = out.Publish("ghost", e.key, "");
+        publish_into_input = out.Publish("in", e.key, "");
+        publish_bad_ts = out.PublishAt("mid", e.key, "", e.ts);
+      }),
+      {"in"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("in", "k", "", 1));
+  ASSERT_OK(exec.Run());
+  EXPECT_FALSE(publish_undeclared.ok());
+  EXPECT_FALSE(publish_into_input.ok());
+  EXPECT_FALSE(publish_bad_ts.ok());
+  // External publish to a non-input stream also fails.
+  EXPECT_FALSE(exec.Publish("mid", "k", "", 5).ok());
+}
+
+TEST(ReferenceExecutorTest, CyclicWorkflowTerminates) {
+  // An updater re-emits into its own stream a bounded number of times;
+  // the timestamp rule keeps the loop well-defined.
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("loop"));
+  ASSERT_OK(config.AddUpdater(
+      "U1", MakeUpdaterFactory([](PerformerUtilities& out, const Event& e,
+                                  const Bytes* slate) {
+        JsonSlate s(slate);
+        const int64_t hops = s.data().GetInt("hops");
+        s.data()["hops"] = hops + 1;
+        (void)out.ReplaceSlate(s.Serialize());
+        if (hops + 1 < 5) {
+          (void)out.Publish("loop", e.key, "");
+        }
+      }),
+      {"in", "loop"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("in", "k", "", 1));
+  ASSERT_OK(exec.Run());
+  JsonSlate s(&exec.slates().at(SlateId{"U1", "k"}));
+  EXPECT_EQ(s.data().GetInt("hops"), 5);
+}
+
+TEST(ReferenceExecutorTest, RunawayCycleAborted) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("loop"));
+  ASSERT_OK(config.AddUpdater(
+      "U1", MakeUpdaterFactory([](PerformerUtilities& out, const Event& e,
+                                  const Bytes*) {
+        (void)out.Publish("loop", e.key, "");  // forever
+      }),
+      {"in", "loop"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("in", "k", "", 1));
+  Status s = exec.Run(/*max_events=*/1000);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+}
+
+TEST(ReferenceExecutorTest, DeleteSlateRemoves) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.AddUpdater(
+      "U1", MakeUpdaterFactory([](PerformerUtilities& out, const Event& e,
+                                  const Bytes* slate) {
+        if (e.value == "delete") {
+          (void)out.DeleteSlate();
+        } else {
+          JsonSlate s(slate);
+          s.data()["count"] = s.data().GetInt("count") + 1;
+          (void)out.ReplaceSlate(s.Serialize());
+        }
+      }),
+      {"in"}));
+  ReferenceExecutor exec(config);
+  ASSERT_OK(exec.Start());
+  ASSERT_OK(exec.Publish("in", "k", "", 1));
+  ASSERT_OK(exec.Publish("in", "k", "delete", 2));
+  ASSERT_OK(exec.Run());
+  EXPECT_TRUE(exec.slates().empty());
+  // Re-touch after delete starts fresh (§3 TTL/delete semantics).
+  ASSERT_OK(exec.Publish("in", "k", "", 3));
+  ASSERT_OK(exec.Run());
+  JsonSlate s(&exec.slates().at(SlateId{"U1", "k"}));
+  EXPECT_EQ(s.data().GetInt("count"), 1);
+}
+
+TEST(ReferenceExecutorTest, DeterministicAcrossRuns) {
+  // Same inputs -> byte-identical slates and stream logs.
+  auto run_once = [](std::map<SlateId, Bytes>* slates_out,
+                     size_t* mention_count) {
+    AppConfig config;
+    ASSERT_TRUE(apps::BuildRetailerApp(&config).ok());
+    ReferenceExecutor exec(config);
+    ASSERT_TRUE(exec.Start().ok());
+    for (int i = 0; i < 200; ++i) {
+      Json checkin = Json::MakeObject();
+      checkin["venue"] =
+          (i % 3 == 0) ? "Walmart Supercenter"
+                       : (i % 3 == 1 ? "Best Buy #4" : "Joe's Diner");
+      ASSERT_TRUE(
+          exec.Publish("S1", "u" + std::to_string(i % 10),
+                       checkin.Dump(), 1000 + i)
+              .ok());
+    }
+    ASSERT_TRUE(exec.Run().ok());
+    *slates_out = exec.slates();
+    *mention_count = exec.StreamLog("S2").size();
+  };
+  std::map<SlateId, Bytes> first, second;
+  size_t mentions1 = 0, mentions2 = 0;
+  run_once(&first, &mentions1);
+  run_once(&second, &mentions2);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(mentions1, mentions2);
+  EXPECT_GT(mentions1, 0u);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,105 @@
+#include "core/slate.h"
+
+#include <unordered_map>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+TEST(SlateIdTest, EncodeDecodeRoundTrip) {
+  const SlateId cases[] = {
+      {"U1", "user42"},
+      {"", ""},
+      {"updater with spaces", Bytes("\x00\x01", 2)},
+      {"U", "key/with/slashes"},
+  };
+  for (const SlateId& id : cases) {
+    const Bytes encoded = EncodeSlateId(id);
+    SlateId decoded;
+    ASSERT_OK(DecodeSlateId(encoded, &decoded));
+    EXPECT_EQ(decoded, id);
+  }
+}
+
+TEST(SlateIdTest, DistinctUpdatersSameKeyDistinctIds) {
+  // "each pair <update U, key k> uniquely determines a slate" (§3).
+  const SlateId a{"U1", "k"};
+  const SlateId b{"U2", "k"};
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(EncodeSlateId(a), EncodeSlateId(b));
+}
+
+TEST(SlateIdTest, NoEncodingCollisions) {
+  // (updater="a", key="bc") must not collide with (updater="ab", key="c").
+  EXPECT_NE(EncodeSlateId({"a", "bc"}), EncodeSlateId({"ab", "c"}));
+}
+
+TEST(SlateIdTest, OrderingAndHash) {
+  const SlateId a{"U1", "a"}, b{"U1", "b"}, c{"U2", "a"};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  SlateIdHash hasher;
+  EXPECT_EQ(hasher(a), hasher(SlateId{"U1", "a"}));
+  std::unordered_map<SlateId, int, SlateIdHash> map;
+  map[a] = 1;
+  map[c] = 2;
+  EXPECT_EQ(map.at(SlateId{"U1", "a"}), 1);
+  EXPECT_EQ(map.at(SlateId{"U2", "a"}), 2);
+}
+
+TEST(SlateIdTest, MalformedDecodeRejected) {
+  SlateId id;
+  EXPECT_FALSE(DecodeSlateId("", &id).ok());
+}
+
+TEST(JsonSlateTest, NullptrIsFreshObject) {
+  JsonSlate s(nullptr);
+  EXPECT_TRUE(s.fresh());
+  EXPECT_TRUE(s.data().is_object());
+  EXPECT_EQ(s.data().GetInt("count"), 0);
+}
+
+TEST(JsonSlateTest, EmptyBytesIsFresh) {
+  Bytes empty;
+  JsonSlate s(&empty);
+  EXPECT_TRUE(s.fresh());
+}
+
+TEST(JsonSlateTest, ParsesExistingState) {
+  Bytes prior = "{\"count\":41,\"name\":\"x\"}";
+  JsonSlate s(&prior);
+  EXPECT_FALSE(s.fresh());
+  EXPECT_EQ(s.data().GetInt("count"), 41);
+  s.data()["count"] = s.data().GetInt("count") + 1;
+  const Bytes serialized = s.Serialize();
+  JsonSlate reparsed(&serialized);
+  EXPECT_EQ(reparsed.data().GetInt("count"), 42);
+  EXPECT_EQ(reparsed.data().GetString("name"), "x");
+}
+
+TEST(JsonSlateTest, CorruptBytesResetToFresh) {
+  Bytes garbage = "not json {{{";
+  JsonSlate s(&garbage);
+  EXPECT_TRUE(s.fresh());
+  EXPECT_TRUE(s.data().is_object());
+}
+
+TEST(JsonSlateTest, UpdateCycleMatchesPaperCounterExample) {
+  // The Appendix A Counter written against JsonSlate: parse, increment,
+  // replace — repeated over many events.
+  Bytes slate;
+  const Bytes* current = nullptr;
+  for (int i = 0; i < 100; ++i) {
+    JsonSlate s(current);
+    s.data()["count"] = s.data().GetInt("count") + 1;
+    slate = s.Serialize();
+    current = &slate;
+  }
+  JsonSlate final_state(current);
+  EXPECT_EQ(final_state.data().GetInt("count"), 100);
+}
+
+}  // namespace
+}  // namespace muppet

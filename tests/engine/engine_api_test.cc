@@ -1,0 +1,185 @@
+// Engine API contract tests shared by both generations: PublishAt
+// semantics, sink streams, stats monotonicity, and lifecycle edges.
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "apps/reputation.h"
+#include "common/rng.h"
+#include "core/reference_executor.h"
+#include "core/slate.h"
+#include "engine/muppet1.h"
+#include "engine/muppet2.h"
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "tests/engine/engine_test_util.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using ::muppet::testing::BuildCountingApp;
+
+enum class EngineKind { kMuppet1, kMuppet2 };
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind, const AppConfig& config,
+                                   const EngineOptions& options) {
+  if (kind == EngineKind::kMuppet1) {
+    return std::make_unique<Muppet1Engine>(config, options);
+  }
+  return std::make_unique<Muppet2Engine>(config, options);
+}
+
+class EngineApiTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(EngineApiTest, PublishAtValidatesTimestamps) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("out"));
+  Status bad_ts, equal_ts, good_ts;
+  ASSERT_OK(config.AddMapper(
+      "M1",
+      MakeMapperFactory([&](PerformerUtilities& out, const Event& e) {
+        bad_ts = out.PublishAt("out", e.key, "", e.ts - 1);
+        equal_ts = out.PublishAt("out", e.key, "", e.ts);
+        good_ts = out.PublishAt("out", e.key, "", e.ts + 500);
+      }),
+      {"in"}));
+  EngineOptions options;
+  auto engine = MakeEngine(GetParam(), config, options);
+  std::atomic<Timestamp> out_ts{0};
+  if (GetParam() == EngineKind::kMuppet1) {
+    static_cast<Muppet1Engine*>(engine.get())
+        ->TapStream("out",
+                    [&out_ts](const Event& e) { out_ts.store(e.ts); });
+  } else {
+    static_cast<Muppet2Engine*>(engine.get())
+        ->TapStream("out",
+                    [&out_ts](const Event& e) { out_ts.store(e.ts); });
+  }
+  ASSERT_OK(engine->Start());
+  ASSERT_OK(engine->Publish("in", "k", "", 1000));
+  ASSERT_OK(engine->Drain());
+  EXPECT_FALSE(bad_ts.ok()) << "ts < input.ts must be rejected";
+  EXPECT_FALSE(equal_ts.ok()) << "ts == input.ts must be rejected";
+  EXPECT_OK(good_ts);
+  EXPECT_EQ(out_ts.load(), 1500) << "explicit timestamps pass through";
+  ASSERT_OK(engine->Stop());
+}
+
+TEST_P(EngineApiTest, SinkStreamEventsAreObservableAndCounted) {
+  // A declared stream with no subscribers is a sink: events reach taps
+  // and count as emitted, but no operator runs.
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("sink"));
+  ASSERT_OK(config.AddMapper(
+      "M1", MakeMapperFactory([](PerformerUtilities& out, const Event& e) {
+        (void)out.Publish("sink", e.key, e.value);
+      }),
+      {"in"}));
+  EngineOptions options;
+  auto engine = MakeEngine(GetParam(), config, options);
+  std::atomic<int> sink_events{0};
+  if (GetParam() == EngineKind::kMuppet1) {
+    static_cast<Muppet1Engine*>(engine.get())
+        ->TapStream("sink",
+                    [&sink_events](const Event&) { sink_events++; });
+  } else {
+    static_cast<Muppet2Engine*>(engine.get())
+        ->TapStream("sink",
+                    [&sink_events](const Event&) { sink_events++; });
+  }
+  ASSERT_OK(engine->Start());
+  for (int i = 0; i < 20; ++i) ASSERT_OK(engine->Publish("in", "k", "", i + 1));
+  ASSERT_OK(engine->Drain());
+  EXPECT_EQ(sink_events.load(), 20);
+  const EngineStats stats = engine->Stats();
+  EXPECT_EQ(stats.events_emitted, 20);
+  EXPECT_EQ(stats.events_processed, 20) << "only the mapper runs";
+  ASSERT_OK(engine->Stop());
+}
+
+TEST_P(EngineApiTest, LifecycleEdges) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options;
+  auto engine = MakeEngine(GetParam(), config, options);
+  // Not started yet.
+  EXPECT_FALSE(engine->Publish("in", "k", "", 1).ok());
+  EXPECT_FALSE(engine->Drain().ok());
+  EXPECT_FALSE(engine->FetchSlate("count", "k").ok());
+  ASSERT_OK(engine->Start());
+  EXPECT_FALSE(engine->Start().ok()) << "double start";
+  ASSERT_OK(engine->Publish("in", "k", "", 1));
+  ASSERT_OK(engine->Drain());
+  ASSERT_OK(engine->Stop());
+  EXPECT_FALSE(engine->Publish("in", "k", "", 2).ok()) << "after stop";
+}
+
+TEST_P(EngineApiTest, ReputationLockstepMatchesReferenceScores) {
+  // The reputation app is order-sensitive (a mention carries the sender's
+  // *current* score); in lockstep the engines must match the reference
+  // executor's scores bit-for-bit.
+  std::vector<std::pair<Bytes, Bytes>> tweets;
+  Rng rng(77);
+  for (int i = 0; i < 150; ++i) {
+    const Bytes user = "u" + std::to_string(rng.Uniform(8));
+    Json t = Json::MakeObject();
+    t["user"] = std::string(user);
+    if (rng.Chance(0.4)) {
+      t["retweet_of"] = "u" + std::to_string(rng.Uniform(8));
+    }
+    tweets.emplace_back(user, t.Dump());
+  }
+
+  AppConfig ref_config;
+  ASSERT_OK(apps::BuildReputationApp(&ref_config));
+  ReferenceExecutor reference(ref_config);
+  ASSERT_OK(reference.Start());
+  for (size_t i = 0; i < tweets.size(); ++i) {
+    ASSERT_OK(reference.Publish("S1", tweets[i].first, tweets[i].second,
+                                static_cast<Timestamp>(10 * (i + 1))));
+  }
+  ASSERT_OK(reference.Run());
+
+  AppConfig config;
+  ASSERT_OK(apps::BuildReputationApp(&config));
+  EngineOptions options;
+  options.num_machines = 2;
+  options.workers_per_function = 2;
+  options.threads_per_machine = 2;
+  auto engine = MakeEngine(GetParam(), config, options);
+  ASSERT_OK(engine->Start());
+  for (size_t i = 0; i < tweets.size(); ++i) {
+    ASSERT_OK(engine->Publish("S1", tweets[i].first, tweets[i].second,
+                              static_cast<Timestamp>(10 * (i + 1))));
+    ASSERT_OK(engine->Drain());  // lockstep
+  }
+  for (int u = 0; u < 8; ++u) {
+    const std::string user = "u" + std::to_string(u);
+    const auto it = reference.slates().find(SlateId{"U1", user});
+    Result<Bytes> engine_slate = engine->FetchSlate("U1", user);
+    if (it == reference.slates().end()) {
+      EXPECT_FALSE(engine_slate.ok()) << user;
+      continue;
+    }
+    ASSERT_OK(engine_slate);
+    EXPECT_DOUBLE_EQ(apps::ReputationUpdater::ScoreOf(engine_slate.value()),
+                     apps::ReputationUpdater::ScoreOf(it->second))
+        << user;
+  }
+  ASSERT_OK(engine->Stop());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineApiTest,
+                         ::testing::Values(EngineKind::kMuppet1,
+                                           EngineKind::kMuppet2),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kMuppet1
+                                      ? "Muppet1"
+                                      : "Muppet2";
+                         });
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,71 @@
+// Shared helpers for engine tests: small deterministic applications and
+// slate decoding shortcuts.
+#ifndef MUPPET_TESTS_ENGINE_ENGINE_TEST_UTIL_H_
+#define MUPPET_TESTS_ENGINE_ENGINE_TEST_UTIL_H_
+
+#include <string>
+
+#include "core/slate.h"
+#include "core/topology.h"
+#include "engine/engine.h"
+#include "json/json.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace testing {
+
+// input "in" -> updater "count" that counts events per key in a JSON
+// slate, optionally forwarding each event to stream "out".
+inline void BuildCountingApp(AppConfig* config, bool forward = false,
+                             UpdaterOptions options = {}) {
+  ASSERT_OK(config->DeclareInputStream("in"));
+  if (forward) ASSERT_OK(config->DeclareStream("out"));
+  ASSERT_OK(config->AddUpdater(
+      "count",
+      MakeUpdaterFactory([forward](PerformerUtilities& out, const Event& e,
+                                   const Bytes* slate) {
+        JsonSlate s(slate);
+        s.data()["count"] = s.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(s.Serialize());
+        if (forward) (void)out.Publish("out", e.key, e.value);
+      }),
+      {"in"}, options));
+}
+
+// input "in" -> mapper "split" (fans each event out to "mid" twice)
+// -> updater "count".
+inline void BuildFanoutApp(AppConfig* config) {
+  ASSERT_OK(config->DeclareInputStream("in"));
+  ASSERT_OK(config->DeclareStream("mid"));
+  ASSERT_OK(config->AddMapper(
+      "split",
+      MakeMapperFactory([](PerformerUtilities& out, const Event& e) {
+        (void)out.Publish("mid", e.key, e.value);
+        (void)out.Publish("mid", e.key, e.value);
+      }),
+      {"in"}));
+  ASSERT_OK(config->AddUpdater(
+      "count",
+      MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                            const Bytes* slate) {
+        JsonSlate s(slate);
+        s.data()["count"] = s.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(s.Serialize());
+      }),
+      {"mid"}));
+}
+
+// Read the "count" field of a counting-updater slate via the engine's
+// live fetch path; returns -1 when the slate does not exist.
+inline int64_t CountOf(Engine& engine, const std::string& updater,
+                       const std::string& key) {
+  Result<Bytes> slate = engine.FetchSlate(updater, key);
+  if (!slate.ok()) return -1;
+  JsonSlate s(&slate.value());
+  return s.data().GetInt("count", -1);
+}
+
+}  // namespace testing
+}  // namespace muppet
+
+#endif  // MUPPET_TESTS_ENGINE_ENGINE_TEST_UTIL_H_

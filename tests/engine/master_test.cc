@@ -1,0 +1,66 @@
+#include "engine/master.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+TEST(MasterTest, FirstReportBroadcasts) {
+  Master master;
+  std::vector<MachineId> broadcasts;
+  master.AddListener([&](MachineId m) { broadcasts.push_back(m); });
+  EXPECT_TRUE(master.ReportFailure(3));
+  ASSERT_EQ(broadcasts.size(), 1u);
+  EXPECT_EQ(broadcasts[0], 3);
+  EXPECT_TRUE(master.IsFailed(3));
+  EXPECT_EQ(master.failures_reported(), 1);
+}
+
+TEST(MasterTest, DuplicateReportsIdempotent) {
+  Master master;
+  int broadcasts = 0;
+  master.AddListener([&](MachineId) { ++broadcasts; });
+  EXPECT_TRUE(master.ReportFailure(1));
+  EXPECT_FALSE(master.ReportFailure(1));
+  EXPECT_FALSE(master.ReportFailure(1));
+  EXPECT_EQ(broadcasts, 1);
+  EXPECT_EQ(master.failures_reported(), 1);
+}
+
+TEST(MasterTest, MultipleListenersAllNotified) {
+  Master master;
+  int a = 0, b = 0;
+  master.AddListener([&](MachineId) { ++a; });
+  master.AddListener([&](MachineId) { ++b; });
+  master.ReportFailure(7);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(MasterTest, FailedSetAccumulates) {
+  Master master;
+  master.ReportFailure(1);
+  master.ReportFailure(4);
+  const auto failed = master.failed();
+  EXPECT_EQ(failed.size(), 2u);
+  EXPECT_TRUE(failed.count(1) > 0);
+  EXPECT_TRUE(failed.count(4) > 0);
+  EXPECT_FALSE(master.IsFailed(2));
+}
+
+TEST(MasterTest, ClearFailureRestores) {
+  Master master;
+  master.ReportFailure(1);
+  master.ClearFailure(1);
+  EXPECT_FALSE(master.IsFailed(1));
+  // A new report broadcasts again.
+  int broadcasts = 0;
+  master.AddListener([&](MachineId) { ++broadcasts; });
+  EXPECT_TRUE(master.ReportFailure(1));
+  EXPECT_EQ(broadcasts, 1);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,184 @@
+#include "engine/muppet2.h"
+
+#include <atomic>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/engine/engine_test_util.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using ::muppet::testing::BuildCountingApp;
+using ::muppet::testing::BuildFanoutApp;
+using ::muppet::testing::CountOf;
+
+EngineOptions SmallOptions(int machines = 2, int threads = 3) {
+  EngineOptions options;
+  options.num_machines = machines;
+  options.threads_per_machine = threads;
+  options.queue_capacity = 2048;
+  return options;
+}
+
+TEST(Muppet2Test, CountsEventsPerKey) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  Muppet2Engine engine(config, SmallOptions());
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK(engine.Publish("in", "key" + std::to_string(i % 8), "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(CountOf(engine, "count", "key" + std::to_string(k)), 25);
+  }
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.events_published, 200);
+  EXPECT_EQ(stats.events_processed, 200);
+  EXPECT_EQ(stats.events_lost_failure, 0);
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, PipelineWithMapper) {
+  AppConfig config;
+  BuildFanoutApp(&config);
+  Muppet2Engine engine(config, SmallOptions());
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 50; ++i) ASSERT_OK(engine.Publish("in", "k", "", i + 1));
+  ASSERT_OK(engine.Drain());
+  EXPECT_EQ(CountOf(engine, "count", "k"), 100);
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, SingleThreadSingleMachine) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  Muppet2Engine engine(config, SmallOptions(1, 1));
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 40; ++i) ASSERT_OK(engine.Publish("in", "k", "", i + 1));
+  ASSERT_OK(engine.Drain());
+  EXPECT_EQ(CountOf(engine, "count", "k"), 40);
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, NoLostUpdatesUnderConcurrency) {
+  // The §4.5 design allows two threads to vie for a slate; the striped
+  // slate lock must keep read-modify-write updates lossless.
+  AppConfig config;
+  BuildCountingApp(&config);
+  Muppet2Engine engine(config, SmallOptions(1, 4));
+  ASSERT_OK(engine.Start());
+  constexpr int kEvents = 2000;
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_OK(engine.Publish("in", "hot", "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+  EXPECT_EQ(CountOf(engine, "count", "hot"), kEvents)
+      << "slate updates must not be lost to contention";
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, OperatorInstancesSharedPerMachine) {
+  // Muppet 2.0: "each map and update function is constructed only once
+  // [per machine] and shared by all threads" (§4.5).
+  AppConfig config;
+  BuildFanoutApp(&config);  // 2 functions
+  Muppet2Engine engine(config, SmallOptions(3, 8));
+  ASSERT_OK(engine.Start());
+  EXPECT_EQ(engine.Stats().operator_instances, 6)  // 2 funcs x 3 machines
+      << "thread count must not multiply operator instances";
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, SecondaryDispatchEngagesUnderSkew) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options = SmallOptions(1, 4);
+  options.secondary_queue_bias = 0;  // any imbalance diverts
+  options.queue_capacity = 16384;    // never overflow in this test
+  Muppet2Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+  // One hot key: its primary queue backs up, so two-choice dispatch
+  // should route some events to the secondary.
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_OK(engine.Publish("in", "hot", "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+  EXPECT_EQ(CountOf(engine, "count", "hot"), 5000);
+  EXPECT_EQ(engine.Stats().events_dropped_overflow, 0);
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, TwoChoiceDisabledStillCorrect) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options = SmallOptions(1, 4);
+  options.enable_two_choice = false;
+  Muppet2Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_OK(engine.Publish("in", "key" + std::to_string(i % 7), "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+  for (int k = 0; k < 7; ++k) {
+    EXPECT_GE(CountOf(engine, "count", "key" + std::to_string(k)), 71);
+  }
+  EXPECT_EQ(engine.secondary_dispatches(), 0);
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, TapAndStatusIntrospection) {
+  AppConfig config;
+  BuildCountingApp(&config, /*forward=*/true);
+  Muppet2Engine engine(config, SmallOptions());
+  std::atomic<int> tapped{0};
+  engine.TapStream("out", [&tapped](const Event&) { tapped.fetch_add(1); });
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 30; ++i) ASSERT_OK(engine.Publish("in", "k", "", i + 1));
+  ASSERT_OK(engine.Drain());
+  EXPECT_EQ(tapped.load(), 30);
+  // §4.5: status information such as the largest queue depth.
+  EXPECT_EQ(engine.LargestQueueDepth(), 0u) << "drained engine, empty queues";
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, FetchSlateFromAnyMachine) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  Muppet2Engine engine(config, SmallOptions(4, 2));
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_OK(engine.Publish("in", "key" + std::to_string(i), "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+  int found = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (CountOf(engine, "count", "key" + std::to_string(i)) == 1) ++found;
+  }
+  EXPECT_EQ(found, 64);
+  ASSERT_OK(engine.Stop());
+}
+
+TEST(Muppet2Test, RejectsBadShape) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options = SmallOptions(0, 0);
+  Muppet2Engine engine(config, options);
+  EXPECT_FALSE(engine.Start().ok());
+}
+
+TEST(Muppet2Test, StopFlushesAndIsIdempotent) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  Muppet2Engine engine(config, SmallOptions());
+  ASSERT_OK(engine.Start());
+  ASSERT_OK(engine.Publish("in", "k", "", 1));
+  ASSERT_OK(engine.Drain());
+  ASSERT_OK(engine.Stop());
+  ASSERT_OK(engine.Stop());
+}
+
+}  // namespace
+}  // namespace muppet

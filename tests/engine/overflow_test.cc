@@ -1,0 +1,204 @@
+// Queue-overflow policies (§4.3): drop+log, overflow stream (degraded
+// service), and source throttling (§5) — including the emit-loop deadlock
+// scenario the paper warns about, which the engines detect and avoid.
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "engine/muppet1.h"
+#include "engine/muppet2.h"
+#include "gtest/gtest.h"
+#include "tests/engine/engine_test_util.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using ::muppet::testing::CountOf;
+
+enum class EngineKind { kMuppet1, kMuppet2 };
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind, const AppConfig& config,
+                                   const EngineOptions& options) {
+  if (kind == EngineKind::kMuppet1) {
+    return std::make_unique<Muppet1Engine>(config, options);
+  }
+  return std::make_unique<Muppet2Engine>(config, options);
+}
+
+// Counting updater that takes `work_micros` per event — a deliberately
+// slow consumer to back up its queue.
+void BuildSlowCounter(AppConfig* config, Timestamp work_micros) {
+  ASSERT_OK(config->DeclareInputStream("in"));
+  ASSERT_OK(config->AddUpdater(
+      "slow",
+      MakeUpdaterFactory([work_micros](PerformerUtilities& out, const Event&,
+                                       const Bytes* slate) {
+        SystemClock::Default()->SleepFor(work_micros);
+        JsonSlate s(slate);
+        s.data()["count"] = s.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(s.Serialize());
+      }),
+      {"in"}));
+}
+
+class OverflowTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(OverflowTest, DropPolicyBoundsQueueAndCountsDrops) {
+  AppConfig config;
+  BuildSlowCounter(&config, /*work_micros=*/500);
+  EngineOptions options;
+  options.num_machines = 1;
+  options.workers_per_function = 1;
+  options.threads_per_machine = 1;
+  options.queue_capacity = 4;
+  options.overflow.policy = OverflowPolicy::kDrop;
+  auto engine = MakeEngine(GetParam(), config, options);
+  ASSERT_OK(engine->Start());
+  constexpr int kEvents = 300;
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_OK(engine->Publish("in", "k", "", i + 1));
+  }
+  ASSERT_OK(engine->Drain());
+  const EngineStats stats = engine->Stats();
+  EXPECT_GT(stats.events_dropped_overflow, 0)
+      << "a full queue must shed load under the drop policy";
+  EXPECT_EQ(stats.events_processed + stats.events_dropped_overflow, kEvents);
+  EXPECT_EQ(CountOf(*engine, "slow", "k"), stats.events_processed);
+  ASSERT_OK(engine->Stop());
+}
+
+TEST_P(OverflowTest, OverflowStreamProvidesDegradedService) {
+  AppConfig config;
+  BuildSlowCounter(&config, /*work_micros=*/500);
+  // The degraded path: a cheap counter on the overflow stream.
+  ASSERT_OK(config.DeclareStream("spill"));
+  ASSERT_OK(config.AddUpdater(
+      "degraded",
+      MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                            const Bytes* slate) {
+        JsonSlate s(slate);
+        s.data()["count"] = s.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(s.Serialize());
+      }),
+      {"spill"}));
+
+  EngineOptions options;
+  options.num_machines = 1;
+  options.workers_per_function = 1;
+  // Muppet 2.0 runs every function on one shared pool, so give the
+  // degraded path enough threads/queues to stay drainable while the slow
+  // function's pair of queues backs up. Muppet 1.0 has one worker (and
+  // queue) per function, so the degraded worker is naturally separate.
+  options.threads_per_machine = 8;
+  options.queue_capacity = 4;
+  options.overflow.policy = OverflowPolicy::kOverflowStream;
+  options.overflow.overflow_stream = "spill";
+  auto engine = MakeEngine(GetParam(), config, options);
+  ASSERT_OK(engine->Start());
+  constexpr int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_OK(engine->Publish("in", "k", "", i + 1));
+  }
+  ASSERT_OK(engine->Drain());
+  const EngineStats stats = engine->Stats();
+  EXPECT_GT(stats.events_redirected_overflow, 0);
+  const int64_t full = std::max<int64_t>(0, CountOf(*engine, "slow", "k"));
+  const int64_t degraded =
+      std::max<int64_t>(0, CountOf(*engine, "degraded", "k"));
+  EXPECT_GT(degraded, 0) << "redirected events get degraded processing";
+  // Every event received full service, degraded service, or (if even the
+  // spill path was full) was dropped.
+  EXPECT_EQ(full + degraded + stats.events_dropped_overflow, kEvents);
+  ASSERT_OK(engine->Stop());
+}
+
+TEST_P(OverflowTest, UndeclaredOverflowStreamRejectedAtStart) {
+  AppConfig config;
+  BuildSlowCounter(&config, 0);
+  EngineOptions options;
+  options.overflow.policy = OverflowPolicy::kOverflowStream;
+  options.overflow.overflow_stream = "nonexistent";
+  auto engine = MakeEngine(GetParam(), config, options);
+  EXPECT_FALSE(engine->Start().ok());
+}
+
+TEST_P(OverflowTest, SourceThrottlingTradesLatencyForCompleteness) {
+  AppConfig config;
+  BuildSlowCounter(&config, /*work_micros=*/300);
+  EngineOptions options;
+  options.num_machines = 1;
+  options.workers_per_function = 1;
+  options.threads_per_machine = 1;
+  options.queue_capacity = 4;
+  options.overflow.policy = OverflowPolicy::kThrottle;
+  options.throttle.step_micros = 100;
+  options.throttle.max_delay_micros = 5000;
+  auto engine = MakeEngine(GetParam(), config, options);
+  ASSERT_OK(engine->Start());
+  constexpr int kEvents = 150;
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_OK(engine->Publish("in", "k", "", i + 1));
+  }
+  ASSERT_OK(engine->Drain());
+  const EngineStats stats = engine->Stats();
+  EXPECT_GT(stats.throttle_signals, 0)
+      << "backpressure must reach the governor";
+  // Throttling keeps losses tiny compared to dropping.
+  EXPECT_LT(stats.events_dropped_overflow, kEvents / 10);
+  EXPECT_EQ(CountOf(*engine, "slow", "k"),
+            kEvents - stats.events_dropped_overflow);
+  ASSERT_OK(engine->Stop());
+}
+
+TEST_P(OverflowTest, SelfEmitDeadlockDetectedAndAvoided) {
+  // The §5 scenario: an updater emits events back into a stream it itself
+  // consumes; under throttling with a full queue, waiting would deadlock.
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("loop"));
+  ASSERT_OK(config.AddUpdater(
+      "looper",
+      MakeUpdaterFactory([](PerformerUtilities& out, const Event& e,
+                            const Bytes* slate) {
+        JsonSlate s(slate);
+        const int64_t hops = s.data().GetInt("hops") + 1;
+        s.data()["hops"] = hops;
+        (void)out.ReplaceSlate(s.Serialize());
+        if (e.stream == "in") {
+          // Burst-emit into our own input: the paper's 10,000-event
+          // emitter, scaled down.
+          for (int i = 0; i < 50; ++i) {
+            (void)out.Publish("loop", e.key, "");
+          }
+        }
+      }),
+      {"in", "loop"}));
+
+  EngineOptions options;
+  options.num_machines = 1;
+  options.workers_per_function = 1;
+  options.threads_per_machine = 1;
+  options.queue_capacity = 8;  // much smaller than the burst
+  options.overflow.policy = OverflowPolicy::kThrottle;
+  auto engine = MakeEngine(GetParam(), config, options);
+  ASSERT_OK(engine->Start());
+  ASSERT_OK(engine->Publish("in", "k", "", 1));
+  ASSERT_OK(engine->Drain());  // must terminate: the deadlock is avoided
+  const EngineStats stats = engine->Stats();
+  EXPECT_GT(stats.deadlocks_avoided, 0)
+      << "self-emit into a full own queue must be detected (§5)";
+  ASSERT_OK(engine->Stop());
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, OverflowTest,
+                         ::testing::Values(EngineKind::kMuppet1,
+                                           EngineKind::kMuppet2),
+                         [](const auto& info) {
+                           return info.param == EngineKind::kMuppet1
+                                      ? "Muppet1"
+                                      : "Muppet2";
+                         });
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,111 @@
+#include "engine/queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+RoutedEvent Item(const std::string& function, int i) {
+  RoutedEvent re;
+  re.function = function;
+  re.event.key = "k" + std::to_string(i);
+  re.event.seq = static_cast<uint64_t>(i);
+  return re;
+}
+
+TEST(EventQueueTest, FifoOrder) {
+  EventQueue queue(10);
+  for (int i = 0; i < 5; ++i) ASSERT_OK(queue.TryPush(Item("f", i)));
+  RoutedEvent out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out.event.seq, static_cast<uint64_t>(i));
+  }
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(EventQueueTest, DeclinesWhenFull) {
+  EventQueue queue(3);
+  for (int i = 0; i < 3; ++i) ASSERT_OK(queue.TryPush(Item("f", i)));
+  Status s = queue.TryPush(Item("f", 3));
+  EXPECT_TRUE(s.IsResourceExhausted()) << "full queue must decline (§4.3)";
+  // Popping frees a slot.
+  RoutedEvent out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_OK(queue.TryPush(Item("f", 4)));
+}
+
+TEST(EventQueueTest, StopRefusesPushesDrainsPops) {
+  EventQueue queue(10);
+  ASSERT_OK(queue.TryPush(Item("f", 1)));
+  queue.Stop();
+  EXPECT_EQ(queue.TryPush(Item("f", 2)).code(), StatusCode::kAborted);
+  RoutedEvent out;
+  EXPECT_TRUE(queue.Pop(&out));   // remaining item drains
+  EXPECT_FALSE(queue.Pop(&out));  // then Pop unblocks with false
+}
+
+TEST(EventQueueTest, BlockingPopWakesOnPush) {
+  EventQueue queue(10);
+  std::atomic<bool> got{false};
+  std::thread popper([&] {
+    RoutedEvent out;
+    if (queue.Pop(&out)) got.store(true);
+  });
+  SystemClock::Default()->SleepFor(10000);
+  ASSERT_OK(queue.TryPush(Item("f", 1)));
+  popper.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(EventQueueTest, ClearDiscardsAndCounts) {
+  EventQueue queue(10);
+  for (int i = 0; i < 7; ++i) ASSERT_OK(queue.TryPush(Item("f", i)));
+  EXPECT_EQ(queue.Clear(), 7u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, ZeroCapacityClampedToOne) {
+  EventQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  ASSERT_OK(queue.TryPush(Item("f", 1)));
+  EXPECT_TRUE(queue.TryPush(Item("f", 2)).IsResourceExhausted());
+}
+
+TEST(EventQueueTest, MultiProducerMultiConsumer) {
+  EventQueue queue(128);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 2000;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      RoutedEvent out;
+      while (queue.Pop(&out)) consumed.fetch_add(1);
+    });
+  }
+  std::atomic<int> produced{0};
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.TryPush(Item("f", i)).ok()) {
+          std::this_thread::yield();
+        }
+        produced.fetch_add(1);
+      }
+    });
+  }
+  // Join producers (the last kProducers threads).
+  for (size_t i = kConsumers; i < threads.size(); ++i) threads[i].join();
+  while (consumed.load() < produced.load()) std::this_thread::yield();
+  queue.Stop();
+  for (int c = 0; c < kConsumers; ++c) threads[static_cast<size_t>(c)].join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,151 @@
+// Tests for the Muppet 1.0 conductor <-> task-processor protocol.
+#include <string>
+
+#include "core/slate.h"
+#include "engine/muppet1.h"
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using engine_internal::TaskProcessor;
+
+TEST(TaskProcessorTest, MapperProducesOutputs) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.DeclareStream("mid"));
+  ASSERT_OK(config.AddMapper(
+      "M1", MakeMapperFactory([](PerformerUtilities& out, const Event& e) {
+        (void)out.Publish("mid", e.key, "a");
+        (void)out.Publish("mid", e.key, "b");
+      }),
+      {"in"}));
+
+  TaskProcessor task(config, *config.FindOperator("M1"));
+  Event event;
+  event.stream = "in";
+  event.ts = 100;
+  event.key = "k";
+  Bytes request, response;
+  TaskProcessor::EncodeRequest(event, nullptr, &request);
+  ASSERT_OK(task.Process(request, &response));
+
+  TaskProcessor::Response decoded;
+  ASSERT_OK(TaskProcessor::DecodeResponse(response, &decoded));
+  ASSERT_EQ(decoded.outputs.size(), 2u);
+  EXPECT_EQ(decoded.outputs[0].stream, "mid");
+  EXPECT_EQ(decoded.outputs[0].value, "a");
+  EXPECT_GT(decoded.outputs[0].ts, event.ts);
+  EXPECT_EQ(decoded.slate_action, 0);
+}
+
+TEST(TaskProcessorTest, UpdaterFirstTouchSeesNullSlate) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  bool saw_null = false;
+  ASSERT_OK(config.AddUpdater(
+      "U1",
+      MakeUpdaterFactory([&saw_null](PerformerUtilities& out, const Event&,
+                                     const Bytes* slate) {
+        saw_null = (slate == nullptr);
+        (void)out.ReplaceSlate("{\"count\":1}");
+      }),
+      {"in"}));
+  TaskProcessor task(config, *config.FindOperator("U1"));
+  Event event;
+  event.stream = "in";
+  event.key = "k";
+  Bytes request, response;
+  TaskProcessor::EncodeRequest(event, nullptr, &request);
+  ASSERT_OK(task.Process(request, &response));
+  EXPECT_TRUE(saw_null);
+  TaskProcessor::Response decoded;
+  ASSERT_OK(TaskProcessor::DecodeResponse(response, &decoded));
+  EXPECT_EQ(decoded.slate_action, 1);
+  EXPECT_EQ(decoded.slate, "{\"count\":1}");
+}
+
+TEST(TaskProcessorTest, UpdaterReceivesSlateBytes) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  Bytes received;
+  ASSERT_OK(config.AddUpdater(
+      "U1",
+      MakeUpdaterFactory([&received](PerformerUtilities& out, const Event&,
+                                     const Bytes* slate) {
+        if (slate != nullptr) received = *slate;
+        (void)out.ReplaceSlate("updated");
+      }),
+      {"in"}));
+  TaskProcessor task(config, *config.FindOperator("U1"));
+  Event event;
+  event.key = "k";
+  const Bytes prior = "{\"count\":41}";
+  Bytes request, response;
+  TaskProcessor::EncodeRequest(event, &prior, &request);
+  ASSERT_OK(task.Process(request, &response));
+  EXPECT_EQ(received, prior);
+}
+
+TEST(TaskProcessorTest, DeleteSlateAction) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.AddUpdater(
+      "U1", MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                                  const Bytes*) {
+        (void)out.DeleteSlate();
+      }),
+      {"in"}));
+  TaskProcessor task(config, *config.FindOperator("U1"));
+  Event event;
+  event.key = "k";
+  Bytes request, response;
+  TaskProcessor::EncodeRequest(event, nullptr, &request);
+  ASSERT_OK(task.Process(request, &response));
+  TaskProcessor::Response decoded;
+  ASSERT_OK(TaskProcessor::DecodeResponse(response, &decoded));
+  EXPECT_EQ(decoded.slate_action, 2);
+}
+
+TEST(TaskProcessorTest, MapperCannotTouchSlates) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  Status replace_status, delete_status;
+  ASSERT_OK(config.AddMapper(
+      "M1",
+      MakeMapperFactory([&](PerformerUtilities& out, const Event&) {
+        replace_status = out.ReplaceSlate("x");
+        delete_status = out.DeleteSlate();
+      }),
+      {"in"}));
+  TaskProcessor task(config, *config.FindOperator("M1"));
+  Event event;
+  Bytes request, response;
+  TaskProcessor::EncodeRequest(event, nullptr, &request);
+  ASSERT_OK(task.Process(request, &response));
+  EXPECT_EQ(replace_status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(delete_status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TaskProcessorTest, MalformedRequestRejected) {
+  AppConfig config;
+  ASSERT_OK(config.DeclareInputStream("in"));
+  ASSERT_OK(config.AddMapper(
+      "M1", MakeMapperFactory([](PerformerUtilities&, const Event&) {}),
+      {"in"}));
+  TaskProcessor task(config, *config.FindOperator("M1"));
+  Bytes response;
+  EXPECT_FALSE(task.Process("", &response).ok());
+  EXPECT_FALSE(task.Process("\x05" "abc", &response).ok());
+}
+
+TEST(TaskProcessorTest, ResponseDecodingRejectsGarbage) {
+  TaskProcessor::Response decoded;
+  EXPECT_FALSE(TaskProcessor::DecodeResponse("", &decoded).ok());
+  EXPECT_FALSE(TaskProcessor::DecodeResponse("\x01", &decoded).ok());
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,73 @@
+#include "engine/throttle.h"
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+ThrottleOptions TestOptions() {
+  ThrottleOptions options;
+  options.step_micros = 100;
+  options.max_delay_micros = 1000;
+  options.halflife_micros = 1000;
+  return options;
+}
+
+TEST(ThrottleTest, NoDelayWithoutSignals) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  EXPECT_EQ(governor.CurrentDelayMicros(), 0);
+}
+
+TEST(ThrottleTest, SignalsAccumulateDelay) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  governor.NoteOverflow();
+  governor.NoteOverflow();
+  governor.NoteOverflow();
+  EXPECT_EQ(governor.CurrentDelayMicros(), 300);
+  EXPECT_EQ(governor.overflow_signals(), 3);
+}
+
+TEST(ThrottleTest, DelayCappedAtMax) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  for (int i = 0; i < 100; ++i) governor.NoteOverflow();
+  EXPECT_EQ(governor.CurrentDelayMicros(), 1000);
+}
+
+TEST(ThrottleTest, DelayDecaysWithHalflife) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  for (int i = 0; i < 8; ++i) governor.NoteOverflow();  // 800us
+  EXPECT_EQ(governor.CurrentDelayMicros(), 800);
+  clock.Advance(1000);  // one halflife
+  const Timestamp decayed = governor.CurrentDelayMicros();
+  EXPECT_NEAR(static_cast<double>(decayed), 400.0, 40.0);
+  clock.Advance(10000);  // many halflives
+  EXPECT_EQ(governor.CurrentDelayMicros(), 0);
+}
+
+TEST(ThrottleTest, PaceSourceAdvancesClockByDelay) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  governor.PaceSource();
+  EXPECT_EQ(clock.Now(), 0) << "no pressure, no pacing";
+  for (int i = 0; i < 5; ++i) governor.NoteOverflow();
+  const Timestamp before = clock.Now();
+  governor.PaceSource();
+  EXPECT_GT(clock.Now(), before);
+}
+
+TEST(ThrottleTest, PressureReturnsAfterNewSignals) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  governor.NoteOverflow();
+  clock.Advance(100000);
+  EXPECT_EQ(governor.CurrentDelayMicros(), 0);
+  governor.NoteOverflow();
+  EXPECT_GT(governor.CurrentDelayMicros(), 0);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,80 @@
+#include "kvstore/bloom.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace kv {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter f(1000);
+  for (int i = 0; i < 1000; ++i) f.Add("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(f.MayContain("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomTest, LowFalsePositiveRate) {
+  BloomFilter f(1000, 10);
+  for (int i = 0; i < 1000; ++i) f.Add("key" + std::to_string(i));
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (f.MayContain("absent" + std::to_string(i))) ++false_positives;
+  }
+  // 10 bits/key gives ~1%; allow 3%.
+  EXPECT_LT(false_positives, 300);
+}
+
+TEST(BloomTest, SerializeRoundTrip) {
+  BloomFilter f(100);
+  for (int i = 0; i < 100; ++i) f.Add("k" + std::to_string(i));
+  Bytes wire;
+  f.Serialize(&wire);
+  BloomFilter g = BloomFilter::Deserialize(wire);
+  EXPECT_EQ(g.num_hashes(), f.num_hashes());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(g.MayContain("k" + std::to_string(i)));
+  }
+  // And the false-positive behaviour matches exactly.
+  int mismatches = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string probe = "absent" + std::to_string(i);
+    if (f.MayContain(probe) != g.MayContain(probe)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(BloomTest, MalformedDeserializeIsAlwaysMaybe) {
+  BloomFilter f = BloomFilter::Deserialize("");
+  EXPECT_TRUE(f.MayContain("anything"));
+  BloomFilter g = BloomFilter::Deserialize("\xff\xff\xff");
+  EXPECT_TRUE(g.MayContain("anything"));
+}
+
+TEST(BloomTest, EmptyFilterContainsNothingAdded) {
+  BloomFilter f(10);
+  int positives = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (f.MayContain("x" + std::to_string(i))) ++positives;
+  }
+  EXPECT_EQ(positives, 0);
+}
+
+TEST(BloomTest, ZeroExpectedKeysStillUsable) {
+  BloomFilter f(0);
+  f.Add("one");
+  EXPECT_TRUE(f.MayContain("one"));
+}
+
+TEST(BloomTest, BinaryKeys) {
+  BloomFilter f(10);
+  const Bytes key("\x00\x01\x02\x00", 4);
+  f.Add(key);
+  EXPECT_TRUE(f.MayContain(key));
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace muppet

@@ -1,0 +1,134 @@
+#include "kvstore/compaction.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace kv {
+namespace {
+
+Record MakeRecord(const Bytes& key, const Bytes& value, uint64_t seqno,
+                  bool tombstone = false, Timestamp expire_at = kNoExpiry) {
+  Record rec;
+  rec.key = key;
+  rec.value = value;
+  rec.seqno = seqno;
+  rec.tombstone = tombstone;
+  rec.expire_at = expire_at;
+  return rec;
+}
+
+TEST(PickCompactionsTest, NoCompactionBelowThreshold) {
+  CompactionPolicy policy;
+  policy.min_threshold = 4;
+  EXPECT_TRUE(PickSizeTieredCompactions({100, 110, 105}, policy).empty());
+  EXPECT_TRUE(PickSizeTieredCompactions({}, policy).empty());
+}
+
+TEST(PickCompactionsTest, SimilarSizesGroup) {
+  CompactionPolicy policy;
+  policy.min_threshold = 4;
+  const auto groups =
+      PickSizeTieredCompactions({100, 104, 98, 102, 100000}, policy);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+  // The big table is not in the group.
+  for (size_t idx : groups[0]) EXPECT_NE(idx, 4u);
+}
+
+TEST(PickCompactionsTest, DissimilarSizesDoNotGroup) {
+  CompactionPolicy policy;
+  policy.min_threshold = 2;
+  policy.bucket_ratio = 1.5;
+  // 100 and 1000 are in different tiers; 1000 and 1400 are in the same.
+  const auto groups = PickSizeTieredCompactions({100, 1000, 1400}, policy);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(PickCompactionsTest, MaxThresholdCapsGroup) {
+  CompactionPolicy policy;
+  policy.min_threshold = 2;
+  policy.max_threshold = 3;
+  std::vector<uint64_t> sizes(10, 100);
+  const auto groups = PickSizeTieredCompactions(sizes, policy);
+  ASSERT_FALSE(groups.empty());
+  EXPECT_LE(groups[0].size(), 3u);
+}
+
+TEST(MergeTest, NewestVersionWins) {
+  std::vector<std::vector<Record>> inputs;
+  inputs.push_back({MakeRecord("a", "old", 1), MakeRecord("b", "keep", 2)});
+  inputs.push_back({MakeRecord("a", "new", 5)});
+  const auto merged = MergeRecordStreams(std::move(inputs), 0, false);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].key, "a");
+  EXPECT_EQ(merged[0].value, "new");
+  EXPECT_EQ(merged[1].value, "keep");
+}
+
+TEST(MergeTest, OutputSortedUnique) {
+  std::vector<std::vector<Record>> inputs;
+  inputs.push_back({MakeRecord("c", "1", 1), MakeRecord("d", "2", 2)});
+  inputs.push_back({MakeRecord("a", "3", 3), MakeRecord("c", "4", 4)});
+  const auto merged = MergeRecordStreams(std::move(inputs), 0, false);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].key, "a");
+  EXPECT_EQ(merged[1].key, "c");
+  EXPECT_EQ(merged[1].value, "4");
+  EXPECT_EQ(merged[2].key, "d");
+}
+
+TEST(MergeTest, TombstonesRetainedWithoutDropGarbage) {
+  std::vector<std::vector<Record>> inputs;
+  inputs.push_back({MakeRecord("a", "live", 1)});
+  inputs.push_back({MakeRecord("a", "", 5, /*tombstone=*/true)});
+  const auto merged = MergeRecordStreams(std::move(inputs), 0,
+                                         /*drop_garbage=*/false);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_TRUE(merged[0].tombstone)
+      << "tombstone must keep shadowing older tables";
+}
+
+TEST(MergeTest, TombstonesDroppedWithDropGarbage) {
+  std::vector<std::vector<Record>> inputs;
+  inputs.push_back({MakeRecord("a", "live", 1), MakeRecord("b", "v", 2)});
+  inputs.push_back({MakeRecord("a", "", 5, /*tombstone=*/true)});
+  const auto merged = MergeRecordStreams(std::move(inputs), 0,
+                                         /*drop_garbage=*/true);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].key, "b");
+}
+
+TEST(MergeTest, ExpiredRecordsDroppedWithDropGarbage) {
+  std::vector<std::vector<Record>> inputs;
+  inputs.push_back({MakeRecord("a", "expired", 1, false, /*expire_at=*/100),
+                    MakeRecord("b", "fresh", 2, false, /*expire_at=*/10000)});
+  const auto merged = MergeRecordStreams(std::move(inputs), /*now=*/500,
+                                         /*drop_garbage=*/true);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].key, "b");
+}
+
+TEST(MergeTest, ExpiredShadowStillHidesOlderVersion) {
+  // An expired *newer* version must not resurrect the older one.
+  std::vector<std::vector<Record>> inputs;
+  inputs.push_back({MakeRecord("a", "ancient", 1)});
+  inputs.push_back({MakeRecord("a", "expired", 9, false, /*expire_at=*/100)});
+  const auto merged = MergeRecordStreams(std::move(inputs), /*now=*/500,
+                                         /*drop_garbage=*/true);
+  EXPECT_TRUE(merged.empty())
+      << "the newest version is expired, so the key is gone";
+}
+
+TEST(MergeTest, EmptyInputs) {
+  EXPECT_TRUE(MergeRecordStreams({}, 0, true).empty());
+  std::vector<std::vector<Record>> inputs(3);
+  EXPECT_TRUE(MergeRecordStreams(std::move(inputs), 0, false).empty());
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace muppet

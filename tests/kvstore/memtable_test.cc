@@ -1,0 +1,112 @@
+#include "kvstore/memtable.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace kv {
+namespace {
+
+Record MakeRecord(const Bytes& row, const Bytes& col, const Bytes& value,
+                  uint64_t seqno) {
+  Record rec;
+  rec.key = EncodeStorageKey(row, col);
+  rec.value = value;
+  rec.seqno = seqno;
+  return rec;
+}
+
+TEST(MemTableTest, PutGet) {
+  MemTable table;
+  table.Put(MakeRecord("row", "col", "v1", 1));
+  Record out;
+  ASSERT_TRUE(table.Get(EncodeStorageKey("row", "col"), &out));
+  EXPECT_EQ(out.value, "v1");
+  EXPECT_FALSE(table.Get(EncodeStorageKey("row", "other"), &out));
+}
+
+TEST(MemTableTest, OverwriteCoalesces) {
+  MemTable table;
+  for (int i = 0; i < 100; ++i) {
+    table.Put(MakeRecord("row", "col", "v" + std::to_string(i),
+                         static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(table.entry_count(), 1u);
+  Record out;
+  ASSERT_TRUE(table.Get(EncodeStorageKey("row", "col"), &out));
+  EXPECT_EQ(out.value, "v99");
+  EXPECT_EQ(out.seqno, 99u);
+}
+
+TEST(MemTableTest, TombstonesStored) {
+  MemTable table;
+  Record del = MakeRecord("row", "col", "", 2);
+  del.tombstone = true;
+  table.Put(del);
+  Record out;
+  ASSERT_TRUE(table.Get(EncodeStorageKey("row", "col"), &out));
+  EXPECT_TRUE(out.tombstone);
+}
+
+TEST(MemTableTest, SnapshotSorted) {
+  MemTable table;
+  table.Put(MakeRecord("c", "x", "3", 3));
+  table.Put(MakeRecord("a", "x", "1", 1));
+  table.Put(MakeRecord("b", "x", "2", 2));
+  const auto snapshot = table.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_LT(snapshot[0].key, snapshot[1].key);
+  EXPECT_LT(snapshot[1].key, snapshot[2].key);
+}
+
+TEST(MemTableTest, ScanByRowPrefix) {
+  MemTable table;
+  table.Put(MakeRecord("user1", "U1", "a", 1));
+  table.Put(MakeRecord("user1", "U2", "b", 2));
+  table.Put(MakeRecord("user10", "U1", "c", 3));
+  table.Put(MakeRecord("user2", "U1", "d", 4));
+  const auto rows = table.Scan(EncodeRowPrefix("user1"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].value, "a");
+  EXPECT_EQ(rows[1].value, "b");
+}
+
+TEST(MemTableTest, ApproximateBytesTracksGrowthAndClear) {
+  MemTable table;
+  EXPECT_EQ(table.approximate_bytes(), 0u);
+  table.Put(MakeRecord("row", "col", std::string(1000, 'v'), 1));
+  const size_t after_one = table.approximate_bytes();
+  EXPECT_GT(after_one, 1000u);
+  // Overwrite with smaller value shrinks the estimate.
+  table.Put(MakeRecord("row", "col", "small", 2));
+  EXPECT_LT(table.approximate_bytes(), after_one);
+  table.Clear();
+  EXPECT_EQ(table.approximate_bytes(), 0u);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(MemTableTest, ConcurrentWritersDistinctKeys) {
+  MemTable table;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        table.Put(MakeRecord("t" + std::to_string(t),
+                             "c" + std::to_string(i), "v",
+                             static_cast<uint64_t>(t * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(table.entry_count(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace muppet

@@ -1,0 +1,180 @@
+#include "kvstore/wal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace kv {
+namespace {
+
+using ::muppet::testing::TempDir;
+
+Record MakeRecord(int i) {
+  Record rec;
+  rec.key = "key" + std::to_string(i);
+  rec.value = "value" + std::to_string(i);
+  rec.seqno = static_cast<uint64_t>(i);
+  rec.write_ts = 1000 + i;
+  return rec;
+}
+
+TEST(WalTest, AppendAndReplay) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    WalWriter wal;
+    ASSERT_OK(wal.Open(path));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK(wal.Append(MakeRecord(i)));
+    }
+    ASSERT_OK(wal.Close());
+  }
+  std::vector<Record> records;
+  bool truncated = false;
+  ASSERT_OK(ReplayWal(path, &records, &truncated));
+  EXPECT_FALSE(truncated);
+  ASSERT_EQ(records.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].key,
+              "key" + std::to_string(i));
+    EXPECT_EQ(records[static_cast<size_t>(i)].seqno,
+              static_cast<uint64_t>(i));
+  }
+}
+
+TEST(WalTest, MissingFileReplaysEmpty) {
+  TempDir dir;
+  std::vector<Record> records;
+  bool truncated = true;
+  ASSERT_OK(ReplayWal(dir.path() + "/nope.log", &records, &truncated));
+  EXPECT_TRUE(records.empty());
+  EXPECT_FALSE(truncated);
+}
+
+TEST(WalTest, TornTailToleratedPrefixKept) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    WalWriter wal;
+    ASSERT_OK(wal.Open(path));
+    for (int i = 0; i < 10; ++i) ASSERT_OK(wal.Append(MakeRecord(i)));
+    ASSERT_OK(wal.Close());
+  }
+  // Chop a few bytes off the end (simulated crash mid-write).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    ASSERT_EQ(::truncate(path.c_str(), size - 5), 0);
+    std::fclose(f);
+  }
+  std::vector<Record> records;
+  bool truncated = false;
+  ASSERT_OK(ReplayWal(path, &records, &truncated));
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(records.size(), 9u);  // the torn final record is dropped
+}
+
+TEST(WalTest, CorruptRecordStopsReplay) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    WalWriter wal;
+    ASSERT_OK(wal.Open(path));
+    for (int i = 0; i < 10; ++i) ASSERT_OK(wal.Append(MakeRecord(i)));
+    ASSERT_OK(wal.Close());
+  }
+  // Flip a byte in the middle of the file (payload of some record).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  std::vector<Record> records;
+  bool truncated = false;
+  ASSERT_OK(ReplayWal(path, &records, &truncated));
+  EXPECT_TRUE(truncated);
+  EXPECT_LT(records.size(), 10u);  // replay stops at the corrupt record
+}
+
+TEST(WalTest, CloseAndRemoveDeletesFile) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  WalWriter wal;
+  ASSERT_OK(wal.Open(path));
+  ASSERT_OK(wal.Append(MakeRecord(1)));
+  ASSERT_OK(wal.CloseAndRemove());
+  std::vector<Record> records;
+  ASSERT_OK(ReplayWal(path, &records, nullptr));
+  EXPECT_TRUE(records.empty());
+}
+
+TEST(WalTest, AppendAfterReopenExtends) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  {
+    WalWriter wal;
+    ASSERT_OK(wal.Open(path));
+    ASSERT_OK(wal.Append(MakeRecord(1)));
+    ASSERT_OK(wal.Close());
+  }
+  {
+    WalWriter wal;
+    ASSERT_OK(wal.Open(path));  // "ab" mode appends
+    ASSERT_OK(wal.Append(MakeRecord(2)));
+    ASSERT_OK(wal.Close());
+  }
+  std::vector<Record> records;
+  ASSERT_OK(ReplayWal(path, &records, nullptr));
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(WalTest, SyncedAppend) {
+  TempDir dir;
+  WalWriter wal;
+  ASSERT_OK(wal.Open(dir.path() + "/wal.log"));
+  ASSERT_OK(wal.Append(MakeRecord(1), /*sync=*/true));
+  ASSERT_OK(wal.Sync());
+  ASSERT_OK(wal.Close());
+}
+
+TEST(WalTest, DoubleOpenFails) {
+  TempDir dir;
+  WalWriter wal;
+  ASSERT_OK(wal.Open(dir.path() + "/wal.log"));
+  EXPECT_FALSE(wal.Open(dir.path() + "/other.log").ok());
+}
+
+TEST(WalTest, TombstonesRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path() + "/wal.log";
+  WalWriter wal;
+  ASSERT_OK(wal.Open(path));
+  Record del;
+  del.key = "gone";
+  del.tombstone = true;
+  del.seqno = 9;
+  ASSERT_OK(wal.Append(del));
+  ASSERT_OK(wal.Close());
+  std::vector<Record> records;
+  ASSERT_OK(ReplayWal(path, &records, nullptr));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].tombstone);
+}
+
+}  // namespace
+}  // namespace kv
+}  // namespace muppet

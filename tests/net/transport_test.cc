@@ -1,0 +1,160 @@
+#include "net/transport.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+TEST(TransportTest, DeliversToHandler) {
+  Transport transport;
+  std::vector<std::string> received;
+  ASSERT_OK(transport.RegisterMachine(
+      1, [&received](MachineId from, BytesView payload) {
+        received.push_back(std::to_string(from) + ":" + std::string(payload));
+        return Status::OK();
+      }));
+  ASSERT_OK(transport.Send(0, 1, "hello"));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "0:hello");
+  EXPECT_EQ(transport.messages_sent(), 1);
+  EXPECT_EQ(transport.bytes_sent(), 5);
+}
+
+TEST(TransportTest, DuplicateRegistrationRejected) {
+  Transport transport;
+  auto handler = [](MachineId, BytesView) { return Status::OK(); };
+  ASSERT_OK(transport.RegisterMachine(1, handler));
+  EXPECT_EQ(transport.RegisterMachine(1, handler).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(transport.RegisterMachine(2, nullptr).ok());
+}
+
+TEST(TransportTest, SendToUnknownMachineUnavailable) {
+  Transport transport;
+  EXPECT_TRUE(transport.Send(0, 99, "x").IsUnavailable());
+  EXPECT_EQ(transport.messages_dropped(), 1);
+}
+
+TEST(TransportTest, CrashedMachineUnreachableUntilRestored) {
+  Transport transport;
+  int delivered = 0;
+  ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
+    ++delivered;
+    return Status::OK();
+  }));
+  ASSERT_OK(transport.Send(0, 1, "a"));
+  transport.Crash(1);
+  EXPECT_FALSE(transport.IsUp(1));
+  EXPECT_TRUE(transport.Send(0, 1, "b").IsUnavailable());
+  transport.Restore(1);
+  EXPECT_TRUE(transport.IsUp(1));
+  ASSERT_OK(transport.Send(0, 1, "c"));
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(TransportTest, DeclineCountsAndPropagates) {
+  Transport transport;
+  ASSERT_OK(transport.RegisterMachine(1, [](MachineId, BytesView) {
+    return Status::ResourceExhausted("queue full");
+  }));
+  Status s = transport.Send(0, 1, "x");
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(transport.messages_declined(), 1);
+}
+
+TEST(TransportTest, HandlerErrorPropagatesVerbatim) {
+  Transport transport;
+  ASSERT_OK(transport.RegisterMachine(1, [](MachineId, BytesView) {
+    return Status::Corruption("bad payload");
+  }));
+  EXPECT_EQ(transport.Send(0, 1, "x").code(), StatusCode::kCorruption);
+}
+
+TEST(TransportTest, LossModelDropsSome) {
+  TransportOptions options;
+  options.loss_probability = 0.5;
+  options.seed = 7;
+  Transport transport(options);
+  int delivered = 0;
+  ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
+    ++delivered;
+    return Status::OK();
+  }));
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!transport.Send(0, 1, "x").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 300);
+  EXPECT_LT(failures, 700);
+  EXPECT_EQ(delivered, 1000 - failures);
+}
+
+TEST(TransportTest, LocalSendSkipsLossAndLatency) {
+  TransportOptions options;
+  options.loss_probability = 1.0;  // all cross-machine sends fail
+  Transport transport(options);
+  int delivered = 0;
+  ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
+    ++delivered;
+    return Status::OK();
+  }));
+  // from == to bypasses the loss model (Muppet 2.0 local passing, §4.5).
+  ASSERT_OK(transport.Send(1, 1, "local"));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_TRUE(transport.Send(0, 1, "remote").IsUnavailable());
+}
+
+TEST(TransportTest, HopLatencyChargedOnSimulatedClock) {
+  SimulatedClock clock;
+  TransportOptions options;
+  options.hop_latency_micros = 150;
+  options.clock = &clock;
+  Transport transport(options);
+  ASSERT_OK(transport.RegisterMachine(
+      1, [](MachineId, BytesView) { return Status::OK(); }));
+  ASSERT_OK(transport.Send(0, 1, "x"));
+  EXPECT_EQ(clock.Now(), 150);
+  ASSERT_OK(transport.Send(1, 1, "local"));
+  EXPECT_EQ(clock.Now(), 150) << "local sends pay no hop latency";
+}
+
+TEST(TransportTest, MachinesListedSorted) {
+  Transport transport;
+  auto handler = [](MachineId, BytesView) { return Status::OK(); };
+  ASSERT_OK(transport.RegisterMachine(3, handler));
+  ASSERT_OK(transport.RegisterMachine(1, handler));
+  ASSERT_OK(transport.RegisterMachine(2, handler));
+  const auto machines = transport.Machines();
+  ASSERT_EQ(machines.size(), 3u);
+  EXPECT_EQ(machines[0], 1);
+  EXPECT_EQ(machines[2], 3);
+  transport.UnregisterMachine(2);
+  EXPECT_EQ(transport.Machines().size(), 2u);
+}
+
+TEST(TransportTest, ConcurrentSendsAreSafe) {
+  Transport transport;
+  std::atomic<int> delivered{0};
+  ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
+    delivered.fetch_add(1);
+    return Status::OK();
+  }));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&transport] {
+      for (int i = 0; i < 1000; ++i) {
+        (void)transport.Send(0, 1, "x");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(delivered.load(), 4000);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,205 @@
+#include "service/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+// Minimal HTTP client for tests: one request, read everything.
+std::string HttpGet(int port, const std::string& target,
+                    const std::string& body = "",
+                    const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = method + " " + target + " HTTP/1.0\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(UrlCodecTest, RoundTrip) {
+  for (const std::string& s :
+       {std::string("plain"), std::string("with space"),
+        std::string("a/b?c&d"), std::string("\x01\xff\x00z", 4),
+        std::string("")}) {
+    EXPECT_EQ(UrlDecode(UrlEncode(s)), s);
+  }
+  EXPECT_EQ(UrlEncode("a b"), "a%20b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");  // malformed escapes pass through
+}
+
+TEST(HttpServerTest, ServesRegisteredHandler) {
+  HttpServer server;
+  server.RegisterHandler("/hello", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "hi " + request.path + "\n"};
+  });
+  ASSERT_OK(server.Start(0));
+  ASSERT_GT(server.port(), 0);
+  const std::string response = HttpGet(server.port(), "/hello/world");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("hi /hello/world"), std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, UnknownPath404) {
+  HttpServer server;
+  server.RegisterHandler("/known", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_OK(server.Start(0));
+  const std::string response = HttpGet(server.port(), "/unknown");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, LongestPrefixWins) {
+  HttpServer server;
+  server.RegisterHandler("/a", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "short"};
+  });
+  server.RegisterHandler("/a/b", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "long"};
+  });
+  ASSERT_OK(server.Start(0));
+  EXPECT_NE(HttpGet(server.port(), "/a/b/c").find("long"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/a/x").find("short"),
+            std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, QueryStringSeparated) {
+  HttpServer server;
+  std::string seen_path, seen_query;
+  server.RegisterHandler("/q", [&](const HttpRequest& request) {
+    seen_path = request.path;
+    seen_query = request.query;
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_OK(server.Start(0));
+  HttpGet(server.port(), "/q/x?a=1&b=2");
+  EXPECT_EQ(seen_path, "/q/x");
+  EXPECT_EQ(seen_query, "a=1&b=2");
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, PostBodyDelivered) {
+  HttpServer server;
+  std::string seen_body, seen_method;
+  server.RegisterHandler("/post", [&](const HttpRequest& request) {
+    seen_body = request.body;
+    seen_method = request.method;
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_OK(server.Start(0));
+  HttpGet(server.port(), "/post", "the payload", "POST");
+  EXPECT_EQ(seen_method, "POST");
+  EXPECT_EQ(seen_body, "the payload");
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, ManySequentialRequests) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.RegisterHandler("/", [&](const HttpRequest&) {
+    hits.fetch_add(1);
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_OK(server.Start(0));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(HttpGet(server.port(), "/" + std::to_string(i)).find("200"),
+              std::string::npos);
+  }
+  EXPECT_EQ(hits.load(), 100);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, ConcurrentClients) {
+  HttpServer server;
+  std::atomic<int> hits{0};
+  server.RegisterHandler("/", [&](const HttpRequest& request) {
+    hits.fetch_add(1);
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  });
+  ASSERT_OK(server.Start(0));
+  constexpr int kThreads = 4, kPerThread = 25;
+  std::atomic<int> ok_responses{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string target =
+            "/t" + std::to_string(t) + "/" + std::to_string(i);
+        const std::string response = HttpGet(server.port(), target);
+        if (response.find("200 OK") != std::string::npos &&
+            response.find("echo:" + target) != std::string::npos) {
+          ok_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok_responses.load(), kThreads * kPerThread);
+  EXPECT_EQ(hits.load(), kThreads * kPerThread);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, OversizedAndGarbageRequestsSurvive) {
+  HttpServer server;
+  server.RegisterHandler("/", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_OK(server.Start(0));
+  // Garbage request line: the server must not crash and must keep serving.
+  HttpGet(server.port(), "\r\n\r\n");
+  // Large-ish body.
+  HttpGet(server.port(), "/post", std::string(100000, 'x'), "POST");
+  EXPECT_NE(HttpGet(server.port(), "/fine").find("200"), std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.RegisterHandler("/", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  ASSERT_OK(server.Start(0));
+  ASSERT_OK(server.Stop());
+  ASSERT_OK(server.Stop());
+  ASSERT_OK(server.Start(0));
+  EXPECT_NE(HttpGet(server.port(), "/").find("200"), std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+}  // namespace
+}  // namespace muppet

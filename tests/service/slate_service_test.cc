@@ -1,0 +1,144 @@
+#include "service/slate_service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "engine/muppet2.h"
+#include "gtest/gtest.h"
+#include "tests/engine/engine_test_util.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using ::muppet::testing::BuildCountingApp;
+
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class SlateServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BuildCountingApp(&config_);
+    EngineOptions options;
+    options.num_machines = 2;
+    options.threads_per_machine = 2;
+    engine_ = std::make_unique<Muppet2Engine>(config_, options);
+    ASSERT_OK(engine_->Start());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_OK(engine_->Publish("in", "walmart", "", i + 1));
+    }
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK(engine_->Publish("in", "key with space", "", 100 + i));
+    }
+    ASSERT_OK(engine_->Drain());
+  }
+
+  void TearDown() override { ASSERT_OK(engine_->Stop()); }
+
+  AppConfig config_;
+  std::unique_ptr<Muppet2Engine> engine_;
+};
+
+TEST_F(SlateServiceTest, InProcessFetchReturnsSlate) {
+  SlateService service(engine_.get());
+  const HttpResponse response = service.Fetch("/slate/count/walmart");
+  EXPECT_EQ(response.status, 200);
+  JsonSlate s(&response.body);
+  EXPECT_EQ(s.data().GetInt("count"), 12);
+}
+
+TEST_F(SlateServiceTest, UriHelperEscapesKey) {
+  SlateService service(engine_.get());
+  const std::string uri = SlateService::SlateUri("count", "key with space");
+  EXPECT_EQ(uri, "/slate/count/key%20with%20space");
+  const HttpResponse response = service.Fetch(UrlDecode(uri));
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST_F(SlateServiceTest, MissingSlate404) {
+  SlateService service(engine_.get());
+  EXPECT_EQ(service.Fetch("/slate/count/never-seen").status, 404);
+  EXPECT_EQ(service.Fetch("/slate/ghost-updater/k").status, 404);
+}
+
+TEST_F(SlateServiceTest, MalformedUri400) {
+  SlateService service(engine_.get());
+  EXPECT_EQ(service.Fetch("/slate/missing-key-part").status, 400);
+  EXPECT_EQ(service.Fetch("/wrong/prefix/x").status, 400);
+}
+
+TEST_F(SlateServiceTest, StatusPageReportsCounters) {
+  SlateService service(engine_.get());
+  const HttpResponse response = service.StatusPage();
+  EXPECT_EQ(response.status, 200);
+  Result<Json> parsed = Json::Parse(response.body);
+  ASSERT_OK(parsed);
+  EXPECT_EQ(parsed.value().GetInt("events_published"), 17);
+  EXPECT_EQ(parsed.value().GetInt("events_processed"), 17);
+}
+
+TEST_F(SlateServiceTest, ServesOverRealHttp) {
+  // The full §4.4 path: URI over a TCP socket to the node's HTTP server,
+  // answered from the slate cache.
+  SlateService service(engine_.get());
+  HttpServer server;
+  service.AttachTo(&server);
+  ASSERT_OK(server.Start(0));
+
+  const std::string response =
+      HttpGet(server.port(), SlateService::SlateUri("count", "walmart"));
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"count\":12"), std::string::npos);
+
+  const std::string escaped = HttpGet(
+      server.port(), SlateService::SlateUri("count", "key with space"));
+  EXPECT_NE(escaped.find("\"count\":5"), std::string::npos);
+
+  const std::string status = HttpGet(server.port(), "/status");
+  EXPECT_NE(status.find("events_published"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/slate/count/ghost");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+TEST_F(SlateServiceTest, FetchSeesLiveUpdates) {
+  // §4.4: the fetch must reflect the cache, i.e. the newest state.
+  SlateService service(engine_.get());
+  const HttpResponse first = service.Fetch("/slate/count/walmart");
+  JsonSlate before(&first.body);
+  ASSERT_OK(engine_->Publish("in", "walmart", "", 999));
+  ASSERT_OK(engine_->Drain());
+  const HttpResponse second = service.Fetch("/slate/count/walmart");
+  JsonSlate after(&second.body);
+  EXPECT_EQ(after.data().GetInt("count"),
+            before.data().GetInt("count") + 1);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,0 +1,69 @@
+// Shared test helpers.
+#ifndef MUPPET_TESTS_TEST_UTIL_H_
+#define MUPPET_TESTS_TEST_UTIL_H_
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace testing {
+
+// A unique temporary directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const auto base = std::filesystem::temp_directory_path();
+    std::random_device rd;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto candidate = base / ("muppet_test_" + std::to_string(rd()) + "_" +
+                               std::to_string(attempt));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        path_ = candidate.string();
+        return;
+      }
+    }
+    ADD_FAILURE() << "could not create temp dir";
+  }
+
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+#define ASSERT_OK(expr)                                             \
+  do {                                                              \
+    const auto& _status_or = (expr);                                \
+    ASSERT_TRUE(::muppet::testing::StatusOf(_status_or).ok())       \
+        << ::muppet::testing::StatusOf(_status_or).ToString();      \
+  } while (0)
+
+#define EXPECT_OK(expr)                                             \
+  do {                                                              \
+    const auto& _status_or = (expr);                                \
+    EXPECT_TRUE(::muppet::testing::StatusOf(_status_or).ok())       \
+        << ::muppet::testing::StatusOf(_status_or).ToString();      \
+  } while (0)
+
+}  // namespace testing
+}  // namespace muppet
+
+#endif  // MUPPET_TESTS_TEST_UTIL_H_

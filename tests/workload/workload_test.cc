@@ -1,0 +1,181 @@
+#include <map>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "tests/test_util.h"
+#include "workload/checkins.h"
+#include "workload/rate.h"
+#include "workload/tweets.h"
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace workload {
+namespace {
+
+TEST(ZipfKeysTest, DeterministicAndSkewed) {
+  ZipfKeyGenerator a(1000, 1.2, "k", 7);
+  ZipfKeyGenerator b(1000, 1.2, "k", 7);
+  std::map<Bytes, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    const Bytes key = a.Next();
+    EXPECT_EQ(key, b.Next());
+    counts[key]++;
+  }
+  // Rank 0 dominates under skew 1.2.
+  EXPECT_GT(counts[a.KeyAt(0)], 1000);
+}
+
+TEST(TweetGeneratorTest, TimestampsStrictlyIncrease) {
+  TweetGenerator gen(TweetOptions{}, /*start_ts=*/1000);
+  Timestamp prev = 1000;
+  for (int i = 0; i < 1000; ++i) {
+    const Tweet t = gen.Next();
+    EXPECT_GT(t.ts, prev);
+    prev = t.ts;
+  }
+}
+
+TEST(TweetGeneratorTest, RateControlsSpacing) {
+  TweetOptions options;
+  options.events_per_second = 100.0;  // 10ms spacing
+  TweetGenerator gen(options);
+  const Tweet first = gen.Next();
+  const Tweet second = gen.Next();
+  EXPECT_EQ(second.ts - first.ts, 10000);
+}
+
+TEST(TweetGeneratorTest, JsonParsesAndMatchesFields) {
+  TweetGenerator gen(TweetOptions{});
+  for (int i = 0; i < 200; ++i) {
+    const Tweet t = gen.Next();
+    Result<Json> parsed = Json::Parse(t.json);
+    ASSERT_OK(parsed);
+    EXPECT_EQ(parsed.value().GetString("user"), std::string(t.user));
+    EXPECT_EQ(parsed.value()["topics"].size(), t.topics.size());
+    if (!t.url.empty()) {
+      EXPECT_EQ(parsed.value().GetString("url"), std::string(t.url));
+    }
+    if (t.is_retweet) {
+      EXPECT_EQ(parsed.value().GetString("retweet_of"),
+                std::string(t.target_user));
+    }
+  }
+}
+
+TEST(TweetGeneratorTest, MixOfFeaturesPresent) {
+  TweetOptions options;
+  options.seed = 3;
+  TweetGenerator gen(options);
+  int with_topics = 0, retweets = 0, replies = 0, with_url = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Tweet t = gen.Next();
+    if (!t.topics.empty()) ++with_topics;
+    if (t.is_retweet) ++retweets;
+    if (t.is_reply) ++replies;
+    if (!t.url.empty()) ++with_url;
+  }
+  EXPECT_GT(with_topics, 1000);
+  EXPECT_GT(retweets, 200);
+  EXPECT_GT(replies, 80);
+  EXPECT_GT(with_url, 300);
+}
+
+TEST(TweetGeneratorTest, BurstTopicSpikes) {
+  TweetOptions options;
+  options.burst_topic = 3;
+  options.burst_start = 0;
+  options.burst_end = 1000 * kMicrosPerSecond;
+  options.burst_multiplier = 10.0;
+  options.seed = 5;
+  TweetGenerator burst_gen(options);
+
+  TweetOptions calm = options;
+  calm.burst_topic = -1;
+  TweetGenerator calm_gen(calm);
+
+  auto count_topic3 = [](TweetGenerator& gen) {
+    int count = 0;
+    for (int i = 0; i < 3000; ++i) {
+      for (int topic : gen.Next().topics) {
+        if (topic == 3) ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(count_topic3(burst_gen), count_topic3(calm_gen) * 3);
+}
+
+TEST(CheckinGeneratorTest, RetailerMixMatchesFraction) {
+  CheckinOptions options;
+  options.retailer_fraction = 0.4;
+  options.seed = 9;
+  CheckinGenerator gen(options);
+  int retail = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (!gen.Next().retailer.empty()) ++retail;
+  }
+  EXPECT_NEAR(retail / 5000.0, 0.4, 0.05);
+}
+
+TEST(CheckinGeneratorTest, HotRetailerDominates) {
+  CheckinOptions options;
+  options.hot_retailer = 2;  // Best Buy
+  options.hot_fraction = 0.9;
+  options.retailer_fraction = 1.0;
+  CheckinGenerator gen(options);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) counts[gen.Next().retailer]++;
+  EXPECT_GT(counts["Best Buy"], 1500);
+}
+
+TEST(CheckinGeneratorTest, JsonVenueRecognizable) {
+  CheckinOptions options;
+  options.retailer_fraction = 1.0;
+  CheckinGenerator gen(options);
+  for (int i = 0; i < 100; ++i) {
+    const Checkin c = gen.Next();
+    Result<Json> parsed = Json::Parse(c.json);
+    ASSERT_OK(parsed);
+    EXPECT_FALSE(parsed.value().GetString("venue").empty());
+    EXPECT_FALSE(c.retailer.empty());
+  }
+}
+
+TEST(CheckinGeneratorTest, RetailerNamesStable) {
+  const auto& names = RetailerNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "Walmart");
+  EXPECT_EQ(names[2], "Best Buy");
+}
+
+TEST(RateControllerTest, PacesToTargetOnSimulatedClock) {
+  SimulatedClock clock;
+  RateController rate(1000.0, &clock);  // 1ms per event
+  for (int i = 0; i < 100; ++i) rate.Pace();
+  EXPECT_EQ(clock.Now(), 100 * 1000);
+  EXPECT_EQ(rate.count(), 100);
+}
+
+TEST(RateControllerTest, SlowConsumerNotDelayedFurther) {
+  SimulatedClock clock;
+  RateController rate(1000.0, &clock);
+  clock.Advance(10 * kMicrosPerSecond);  // consumer fell far behind
+  const Timestamp before = clock.Now();
+  rate.Pace();
+  EXPECT_EQ(clock.Now(), before) << "behind schedule: no extra sleep";
+}
+
+TEST(RateControllerTest, ResetRebaselines) {
+  SimulatedClock clock;
+  RateController rate(1000.0, &clock);
+  clock.Advance(5 * kMicrosPerSecond);
+  rate.Reset();
+  rate.Pace();
+  EXPECT_EQ(clock.Now(), 5 * kMicrosPerSecond + 1000);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace muppet
