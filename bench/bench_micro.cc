@@ -5,12 +5,16 @@
 // a machine is worth a generation bump.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/compress.h"
 #include "common/hash.h"
 #include "core/event.h"
 #include "core/hash_ring.h"
+#include "core/intern.h"
 #include "core/slate.h"
 #include "engine/queue.h"
+#include "engine/wire.h"
 #include "json/json.h"
 
 namespace muppet {
@@ -122,6 +126,69 @@ void BM_QueuePushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueuePushPop);
+
+void BM_QueuePushPopBatch(benchmark::State& state) {
+  // Batched counterpart of BM_QueuePushPop: one lock acquisition moves
+  // `batch` events in, one moves them out. Per-event cost should drop
+  // roughly with batch size.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EventQueue queue(1 << 16);
+  std::vector<RoutedEvent> in;
+  for (size_t i = 0; i < batch; ++i) {
+    RoutedEvent re;
+    re.function_id = 0;
+    re.work = i + 1;
+    re.event = MakeEvent(100);
+    in.push_back(std::move(re));
+  }
+  std::vector<RoutedEvent> out;
+  out.reserve(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(queue.TryPushBatch(&in));  // clears `in`
+    benchmark::DoNotOptimize(queue.PopBatch(&out, batch));
+    std::swap(in, out);  // popped events become the next push batch
+    out.clear();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_QueuePushPopBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_RoutedEventFrameRoundTrip(benchmark::State& state) {
+  // The 2.0 cross-machine format: id-addressed events coalesced into one
+  // frame per destination.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<RoutedEvent> events;
+  for (size_t i = 0; i < batch; ++i) {
+    RoutedEvent re;
+    re.function_id = static_cast<int32_t>(i % 4);
+    re.work = i + 1;
+    re.event = MakeEvent(100);
+    events.push_back(std::move(re));
+  }
+  for (auto _ : state) {
+    Bytes frame;
+    EncodeRoutedEventFrame(events, &frame);
+    RoutedEventFrameReader reader(frame);
+    RoutedEvent re;
+    while (reader.Next(&re)) benchmark::DoNotOptimize(re);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_RoutedEventFrameRoundTrip)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_InternFind(benchmark::State& state) {
+  // The per-event name resolution on the hot path: one Find per stream.
+  NameInterner interner;
+  for (int i = 0; i < 16; ++i) interner.Intern("stream" + std::to_string(i));
+  const std::string name = "stream7";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interner.Find(name));
+  }
+}
+BENCHMARK(BM_InternFind);
 
 void BM_Fnv1a64(benchmark::State& state) {
   const Bytes key(static_cast<size_t>(state.range(0)), 'k');

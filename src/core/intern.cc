@@ -1,0 +1,19 @@
+#include "core/intern.h"
+
+namespace muppet {
+
+uint32_t NameInterner::Intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+int32_t NameInterner::Find(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNotFound : static_cast<int32_t>(it->second);
+}
+
+}  // namespace muppet

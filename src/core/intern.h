@@ -1,0 +1,56 @@
+// Name interning: dense integer ids for the small, fixed sets of names an
+// application declares (streams, operator functions). The Muppet 2.0 hot
+// path resolves every routed event's destination; interning at Start()
+// turns those per-event string-map probes into vector indexing, and lets a
+// routed event carry its destination as a 32-bit id instead of a
+// heap-allocated string (§4.5: keep the intra-machine path copy-free).
+//
+// The table is built once, single-threaded, before the engine starts its
+// workers; afterwards it is read-only and therefore safe to share across
+// threads without locks.
+#ifndef MUPPET_CORE_INTERN_H_
+#define MUPPET_CORE_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace muppet {
+
+class NameInterner {
+ public:
+  static constexpr int32_t kNotFound = -1;
+
+  // Intern `name`, returning its dense id; returns the existing id when the
+  // name was interned before. Ids are assigned 0, 1, 2, ... in first-intern
+  // order, so iteration order is deterministic.
+  uint32_t Intern(std::string_view name);
+
+  // Id of `name`, or kNotFound. Lock-free; safe concurrently with other
+  // readers once building is done.
+  int32_t Find(std::string_view name) const;
+
+  // Inverse mapping; `id` must come from Intern()/Find().
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Transparent hashing so Find(string_view) probes without constructing a
+  // temporary std::string.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, Hash, std::equal_to<>> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_INTERN_H_

@@ -375,7 +375,7 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
     inflight_.fetch_add(1, std::memory_order_acq_rel);
     Status s = transport_.Send(from, target.value().machine, payload);
     if (s.ok()) return;
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    DecInflight(1);
 
     if (s.IsUnavailable()) {
       // Failure detected on send (§4.3): report to the master, which
@@ -458,7 +458,7 @@ void Muppet1Engine::ConductorLoop(Worker* worker) {
       MUPPET_LOG(kError) << "worker " << worker->function << "@"
                          << worker->ref.machine << ": " << s.ToString();
     }
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    DecInflight(1);
   }
 }
 
@@ -552,11 +552,22 @@ void Muppet1Engine::FlusherLoop(MachineCtx* machine) {
   }
 }
 
+void Muppet1Engine::DecInflight(int64_t n) {
+  if (n <= 0) return;
+  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // Reached zero: wake Drain(). Taking the mutex orders the notify
+    // against a drainer that just checked the predicate.
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
 Status Muppet1Engine::Drain() {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  while (inflight_.load(std::memory_order_acquire) > 0) {
-    SystemClock::Default()->SleepFor(100);
-  }
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) <= 0;
+  });
   return Status::OK();
 }
 
@@ -633,8 +644,7 @@ Status Muppet1Engine::CrashMachine(MachineId machine_id) {
     const size_t lost = worker->queue->Clear();
     worker->queue->Stop();
     lost_failure_.Add(static_cast<int64_t>(lost));
-    inflight_.fetch_sub(static_cast<int64_t>(lost),
-                        std::memory_order_acq_rel);
+    DecInflight(static_cast<int64_t>(lost));
   }
   for (Worker* worker : machine->workers) {
     if (worker->thread.joinable()) worker->thread.join();

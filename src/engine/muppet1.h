@@ -10,6 +10,7 @@
 #define MUPPET_ENGINE_MUPPET1_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -143,6 +144,9 @@ class Muppet1Engine final : public Engine {
   void RunTaps(const Event& event);
   uint64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Decrement in-flight count, waking Drain() when it reaches zero.
+  void DecInflight(int64_t n);
+
   const AppConfig& config_;
   EngineOptions options_;
   Clock* clock_;
@@ -160,6 +164,9 @@ class Muppet1Engine final : public Engine {
   std::atomic<uint64_t> seq_{1};
   std::atomic<int64_t> inflight_{0};
   std::atomic<bool> shutdown_{false};
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
 
   mutable std::shared_mutex taps_mutex_;
   std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_;

@@ -1,12 +1,19 @@
 #include "engine/muppet2.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "engine/wire.h"
 
 namespace muppet {
+
+namespace {
+// Route-time view of "no machines failed" — the overwhelmingly common
+// case, served without copying a set under a lock.
+const std::set<MachineId> kNoFailed;
+}  // namespace
 
 // PerformerUtilities that routes outputs immediately — no serialization
 // within the machine (the 1.0 IPC cost 2.0 eliminates, §4.5). Slate
@@ -53,7 +60,7 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
     out.value.assign(value);
     out.origin_ts = event_.origin_ts;
     engine_->emitted_.Add();
-    engine_->DeliverEvent(machine_->id, work_, out);
+    engine_->DeliverEvent(machine_->id, work_, std::move(out));
     return Status::OK();
   }
 
@@ -101,11 +108,16 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
 
 Muppet2Engine::~Muppet2Engine() { (void)Stop(); }
 
-uint64_t Muppet2Engine::WorkHash(const std::string& function,
-                                 BytesView key) {
-  uint64_t h = HashCombine(Fnv1a64(function), Fnv1a64(key));
+uint64_t Muppet2Engine::CombineWork(uint64_t function_hash,
+                                    uint64_t key_hash) {
+  uint64_t h = HashCombine(function_hash, key_hash);
   if (h == 0) h = 1;  // 0 means "idle"
   return h;
+}
+
+uint64_t Muppet2Engine::WorkHash(const std::string& function,
+                                 BytesView key) {
+  return CombineWork(Fnv1a64(function), Fnv1a64(key));
 }
 
 Status Muppet2Engine::Start() {
@@ -117,6 +129,24 @@ Status Muppet2Engine::Start() {
   if (options_.overflow.policy == OverflowPolicy::kOverflowStream &&
       !config_.HasStream(options_.overflow.overflow_stream)) {
     return Status::InvalidArgument("engine: overflow stream is not declared");
+  }
+
+  // Intern operator and stream names into dense ids; precompute the
+  // function half of every work hash and each stream's subscriber list.
+  // operators() is an ordered map, so ids are deterministic across
+  // machines and runs — which is what lets ids travel in wire frames.
+  for (const auto& [name, spec] : config_.operators()) {
+    const uint32_t fid = op_names_.Intern(name);
+    (void)fid;
+    ops_.push_back(OpInfo{&spec, Fnv1a64(name)});
+  }
+  for (const std::string& sid : config_.AllStreams()) {
+    const uint32_t stream_id = stream_names_.Intern(sid);
+    if (subscribers_.size() <= stream_id) subscribers_.resize(stream_id + 1);
+    for (const std::string& sub : config_.SubscribersOf(sid)) {
+      subscribers_[stream_id].push_back(
+          static_cast<uint32_t>(op_names_.Find(sub)));
+    }
   }
 
   for (int m = 0; m < options_.num_machines; ++m) {
@@ -136,19 +166,23 @@ Status Muppet2Engine::Start() {
           return options_.slate_store->Write(dirty.id, dirty.value, ttl);
         });
 
-    // One shared operator instance per function per machine.
-    for (const auto& [name, spec] : config_.operators()) {
+    // One shared operator instance per function per machine, indexed by
+    // interned id so the hot path never probes a string map.
+    machine->mappers.resize(ops_.size());
+    machine->updaters.resize(ops_.size());
+    for (size_t fid = 0; fid < ops_.size(); ++fid) {
+      const OperatorSpec& spec = *ops_[fid].spec;
       if (spec.kind == OperatorKind::kMapper) {
-        machine->mappers[name] = spec.mapper_factory(config_, name);
+        machine->mappers[fid] = spec.mapper_factory(config_, spec.name);
       } else {
-        machine->updaters[name] = spec.updater_factory(config_, name);
+        machine->updaters[fid] = spec.updater_factory(config_, spec.name);
       }
       operator_instances_.Add();
       // Every machine hosts every function; the ring routes keys among
       // machines.
       if (m == 0) {
         for (int mm = 0; mm < options_.num_machines; ++mm) {
-          ring_.AddWorker(name, WorkerRef{mm, 0});
+          ring_.AddWorker(spec.name, WorkerRef{mm, 0});
         }
       }
     }
@@ -168,12 +202,19 @@ Status Muppet2Engine::Start() {
         id, [this, id](MachineId /*from*/, BytesView payload) {
           return HandleIncoming(id, payload);
         }));
+    MUPPET_RETURN_IF_ERROR(transport_.RegisterBatchHandler(
+        id, [this, id](MachineId /*from*/, BytesView frame, size_t count,
+                       size_t* accepted) {
+          return HandleIncomingFrame(id, frame, count, accepted);
+        }));
   }
 
   master_.AddListener([this](MachineId failed) {
     for (auto& machine : machines_) {
       std::lock_guard<std::mutex> lock(machine->failed_mutex);
       machine->failed.insert(failed);
+      machine->failed_count.store(machine->failed.size(),
+                                  std::memory_order_release);
     }
   });
 
@@ -194,6 +235,7 @@ void Muppet2Engine::TapStream(const std::string& stream,
                               std::function<void(const Event&)> tap) {
   std::unique_lock lock(taps_mutex_);
   taps_[stream].push_back(std::move(tap));
+  has_taps_.store(true, std::memory_order_release);
 }
 
 void Muppet2Engine::RunTaps(const Event& event) {
@@ -232,43 +274,198 @@ Status Muppet2Engine::Publish(const std::string& stream, BytesView key,
   event.seq = NextSeq();
   event.origin_ts = clock_->Now();
   published_.Add();
-  DeliverEvent(/*from=*/0, /*sender_work=*/0, event);
+  DeliverEvent(/*from=*/0, /*sender_work=*/0, std::move(event));
   return Status::OK();
 }
 
 void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
-                                 const Event& event) {
-  RunTaps(event);
-  for (const std::string& function : config_.SubscribersOf(event.stream)) {
-    SendToMachine(from, sender_work, function, event);
+                                 Event event) {
+  if (has_taps_.load(std::memory_order_acquire)) RunTaps(event);
+
+  const int32_t stream_id = stream_names_.Find(event.stream);
+  if (stream_id < 0) return;
+  const std::vector<uint32_t>& subs =
+      subscribers_[static_cast<size_t>(stream_id)];
+  if (subs.empty()) return;
+
+  // The key half of the work hash is shared by every subscriber; hash it
+  // once per event (the function half was hashed at Start()).
+  const uint64_t key_hash = Fnv1a64(event.key);
+
+  const MachineCtx* sender =
+      (from >= 0 && from < static_cast<MachineId>(machines_.size()))
+          ? machines_[static_cast<size_t>(from)].get()
+          : nullptr;
+  std::set<MachineId> failed_copy;
+  const std::set<MachineId>* failed = &kNoFailed;
+  if (sender == nullptr) {
+    failed_copy = master_.failed();
+    failed = &failed_copy;
+  } else if (sender->failed_count.load(std::memory_order_acquire) > 0) {
+    failed_copy = FailedSetFor(from);
+    failed = &failed_copy;
+  }
+
+  // Remote targets coalesce into one frame per destination machine.
+  std::vector<std::pair<MachineId, std::vector<RoutedEvent>>> remote;
+
+  // A one-machine cluster with nothing failed has exactly one possible
+  // destination; skip the ring hash + vnode search per event.
+  const bool trivial_route = machines_.size() == 1 && failed->empty();
+
+  const size_t n = subs.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t fid = subs[i];
+    const OpInfo& op = ops_[fid];
+    MachineId to = 0;
+    if (!trivial_route) {
+      Result<WorkerRef> target =
+          ring_.Route(op.spec->name, event.key, *failed);
+      if (!target.ok()) {
+        lost_failure_.Add();
+        continue;
+      }
+      to = target.value().machine;
+    }
+    RoutedEvent re;
+    re.function_id = static_cast<int32_t>(fid);
+    re.work = CombineWork(op.name_hash, key_hash);
+    // The last subscriber takes the event by move — for the common
+    // single-subscriber workflow the payload is never copied.
+    if (i + 1 == n) {
+      re.event = std::move(event);
+    } else {
+      re.event = event;
+    }
+    re.event.seq = NextSeq();
+
+    if (to == from) {
+      LocalDeliver(from, sender_work, std::move(re));
+    } else {
+      auto it = std::find_if(remote.begin(), remote.end(),
+                             [to](const auto& p) { return p.first == to; });
+      if (it == remote.end()) {
+        remote.emplace_back(to, std::vector<RoutedEvent>());
+        it = remote.end() - 1;
+      }
+      it->second.push_back(std::move(re));
+    }
+  }
+
+  for (auto& [to, batch] : remote) {
+    FlushRemoteBatch(from, sender_work, to, std::move(batch));
   }
 }
 
-void Muppet2Engine::SendToMachine(MachineId from, uint64_t sender_work,
-                                  const std::string& function,
-                                  const Event& event) {
-  const std::set<MachineId> failed = FailedSetFor(from);
-  Result<WorkerRef> target = ring_.Route(function, event.key, failed);
-  if (!target.ok()) {
+void Muppet2Engine::LocalDeliver(MachineId machine_id, uint64_t sender_work,
+                                 RoutedEvent re) {
+  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+  if (machine->crashed.load(std::memory_order_acquire)) {
+    // Matches the transport Unavailable path: a failed delivery is how
+    // crashes are detected (§4.3).
+    master_.ReportFailure(machine_id);
     lost_failure_.Add();
     return;
   }
-
-  RoutedEvent re{function, event};
-  re.event.seq = NextSeq();
-  Bytes payload;
-  EncodeRoutedEvent(re, &payload);
+  transport_.CountLocalDelivery();
 
   int attempts = 0;
   const int kMaxThrottleRetries = 50;
   while (true) {
     inflight_.fetch_add(1, std::memory_order_acq_rel);
-    Status s = transport_.Send(from, target.value().machine, payload);
+    Status s = Dispatch(machine, &re);
     if (s.ok()) return;
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    DecInflight(1);
+
+    if (!s.IsResourceExhausted()) {
+      lost_failure_.Add();
+      return;
+    }
+    switch (options_.overflow.policy) {
+      case OverflowPolicy::kDrop:
+        dropped_overflow_.Add();
+        return;
+      case OverflowPolicy::kOverflowStream: {
+        if (re.event.stream == options_.overflow.overflow_stream) {
+          dropped_overflow_.Add();
+          return;
+        }
+        redirected_overflow_.Add();
+        Event redirected = std::move(re.event);
+        redirected.stream = options_.overflow.overflow_stream;
+        DeliverEvent(machine_id, sender_work, std::move(redirected));
+        return;
+      }
+      case OverflowPolicy::kThrottle: {
+        throttle_.NoteOverflow();
+        // A worker emitting to its own (function,key) work unit while its
+        // queues are full can never make progress by waiting (§5).
+        if (sender_work != 0 && re.work == sender_work) {
+          deadlocks_avoided_.Add();
+          dropped_overflow_.Add();
+          return;
+        }
+        if (++attempts > kMaxThrottleRetries) {
+          dropped_overflow_.Add();
+          return;
+        }
+        clock_->SleepFor(200);
+        continue;
+      }
+    }
+  }
+}
+
+void Muppet2Engine::FlushRemoteBatch(MachineId from, uint64_t sender_work,
+                                     MachineId to,
+                                     std::vector<RoutedEvent> batch) {
+  Bytes frame;
+  EncodeRoutedEventFrame(batch, &frame);
+  const size_t n = batch.size();
+  size_t accepted = 0;
+  inflight_.fetch_add(static_cast<int64_t>(n), std::memory_order_acq_rel);
+  Status s = transport_.SendBatch(from, to, frame, n, &accepted);
+  if (s.ok()) return;
+  DecInflight(static_cast<int64_t>(n - accepted));
+
+  if (s.IsUnavailable()) {
+    master_.ReportFailure(to);
+    lost_failure_.Add(static_cast<int64_t>(n - accepted));
+    return;
+  }
+  if (!s.IsResourceExhausted()) {
+    lost_failure_.Add(static_cast<int64_t>(n - accepted));
+    return;
+  }
+  // The receiver took a prefix and declined the rest; the remainder goes
+  // through the per-event overflow path (§4.3).
+  for (size_t i = accepted; i < n; ++i) {
+    RemoteDeliverOne(from, sender_work, to, std::move(batch[i]));
+  }
+}
+
+void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
+                                     MachineId to, RoutedEvent re) {
+  Bytes frame;
+  {
+    // Frame of one; encoded once, resent verbatim on throttle retries.
+    std::vector<RoutedEvent> one;
+    one.push_back(std::move(re));
+    EncodeRoutedEventFrame(one, &frame);
+    re = std::move(one.front());
+  }
+
+  int attempts = 0;
+  const int kMaxThrottleRetries = 50;
+  while (true) {
+    size_t accepted = 0;
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    Status s = transport_.SendBatch(from, to, frame, 1, &accepted);
+    if (s.ok()) return;
+    DecInflight(1);
 
     if (s.IsUnavailable()) {
-      master_.ReportFailure(target.value().machine);
+      master_.ReportFailure(to);
       lost_failure_.Add();
       return;
     }
@@ -276,29 +473,24 @@ void Muppet2Engine::SendToMachine(MachineId from, uint64_t sender_work,
       lost_failure_.Add();
       return;
     }
-
     switch (options_.overflow.policy) {
       case OverflowPolicy::kDrop:
         dropped_overflow_.Add();
         return;
       case OverflowPolicy::kOverflowStream: {
-        if (event.stream == options_.overflow.overflow_stream) {
+        if (re.event.stream == options_.overflow.overflow_stream) {
           dropped_overflow_.Add();
           return;
         }
         redirected_overflow_.Add();
-        Event redirected = event;
+        Event redirected = std::move(re.event);
         redirected.stream = options_.overflow.overflow_stream;
-        DeliverEvent(from, sender_work, redirected);
+        DeliverEvent(from, sender_work, std::move(redirected));
         return;
       }
       case OverflowPolicy::kThrottle: {
         throttle_.NoteOverflow();
-        // A worker emitting to its own (function,key) work unit while its
-        // queues are full can never make progress by waiting (§5).
-        if (sender_work != 0 &&
-            WorkHash(function, event.key) == sender_work &&
-            target.value().machine == from) {
+        if (sender_work != 0 && re.work == sender_work && to == from) {
           deadlocks_avoided_.Add();
           dropped_overflow_.Add();
           return;
@@ -321,23 +513,58 @@ Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
   }
   RoutedEvent re;
   MUPPET_RETURN_IF_ERROR(DecodeRoutedEvent(payload, &re));
-  return Dispatch(machine, std::move(re));
+  const int32_t fid = op_names_.Find(re.function);
+  if (fid < 0) return Status::NotFound("unknown function");
+  re.function_id = fid;
+  re.work = CombineWork(ops_[static_cast<size_t>(fid)].name_hash,
+                        Fnv1a64(re.event.key));
+  return Dispatch(machine, &re);
 }
 
-Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent re) {
+Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
+                                          size_t count, size_t* accepted) {
+  (void)count;
+  *accepted = 0;
+  MachineCtx* machine = machines_[static_cast<size_t>(to)].get();
+  if (machine->crashed.load()) {
+    return Status::Unavailable("machine crashed");
+  }
+  RoutedEventFrameReader reader(frame);
+  RoutedEvent re;
+  while (reader.Next(&re)) {
+    if (re.function_id < 0 ||
+        static_cast<size_t>(re.function_id) >= ops_.size()) {
+      return Status::Corruption("wire: frame names unknown function id");
+    }
+    Status s = Dispatch(machine, &re);
+    if (!s.ok()) return s;
+    ++*accepted;
+  }
+  if (reader.corrupt()) {
+    return Status::Corruption("wire: malformed routed event frame");
+  }
+  return Status::OK();
+}
+
+Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent* re) {
   const size_t W = machine->threads.size();
-  const uint64_t work = WorkHash(re.function, re.event.key);
+  const uint64_t work = re->work;
   const size_t primary = Mix64(work) % W;
+
+  if (!options_.enable_two_choice || W == 1) {
+    return machine->threads[primary]->queue->TryPushMove(re);
+  }
+
   size_t secondary = Mix64(work ^ 0x5ec0dULL) % W;
   if (secondary == primary) secondary = (primary + 1) % W;
 
-  if (!options_.enable_two_choice || W == 1) {
-    return machine->threads[primary]->queue->TryPush(std::move(re));
-  }
-
-  // "an incoming event locks no more than two queues": the pick itself is
-  // serialized, then at most the two candidate queues are touched.
-  std::lock_guard<std::mutex> lock(machine->dispatch_mutex);
+  // "an incoming event locks no more than two queues": the sticky-owner
+  // check reads the candidates' `current` atomics, the balance check reads
+  // their lock-free sizes, and the push locks only the chosen queue (plus,
+  // at worst, the other candidate on fallback). Concurrent dispatchers may
+  // pick from a stale size — the pick is a heuristic — but every event for
+  // a given work unit still lands on one of the same two queues, which is
+  // what bounds slate ownership to two threads (§4.5).
   ThreadCtx* tp = machine->threads[primary].get();
   ThreadCtx* ts = machine->threads[secondary].get();
 
@@ -355,28 +582,31 @@ Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent re) {
   }
   if (choice == secondary) secondary_dispatch_.Add();
 
-  Status s = machine->threads[choice]->queue->TryPush(re);
+  Status s = machine->threads[choice]->queue->TryPushMove(re);
   if (s.IsResourceExhausted()) {
     // Try the other candidate before declining to the sender.
     const size_t other = (choice == primary) ? secondary : primary;
     if (other == secondary) secondary_dispatch_.Add();
-    s = machine->threads[other]->queue->TryPush(std::move(re));
+    s = machine->threads[other]->queue->TryPushMove(re);
   }
   return s;
 }
 
 void Muppet2Engine::WorkerLoop(MachineCtx* machine, ThreadCtx* thread) {
-  RoutedEvent re;
-  while (thread->queue->Pop(&re)) {
-    const uint64_t work = WorkHash(re.function, re.event.key);
-    thread->current.store(work, std::memory_order_release);
-    Status s = ProcessOne(machine, re);
-    if (!s.ok()) {
-      MUPPET_LOG(kError) << "worker thread " << thread->index << "@"
-                         << machine->id << ": " << s.ToString();
+  std::vector<RoutedEvent> batch;
+  batch.reserve(kWorkerPopBatch);
+  while (thread->queue->PopBatch(&batch, kWorkerPopBatch)) {
+    for (RoutedEvent& re : batch) {
+      thread->current.store(re.work, std::memory_order_release);
+      Status s = ProcessOne(machine, re);
+      if (!s.ok()) {
+        MUPPET_LOG(kError) << "worker thread " << thread->index << "@"
+                           << machine->id << ": " << s.ToString();
+      }
+      thread->current.store(0, std::memory_order_release);
+      DecInflight(1);
     }
-    thread->current.store(0, std::memory_order_release);
-    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    batch.clear();
   }
 }
 
@@ -405,15 +635,16 @@ Status Muppet2Engine::FetchSlateOnMachine(MachineCtx* machine,
 }
 
 Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
-  const OperatorSpec* spec = config_.FindOperator(re.function);
-  if (spec == nullptr) return Status::NotFound("unknown function");
+  const size_t fid = static_cast<size_t>(re.function_id);
+  const OpInfo& op = ops_[fid];
+  const OperatorSpec& spec = *op.spec;
   const Event& event = re.event;
-  const uint64_t work = WorkHash(re.function, event.key);
+  const uint64_t work = re.work;
 
-  if (spec->kind == OperatorKind::kMapper) {
-    DirectUtilities utils(this, machine, event, re.function,
+  if (spec.kind == OperatorKind::kMapper) {
+    DirectUtilities utils(this, machine, event, spec.name,
                           /*is_updater=*/false, work, nullptr);
-    machine->mappers[re.function]->Map(utils, event);
+    machine->mappers[fid]->Map(utils, event);
   } else {
     // Up to two threads can vie for the same slate (§4.5); the striped
     // lock serializes the contending pair.
@@ -427,17 +658,17 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
 
     Bytes slate;
     bool has_slate = false;
-    Status s = FetchSlateOnMachine(machine, re.function, event.key, &slate);
+    Status s = FetchSlateOnMachine(machine, spec.name, event.key, &slate);
     if (s.ok()) {
       has_slate = true;
     } else if (!s.IsNotFound()) {
       return s;
     }
-    DirectUtilities utils(this, machine, event, re.function,
+    DirectUtilities utils(this, machine, event, spec.name,
                           /*is_updater=*/true, work,
-                          &spec->updater_options);
-    machine->updaters[re.function]->Update(utils, event,
-                                           has_slate ? &slate : nullptr);
+                          &spec.updater_options);
+    machine->updaters[fid]->Update(utils, event,
+                                   has_slate ? &slate : nullptr);
   }
 
   processed_.Add();
@@ -463,11 +694,22 @@ void Muppet2Engine::FlusherLoop(MachineCtx* machine) {
   }
 }
 
+void Muppet2Engine::DecInflight(int64_t n) {
+  if (n <= 0) return;
+  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    // Reached zero: wake Drain(). Taking the mutex orders the notify
+    // against a drainer that just checked the predicate.
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
 Status Muppet2Engine::Drain() {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  while (inflight_.load(std::memory_order_acquire) > 0) {
-    SystemClock::Default()->SleepFor(100);
-  }
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) <= 0;
+  });
   return Status::OK();
 }
 
@@ -528,13 +770,14 @@ Status Muppet2Engine::CrashMachine(MachineId machine_id) {
   if (machine->crashed.exchange(true)) return Status::OK();
 
   transport_.Crash(machine_id);
+  int64_t lost_total = 0;
   for (auto& thread_ctx : machine->threads) {
     const size_t lost = thread_ctx->queue->Clear();
     thread_ctx->queue->Stop();
-    lost_failure_.Add(static_cast<int64_t>(lost));
-    inflight_.fetch_sub(static_cast<int64_t>(lost),
-                        std::memory_order_acq_rel);
+    lost_total += static_cast<int64_t>(lost);
   }
+  lost_failure_.Add(lost_total);
+  DecInflight(lost_total);
   for (auto& thread_ctx : machine->threads) {
     if (thread_ctx->thread.joinable()) thread_ctx->thread.join();
   }

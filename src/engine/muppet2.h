@@ -6,11 +6,25 @@
 // on the one already processing its (function, key), else on the primary
 // unless the secondary is significantly shorter. This bounds slate
 // contention to two threads per slate while relieving hotspots.
+//
+// Datapath (the §4.5 "no serialization within the machine" argument,
+// implemented literally):
+//  * stream and function names are interned into dense ids at Start();
+//    routed events carry the id plus a work hash computed exactly once;
+//  * an event routed to the sender's own machine moves straight into
+//    dispatch — no wire encode, no transport hop, no decode;
+//  * dispatch locks at most the two candidate queues (sticky-owner check
+//    via per-thread atomics, lock-free queue size reads) — there is no
+//    per-machine dispatch lock;
+//  * cross-machine events for one destination are coalesced into a single
+//    batch frame, and workers pop events in batches, so both sides of a
+//    remote hop amortize per-message overhead and condvar wakeups.
 #ifndef MUPPET_ENGINE_MUPPET2_H_
 #define MUPPET_ENGINE_MUPPET2_H_
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -23,6 +37,7 @@
 
 #include "common/metrics.h"
 #include "core/hash_ring.h"
+#include "core/intern.h"
 #include "core/slate_cache.h"
 #include "engine/engine.h"
 #include "engine/master.h"
@@ -59,12 +74,18 @@ class Muppet2Engine final : public Engine {
   // Peak distinct threads that ever held the same slate concurrently is
   // bounded by 2 by construction; this counts lock contentions observed.
   int64_t slate_contentions() const { return slate_contention_.Get(); }
+  // Same-machine deliveries that took the zero-serialization fast path.
+  int64_t local_fast_path_deliveries() const {
+    return transport_.messages_local();
+  }
   // Status endpoint data (§4.5: "basic status information (such as the
   // event count of the largest event queues)").
   size_t LargestQueueDepth() const;
 
  private:
   static constexpr size_t kSlateLockStripes = 64;
+  // Max events a worker drains from its queue per lock acquisition.
+  static constexpr size_t kWorkerPopBatch = 32;
 
   struct ThreadCtx {
     int index = 0;
@@ -79,17 +100,26 @@ class Muppet2Engine final : public Engine {
     std::vector<std::unique_ptr<ThreadCtx>> threads;
     std::unique_ptr<SlateCache> cache;  // the central cache
     // One shared instance per function ("constructed only once and shared
-    // by all threads").
-    std::map<std::string, std::unique_ptr<Mapper>> mappers;
-    std::map<std::string, std::unique_ptr<Updater>> updaters;
-    // Serializes the two-queue pick so an event locks at most two queues.
-    std::mutex dispatch_mutex;
+    // by all threads"), indexed by interned function id; the slot of the
+    // other kind is null.
+    std::vector<std::unique_ptr<Mapper>> mappers;
+    std::vector<std::unique_ptr<Updater>> updaters;
     // Striped per-slate locks: the two contending threads serialize here.
     std::array<std::mutex, kSlateLockStripes> slate_locks;
     mutable std::mutex failed_mutex;
     std::set<MachineId> failed;
+    // Lock-free emptiness check so the hot path skips the failed-set copy.
+    std::atomic<size_t> failed_count{0};
     std::atomic<bool> crashed{false};
     std::thread flusher;
+  };
+
+  // Interned per-function routing state, indexed by function id.
+  struct OpInfo {
+    const OperatorSpec* spec = nullptr;
+    // Fnv1a64(name), combined with the event's key hash into the work
+    // hash — the function half is hashed once per run, not per event.
+    uint64_t name_hash = 0;
   };
 
   class DirectUtilities;
@@ -99,13 +129,33 @@ class Muppet2Engine final : public Engine {
   Status ProcessOne(MachineCtx* machine, const RoutedEvent& re);
 
   // Two-choice dispatch of an arrived event into one of the machine's
-  // thread queues. ResourceExhausted when both candidate queues are full.
-  Status Dispatch(MachineCtx* machine, RoutedEvent re);
+  // thread queues; locks at most the two candidate queues. On success *re
+  // is consumed; on error it is left intact for the caller's overflow
+  // handling. ResourceExhausted when both candidate queues are full.
+  Status Dispatch(MachineCtx* machine, RoutedEvent* re);
 
+  // Legacy name-addressed single-event payloads (Muppet 1.0 wire format).
   Status HandleIncoming(MachineId to, BytesView payload);
-  void DeliverEvent(MachineId from, uint64_t sender_work, const Event& event);
-  void SendToMachine(MachineId from, uint64_t sender_work,
-                     const std::string& function, const Event& event);
+  // Id-addressed batch frames — the 2.0 cross-machine format.
+  Status HandleIncomingFrame(MachineId to, BytesView frame, size_t count,
+                             size_t* accepted);
+
+  // Fan an event out to its stream's subscribers: same-machine targets go
+  // straight to Dispatch (zero serialization); remote targets are grouped
+  // per destination and flushed as batch frames.
+  void DeliverEvent(MachineId from, uint64_t sender_work, Event event);
+
+  // Same-machine delivery with overflow-policy handling; no transport hop.
+  void LocalDeliver(MachineId machine, uint64_t sender_work, RoutedEvent re);
+
+  // One coalesced frame to a remote machine; declined suffixes fall back
+  // to the per-event path.
+  void FlushRemoteBatch(MachineId from, uint64_t sender_work, MachineId to,
+                        std::vector<RoutedEvent> batch);
+
+  // Per-event remote send with the §4.3 overflow/retry policy.
+  void RemoteDeliverOne(MachineId from, uint64_t sender_work, MachineId to,
+                        RoutedEvent re);
 
   Status FetchSlateOnMachine(MachineCtx* machine,
                              const std::string& updater, BytesView key,
@@ -115,7 +165,12 @@ class Muppet2Engine final : public Engine {
   void RunTaps(const Event& event);
   uint64_t NextSeq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
+  // Decrement in-flight count, waking Drain() when it reaches zero.
+  void DecInflight(int64_t n);
+
   static uint64_t WorkHash(const std::string& function, BytesView key);
+  // Work hash from precomputed halves; never returns 0 ("idle").
+  static uint64_t CombineWork(uint64_t function_hash, uint64_t key_hash);
 
   const AppConfig& config_;
   EngineOptions options_;
@@ -130,10 +185,21 @@ class Muppet2Engine final : public Engine {
 
   std::vector<std::unique_ptr<MachineCtx>> machines_;
 
+  // Built once at Start(), read-only afterwards (lock-free on hot path).
+  NameInterner op_names_;
+  NameInterner stream_names_;
+  std::vector<OpInfo> ops_;
+  // stream id -> subscriber function ids (sorted by name, deterministic).
+  std::vector<std::vector<uint32_t>> subscribers_;
+
   std::atomic<uint64_t> seq_{1};
   std::atomic<int64_t> inflight_{0};
   std::atomic<bool> shutdown_{false};
 
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> has_taps_{false};
   mutable std::shared_mutex taps_mutex_;
   std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_;
 

@@ -1,20 +1,46 @@
 #include "engine/queue.h"
 
+#include <algorithm>
+
 namespace muppet {
 
 EventQueue::EventQueue(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
-Status EventQueue::TryPush(RoutedEvent item) {
+Status EventQueue::TryPushMove(RoutedEvent* item) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_) return Status::Aborted("queue: stopped");
     if (items_.size() >= capacity_) {
       return Status::ResourceExhausted("queue: full");
     }
-    items_.push_back(std::move(item));
+    items_.push_back(std::move(*item));
+    size_.store(items_.size(), std::memory_order_release);
   }
   not_empty_.notify_one();
+  return Status::OK();
+}
+
+Status EventQueue::TryPushBatch(std::vector<RoutedEvent>* items) {
+  if (items->empty()) return Status::OK();
+  const size_t n = items->size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return Status::Aborted("queue: stopped");
+    if (items_.size() + n > capacity_) {
+      return Status::ResourceExhausted("queue: full");
+    }
+    for (RoutedEvent& item : *items) {
+      items_.push_back(std::move(item));
+    }
+    size_.store(items_.size(), std::memory_order_release);
+  }
+  items->clear();
+  if (n == 1) {
+    not_empty_.notify_one();
+  } else {
+    not_empty_.notify_all();
+  }
   return Status::OK();
 }
 
@@ -24,6 +50,21 @@ bool EventQueue::Pop(RoutedEvent* out) {
   if (items_.empty()) return false;  // stopped and drained
   *out = std::move(items_.front());
   items_.pop_front();
+  size_.store(items_.size(), std::memory_order_release);
+  return true;
+}
+
+bool EventQueue::PopBatch(std::vector<RoutedEvent>* out, size_t max) {
+  if (max == 0) return false;
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return stopped_ || !items_.empty(); });
+  if (items_.empty()) return false;  // stopped and drained
+  const size_t n = std::min(max, items_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  size_.store(items_.size(), std::memory_order_release);
   return true;
 }
 
@@ -32,6 +73,7 @@ bool EventQueue::TryPop(RoutedEvent* out) {
   if (items_.empty()) return false;
   *out = std::move(items_.front());
   items_.pop_front();
+  size_.store(items_.size(), std::memory_order_release);
   return true;
 }
 
@@ -47,12 +89,8 @@ size_t EventQueue::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   const size_t n = items_.size();
   items_.clear();
+  size_.store(0, std::memory_order_release);
   return n;
-}
-
-size_t EventQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
 }
 
 bool EventQueue::stopped() const {

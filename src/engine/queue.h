@@ -5,9 +5,11 @@
 #ifndef MUPPET_ENGINE_QUEUE_H_
 #define MUPPET_ENGINE_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "common/status.h"
 #include "core/event.h"
@@ -17,9 +19,20 @@ namespace muppet {
 // An event addressed to a specific function (the queue of a Muppet 2.0
 // thread holds events for many functions; the destination is part of the
 // queued item).
+//
+// On the Muppet 2.0 hot path the destination travels as a dense interned
+// id plus the event's (function, key) work hash, both computed exactly
+// once when the event is routed — dispatch and processing index by id and
+// reuse the cached hash instead of re-hashing strings (§4.5). `function`
+// by name remains for the 1.0 engine and the name-based wire codec; it is
+// empty on the 2.0 fast path.
 struct RoutedEvent {
   std::string function;
   Event event;
+  // Interned destination function id; -1 when only `function` is set.
+  int32_t function_id = -1;
+  // Cached work-unit hash of <function, event.key>; 0 = not computed.
+  uint64_t work = 0;
 };
 
 class EventQueue {
@@ -31,10 +44,27 @@ class EventQueue {
 
   // Non-blocking enqueue. ResourceExhausted when full (the §4.3 decline),
   // Aborted after Stop().
-  Status TryPush(RoutedEvent item);
+  Status TryPush(RoutedEvent item) { return TryPushMove(&item); }
+
+  // Like TryPush but moves *item in only on success; on decline the item
+  // is left intact so two-choice dispatch can offer it to the other
+  // candidate queue without copying.
+  Status TryPushMove(RoutedEvent* item);
+
+  // Non-blocking batched enqueue: moves all of `items` in, or none (a
+  // partial push would deliver events the sender then re-sends elsewhere).
+  // One lock acquisition and one wakeup for the whole batch. On OK `items`
+  // is cleared; on decline it is left untouched for the caller to re-route.
+  Status TryPushBatch(std::vector<RoutedEvent>* items);
 
   // Blocking dequeue. Returns false when stopped and drained.
   bool Pop(RoutedEvent* out);
+
+  // Blocking batched dequeue: waits for at least one item, then moves up
+  // to `max` items into `out` (appended) under a single lock acquisition —
+  // the consumer-side amortization of per-event wakeups. Returns false
+  // when stopped and drained.
+  bool PopBatch(std::vector<RoutedEvent>* out, size_t max);
 
   // Non-blocking dequeue; false when empty (does not wait).
   bool TryPop(RoutedEvent* out);
@@ -46,7 +76,11 @@ class EventQueue {
   // Drop everything queued; returns how many were discarded.
   size_t Clear();
 
-  size_t size() const;
+  // Lock-free approximate size: two-choice dispatch reads the sizes of its
+  // two candidate queues on every event, so this must not take the queue
+  // lock. The value is exact between operations and only transiently stale
+  // while a push/pop is mid-flight.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
   size_t capacity() const { return capacity_; }
   bool stopped() const;
 
@@ -55,6 +89,7 @@ class EventQueue {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::deque<RoutedEvent> items_;
+  std::atomic<size_t> size_{0};
   bool stopped_ = false;
 };
 

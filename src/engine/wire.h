@@ -3,8 +3,20 @@
 // processor hop, reproducing the 1.0 IPC copy cost that Muppet 2.0
 // eliminated (§4.5: "Passing data between processes ... can be
 // computationally wasteful").
+//
+// Two formats live here:
+//  * the name-addressed single-event record (EncodeRoutedEvent), used by
+//    Muppet 1.0 and by external senders;
+//  * the id-addressed batch frame (EncodeRoutedEventFrame), the Muppet 2.0
+//    cross-machine format. Events in a frame carry their interned function
+//    id and precomputed work hash so the receiver re-hashes nothing, and a
+//    frame carries many events so one network hop amortizes per-message
+//    overhead. Ids/hashes are engine-local but deterministic: every
+//    machine builds the same interner from the same AppConfig at Start().
 #ifndef MUPPET_ENGINE_WIRE_H_
 #define MUPPET_ENGINE_WIRE_H_
+
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -31,6 +43,64 @@ inline Status DecodeRoutedEvent(BytesView data, RoutedEvent* re) {
   re->function.assign(function);
   return DecodeEvent(event_bytes, &re->event);
 }
+
+// Batch frame: varint event count, then per event the interned function
+// id, the cached work hash, and the event record.
+inline void EncodeRoutedEventFrame(const std::vector<RoutedEvent>& events,
+                                   Bytes* out) {
+  PutVarint32(out, static_cast<uint32_t>(events.size()));
+  Bytes event_bytes;
+  for (const RoutedEvent& re : events) {
+    PutVarint32(out, static_cast<uint32_t>(re.function_id));
+    PutVarint64(out, re.work);
+    event_bytes.clear();
+    EncodeEvent(re.event, &event_bytes);
+    PutLengthPrefixed(out, event_bytes);
+  }
+}
+
+// Streaming decoder for batch frames: the receiver dispatches each event
+// as it is decoded (and may stop early on a declined queue), so the frame
+// is never materialized as a whole vector.
+class RoutedEventFrameReader {
+ public:
+  explicit RoutedEventFrameReader(BytesView frame)
+      : p_(frame.data()), limit_(frame.data() + frame.size()) {
+    if (!GetVarint32(&p_, limit_, &remaining_)) {
+      corrupt_ = true;
+      remaining_ = 0;
+    }
+  }
+
+  // Events not yet decoded (0 when done or corrupt).
+  uint32_t remaining() const { return remaining_; }
+  bool corrupt() const { return corrupt_; }
+
+  // Decode the next event into *re. False when exhausted or corrupt.
+  bool Next(RoutedEvent* re) {
+    if (remaining_ == 0) return false;
+    uint32_t fid = 0;
+    BytesView event_bytes;
+    if (!GetVarint32(&p_, limit_, &fid) ||
+        !GetVarint64(&p_, limit_, &re->work) ||
+        !GetLengthPrefixed(&p_, limit_, &event_bytes) ||
+        !DecodeEvent(event_bytes, &re->event).ok()) {
+      corrupt_ = true;
+      remaining_ = 0;
+      return false;
+    }
+    re->function_id = static_cast<int32_t>(fid);
+    re->function.clear();
+    --remaining_;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  const char* limit_;
+  uint32_t remaining_ = 0;
+  bool corrupt_ = false;
+};
 
 }  // namespace muppet
 

@@ -20,8 +20,22 @@ Status Transport::RegisterMachine(MachineId id, Handler handler) {
     return Status::AlreadyExists("transport: machine " + std::to_string(id) +
                                  " already registered");
   }
-  it->second.handler = std::move(handler);
-  it->second.up = true;
+  it->second = std::make_shared<MachineState>();
+  it->second->handler = std::move(handler);
+  return Status::OK();
+}
+
+Status Transport::RegisterBatchHandler(MachineId id, BatchHandler handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("transport: null batch handler");
+  }
+  std::unique_lock lock(mutex_);
+  auto it = machines_.find(id);
+  if (it == machines_.end()) {
+    return Status::NotFound("transport: machine " + std::to_string(id) +
+                            " not registered");
+  }
+  it->second->batch_handler = std::move(handler);
   return Status::OK();
 }
 
@@ -30,42 +44,83 @@ void Transport::UnregisterMachine(MachineId id) {
   machines_.erase(id);
 }
 
-Status Transport::Send(MachineId from, MachineId to, BytesView payload) {
-  Handler handler;
-  {
-    std::shared_lock lock(mutex_);
-    auto it = machines_.find(to);
-    if (it == machines_.end() || !it->second.up) {
-      messages_dropped_.Add();
-      return Status::Unavailable("transport: machine " + std::to_string(to) +
-                                 " unreachable");
+std::shared_ptr<Transport::MachineState> Transport::FindMachine(
+    MachineId id) const {
+  std::shared_lock lock(mutex_);
+  auto it = machines_.find(id);
+  if (it == machines_.end()) return nullptr;
+  return it->second;
+}
+
+Status Transport::ChargeHop() {
+  if (options_.loss_probability > 0.0) {
+    bool drop;
+    {
+      std::lock_guard<std::mutex> lock(rng_mutex_);
+      drop = rng_.Chance(options_.loss_probability);
     }
-    handler = it->second.handler;
+    if (drop) {
+      messages_dropped_.Add();
+      return Status::Unavailable("transport: message lost");
+    }
+  }
+  if (options_.hop_latency_micros > 0) {
+    clock_->SleepFor(options_.hop_latency_micros);
+  }
+  return Status::OK();
+}
+
+Status Transport::Send(MachineId from, MachineId to, BytesView payload) {
+  std::shared_ptr<MachineState> state = FindMachine(to);
+  if (state == nullptr || !state->up.load(std::memory_order_acquire)) {
+    messages_dropped_.Add();
+    return Status::Unavailable("transport: machine " + std::to_string(to) +
+                               " unreachable");
   }
 
-  const bool local = (from == to);
-  if (!local) {
-    if (options_.loss_probability > 0.0) {
-      bool drop;
-      {
-        std::lock_guard<std::mutex> lock(rng_mutex_);
-        drop = rng_.Chance(options_.loss_probability);
-      }
-      if (drop) {
-        messages_dropped_.Add();
-        return Status::Unavailable("transport: message lost");
-      }
-    }
-    if (options_.hop_latency_micros > 0) {
-      clock_->SleepFor(options_.hop_latency_micros);
-    }
+  if (from != to) {
+    MUPPET_RETURN_IF_ERROR(ChargeHop());
   }
 
   messages_sent_.Add();
   bytes_sent_.Add(static_cast<int64_t>(payload.size()));
-  Status s = handler(from, payload);
+  Status s = state->handler(from, payload);
   if (s.IsResourceExhausted()) {
     messages_declined_.Add();
+  }
+  return s;
+}
+
+Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
+                            size_t count, size_t* accepted) {
+  *accepted = 0;
+  std::shared_ptr<MachineState> state = FindMachine(to);
+  if (state == nullptr || !state->up.load(std::memory_order_acquire)) {
+    messages_dropped_.Add(static_cast<int64_t>(count));
+    return Status::Unavailable("transport: machine " + std::to_string(to) +
+                               " unreachable");
+  }
+  if (state->batch_handler == nullptr) {
+    return Status::FailedPrecondition("transport: machine " +
+                                      std::to_string(to) +
+                                      " accepts no batch frames");
+  }
+
+  if (from != to) {
+    Status hop = ChargeHop();
+    if (!hop.ok()) {
+      // Whole-frame loss: one network message, `count` logical messages.
+      messages_dropped_.Add(static_cast<int64_t>(count) - 1);
+      return hop;
+    }
+  }
+
+  frames_sent_.Add();
+  bytes_sent_.Add(static_cast<int64_t>(frame.size()));
+  Status s = state->batch_handler(from, frame, count, accepted);
+  messages_sent_.Add(static_cast<int64_t>(*accepted));
+  if (s.IsResourceExhausted()) {
+    messages_declined_.Add(static_cast<int64_t>(count - *accepted));
   }
   return s;
 }
@@ -73,19 +128,24 @@ Status Transport::Send(MachineId from, MachineId to, BytesView payload) {
 void Transport::Crash(MachineId id) {
   std::unique_lock lock(mutex_);
   auto it = machines_.find(id);
-  if (it != machines_.end()) it->second.up = false;
+  if (it != machines_.end()) {
+    it->second->up.store(false, std::memory_order_release);
+  }
 }
 
 void Transport::Restore(MachineId id) {
   std::unique_lock lock(mutex_);
   auto it = machines_.find(id);
-  if (it != machines_.end()) it->second.up = true;
+  if (it != machines_.end()) {
+    it->second->up.store(true, std::memory_order_release);
+  }
 }
 
 bool Transport::IsUp(MachineId id) const {
   std::shared_lock lock(mutex_);
   auto it = machines_.find(id);
-  return it != machines_.end() && it->second.up;
+  return it != machines_.end() &&
+         it->second->up.load(std::memory_order_acquire);
 }
 
 std::vector<MachineId> Transport::Machines() const {

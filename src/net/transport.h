@@ -16,6 +16,7 @@
 #ifndef MUPPET_NET_TRANSPORT_H_
 #define MUPPET_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +59,14 @@ class Transport {
   // any other error is reported to the sender verbatim.
   using Handler = std::function<Status(MachineId from, BytesView payload)>;
 
+  // Handler for batch frames (SendBatch). `frame` packs `count` logical
+  // messages; the handler accepts a *prefix* of them, reporting how many
+  // via *accepted. Return OK when all were accepted; ResourceExhausted
+  // when it stopped at a declined message; other errors verbatim.
+  using BatchHandler =
+      std::function<Status(MachineId from, BytesView frame, size_t count,
+                           size_t* accepted)>;
+
   explicit Transport(TransportOptions options = {});
 
   Transport(const Transport&) = delete;
@@ -66,6 +75,10 @@ class Transport {
   // Register a machine and its delivery handler. Fails with AlreadyExists
   // if the id is taken.
   Status RegisterMachine(MachineId id, Handler handler);
+
+  // Optionally attach a batch-frame handler to a registered machine
+  // (required before SendBatch can target it).
+  Status RegisterBatchHandler(MachineId id, BatchHandler handler);
 
   // Remove a machine entirely (shutdown, not crash).
   void UnregisterMachine(MachineId id);
@@ -76,6 +89,22 @@ class Transport {
   // Errors: Unavailable (crashed/unknown/dropped), ResourceExhausted
   // (receiver declined), or whatever the handler returned.
   Status Send(MachineId from, MachineId to, BytesView payload);
+
+  // Deliver a batch frame of `count` logical messages in one network hop:
+  // one registry lookup, one latency charge, one loss roll for the whole
+  // frame. *accepted receives how many messages the receiver took (0 when
+  // the frame never arrived). Remote-hop amortization for Muppet 2.0's
+  // send coalescer.
+  Status SendBatch(MachineId from, MachineId to, BytesView frame,
+                   size_t count, size_t* accepted);
+
+  // Account a same-machine delivery that legitimately bypassed the fabric
+  // (the Muppet 2.0 zero-copy fast path): keeps message counters
+  // meaningful for status endpoints without touching registry locks.
+  void CountLocalDelivery() {
+    messages_sent_.Add();
+    messages_local_.Add();
+  }
 
   // Crash a machine: subsequent sends to it fail with Unavailable. The
   // handler is retained so the machine can be restored (tests of recovery).
@@ -89,25 +118,41 @@ class Transport {
   // All currently registered machine ids (up or crashed), sorted.
   std::vector<MachineId> Machines() const;
 
-  // Fabric-wide delivery stats.
+  // Fabric-wide delivery stats. messages_* count logical messages (each
+  // event in a batch frame counts once); frames_sent counts physical
+  // cross-machine frames; messages_local counts fast-path deliveries that
+  // never serialized.
   int64_t messages_sent() const { return messages_sent_.Get(); }
   int64_t messages_dropped() const { return messages_dropped_.Get(); }
   int64_t messages_declined() const { return messages_declined_.Get(); }
+  int64_t messages_local() const { return messages_local_.Get(); }
+  int64_t frames_sent() const { return frames_sent_.Get(); }
   int64_t bytes_sent() const { return bytes_sent_.Get(); }
 
   const TransportOptions& options() const { return options_; }
 
  private:
+  // Heap-allocated, shared_ptr-held state block per machine: Send() takes
+  // a reference under the shared lock instead of copying the handler
+  // std::function (a heap allocation per message, pre-optimization).
   struct MachineState {
     Handler handler;
-    bool up = true;
+    BatchHandler batch_handler;
+    std::atomic<bool> up{true};
   };
+
+  // nullptr when unknown. Bumps only a refcount under the shared lock.
+  std::shared_ptr<MachineState> FindMachine(MachineId id) const;
+
+  // Latency/loss model for one cross-machine hop; OK when the frame goes
+  // through.
+  Status ChargeHop();
 
   TransportOptions options_;
   Clock* clock_;
 
   mutable std::shared_mutex mutex_;
-  std::unordered_map<MachineId, MachineState> machines_;
+  std::unordered_map<MachineId, std::shared_ptr<MachineState>> machines_;
 
   std::mutex rng_mutex_;
   Rng rng_;
@@ -115,6 +160,8 @@ class Transport {
   Counter messages_sent_;
   Counter messages_dropped_;
   Counter messages_declined_;
+  Counter messages_local_;
+  Counter frames_sent_;
   Counter bytes_sent_;
 };
 

@@ -1,0 +1,64 @@
+#include "core/intern.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+TEST(NameInternerTest, DenseIdsInFirstInternOrder) {
+  NameInterner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0u);
+  EXPECT_EQ(interner.Intern("beta"), 1u);
+  EXPECT_EQ(interner.Intern("gamma"), 2u);
+  EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(NameInternerTest, ReinternReturnsExistingId) {
+  NameInterner interner;
+  const uint32_t id = interner.Intern("alpha");
+  EXPECT_EQ(interner.Intern("alpha"), id);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(NameInternerTest, FindAndNameOfRoundTrip) {
+  NameInterner interner;
+  interner.Intern("in");
+  interner.Intern("out");
+  EXPECT_EQ(interner.Find("in"), 0);
+  EXPECT_EQ(interner.Find("out"), 1);
+  EXPECT_EQ(interner.NameOf(0), "in");
+  EXPECT_EQ(interner.NameOf(1), "out");
+}
+
+TEST(NameInternerTest, FindUnknownReturnsNotFound) {
+  NameInterner interner;
+  interner.Intern("in");
+  EXPECT_EQ(interner.Find("nope"), NameInterner::kNotFound);
+  EXPECT_EQ(interner.Find(""), NameInterner::kNotFound);
+}
+
+TEST(NameInternerTest, FindAcceptsStringViewWithoutCopy) {
+  NameInterner interner;
+  interner.Intern("stream-with-long-name");
+  const std::string haystack = "xxstream-with-long-namexx";
+  std::string_view view(haystack.data() + 2, haystack.size() - 4);
+  EXPECT_EQ(interner.Find(view), 0);
+}
+
+TEST(NameInternerTest, ManyNamesStayStableAcrossRehash) {
+  NameInterner interner;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Intern("name-" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const std::string name = "name-" + std::to_string(i);
+    ASSERT_EQ(interner.Find(name), i);
+    EXPECT_EQ(interner.NameOf(static_cast<uint32_t>(i)), name);
+  }
+}
+
+}  // namespace
+}  // namespace muppet

@@ -107,5 +107,84 @@ TEST(EventQueueTest, MultiProducerMultiConsumer) {
   EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
 }
 
+TEST(EventQueueTest, TryPushMoveLeavesItemIntactOnDecline) {
+  EventQueue queue(1);
+  ASSERT_OK(queue.TryPush(Item("f", 0)));
+  RoutedEvent re = Item("g", 7);
+  Status s = queue.TryPushMove(&re);
+  ASSERT_TRUE(s.IsResourceExhausted());
+  // The declined item must still be offerable to another queue.
+  EXPECT_EQ(re.function, "g");
+  EXPECT_EQ(re.event.key, "k7");
+  EventQueue other(1);
+  ASSERT_OK(other.TryPushMove(&re));
+  RoutedEvent out;
+  ASSERT_TRUE(other.TryPop(&out));
+  EXPECT_EQ(out.event.key, "k7");
+}
+
+TEST(EventQueueTest, PushBatchAllOrNothing) {
+  EventQueue queue(4);
+  ASSERT_OK(queue.TryPush(Item("f", 0)));
+  std::vector<RoutedEvent> batch;
+  for (int i = 1; i <= 4; ++i) batch.push_back(Item("f", i));
+  // 1 queued + 4 incoming > capacity 4: nothing may be taken.
+  Status s = queue.TryPushBatch(&batch);
+  ASSERT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(batch.size(), 4u) << "declined batch must be left intact";
+  EXPECT_EQ(queue.size(), 1u);
+  batch.pop_back();
+  ASSERT_OK(queue.TryPushBatch(&batch));
+  EXPECT_TRUE(batch.empty()) << "accepted batch is consumed";
+  EXPECT_EQ(queue.size(), 4u);
+  RoutedEvent out;
+  for (int i = 0; i <= 3; ++i) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out.event.seq, static_cast<uint64_t>(i)) << "FIFO across batch";
+  }
+}
+
+TEST(EventQueueTest, PopBatchDrainsUpToMax) {
+  EventQueue queue(16);
+  for (int i = 0; i < 10; ++i) ASSERT_OK(queue.TryPush(Item("f", i)));
+  std::vector<RoutedEvent> out;
+  ASSERT_TRUE(queue.PopBatch(&out, 4));
+  ASSERT_EQ(out.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].event.seq, static_cast<uint64_t>(i));
+  }
+  out.clear();
+  ASSERT_TRUE(queue.PopBatch(&out, 100));
+  EXPECT_EQ(out.size(), 6u) << "takes what is there, does not wait for max";
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, PopBatchUnblocksOnStop) {
+  EventQueue queue(16);
+  std::atomic<bool> returned_false{false};
+  std::thread popper([&] {
+    std::vector<RoutedEvent> out;
+    if (!queue.PopBatch(&out, 8)) returned_false.store(true);
+  });
+  SystemClock::Default()->SleepFor(10000);
+  queue.Stop();
+  popper.join();
+  EXPECT_TRUE(returned_false.load());
+}
+
+TEST(EventQueueTest, SizeIsLockFreeConsistent) {
+  EventQueue queue(8);
+  EXPECT_EQ(queue.size(), 0u);
+  std::vector<RoutedEvent> batch;
+  for (int i = 0; i < 3; ++i) batch.push_back(Item("f", i));
+  ASSERT_OK(queue.TryPushBatch(&batch));
+  EXPECT_EQ(queue.size(), 3u);
+  RoutedEvent out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Clear(), 2u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
 }  // namespace
 }  // namespace muppet

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -135,6 +136,75 @@ TEST(TransportTest, MachinesListedSorted) {
   EXPECT_EQ(machines[2], 3);
   transport.UnregisterMachine(2);
   EXPECT_EQ(transport.Machines().size(), 2u);
+}
+
+TEST(TransportTest, BatchFrameCountsFrameOnceAndMessagesPerEvent) {
+  Transport transport;
+  ASSERT_OK(transport.RegisterMachine(
+      1, [](MachineId, BytesView) { return Status::OK(); }));
+  ASSERT_OK(transport.RegisterBatchHandler(
+      1, [](MachineId, BytesView, size_t count, size_t* accepted) {
+        *accepted = count;
+        return Status::OK();
+      }));
+  size_t accepted = 0;
+  ASSERT_OK(transport.SendBatch(0, 1, "frame-bytes", 3, &accepted));
+  EXPECT_EQ(accepted, 3u);
+  EXPECT_EQ(transport.frames_sent(), 1);
+  EXPECT_EQ(transport.messages_sent(), 3);
+  EXPECT_EQ(transport.bytes_sent(),
+            static_cast<int64_t>(std::string("frame-bytes").size()));
+}
+
+TEST(TransportTest, BatchPartialDeclineReportsAcceptedPrefix) {
+  Transport transport;
+  ASSERT_OK(transport.RegisterMachine(
+      1, [](MachineId, BytesView) { return Status::OK(); }));
+  ASSERT_OK(transport.RegisterBatchHandler(
+      1, [](MachineId, BytesView, size_t count, size_t* accepted) {
+        *accepted = count / 2;  // take half, decline the rest
+        return Status::ResourceExhausted("queue full");
+      }));
+  size_t accepted = 0;
+  Status s = transport.SendBatch(0, 1, "f", 4, &accepted);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(accepted, 2u);
+  EXPECT_EQ(transport.messages_sent(), 2);
+  EXPECT_EQ(transport.messages_declined(), 2);
+}
+
+TEST(TransportTest, BatchToCrashedMachineDropsWholeFrame) {
+  Transport transport;
+  ASSERT_OK(transport.RegisterMachine(
+      1, [](MachineId, BytesView) { return Status::OK(); }));
+  ASSERT_OK(transport.RegisterBatchHandler(
+      1, [](MachineId, BytesView, size_t count, size_t* accepted) {
+        *accepted = count;
+        return Status::OK();
+      }));
+  transport.Crash(1);
+  size_t accepted = 99;
+  EXPECT_TRUE(transport.SendBatch(0, 1, "f", 5, &accepted).IsUnavailable());
+  EXPECT_EQ(accepted, 0u);
+  EXPECT_EQ(transport.messages_dropped(), 5);
+}
+
+TEST(TransportTest, BatchWithoutBatchHandlerFailsPrecondition) {
+  Transport transport;
+  ASSERT_OK(transport.RegisterMachine(
+      1, [](MachineId, BytesView) { return Status::OK(); }));
+  size_t accepted = 0;
+  EXPECT_EQ(transport.SendBatch(0, 1, "f", 1, &accepted).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TransportTest, LocalDeliveryCountsAsSentAndLocal) {
+  Transport transport;
+  EXPECT_EQ(transport.messages_local(), 0);
+  transport.CountLocalDelivery();
+  transport.CountLocalDelivery();
+  EXPECT_EQ(transport.messages_local(), 2);
+  EXPECT_EQ(transport.messages_sent(), 2);
 }
 
 TEST(TransportTest, ConcurrentSendsAreSafe) {
