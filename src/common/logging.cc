@@ -3,15 +3,18 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace muppet {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_sink_mutex;
-std::string* g_capture = nullptr;  // guarded by g_sink_mutex
+// Innermost lock in the global hierarchy: any subsystem may log while
+// holding its own locks.
+Mutex g_sink_mutex{LockLevel::kLogging};
+std::string* g_capture MUPPET_GUARDED_BY(g_sink_mutex) = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -35,7 +38,7 @@ LogLevel GetLogLevel() {
 }
 
 void SetLogCapture(std::string* capture) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   g_capture = capture;
 }
 
@@ -46,7 +49,7 @@ void LogLine(LogLevel level, const char* file, int line,
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   if (g_capture != nullptr) {
     g_capture->append(LevelName(level));
     g_capture->push_back(' ');

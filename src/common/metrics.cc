@@ -112,28 +112,28 @@ std::string Histogram::Summary() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->Get();
   return out;
 }
 
 std::string MetricsRegistry::Report() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     os << name << " = " << c->Get() << "\n";
@@ -145,7 +145,7 @@ std::string MetricsRegistry::Report() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }

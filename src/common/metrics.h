@@ -8,9 +8,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace muppet {
 
@@ -80,10 +81,14 @@ class MetricsRegistry {
 
   void ResetAll();
 
+  static constexpr LockLevel kLockLevel = LockLevel::kMetrics;
+
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_{kLockLevel};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MUPPET_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MUPPET_GUARDED_BY(mutex_);
 };
 
 }  // namespace muppet

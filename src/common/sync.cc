@@ -1,0 +1,171 @@
+#include "common/sync.h"
+
+#include <execinfo.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace muppet {
+namespace sync_internal {
+namespace {
+
+constexpr int kMaxHeld = 16;
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* lock;
+  LockLevel level;
+  bool shared;
+  int frame_count;
+  void* frames[kMaxFrames];
+};
+
+// Per-thread stack of currently held ordered locks. Fixed-size: the
+// deepest legal chain in the hierarchy is ~6 locks; overflow saturates
+// `dropped` and the extra acquisitions go unchecked rather than aborting.
+struct ThreadLockState {
+  HeldLock held[kMaxHeld];
+  int count = 0;
+  int dropped = 0;
+};
+
+thread_local ThreadLockState t_state;
+
+#ifdef NDEBUG
+constexpr bool kCheckByDefault = false;
+#else
+constexpr bool kCheckByDefault = true;
+#endif
+
+std::atomic<bool> g_enabled{kCheckByDefault};
+std::atomic<bool> g_capture_stacks{kCheckByDefault};
+std::atomic<LockOrderAbortHandler> g_abort_handler{nullptr};
+
+void ReportViolation(const LockOrderViolation& v) {
+  LockOrderAbortHandler handler = g_abort_handler.load();
+  if (handler != nullptr) {
+    handler(v);
+    return;  // Test hook: record the acquisition and carry on.
+  }
+  std::fprintf(stderr,
+               "[muppet/sync] lock-order violation: acquiring lock %p "
+               "(level %d) while holding lock %p (level %d)%s\n",
+               v.acquiring, static_cast<int>(v.acquiring_level), v.held,
+               static_cast<int>(v.held_level),
+               v.self_deadlock ? " -- same exclusive mutex: self-deadlock"
+                               : " -- hierarchy inversion");
+  if (v.held_frame_count > 0) {
+    std::fprintf(stderr, "[muppet/sync] stack of the held acquisition:\n");
+    backtrace_symbols_fd(const_cast<void* const*>(v.held_frames),
+                         v.held_frame_count, /*fd=*/2);
+  }
+  void* now[kMaxFrames];
+  int depth = backtrace(now, kMaxFrames);
+  std::fprintf(stderr, "[muppet/sync] stack of the current acquisition:\n");
+  backtrace_symbols_fd(now, depth, /*fd=*/2);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, LockLevel level, bool shared) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (level == LockLevel::kUnordered) return;
+  ThreadLockState& st = t_state;
+
+  // Same-instance reacquisition: a guaranteed deadlock for exclusive
+  // mutexes. Recursive shared acquisition of a SharedMutex is tolerated
+  // (it is how publish-from-a-tap re-enters RunTaps); it is tracked again
+  // so releases pair up, but skips the ordering check against itself.
+  bool recursive_shared = false;
+  for (int i = 0; i < st.count; ++i) {
+    if (st.held[i].lock != lock) continue;
+    if (shared && st.held[i].shared) {
+      recursive_shared = true;
+      break;
+    }
+    LockOrderViolation v;
+    v.acquiring = lock;
+    v.acquiring_level = level;
+    v.held = st.held[i].lock;
+    v.held_level = st.held[i].level;
+    v.self_deadlock = true;
+    v.held_frames = st.held[i].frames;
+    v.held_frame_count = st.held[i].frame_count;
+    ReportViolation(v);
+    return;  // Hook path: don't double-record the instance.
+  }
+
+  if (!recursive_shared) {
+    // The new level must be strictly greater than every level held.
+    const HeldLock* worst = nullptr;
+    for (int i = 0; i < st.count; ++i) {
+      if (static_cast<int>(st.held[i].level) >= static_cast<int>(level) &&
+          (worst == nullptr || static_cast<int>(st.held[i].level) >
+                                   static_cast<int>(worst->level))) {
+        worst = &st.held[i];
+      }
+    }
+    if (worst != nullptr) {
+      LockOrderViolation v;
+      v.acquiring = lock;
+      v.acquiring_level = level;
+      v.held = worst->lock;
+      v.held_level = worst->level;
+      v.self_deadlock = false;
+      v.held_frames = worst->frames;
+      v.held_frame_count = worst->frame_count;
+      ReportViolation(v);
+      // Hook path: fall through and record so the matching unlock pairs.
+    }
+  }
+
+  if (st.count >= kMaxHeld) {
+    ++st.dropped;
+    return;
+  }
+  HeldLock& h = st.held[st.count++];
+  h.lock = lock;
+  h.level = level;
+  h.shared = shared;
+  h.frame_count = 0;
+  if (g_capture_stacks.load(std::memory_order_relaxed)) {
+    h.frame_count = backtrace(h.frames, kMaxFrames);
+  }
+}
+
+void OnRelease(const void* lock) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadLockState& st = t_state;
+  if (st.dropped > 0) {
+    // Can't tell which unlock belongs to an untracked acquisition; assume
+    // LIFO and burn a dropped slot first.
+    --st.dropped;
+    return;
+  }
+  for (int i = st.count - 1; i >= 0; --i) {
+    if (st.held[i].lock != lock) continue;
+    for (int j = i; j + 1 < st.count; ++j) st.held[j] = st.held[j + 1];
+    --st.count;
+    return;
+  }
+  // Not found: acquired while checking was off, or an unordered lock.
+}
+
+}  // namespace sync_internal
+
+LockOrderAbortHandler SetLockOrderAbortHandler(LockOrderAbortHandler handler) {
+  return sync_internal::g_abort_handler.exchange(handler);
+}
+
+void SetLockOrderCheckingEnabled(bool enabled) {
+  sync_internal::g_enabled.store(enabled);
+}
+
+bool LockOrderCheckingEnabled() { return sync_internal::g_enabled.load(); }
+
+void SetLockOrderStackCaptureEnabled(bool enabled) {
+  sync_internal::g_capture_stacks.store(enabled);
+}
+
+}  // namespace muppet

@@ -54,7 +54,7 @@ Status SlateCache::Lookup(const SlateId& id, Bytes* value) {
 
 Status SlateCache::LookupWithAbsent(const SlateId& id, Bytes* value,
                                     bool* absent) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     misses_.Add();
@@ -68,7 +68,7 @@ Status SlateCache::LookupWithAbsent(const SlateId& id, Bytes* value,
 }
 
 Status SlateCache::Insert(const SlateId& id, BytesView value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry* e = UpsertLocked(id);
   e->value.assign(value);
   e->absent = false;
@@ -79,7 +79,7 @@ Status SlateCache::Insert(const SlateId& id, BytesView value) {
 }
 
 void SlateCache::InsertAbsent(const SlateId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Entry* e = UpsertLocked(id);
   if (e->dirty) return;  // an update raced in; keep the real value
   e->value.clear();
@@ -90,7 +90,7 @@ void SlateCache::InsertAbsent(const SlateId& id) {
 Status SlateCache::Update(const SlateId& id, BytesView value, Timestamp now,
                           bool write_through) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     Entry* e = UpsertLocked(id);
     e->value.assign(value);
     e->absent = false;
@@ -111,7 +111,7 @@ Status SlateCache::Update(const SlateId& id, BytesView value, Timestamp now,
 
 Status SlateCache::Delete(const SlateId& id) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = index_.find(id);
     if (it != index_.end()) {
       // Keep a negative entry so a subsequent read doesn't refetch a value
@@ -136,7 +136,7 @@ Result<int> SlateCache::FlushDirtyFor(const std::string& updater,
   };
   std::vector<Pending> to_flush;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (Entry& e : lru_) {
       if (!updater.empty() && e.id.updater != updater) continue;
       if (e.dirty && e.dirty_since < dirty_before) {
@@ -160,7 +160,7 @@ Result<int> SlateCache::FlushDirtyFor(const std::string& updater,
     // not be silently dropped — re-mark the entry dirty so a later flush
     // retries. If the slate was updated again meanwhile it is already
     // dirty and this is a no-op.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = index_.find(p.slate.id);
     if (it != index_.end() && !it->second->dirty && !it->second->absent) {
       it->second->dirty = true;
@@ -172,13 +172,13 @@ Result<int> SlateCache::FlushDirtyFor(const std::string& updater,
 }
 
 void SlateCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
 }
 
 size_t SlateCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lru_.size();
 }
 

@@ -13,7 +13,6 @@
 
 #include <functional>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "common/clock.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/slate.h"
 
 namespace muppet {
@@ -88,7 +88,9 @@ class SlateCache {
   // key-value store are lost" (§4.3).
   void Clear();
 
-  size_t size() const;
+  size_t size() const MUPPET_EXCLUDES(mutex_);
+
+  static constexpr LockLevel kLockLevel = LockLevel::kSlateCache;
   int64_t hits() const { return hits_.Get(); }
   int64_t misses() const { return misses_.Get(); }
   int64_t evictions() const { return evictions_.Get(); }
@@ -103,18 +105,20 @@ class SlateCache {
   };
   using LruList = std::list<Entry>;
 
-  // Evict LRU entries beyond capacity, writing dirty ones back.
-  // Requires mutex_ held.
-  Status EvictIfNeededLocked();
+  // Evict LRU entries beyond capacity, writing dirty ones back. The
+  // write-back runs under mutex_, which is why the cache sits above the
+  // store in the lock hierarchy.
+  Status EvictIfNeededLocked() MUPPET_REQUIRES(mutex_);
   // Insert or update; requires mutex_ held. Returns the entry.
-  Entry* UpsertLocked(const SlateId& id);
+  Entry* UpsertLocked(const SlateId& id) MUPPET_REQUIRES(mutex_);
 
   SlateCacheOptions options_;
   WriteBack write_back_;
 
-  mutable std::mutex mutex_;
-  LruList lru_;  // front = most recent
-  std::unordered_map<SlateId, LruList::iterator, SlateIdHash> index_;
+  mutable Mutex mutex_{kLockLevel};
+  LruList lru_ MUPPET_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<SlateId, LruList::iterator, SlateIdHash> index_
+      MUPPET_GUARDED_BY(mutex_);
 
   Counter hits_;
   Counter misses_;

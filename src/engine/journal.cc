@@ -12,14 +12,14 @@ EventJournal::~EventJournal() {
 }
 
 Status EventJournal::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ != nullptr) {
     return Status::FailedPrecondition("journal: already open");
   }
   // Count existing records so indices continue.
   std::vector<JournaledEvent> existing;
   MUPPET_RETURN_IF_ERROR(Read(path, 0, &existing));
-  next_index_ = existing.size();
+  next_index_.store(existing.size(), std::memory_order_release);
 
   file_ = std::fopen(path.c_str(), "ab");
   if (file_ == nullptr) {
@@ -43,24 +43,24 @@ Status EventJournal::Record(const std::string& stream, BytesView key,
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   frame.append(payload);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("journal: closed");
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IOError("journal: short write");
   }
-  ++next_index_;
+  next_index_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
 Status EventJournal::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::OK();
   if (std::fflush(file_) != 0) return Status::IOError("journal: flush");
   return Status::OK();
 }
 
 Status EventJournal::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::OK();
   const int rc = std::fclose(file_);
   file_ = nullptr;

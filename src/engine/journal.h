@@ -19,14 +19,15 @@
 #ifndef MUPPET_ENGINE_JOURNAL_H_
 #define MUPPET_ENGINE_JOURNAL_H_
 
+#include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/event.h"
 #include "engine/engine.h"
 
@@ -62,8 +63,15 @@ class EventJournal {
   Status Flush();
   Status Close();
 
-  uint64_t next_index() const { return next_index_; }
+  // Lock-free: Checkpoint() snapshots the index while sources may be
+  // appending concurrently (writes happen under mutex_, publication is
+  // release/acquire).
+  uint64_t next_index() const {
+    return next_index_.load(std::memory_order_acquire);
+  }
   const std::string& path() const { return path_; }
+
+  static constexpr LockLevel kLockLevel = LockLevel::kJournal;
 
   // Read every intact record with index >= `from_index`.
   static Status Read(const std::string& path, uint64_t from_index,
@@ -75,10 +83,12 @@ class EventJournal {
                                     uint64_t from_index, Engine* engine);
 
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  std::string path_;
-  uint64_t next_index_ = 0;
+  Mutex mutex_{kLockLevel};
+  std::FILE* file_ MUPPET_GUARDED_BY(mutex_) = nullptr;
+  std::string path_;  // written once in Open(), stable afterwards
+  // Monotonic append index: advanced under mutex_, read lock-free by
+  // next_index().
+  std::atomic<uint64_t> next_index_{0};
 };
 
 // Convenience source wrapper: journals then publishes, keeping the two in

@@ -5,14 +5,14 @@
 namespace muppet {
 
 void Master::AddListener(FailureListener listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   listeners_.push_back(std::move(listener));
 }
 
 bool Master::ReportFailure(MachineId machine) {
   std::vector<FailureListener> listeners;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!failed_.insert(machine).second) return false;  // already known
     listeners = listeners_;
   }
@@ -24,17 +24,17 @@ bool Master::ReportFailure(MachineId machine) {
 }
 
 void Master::ClearFailure(MachineId machine) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   failed_.erase(machine);
 }
 
 std::set<MachineId> Master::failed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return failed_;
 }
 
 bool Master::IsFailed(MachineId machine) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return failed_.count(machine) > 0;
 }
 

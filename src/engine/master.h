@@ -8,11 +8,11 @@
 #define MUPPET_ENGINE_MASTER_H_
 
 #include <functional>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "net/transport.h"
 
 namespace muppet {
@@ -39,14 +39,19 @@ class Master {
   // workers and only use this for store-level tests).
   void ClearFailure(MachineId machine);
 
-  std::set<MachineId> failed() const;
-  bool IsFailed(MachineId machine) const;
+  std::set<MachineId> failed() const MUPPET_EXCLUDES(mutex_);
+  bool IsFailed(MachineId machine) const MUPPET_EXCLUDES(mutex_);
   int64_t failures_reported() const { return failures_reported_.Get(); }
 
+  // Leaf on the failure-report path: listeners are copied out and invoked
+  // after the lock is released, so no listener callback ever runs under
+  // the master mutex.
+  static constexpr LockLevel kLockLevel = LockLevel::kMaster;
+
  private:
-  mutable std::mutex mutex_;
-  std::set<MachineId> failed_;
-  std::vector<FailureListener> listeners_;
+  mutable Mutex mutex_{kLockLevel};
+  std::set<MachineId> failed_ MUPPET_GUARDED_BY(mutex_);
+  std::vector<FailureListener> listeners_ MUPPET_GUARDED_BY(mutex_);
   Counter failures_reported_;
 };
 

@@ -261,7 +261,7 @@ Status Muppet1Engine::Start() {
   // Failure broadcast: every machine keeps its own failed list (§4.3).
   master_.AddListener([this](MachineId failed) {
     for (auto& machine : machines_) {
-      std::lock_guard<std::mutex> lock(machine->failed_mutex);
+      MutexLock lock(machine->failed_mutex);
       machine->failed.insert(failed);
     }
   });
@@ -296,7 +296,7 @@ std::set<MachineId> Muppet1Engine::FailedSetFor(MachineId machine) const {
   if (machine >= 0 &&
       machine < static_cast<MachineId>(machines_.size())) {
     const MachineCtx* m = machines_[static_cast<size_t>(machine)].get();
-    std::lock_guard<std::mutex> lock(m->failed_mutex);
+    MutexLock lock(m->failed_mutex);
     return m->failed;
   }
   return master_.failed();
@@ -304,12 +304,12 @@ std::set<MachineId> Muppet1Engine::FailedSetFor(MachineId machine) const {
 
 void Muppet1Engine::TapStream(const std::string& stream,
                               std::function<void(const Event&)> tap) {
-  std::unique_lock lock(taps_mutex_);
+  WriterMutexLock lock(taps_mutex_);
   taps_[stream].push_back(std::move(tap));
 }
 
 void Muppet1Engine::RunTaps(const Event& event) {
-  std::shared_lock lock(taps_mutex_);
+  ReaderMutexLock lock(taps_mutex_);
   auto it = taps_.find(event.stream);
   if (it == taps_.end()) return;
   for (const auto& tap : it->second) tap(event);
@@ -554,20 +554,22 @@ void Muppet1Engine::FlusherLoop(MachineCtx* machine) {
 
 void Muppet1Engine::DecInflight(int64_t n) {
   if (n <= 0) return;
-  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
-    // Reached zero: wake Drain(). Taking the mutex orders the notify
-    // against a drainer that just checked the predicate.
-    std::lock_guard<std::mutex> lock(drain_mutex_);
-    drain_cv_.notify_all();
+  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) <= n) {
+    // Reached (or crossed) zero: wake Drain(). `<=` rather than `==` so a
+    // batched decrement that skips past zero still notifies. Taking the
+    // mutex orders the notify against a drainer that just checked the
+    // predicate and is about to block.
+    MutexLock lock(drain_mutex_);
+    drain_cv_.NotifyAll();
   }
 }
 
 Status Muppet1Engine::Drain() {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [this] {
-    return inflight_.load(std::memory_order_acquire) <= 0;
-  });
+  MutexLock lock(drain_mutex_);
+  while (inflight_.load(std::memory_order_acquire) > 0) {
+    drain_cv_.Wait(drain_mutex_);
+  }
   return Status::OK();
 }
 

@@ -10,18 +10,16 @@
 #define MUPPET_ENGINE_MUPPET1_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "core/hash_ring.h"
 #include "core/slate_cache.h"
 #include "engine/engine.h"
@@ -112,8 +110,8 @@ class Muppet1Engine final : public Engine {
     std::vector<Worker*> workers;
     // (function, slot) -> worker for incoming dispatch.
     std::map<std::pair<std::string, int32_t>, Worker*> by_slot;
-    mutable std::mutex failed_mutex;
-    std::set<MachineId> failed;
+    mutable Mutex failed_mutex{LockLevel::kFailedSet};
+    std::set<MachineId> failed MUPPET_GUARDED_BY(failed_mutex);
     std::atomic<bool> crashed{false};
     std::thread flusher;
   };
@@ -155,8 +153,8 @@ class Muppet1Engine final : public Engine {
   HashRing ring_;
   ThrottleGovernor throttle_;
 
-  bool started_ = false;
-  bool stopped_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<MachineCtx>> machines_;
@@ -165,11 +163,12 @@ class Muppet1Engine final : public Engine {
   std::atomic<int64_t> inflight_{0};
   std::atomic<bool> shutdown_{false};
 
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mutex_{LockLevel::kDrain};
+  CondVar drain_cv_;
 
-  mutable std::shared_mutex taps_mutex_;
-  std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_;
+  mutable SharedMutex taps_mutex_{LockLevel::kTaps};
+  std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_
+      MUPPET_GUARDED_BY(taps_mutex_);
 
   // Counters (see EngineStats).
   Counter published_;

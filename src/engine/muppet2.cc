@@ -211,7 +211,7 @@ Status Muppet2Engine::Start() {
 
   master_.AddListener([this](MachineId failed) {
     for (auto& machine : machines_) {
-      std::lock_guard<std::mutex> lock(machine->failed_mutex);
+      MutexLock lock(machine->failed_mutex);
       machine->failed.insert(failed);
       machine->failed_count.store(machine->failed.size(),
                                   std::memory_order_release);
@@ -233,13 +233,13 @@ Status Muppet2Engine::Start() {
 
 void Muppet2Engine::TapStream(const std::string& stream,
                               std::function<void(const Event&)> tap) {
-  std::unique_lock lock(taps_mutex_);
+  WriterMutexLock lock(taps_mutex_);
   taps_[stream].push_back(std::move(tap));
   has_taps_.store(true, std::memory_order_release);
 }
 
 void Muppet2Engine::RunTaps(const Event& event) {
-  std::shared_lock lock(taps_mutex_);
+  ReaderMutexLock lock(taps_mutex_);
   auto it = taps_.find(event.stream);
   if (it == taps_.end()) return;
   for (const auto& tap : it->second) tap(event);
@@ -248,7 +248,7 @@ void Muppet2Engine::RunTaps(const Event& event) {
 std::set<MachineId> Muppet2Engine::FailedSetFor(MachineId machine) const {
   if (machine >= 0 && machine < static_cast<MachineId>(machines_.size())) {
     const MachineCtx* m = machines_[static_cast<size_t>(machine)].get();
-    std::lock_guard<std::mutex> lock(m->failed_mutex);
+    MutexLock lock(m->failed_mutex);
     return m->failed;
   }
   return master_.failed();
@@ -648,13 +648,10 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
   } else {
     // Up to two threads can vie for the same slate (§4.5); the striped
     // lock serializes the contending pair.
-    std::mutex& slate_lock =
-        machine->slate_locks[work % kSlateLockStripes];
-    if (!slate_lock.try_lock()) {
-      slate_contention_.Add();
-      slate_lock.lock();
-    }
-    std::lock_guard<std::mutex> guard(slate_lock, std::adopt_lock);
+    bool contended = false;
+    MutexLock guard(machine->slate_locks[work % kSlateLockStripes],
+                    &contended);
+    if (contended) slate_contention_.Add();
 
     Bytes slate;
     bool has_slate = false;
@@ -696,20 +693,24 @@ void Muppet2Engine::FlusherLoop(MachineCtx* machine) {
 
 void Muppet2Engine::DecInflight(int64_t n) {
   if (n <= 0) return;
-  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
-    // Reached zero: wake Drain(). Taking the mutex orders the notify
-    // against a drainer that just checked the predicate.
-    std::lock_guard<std::mutex> lock(drain_mutex_);
-    drain_cv_.notify_all();
+  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) <= n) {
+    // Reached (or crossed) zero: wake Drain(). `<=` rather than `==` so
+    // that a batched decrement that skips past zero still notifies —
+    // with `==` only the decrement landing exactly on zero wakes the
+    // drainer, and Drain() would hang forever if counts ever crossed.
+    // Taking the mutex orders the notify against a drainer that just
+    // checked the predicate and is about to block.
+    MutexLock lock(drain_mutex_);
+    drain_cv_.NotifyAll();
   }
 }
 
 Status Muppet2Engine::Drain() {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [this] {
-    return inflight_.load(std::memory_order_acquire) <= 0;
-  });
+  MutexLock lock(drain_mutex_);
+  while (inflight_.load(std::memory_order_acquire) > 0) {
+    drain_cv_.Wait(drain_mutex_);
+  }
   return Status::OK();
 }
 

@@ -24,18 +24,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "core/hash_ring.h"
 #include "core/intern.h"
 #include "core/slate_cache.h"
@@ -82,6 +80,15 @@ class Muppet2Engine final : public Engine {
   // event count of the largest event queues)").
   size_t LargestQueueDepth() const;
 
+  // Lock-hierarchy levels for the engine's own locks (pinned by
+  // tests/common/sync_test.cc against DESIGN.md). The slate stripe is the
+  // outermost lock in the system: an updater's publishes — and so queue,
+  // transport, cache, and store acquisitions — all happen under it.
+  static constexpr LockLevel kSlateStripeLockLevel = LockLevel::kSlateStripe;
+  static constexpr LockLevel kTapsLockLevel = LockLevel::kTaps;
+  static constexpr LockLevel kFailedSetLockLevel = LockLevel::kFailedSet;
+  static constexpr LockLevel kDrainLockLevel = LockLevel::kDrain;
+
  private:
   static constexpr size_t kSlateLockStripes = 64;
   // Max events a worker drains from its queue per lock acquisition.
@@ -95,6 +102,12 @@ class Muppet2Engine final : public Engine {
     std::atomic<uint64_t> current{0};
   };
 
+  // A Mutex pre-leveled for the slate stripes so the stripe array can be
+  // default-constructed.
+  struct SlateStripeMutex : Mutex {
+    SlateStripeMutex() : Mutex(kSlateStripeLockLevel) {}
+  };
+
   struct MachineCtx {
     MachineId id = kInvalidMachine;
     std::vector<std::unique_ptr<ThreadCtx>> threads;
@@ -105,9 +118,9 @@ class Muppet2Engine final : public Engine {
     std::vector<std::unique_ptr<Mapper>> mappers;
     std::vector<std::unique_ptr<Updater>> updaters;
     // Striped per-slate locks: the two contending threads serialize here.
-    std::array<std::mutex, kSlateLockStripes> slate_locks;
-    mutable std::mutex failed_mutex;
-    std::set<MachineId> failed;
+    std::array<SlateStripeMutex, kSlateLockStripes> slate_locks;
+    mutable Mutex failed_mutex{kFailedSetLockLevel};
+    std::set<MachineId> failed MUPPET_GUARDED_BY(failed_mutex);
     // Lock-free emptiness check so the hot path skips the failed-set copy.
     std::atomic<size_t> failed_count{0};
     std::atomic<bool> crashed{false};
@@ -180,8 +193,8 @@ class Muppet2Engine final : public Engine {
   HashRing ring_;
   ThrottleGovernor throttle_;
 
-  bool started_ = false;
-  bool stopped_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
 
   std::vector<std::unique_ptr<MachineCtx>> machines_;
 
@@ -196,12 +209,13 @@ class Muppet2Engine final : public Engine {
   std::atomic<int64_t> inflight_{0};
   std::atomic<bool> shutdown_{false};
 
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mutex_{kDrainLockLevel};
+  CondVar drain_cv_;
 
   std::atomic<bool> has_taps_{false};
-  mutable std::shared_mutex taps_mutex_;
-  std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_;
+  mutable SharedMutex taps_mutex_{kTapsLockLevel};
+  std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_
+      MUPPET_GUARDED_BY(taps_mutex_);
 
   Counter published_;
   Counter processed_;

@@ -9,7 +9,7 @@ EventQueue::EventQueue(size_t capacity)
 
 Status EventQueue::TryPushMove(RoutedEvent* item) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return Status::Aborted("queue: stopped");
     if (items_.size() >= capacity_) {
       return Status::ResourceExhausted("queue: full");
@@ -17,7 +17,7 @@ Status EventQueue::TryPushMove(RoutedEvent* item) {
     items_.push_back(std::move(*item));
     size_.store(items_.size(), std::memory_order_release);
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return Status::OK();
 }
 
@@ -25,7 +25,7 @@ Status EventQueue::TryPushBatch(std::vector<RoutedEvent>* items) {
   if (items->empty()) return Status::OK();
   const size_t n = items->size();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopped_) return Status::Aborted("queue: stopped");
     if (items_.size() + n > capacity_) {
       return Status::ResourceExhausted("queue: full");
@@ -37,16 +37,16 @@ Status EventQueue::TryPushBatch(std::vector<RoutedEvent>* items) {
   }
   items->clear();
   if (n == 1) {
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   } else {
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
   return Status::OK();
 }
 
 bool EventQueue::Pop(RoutedEvent* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [&] { return stopped_ || !items_.empty(); });
+  MutexLock lock(mutex_);
+  while (!stopped_ && items_.empty()) not_empty_.Wait(mutex_);
   if (items_.empty()) return false;  // stopped and drained
   *out = std::move(items_.front());
   items_.pop_front();
@@ -56,8 +56,8 @@ bool EventQueue::Pop(RoutedEvent* out) {
 
 bool EventQueue::PopBatch(std::vector<RoutedEvent>* out, size_t max) {
   if (max == 0) return false;
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [&] { return stopped_ || !items_.empty(); });
+  MutexLock lock(mutex_);
+  while (!stopped_ && items_.empty()) not_empty_.Wait(mutex_);
   if (items_.empty()) return false;  // stopped and drained
   const size_t n = std::min(max, items_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -69,7 +69,7 @@ bool EventQueue::PopBatch(std::vector<RoutedEvent>* out, size_t max) {
 }
 
 bool EventQueue::TryPop(RoutedEvent* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (items_.empty()) return false;
   *out = std::move(items_.front());
   items_.pop_front();
@@ -79,14 +79,14 @@ bool EventQueue::TryPop(RoutedEvent* out) {
 
 void EventQueue::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopped_ = true;
   }
-  not_empty_.notify_all();
+  not_empty_.NotifyAll();
 }
 
 size_t EventQueue::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const size_t n = items_.size();
   items_.clear();
   size_.store(0, std::memory_order_release);
@@ -94,7 +94,7 @@ size_t EventQueue::Clear() {
 }
 
 bool EventQueue::stopped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stopped_;
 }
 

@@ -6,12 +6,11 @@
 #define MUPPET_ENGINE_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/event.h"
 
 namespace muppet {
@@ -82,15 +81,19 @@ class EventQueue {
   // while a push/pop is mid-flight.
   size_t size() const { return size_.load(std::memory_order_acquire); }
   size_t capacity() const { return capacity_; }
-  bool stopped() const;
+  bool stopped() const MUPPET_EXCLUDES(mutex_);
+
+  // Level this queue's mutex occupies in the global lock hierarchy
+  // (pinned by tests/common/sync_test.cc against DESIGN.md).
+  static constexpr LockLevel kLockLevel = LockLevel::kQueue;
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::deque<RoutedEvent> items_;
+  mutable Mutex mutex_{kLockLevel};
+  CondVar not_empty_;
+  std::deque<RoutedEvent> items_ MUPPET_GUARDED_BY(mutex_);
   std::atomic<size_t> size_{0};
-  bool stopped_ = false;
+  bool stopped_ MUPPET_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace muppet

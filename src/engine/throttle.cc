@@ -13,14 +13,14 @@ ThrottleGovernor::ThrottleGovernor(ThrottleOptions options, Clock* clock)
 
 void ThrottleGovernor::NoteOverflow() {
   signals_.Add();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   delay_micros_ = std::min<double>(
       delay_micros_ + static_cast<double>(options_.step_micros),
       static_cast<double>(options_.max_delay_micros));
 }
 
 Timestamp ThrottleGovernor::CurrentDelayMicros() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const Timestamp now = clock_->Now();
   if (now > last_decay_ && delay_micros_ > 0.0 &&
       options_.halflife_micros > 0) {

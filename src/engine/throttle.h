@@ -10,10 +10,10 @@
 #define MUPPET_ENGINE_THROTTLE_H_
 
 #include <atomic>
-#include <mutex>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/sync.h"
 
 namespace muppet {
 
@@ -45,12 +45,16 @@ class ThrottleGovernor {
 
   int64_t overflow_signals() const { return signals_.Get(); }
 
+  // NoteOverflow() runs under a slate-stripe lock on the 2.0 dispatch
+  // path, so the governor sits below the stripes in the hierarchy.
+  static constexpr LockLevel kLockLevel = LockLevel::kThrottle;
+
  private:
   ThrottleOptions options_;
   Clock* clock_;
-  std::mutex mutex_;
-  double delay_micros_ = 0.0;
-  Timestamp last_decay_ = 0;
+  Mutex mutex_{kLockLevel};
+  double delay_micros_ MUPPET_GUARDED_BY(mutex_) = 0.0;
+  Timestamp last_decay_ MUPPET_GUARDED_BY(mutex_) = 0;
   Counter signals_;
 };
 

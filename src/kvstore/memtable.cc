@@ -8,7 +8,7 @@ constexpr size_t kPerEntryOverhead = 64;  // map node + bookkeeping estimate
 }  // namespace
 
 void MemTable::Put(Record rec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(rec.key);
   if (it != entries_.end()) {
     bytes_ -= it->second.key.size() + it->second.value.size();
@@ -22,7 +22,7 @@ void MemTable::Put(Record rec) {
 }
 
 bool MemTable::Get(BytesView key, Record* rec) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   *rec = it->second;
@@ -30,7 +30,7 @@ bool MemTable::Get(BytesView key, Record* rec) const {
 }
 
 std::vector<Record> MemTable::Scan(BytesView prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Record> out;
   for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix.data(), prefix.size()) !=
@@ -43,7 +43,7 @@ std::vector<Record> MemTable::Scan(BytesView prefix) const {
 }
 
 std::vector<Record> MemTable::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<Record> out;
   out.reserve(entries_.size());
   for (const auto& [key, rec] : entries_) out.push_back(rec);
@@ -51,17 +51,17 @@ std::vector<Record> MemTable::Snapshot() const {
 }
 
 size_t MemTable::entry_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 size_t MemTable::approximate_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_;
 }
 
 void MemTable::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   bytes_ = 0;
 }

@@ -7,10 +7,10 @@
 #define MUPPET_KVSTORE_MEMTABLE_H_
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/sync.h"
 #include "kvstore/format.h"
 
 namespace muppet {
@@ -47,12 +47,14 @@ class MemTable {
 
   void Clear();
 
+  static constexpr LockLevel kLockLevel = LockLevel::kStoreIo;
+
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{kLockLevel};
   // Key is owned by the Record; the map key references... no: map key is its
   // own copy. Memory is doubled for keys, acceptable for a write buffer.
-  std::map<Bytes, Record, std::less<>> entries_;
-  size_t bytes_ = 0;
+  std::map<Bytes, Record, std::less<>> entries_ MUPPET_GUARDED_BY(mutex_);
+  size_t bytes_ MUPPET_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace kv

@@ -45,7 +45,7 @@ Status Shard::Open() {
   uint64_t max_table = 0;
   uint64_t max_seqno = 0;
   {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    MutexLock lock(tables_mutex_);
     for (auto it = sst_paths.rbegin(); it != sst_paths.rend(); ++it) {
       auto reader = SsTableReader::Open(it->string(), device_);
       if (!reader.ok()) {
@@ -90,7 +90,7 @@ Status Shard::WriteRecord(Record rec) {
   }
   memtable_.Put(std::move(rec));
   if (memtable_.approximate_bytes() >= options_.memtable_flush_bytes) {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    MutexLock lock(tables_mutex_);
     // Re-check under the lock: a concurrent writer may have flushed.
     if (memtable_.approximate_bytes() >= options_.memtable_flush_bytes) {
       MUPPET_RETURN_IF_ERROR(FlushLocked());
@@ -155,7 +155,7 @@ Result<Record> Shard::GetRaw(BytesView row, BytesView column) {
   // The memtable always holds the newest version when present: its seqnos
   // postdate every flushed table's.
   if (memtable_.Get(key, &rec)) return rec;
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  MutexLock lock(tables_mutex_);
   MUPPET_RETURN_IF_ERROR(GetFromTablesLocked(key, &rec));
   return rec;
 }
@@ -172,7 +172,7 @@ Result<Record> Shard::Get(BytesView row, BytesView column) {
     return rec;
   }
 
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  MutexLock lock(tables_mutex_);
   MUPPET_RETURN_IF_ERROR(GetFromTablesLocked(key, &rec));
   if (rec.tombstone || rec.ExpiredAt(now)) {
     return Status::NotFound("kv: key deleted or expired");
@@ -187,7 +187,7 @@ Status Shard::ScanRow(BytesView row, std::vector<Record>* out) {
   std::vector<std::vector<Record>> streams;
   streams.push_back(memtable_.Scan(prefix));
   {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    MutexLock lock(tables_mutex_);
     for (const auto& table : tables_) {
       std::vector<Record> recs;
       MUPPET_RETURN_IF_ERROR(table->Scan(prefix, &recs));
@@ -206,7 +206,7 @@ Status Shard::ScanAll(std::vector<Record>* out) {
   std::vector<std::vector<Record>> streams;
   streams.push_back(memtable_.Snapshot());
   {
-    std::lock_guard<std::mutex> lock(tables_mutex_);
+    MutexLock lock(tables_mutex_);
     for (const auto& table : tables_) {
       std::vector<Record> recs;
       MUPPET_RETURN_IF_ERROR(table->ReadAll(&recs));
@@ -220,7 +220,7 @@ Status Shard::ScanAll(std::vector<Record>* out) {
 }
 
 Status Shard::Flush() {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  MutexLock lock(tables_mutex_);
   return FlushLocked();
 }
 
@@ -301,7 +301,7 @@ Status Shard::CompactGroupLocked(const std::vector<size_t>& group,
 }
 
 Status Shard::CompactAll() {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  MutexLock lock(tables_mutex_);
   MUPPET_RETURN_IF_ERROR(FlushLocked());
   if (tables_.size() < 2 && !tables_.empty()) {
     // Still rewrite the single table to purge garbage.
@@ -313,7 +313,7 @@ Status Shard::CompactAll() {
 }
 
 size_t Shard::sstable_count() const {
-  std::lock_guard<std::mutex> lock(tables_mutex_);
+  MutexLock lock(tables_mutex_);
   return tables_.size();
 }
 
@@ -345,7 +345,7 @@ Result<Shard*> StorageNode::GetColumnFamily(const std::string& name) {
   if (name.empty() || name.find('/') != std::string::npos) {
     return Status::InvalidArgument("node: bad column family name: " + name);
   }
-  std::lock_guard<std::mutex> lock(cf_mutex_);
+  MutexLock lock(cf_mutex_);
   auto it = shards_.find(name);
   if (it != shards_.end()) return it->second.get();
 
@@ -392,7 +392,7 @@ Status StorageNode::ScanAll(const std::string& cf,
 Status StorageNode::FlushAll() {
   std::vector<Shard*> shards;
   {
-    std::lock_guard<std::mutex> lock(cf_mutex_);
+    MutexLock lock(cf_mutex_);
     for (auto& [name, shard] : shards_) shards.push_back(shard.get());
   }
   for (Shard* shard : shards) {
@@ -402,7 +402,7 @@ Status StorageNode::FlushAll() {
 }
 
 std::vector<std::string> StorageNode::ColumnFamilies() const {
-  std::lock_guard<std::mutex> lock(cf_mutex_);
+  MutexLock lock(cf_mutex_);
   std::vector<std::string> out;
   for (const auto& [name, shard] : shards_) out.push_back(name);
   return out;

@@ -8,13 +8,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "kvstore/compaction.h"
 #include "kvstore/device.h"
 #include "kvstore/format.h"
@@ -98,17 +98,20 @@ class Shard {
 
   // Stats.
   size_t memtable_bytes() const { return memtable_.approximate_bytes(); }
-  size_t sstable_count() const;
+  size_t sstable_count() const MUPPET_EXCLUDES(tables_mutex_);
   uint64_t flush_count() const { return flushes_.load(); }
   uint64_t compaction_count() const { return compactions_.load(); }
 
+  static constexpr LockLevel kTablesLockLevel = LockLevel::kStoreTables;
+
  private:
   Status WriteRecord(Record rec);
-  Status GetFromTablesLocked(BytesView key, Record* out);
-  Status FlushLocked();  // requires tables_mutex_
-  Status MaybeCompactLocked();
+  Status GetFromTablesLocked(BytesView key, Record* out)
+      MUPPET_REQUIRES(tables_mutex_);
+  Status FlushLocked() MUPPET_REQUIRES(tables_mutex_);
+  Status MaybeCompactLocked() MUPPET_REQUIRES(tables_mutex_);
   Status CompactGroupLocked(const std::vector<size_t>& group,
-                            bool drop_garbage);
+                            bool drop_garbage) MUPPET_REQUIRES(tables_mutex_);
   std::string NextTablePath();
 
   const std::string dir_;
@@ -124,9 +127,12 @@ class Shard {
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> compactions_{0};
 
-  // Newest-first list of open tables. Guarded for flush/compact vs read.
-  mutable std::mutex tables_mutex_;
-  std::vector<std::unique_ptr<SsTableReader>> tables_;
+  // Newest-first list of open tables. Guarded for flush/compact vs read;
+  // log rotation (wal_) and memtable snapshot/clear also happen under it,
+  // hence store-tables sits above store-io in the lock hierarchy.
+  mutable Mutex tables_mutex_{kTablesLockLevel};
+  std::vector<std::unique_ptr<SsTableReader>> tables_
+      MUPPET_GUARDED_BY(tables_mutex_);
 };
 
 // A storage node hosting many column families.
@@ -156,15 +162,20 @@ class StorageNode {
 
   DeviceModel& device() { return device_; }
   const NodeOptions& options() const { return options_; }
-  std::vector<std::string> ColumnFamilies() const;
+  std::vector<std::string> ColumnFamilies() const MUPPET_EXCLUDES(cf_mutex_);
+
+  static constexpr LockLevel kCfLockLevel = LockLevel::kStoreNode;
 
  private:
   NodeOptions options_;
   Clock* clock_;
   DeviceModel device_;
 
-  mutable std::mutex cf_mutex_;
-  std::map<std::string, std::unique_ptr<Shard>> shards_;
+  // Shard::Open() (WAL replay, table loads) runs under cf_mutex_, so the
+  // registry sits above every shard-internal lock.
+  mutable Mutex cf_mutex_{kCfLockLevel};
+  std::map<std::string, std::unique_ptr<Shard>> shards_
+      MUPPET_GUARDED_BY(cf_mutex_);
 };
 
 }  // namespace kv

@@ -121,7 +121,7 @@ SsTableReader::~SsTableReader() {
 
 Status SsTableReader::ReadRange(uint64_t offset, size_t length, Bytes* out) {
   out->resize(length);
-  std::lock_guard<std::mutex> lock(file_mutex_);
+  MutexLock lock(file_mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("sstable: closed");
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
     return Status::IOError("sstable: seek failed in " + path_);

@@ -15,12 +15,12 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "kvstore/bloom.h"
 #include "kvstore/device.h"
 #include "kvstore/format.h"
@@ -87,8 +87,11 @@ class SsTableReader {
 
   std::string path_;
   DeviceModel* device_;
+  // Seek+read pairs on the shared handle are serialized by file_mutex_
+  // once Open() publishes the reader; Load() runs pre-publication and so
+  // touches file_ unlocked.
   std::FILE* file_ = nullptr;
-  std::mutex file_mutex_;
+  Mutex file_mutex_{LockLevel::kStoreIo};
 
   std::vector<IndexEntry> index_;
   BloomFilter bloom_{0};

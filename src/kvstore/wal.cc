@@ -18,7 +18,7 @@ WalWriter::~WalWriter() {
 }
 
 Status WalWriter::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ != nullptr) {
     return Status::FailedPrecondition("wal: already open");
   }
@@ -41,7 +41,7 @@ Status WalWriter::Append(const Record& rec, bool sync) {
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   frame.append(payload);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal: not open");
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IOError("wal: short write");
@@ -54,7 +54,7 @@ Status WalWriter::Append(const Record& rec, bool sync) {
 }
 
 Status WalWriter::Sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal: not open");
   if (std::fflush(file_) != 0) return Status::IOError("wal: flush failed");
   ::fsync(::fileno(file_));
@@ -62,7 +62,7 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::OK();
   const int rc = std::fclose(file_);
   file_ = nullptr;

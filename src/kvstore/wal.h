@@ -7,12 +7,12 @@
 #define MUPPET_KVSTORE_WAL_H_
 
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "kvstore/format.h"
 
 namespace muppet {
@@ -41,13 +41,19 @@ class WalWriter {
 
   Status Close();
 
-  bool is_open() const { return file_ != nullptr; }
+  bool is_open() const MUPPET_NO_THREAD_SAFETY_ANALYSIS {
+    // Unsynchronized peek; callers serialize Open/Close externally (the
+    // shard holds tables_mutex_ across log rotation).
+    return file_ != nullptr;
+  }
   const std::string& path() const { return path_; }
 
+  static constexpr LockLevel kLockLevel = LockLevel::kStoreIo;
+
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  std::string path_;
+  Mutex mutex_{kLockLevel};
+  std::FILE* file_ MUPPET_GUARDED_BY(mutex_) = nullptr;
+  std::string path_;  // written only by Open(), stable afterwards
 };
 
 // Replay every intact record of the log at `path` in append order.

@@ -14,7 +14,7 @@ Status Transport::RegisterMachine(MachineId id, Handler handler) {
   if (handler == nullptr) {
     return Status::InvalidArgument("transport: null handler");
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto [it, inserted] = machines_.try_emplace(id);
   if (!inserted) {
     return Status::AlreadyExists("transport: machine " + std::to_string(id) +
@@ -29,7 +29,7 @@ Status Transport::RegisterBatchHandler(MachineId id, BatchHandler handler) {
   if (handler == nullptr) {
     return Status::InvalidArgument("transport: null batch handler");
   }
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto it = machines_.find(id);
   if (it == machines_.end()) {
     return Status::NotFound("transport: machine " + std::to_string(id) +
@@ -40,13 +40,13 @@ Status Transport::RegisterBatchHandler(MachineId id, BatchHandler handler) {
 }
 
 void Transport::UnregisterMachine(MachineId id) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   machines_.erase(id);
 }
 
 std::shared_ptr<Transport::MachineState> Transport::FindMachine(
     MachineId id) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = machines_.find(id);
   if (it == machines_.end()) return nullptr;
   return it->second;
@@ -56,7 +56,7 @@ Status Transport::ChargeHop() {
   if (options_.loss_probability > 0.0) {
     bool drop;
     {
-      std::lock_guard<std::mutex> lock(rng_mutex_);
+      MutexLock lock(rng_mutex_);
       drop = rng_.Chance(options_.loss_probability);
     }
     if (drop) {
@@ -126,7 +126,7 @@ Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
 }
 
 void Transport::Crash(MachineId id) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto it = machines_.find(id);
   if (it != machines_.end()) {
     it->second->up.store(false, std::memory_order_release);
@@ -134,7 +134,7 @@ void Transport::Crash(MachineId id) {
 }
 
 void Transport::Restore(MachineId id) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   auto it = machines_.find(id);
   if (it != machines_.end()) {
     it->second->up.store(true, std::memory_order_release);
@@ -142,14 +142,14 @@ void Transport::Restore(MachineId id) {
 }
 
 bool Transport::IsUp(MachineId id) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = machines_.find(id);
   return it != machines_.end() &&
          it->second->up.load(std::memory_order_acquire);
 }
 
 std::vector<MachineId> Transport::Machines() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<MachineId> out;
   out.reserve(machines_.size());
   for (const auto& [id, state] : machines_) out.push_back(id);

@@ -20,8 +20,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +28,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace muppet {
 
@@ -131,6 +130,13 @@ class Transport {
 
   const TransportOptions& options() const { return options_; }
 
+  // Lock-hierarchy levels (pinned by tests/common/sync_test.cc). Both are
+  // leaves on the send path: FindMachine() drops the registry lock before
+  // the receiver's handler runs, so no transport lock is ever held while
+  // queue or engine locks are acquired.
+  static constexpr LockLevel kRegistryLockLevel = LockLevel::kTransport;
+  static constexpr LockLevel kRngLockLevel = LockLevel::kTransportRng;
+
  private:
   // Heap-allocated, shared_ptr-held state block per machine: Send() takes
   // a reference under the shared lock instead of copying the handler
@@ -151,11 +157,12 @@ class Transport {
   TransportOptions options_;
   Clock* clock_;
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<MachineId, std::shared_ptr<MachineState>> machines_;
+  mutable SharedMutex mutex_{kRegistryLockLevel};
+  std::unordered_map<MachineId, std::shared_ptr<MachineState>> machines_
+      MUPPET_GUARDED_BY(mutex_);
 
-  std::mutex rng_mutex_;
-  Rng rng_;
+  Mutex rng_mutex_{kRngLockLevel};
+  Rng rng_ MUPPET_GUARDED_BY(rng_mutex_);
 
   Counter messages_sent_;
   Counter messages_dropped_;

@@ -62,7 +62,7 @@ SlateLogger::~SlateLogger() {
 }
 
 Status SlateLogger::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ != nullptr) {
     return Status::FailedPrecondition("slate logger: already open");
   }
@@ -83,19 +83,19 @@ Status SlateLogger::Append(BytesView key, BytesView payload) {
   PutFixed32(&frame, static_cast<uint32_t>(record.size()));
   frame.append(record);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) {
     return Status::FailedPrecondition("slate logger: not open");
   }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IOError("slate logger: short write");
   }
-  ++records_written_;
+  records_written_.Add();
   return Status::OK();
 }
 
 Status SlateLogger::Flush() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::OK();
   if (std::fflush(file_) != 0) {
     return Status::IOError("slate logger: flush failed");
@@ -104,7 +104,7 @@ Status SlateLogger::Flush() {
 }
 
 Status SlateLogger::Close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (file_ == nullptr) return Status::OK();
   const int rc = std::fclose(file_);
   file_ = nullptr;

@@ -17,12 +17,13 @@
 
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/slate.h"
 #include "core/slate_store.h"
 
@@ -72,16 +73,20 @@ class SlateLogger {
   Status Flush();
   Status Close();
 
-  int64_t records_written() const { return records_written_; }
+  int64_t records_written() const { return records_written_.Get(); }
 
   // Read every intact record of a log file, in append order.
   static Status ReadLog(const std::string& path,
                         std::vector<std::pair<Bytes, Bytes>>* records);
 
+  static constexpr LockLevel kLockLevel = LockLevel::kJournal;
+
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
-  int64_t records_written_ = 0;
+  Mutex mutex_{kLockLevel};
+  std::FILE* file_ MUPPET_GUARDED_BY(mutex_) = nullptr;
+  // Counter (not a guarded int) so records_written() stays lock-free for
+  // status endpoints while updaters append concurrently.
+  Counter records_written_;
 };
 
 }  // namespace muppet

@@ -64,31 +64,29 @@ void HttpServer::RegisterHandler(const std::string& prefix, Handler handler) {
 
 Status HttpServer::Start(int port) {
   if (running_.load()) return Status::FailedPrecondition("http: running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IOError("http: socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("http: socket() failed");
   int opt = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     return Status::IOError("http: bind failed: " +
                            std::string(std::strerror(errno)));
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
     return Status::IOError("http: listen failed");
   }
+  listen_fd_.store(fd);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -97,13 +95,15 @@ Status HttpServer::Start(int port) {
 Status HttpServer::Stop() {
   if (!running_.exchange(false)) return Status::OK();
   // Closing the listen socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     workers.swap(workers_);
   }
   for (std::thread& t : workers) {
@@ -114,12 +114,14 @@ Status HttpServer::Stop() {
 
 void HttpServer::AcceptLoop() {
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) return;
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (!running_.load()) return;
       continue;
     }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     // Reap finished threads opportunistically to bound the vector.
     if (workers_.size() > 64) {
       for (std::thread& t : workers_) {

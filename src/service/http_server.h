@@ -9,12 +9,12 @@
 #include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace muppet {
 
@@ -59,17 +59,23 @@ class HttpServer {
 
   Status Stop();
 
+  static constexpr LockLevel kLockLevel = LockLevel::kService;
+
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
   HttpResponse Route(const HttpRequest& request) const;
 
-  int listen_fd_ = -1;
+  // Written by Start()/Stop(), read concurrently by AcceptLoop().
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  Mutex workers_mutex_{kLockLevel};
+  std::vector<std::thread> workers_ MUPPET_GUARDED_BY(workers_mutex_);
+  // Registered before Start(); the spawn of accept_thread_ publishes the
+  // map to connection threads, which only read it. Not lock-guarded by
+  // design — RegisterHandler after Start() would be a bug.
   std::map<std::string, Handler> handlers_;  // by prefix
 };
 

@@ -49,18 +49,21 @@ const Status& StatusOf(const Result<T>& r) {
   return r.status();
 }
 
+// Copy the Status inside the full expression: binding `const auto&` to
+// StatusOf(expr) would dangle when `expr` is `result.status()` on a
+// temporary Result (the reference outlives the temporary's member).
 #define ASSERT_OK(expr)                                             \
   do {                                                              \
-    const auto& _status_or = (expr);                                \
-    ASSERT_TRUE(::muppet::testing::StatusOf(_status_or).ok())       \
-        << ::muppet::testing::StatusOf(_status_or).ToString();      \
+    const ::muppet::Status _status =                                \
+        ::muppet::testing::StatusOf((expr));                        \
+    ASSERT_TRUE(_status.ok()) << _status.ToString();                \
   } while (0)
 
 #define EXPECT_OK(expr)                                             \
   do {                                                              \
-    const auto& _status_or = (expr);                                \
-    EXPECT_TRUE(::muppet::testing::StatusOf(_status_or).ok())       \
-        << ::muppet::testing::StatusOf(_status_or).ToString();      \
+    const ::muppet::Status _status =                                \
+        ::muppet::testing::StatusOf((expr));                        \
+    EXPECT_TRUE(_status.ok()) << _status.ToString();                \
   } while (0)
 
 }  // namespace testing

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Tree-wide concurrency lint.
+
+Fails if any file under src/ names a raw standard-library synchronization
+primitive instead of the annotated wrappers in src/common/sync.h
+(muppet::Mutex / SharedMutex / MutexLock / ReaderMutexLock /
+WriterMutexLock / CondVar). The wrappers carry Clang thread-safety
+attributes and participate in the runtime lock-order checker; a raw
+std::mutex is invisible to both.
+
+Usage: tools/check_sync.py [repo_root]     (exit 0 = clean)
+"""
+
+import os
+import re
+import sys
+
+# Only src/common/sync.h and sync.cc may touch the raw primitives.
+ALLOWED = {
+    os.path.join("src", "common", "sync.h"),
+    os.path.join("src", "common", "sync.cc"),
+}
+
+FORBIDDEN = [
+    (re.compile(r"\bstd::(recursive_|timed_|recursive_timed_)?mutex\b"),
+     "std::mutex family"),
+    (re.compile(r"\bstd::shared_(timed_)?mutex\b"), "std::shared_mutex"),
+    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd::shared_lock\b"), "std::shared_lock"),
+    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"),
+     "std::condition_variable"),
+    (re.compile(r"#\s*include\s*<mutex>"), "#include <mutex>"),
+    (re.compile(r"#\s*include\s*<shared_mutex>"), "#include <shared_mutex>"),
+    (re.compile(r"#\s*include\s*<condition_variable>"),
+     "#include <condition_variable>"),
+]
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else os.getcwd()
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"check_sync: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    violations = 0
+    for dirpath, _, filenames in sorted(os.walk(src)):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            if rel in ALLOWED:
+                continue
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for pattern, what in FORBIDDEN:
+                        if pattern.search(line):
+                            print(f"{rel}:{lineno}: raw {what}; use the "
+                                  "wrappers in common/sync.h")
+                            violations += 1
+
+    if violations:
+        print(f"check_sync: {violations} violation(s)", file=sys.stderr)
+        return 1
+    print("check_sync: OK (no raw std synchronization primitives in src/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
