@@ -33,6 +33,8 @@
 //     20   taps             engine tap registries (shared)
 //     30   transport        Transport machine registry (shared)
 //     35   transport-rng    Transport loss-model RNG
+//     36   fault-injector   FaultInjector decision/partition/action state
+//     38   fault-hold       Transport reorder holdback buffer
 //     40   queue            EventQueue mutex (items + stopped flag)
 //     50   master           Master failed-set + listener registry
 //     55   failed-set       per-machine failed-peer sets (both engines)
@@ -111,6 +113,8 @@ enum class LockLevel : int {
   kTaps = 20,
   kTransport = 30,
   kTransportRng = 35,
+  kFaultInjector = 36,
+  kFaultHold = 38,
   kQueue = 40,
   kMaster = 50,
   kFailedSet = 55,

@@ -131,6 +131,13 @@ class Engine {
   // reroutes (§4.3).
   virtual Status CrashMachine(MachineId machine) = 0;
 
+  // Bring a crashed machine back: re-arm its queues, respawn its worker
+  // threads, re-register it with the transport, and broadcast the recovery
+  // through the master so peers shrink their failed sets. Test/ops path
+  // only (the paper's Muppet fixes cluster membership for a run, §5).
+  // FailedPrecondition if the machine is not crashed.
+  virtual Status RestartMachine(MachineId machine) = 0;
+
   virtual EngineStats Stats() const = 0;
 
   virtual const AppConfig& config() const = 0;

@@ -9,6 +9,11 @@ void Master::AddListener(FailureListener listener) {
   listeners_.push_back(std::move(listener));
 }
 
+void Master::AddRecoveryListener(RecoveryListener listener) {
+  MutexLock lock(mutex_);
+  recovery_listeners_.push_back(std::move(listener));
+}
+
 bool Master::ReportFailure(MachineId machine) {
   std::vector<FailureListener> listeners;
   {
@@ -23,9 +28,18 @@ bool Master::ReportFailure(MachineId machine) {
   return true;
 }
 
-void Master::ClearFailure(MachineId machine) {
-  MutexLock lock(mutex_);
-  failed_.erase(machine);
+bool Master::ClearFailure(MachineId machine) {
+  std::vector<RecoveryListener> listeners;
+  {
+    MutexLock lock(mutex_);
+    if (failed_.erase(machine) == 0) return false;  // was not failed
+    listeners = recovery_listeners_;
+  }
+  recoveries_reported_.Add();
+  MUPPET_LOG(kInfo) << "master: machine " << machine
+                    << " recovered; broadcasting";
+  for (const RecoveryListener& l : listeners) l(machine);
+  return true;
 }
 
 std::set<MachineId> Master::failed() const {

@@ -23,12 +23,17 @@ class Master {
   // failed machine — the "broadcast".
   using FailureListener = std::function<void(MachineId)>;
 
+  // Invoked once per machine whose failure is cleared (recovery
+  // broadcast). Test/ops path only — see ClearFailure.
+  using RecoveryListener = std::function<void(MachineId)>;
+
   Master() = default;
 
   Master(const Master&) = delete;
   Master& operator=(const Master&) = delete;
 
   void AddListener(FailureListener listener);
+  void AddRecoveryListener(RecoveryListener listener);
 
   // Report a machine as failed. Idempotent: only the first report
   // broadcasts. Returns true if this was the first report.
@@ -36,12 +41,16 @@ class Master {
 
   // Bring a machine back (test/ops path; the paper's Muppet cannot change
   // cluster membership on the fly, §5 — we keep the same restriction for
-  // workers and only use this for store-level tests).
-  void ClearFailure(MachineId machine);
+  // production workers and only use this for store-level tests and the
+  // chaos harness's scripted restarts). Idempotent: only clearing a
+  // machine actually marked failed broadcasts to recovery listeners.
+  // Returns true if the machine was failed.
+  bool ClearFailure(MachineId machine);
 
   std::set<MachineId> failed() const MUPPET_EXCLUDES(mutex_);
   bool IsFailed(MachineId machine) const MUPPET_EXCLUDES(mutex_);
   int64_t failures_reported() const { return failures_reported_.Get(); }
+  int64_t recoveries_reported() const { return recoveries_reported_.Get(); }
 
   // Leaf on the failure-report path: listeners are copied out and invoked
   // after the lock is released, so no listener callback ever runs under
@@ -52,7 +61,9 @@ class Master {
   mutable Mutex mutex_{kLockLevel};
   std::set<MachineId> failed_ MUPPET_GUARDED_BY(mutex_);
   std::vector<FailureListener> listeners_ MUPPET_GUARDED_BY(mutex_);
+  std::vector<RecoveryListener> recovery_listeners_ MUPPET_GUARDED_BY(mutex_);
   Counter failures_reported_;
+  Counter recoveries_reported_;
 };
 
 }  // namespace muppet

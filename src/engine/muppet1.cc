@@ -179,6 +179,20 @@ Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
       transport_([&] {
         TransportOptions t = options.transport;
         if (t.clock == nullptr) t.clock = options.clock;
+        // Settle fault-injection deliveries that bypass the synchronous
+        // send path: late losses debit the in-flight count, duplicate
+        // copies pre-charge it, so Drain() stays balanced under chaos.
+        if (t.on_async_loss == nullptr) {
+          t.on_async_loss = [this](int64_t n) {
+            lost_failure_.Add(n);
+            DecInflight(n);
+          };
+        }
+        if (t.on_extra_delivery == nullptr) {
+          t.on_extra_delivery = [this](int64_t n) {
+            inflight_.fetch_add(n, std::memory_order_acq_rel);
+          };
+        }
         return t;
       }()),
       ring_(options.ring_vnodes, options.ring_seed),
@@ -263,6 +277,12 @@ Status Muppet1Engine::Start() {
     for (auto& machine : machines_) {
       MutexLock lock(machine->failed_mutex);
       machine->failed.insert(failed);
+    }
+  });
+  master_.AddRecoveryListener([this](MachineId recovered) {
+    for (auto& machine : machines_) {
+      MutexLock lock(machine->failed_mutex);
+      machine->failed.erase(recovered);
     }
   });
 
@@ -369,11 +389,13 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
   PutVarint32(&payload, static_cast<uint32_t>(target.value().slot));
   EncodeRoutedEvent(re, &payload);
 
+  const uint64_t signature = EventFaultSignature(re);
   int attempts = 0;
   const int kMaxThrottleRetries = 50;
   while (true) {
     inflight_.fetch_add(1, std::memory_order_acq_rel);
-    Status s = transport_.Send(from, target.value().machine, payload);
+    Status s =
+        transport_.Send(from, target.value().machine, payload, signature);
     if (s.ok()) return;
     DecInflight(1);
 
@@ -655,6 +677,34 @@ Status Muppet1Engine::CrashMachine(MachineId machine_id) {
   for (Worker* worker : machine->workers) {
     if (worker->cache != nullptr) worker->cache->Clear();
   }
+  return Status::OK();
+}
+
+Status Muppet1Engine::RestartMachine(MachineId machine_id) {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  if (machine_id < 0 ||
+      machine_id >= static_cast<MachineId>(machines_.size())) {
+    return Status::InvalidArgument("no such machine");
+  }
+  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+  if (!machine->crashed.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("machine not crashed");
+  }
+
+  // FlusherLoop exits once it observes crashed; the conductor threads were
+  // joined by CrashMachine. Join the flusher before respawning either.
+  if (machine->flusher.joinable()) machine->flusher.join();
+  for (Worker* worker : machine->workers) {
+    worker->queue->Restart();
+  }
+  machine->crashed.store(false, std::memory_order_release);
+  for (Worker* worker : machine->workers) {
+    worker->thread = std::thread([this, worker] { ConductorLoop(worker); });
+  }
+  machine->flusher =
+      std::thread([this, machine] { FlusherLoop(machine); });
+  transport_.Restore(machine_id);
+  master_.ClearFailure(machine_id);
   return Status::OK();
 }
 

@@ -79,6 +79,7 @@ class Muppet1Engine final : public Engine {
   Result<Bytes> FetchSlate(const std::string& updater,
                            BytesView key) override;
   Status CrashMachine(MachineId machine) override;
+  Status RestartMachine(MachineId machine) override;
   EngineStats Stats() const override;
   const AppConfig& config() const override { return config_; }
 
@@ -92,6 +93,11 @@ class Muppet1Engine final : public Engine {
   Master& master() { return master_; }
   ThrottleGovernor& throttle() { return throttle_; }
   int64_t events_lost() const { return lost_failure_.Get(); }
+  // The failed-machine set as known on machine `m` (chaos harness asserts
+  // every live machine's view converges to the master's after a drain).
+  std::set<MachineId> KnownFailedOn(MachineId m) const {
+    return FailedSetFor(m);
+  }
 
  private:
   struct Worker {

@@ -101,6 +101,20 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
       transport_([&] {
         TransportOptions t = options.transport;
         if (t.clock == nullptr) t.clock = options.clock;
+        // Settle fault-injection deliveries that bypass the synchronous
+        // send path: late losses debit the in-flight count, duplicate
+        // copies pre-charge it, so Drain() stays balanced under chaos.
+        if (t.on_async_loss == nullptr) {
+          t.on_async_loss = [this](int64_t n) {
+            lost_failure_.Add(n);
+            DecInflight(n);
+          };
+        }
+        if (t.on_extra_delivery == nullptr) {
+          t.on_extra_delivery = [this](int64_t n) {
+            inflight_.fetch_add(n, std::memory_order_acq_rel);
+          };
+        }
         return t;
       }()),
       ring_(options.ring_vnodes, options.ring_seed),
@@ -213,6 +227,14 @@ Status Muppet2Engine::Start() {
     for (auto& machine : machines_) {
       MutexLock lock(machine->failed_mutex);
       machine->failed.insert(failed);
+      machine->failed_count.store(machine->failed.size(),
+                                  std::memory_order_release);
+    }
+  });
+  master_.AddRecoveryListener([this](MachineId recovered) {
+    for (auto& machine : machines_) {
+      MutexLock lock(machine->failed_mutex);
+      machine->failed.erase(recovered);
       machine->failed_count.store(machine->failed.size(),
                                   std::memory_order_release);
     }
@@ -424,7 +446,8 @@ void Muppet2Engine::FlushRemoteBatch(MachineId from, uint64_t sender_work,
   const size_t n = batch.size();
   size_t accepted = 0;
   inflight_.fetch_add(static_cast<int64_t>(n), std::memory_order_acq_rel);
-  Status s = transport_.SendBatch(from, to, frame, n, &accepted);
+  Status s = transport_.SendBatch(from, to, frame, n, &accepted,
+                                  FrameFaultSignature(batch));
   if (s.ok()) return;
   DecInflight(static_cast<int64_t>(n - accepted));
 
@@ -447,11 +470,13 @@ void Muppet2Engine::FlushRemoteBatch(MachineId from, uint64_t sender_work,
 void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
                                      MachineId to, RoutedEvent re) {
   Bytes frame;
+  uint64_t signature = 0;
   {
     // Frame of one; encoded once, resent verbatim on throttle retries.
     std::vector<RoutedEvent> one;
     one.push_back(std::move(re));
     EncodeRoutedEventFrame(one, &frame);
+    signature = FrameFaultSignature(one);
     re = std::move(one.front());
   }
 
@@ -460,7 +485,7 @@ void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
   while (true) {
     size_t accepted = 0;
     inflight_.fetch_add(1, std::memory_order_acq_rel);
-    Status s = transport_.SendBatch(from, to, frame, 1, &accepted);
+    Status s = transport_.SendBatch(from, to, frame, 1, &accepted, signature);
     if (s.ok()) return;
     DecInflight(1);
 
@@ -784,6 +809,34 @@ Status Muppet2Engine::CrashMachine(MachineId machine_id) {
   }
   // The central slate cache dies with the machine: unflushed updates lost.
   machine->cache->Clear();
+  return Status::OK();
+}
+
+Status Muppet2Engine::RestartMachine(MachineId machine_id) {
+  if (!started_) return Status::FailedPrecondition("engine not started");
+  if (machine_id < 0 ||
+      machine_id >= static_cast<MachineId>(machines_.size())) {
+    return Status::InvalidArgument("no such machine");
+  }
+  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+  if (!machine->crashed.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("machine not crashed");
+  }
+
+  // FlusherLoop exits once it observes crashed; the worker threads were
+  // joined by CrashMachine. Join the flusher before respawning either.
+  if (machine->flusher.joinable()) machine->flusher.join();
+  for (auto& thread_ctx : machine->threads) {
+    thread_ctx->queue->Restart();
+  }
+  machine->crashed.store(false, std::memory_order_release);
+  for (auto& thread_ctx : machine->threads) {
+    ThreadCtx* t = thread_ctx.get();
+    t->thread = std::thread([this, machine, t] { WorkerLoop(machine, t); });
+  }
+  machine->flusher = std::thread([this, machine] { FlusherLoop(machine); });
+  transport_.Restore(machine_id);
+  master_.ClearFailure(machine_id);
   return Status::OK();
 }
 

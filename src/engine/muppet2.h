@@ -56,6 +56,7 @@ class Muppet2Engine final : public Engine {
   Result<Bytes> FetchSlate(const std::string& updater,
                            BytesView key) override;
   Status CrashMachine(MachineId machine) override;
+  Status RestartMachine(MachineId machine) override;
   EngineStats Stats() const override;
   const AppConfig& config() const override { return config_; }
 
@@ -79,6 +80,11 @@ class Muppet2Engine final : public Engine {
   // Status endpoint data (§4.5: "basic status information (such as the
   // event count of the largest event queues)").
   size_t LargestQueueDepth() const;
+  // The failed-machine set as known on machine `m` (chaos harness asserts
+  // every live machine's view converges to the master's after a drain).
+  std::set<MachineId> KnownFailedOn(MachineId m) const {
+    return FailedSetFor(m);
+  }
 
   // Lock-hierarchy levels for the engine's own locks (pinned by
   // tests/common/sync_test.cc against DESIGN.md). The slate stripe is the

@@ -85,6 +85,11 @@ void EventQueue::Stop() {
   not_empty_.NotifyAll();
 }
 
+void EventQueue::Restart() {
+  MutexLock lock(mutex_);
+  stopped_ = false;
+}
+
 size_t EventQueue::Clear() {
   MutexLock lock(mutex_);
   const size_t n = items_.size();

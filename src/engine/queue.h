@@ -72,6 +72,12 @@ class EventQueue {
   // poppable (graceful stop) — use Clear() for crash simulation.
   void Stop();
 
+  // Re-open a stopped queue in place (machine restart): clears the sticky
+  // stopped flag so pushes are accepted and poppers block again. Reusing
+  // the queue object keeps concurrent dispatchers safe — they may hold a
+  // pointer to this queue across the crash/restart window.
+  void Restart();
+
   // Drop everything queued; returns how many were discarded.
   size_t Clear();
 

@@ -19,11 +19,36 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/hash.h"
 #include "common/status.h"
 #include "core/event.h"
 #include "engine/queue.h"
 
 namespace muppet {
+
+// Content signature of a routed event for the fault injector (net/fault.h).
+// Deliberately excludes the fields the engine assigns from global mutable
+// state (`seq`, `origin_ts`): those differ between two runs of the same
+// workload, and hashing them would make fault decisions depend on thread
+// interleaving. Never returns 0 (0 tells the injector to hash the payload).
+inline uint64_t EventFaultSignature(const RoutedEvent& re) {
+  uint64_t h = re.work != 0 ? re.work : Fnv1a64(re.function);
+  h = HashCombine(h, Fnv1a64(re.event.stream));
+  h = HashCombine(h, Fnv1a64(re.event.key));
+  h = HashCombine(h, Fnv1a64(re.event.value));
+  h = HashCombine(h, static_cast<uint64_t>(re.event.ts));
+  return h == 0 ? 1 : h;
+}
+
+// Signature of a whole batch frame: order-sensitive combination of the
+// events' signatures (the frame is one fault-model message).
+inline uint64_t FrameFaultSignature(const std::vector<RoutedEvent>& events) {
+  uint64_t h = 0x66726d65ULL;  // "frme"
+  for (const RoutedEvent& re : events) {
+    h = HashCombine(h, EventFaultSignature(re));
+  }
+  return h == 0 ? 1 : h;
+}
 
 inline void EncodeRoutedEvent(const RoutedEvent& re, Bytes* out) {
   PutLengthPrefixed(out, re.function);

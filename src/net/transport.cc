@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/fault.h"
+
 namespace muppet {
 
 Transport::Transport(TransportOptions options)
@@ -70,12 +72,177 @@ Status Transport::ChargeHop() {
   return Status::OK();
 }
 
-Status Transport::Send(MachineId from, MachineId to, BytesView payload) {
+void Transport::ApplyDueFaultActions() {
+  for (const FaultAction& a :
+       options_.faults->TakeDueActions(clock_->Now())) {
+    switch (a.kind) {
+      case FaultAction::Kind::kCrashMachine:
+        Crash(a.a);
+        break;
+      case FaultAction::Kind::kRestartMachine:
+        Restore(a.a);
+        break;
+      default:
+        // Partition/heal update the injector's own state as they pass
+        // through TakeDueActions; store actions belong to the engine-level
+        // harness.
+        break;
+    }
+  }
+}
+
+void Transport::HoldMessage(HeldMessage held) {
+  MutexLock lock(hold_mutex_);
+  holdback_[{held.from, held.to}].push_back(std::move(held));
+}
+
+void Transport::ReleaseDueHeld(MachineId from, MachineId to) {
+  std::vector<HeldMessage> due;
+  {
+    MutexLock lock(hold_mutex_);
+    auto it = holdback_.find({from, to});
+    if (it == holdback_.end()) return;
+    std::vector<HeldMessage> keep;
+    for (HeldMessage& h : it->second) {
+      if (h.remaining > 0) --h.remaining;
+      if (h.remaining == 0) {
+        due.push_back(std::move(h));
+      } else {
+        keep.push_back(std::move(h));
+      }
+    }
+    if (keep.empty()) {
+      holdback_.erase(it);
+    } else {
+      it->second = std::move(keep);
+    }
+  }
+  for (HeldMessage& h : due) DeliverHeld(std::move(h));
+}
+
+void Transport::DeliverHeld(HeldMessage held) {
+  std::shared_ptr<MachineState> state = FindMachine(held.to);
+  int64_t lost = 0;
+  if (state == nullptr || !state->up.load(std::memory_order_acquire)) {
+    messages_dropped_.Add(static_cast<int64_t>(held.count));
+    lost = static_cast<int64_t>(held.count);
+  } else if (held.is_frame) {
+    size_t accepted = 0;
+    frames_sent_.Add();
+    Status s = state->batch_handler(held.from, held.data, held.count,
+                                    &accepted);
+    messages_sent_.Add(static_cast<int64_t>(accepted));
+    if (s.IsResourceExhausted()) {
+      messages_declined_.Add(static_cast<int64_t>(held.count - accepted));
+    }
+    lost = static_cast<int64_t>(held.count - accepted);
+  } else {
+    Status s = state->handler(held.from, held.data);
+    if (s.ok()) {
+      messages_sent_.Add();
+    } else {
+      if (s.IsResourceExhausted()) {
+        messages_declined_.Add();
+      } else {
+        messages_dropped_.Add();
+      }
+      lost = 1;
+    }
+  }
+  if (lost > 0 && options_.on_async_loss != nullptr) {
+    options_.on_async_loss(lost);
+  }
+}
+
+void Transport::DeliverDuplicate(MachineState* state, MachineId from,
+                                 BytesView data, size_t count,
+                                 bool is_frame) {
+  messages_duplicated_.Add(static_cast<int64_t>(count));
+  // Pre-charge the engine's in-flight counter before any copy can be
+  // processed (and decremented) by a worker.
+  if (options_.on_extra_delivery != nullptr) {
+    options_.on_extra_delivery(static_cast<int64_t>(count));
+  }
+  size_t accepted = 0;
+  if (is_frame) {
+    frames_sent_.Add();
+    (void)state->batch_handler(from, data, count, &accepted);
+    messages_sent_.Add(static_cast<int64_t>(accepted));
+  } else {
+    if (state->handler(from, data).ok()) {
+      accepted = 1;
+      messages_sent_.Add();
+    }
+  }
+  const int64_t lost = static_cast<int64_t>(count - accepted);
+  if (lost > 0 && options_.on_async_loss != nullptr) {
+    options_.on_async_loss(lost);
+  }
+}
+
+void Transport::FlushHeld() {
+  std::vector<HeldMessage> all;
+  {
+    MutexLock lock(hold_mutex_);
+    for (auto& [link, vec] : holdback_) {
+      for (HeldMessage& h : vec) all.push_back(std::move(h));
+    }
+    holdback_.clear();
+  }
+  for (HeldMessage& h : all) DeliverHeld(std::move(h));
+}
+
+Status Transport::Send(MachineId from, MachineId to, BytesView payload,
+                       uint64_t fault_signature) {
+  FaultInjector* faults = options_.faults;
+  if (faults != nullptr && options_.poll_fault_actions &&
+      faults->HasDueActions(clock_->Now())) {
+    ApplyDueFaultActions();
+  }
+
   std::shared_ptr<MachineState> state = FindMachine(to);
+  if (from != to && state != nullptr) {
+    state->attempts.fetch_add(1, std::memory_order_relaxed);
+  }
   if (state == nullptr || !state->up.load(std::memory_order_acquire)) {
     messages_dropped_.Add();
     return Status::Unavailable("transport: machine " + std::to_string(to) +
                                " unreachable");
+  }
+
+  FaultDecision decision;
+  if (from != to && faults != nullptr) {
+    if (faults->Partitioned(from, to)) {
+      faults->NotePartitionedDrop();
+      messages_dropped_.Add();
+      return Status::Unavailable("transport: partition separates " +
+                                 std::to_string(from) + " and " +
+                                 std::to_string(to));
+    }
+    decision =
+        faults->OnMessage(from, to, payload, fault_signature, clock_->Now());
+    if (decision.extra_delay_micros > 0) {
+      clock_->SleepFor(decision.extra_delay_micros);
+    }
+    if (decision.verdict == FaultDecision::Verdict::kDrop) {
+      messages_dropped_.Add();
+      return Status::Unavailable("transport: message dropped by fault plan");
+    }
+    if (decision.verdict == FaultDecision::Verdict::kHold) {
+      // The sender is told OK; the message delivers once `hold_for` later
+      // messages pass it on this link (or at FlushHeld).
+      HeldMessage held;
+      held.from = from;
+      held.to = to;
+      held.data.assign(payload);
+      held.count = 1;
+      held.is_frame = false;
+      held.remaining = decision.hold_for;
+      HoldMessage(std::move(held));
+      messages_held_.Add();
+      bytes_sent_.Add(static_cast<int64_t>(payload.size()));
+      return Status::OK();
+    }
   }
 
   if (from != to) {
@@ -88,13 +255,31 @@ Status Transport::Send(MachineId from, MachineId to, BytesView payload) {
   if (s.IsResourceExhausted()) {
     messages_declined_.Add();
   }
+
+  if (from != to && faults != nullptr) {
+    if (decision.verdict == FaultDecision::Verdict::kDuplicate) {
+      DeliverDuplicate(state.get(), from, payload, 1, /*is_frame=*/false);
+    }
+    // This delivery overtakes messages waiting in the reorder window.
+    ReleaseDueHeld(from, to);
+  }
   return s;
 }
 
 Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
-                            size_t count, size_t* accepted) {
+                            size_t count, size_t* accepted,
+                            uint64_t fault_signature) {
   *accepted = 0;
+  FaultInjector* faults = options_.faults;
+  if (faults != nullptr && options_.poll_fault_actions &&
+      faults->HasDueActions(clock_->Now())) {
+    ApplyDueFaultActions();
+  }
+
   std::shared_ptr<MachineState> state = FindMachine(to);
+  if (from != to && state != nullptr) {
+    state->attempts.fetch_add(1, std::memory_order_relaxed);
+  }
   if (state == nullptr || !state->up.load(std::memory_order_acquire)) {
     messages_dropped_.Add(static_cast<int64_t>(count));
     return Status::Unavailable("transport: machine " + std::to_string(to) +
@@ -104,6 +289,41 @@ Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
     return Status::FailedPrecondition("transport: machine " +
                                       std::to_string(to) +
                                       " accepts no batch frames");
+  }
+
+  FaultDecision decision;
+  if (from != to && faults != nullptr) {
+    if (faults->Partitioned(from, to)) {
+      faults->NotePartitionedDrop();
+      messages_dropped_.Add(static_cast<int64_t>(count));
+      return Status::Unavailable("transport: partition separates " +
+                                 std::to_string(from) + " and " +
+                                 std::to_string(to));
+    }
+    decision =
+        faults->OnMessage(from, to, frame, fault_signature, clock_->Now());
+    if (decision.extra_delay_micros > 0) {
+      clock_->SleepFor(decision.extra_delay_micros);
+    }
+    if (decision.verdict == FaultDecision::Verdict::kDrop) {
+      // Whole-frame loss, like the built-in loss model.
+      messages_dropped_.Add(static_cast<int64_t>(count));
+      return Status::Unavailable("transport: frame dropped by fault plan");
+    }
+    if (decision.verdict == FaultDecision::Verdict::kHold) {
+      HeldMessage held;
+      held.from = from;
+      held.to = to;
+      held.data.assign(frame);
+      held.count = count;
+      held.is_frame = true;
+      held.remaining = decision.hold_for;
+      HoldMessage(std::move(held));
+      messages_held_.Add(static_cast<int64_t>(count));
+      bytes_sent_.Add(static_cast<int64_t>(frame.size()));
+      *accepted = count;
+      return Status::OK();
+    }
   }
 
   if (from != to) {
@@ -122,7 +342,20 @@ Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
   if (s.IsResourceExhausted()) {
     messages_declined_.Add(static_cast<int64_t>(count - *accepted));
   }
+
+  if (from != to && faults != nullptr) {
+    if (decision.verdict == FaultDecision::Verdict::kDuplicate) {
+      DeliverDuplicate(state.get(), from, frame, count, /*is_frame=*/true);
+    }
+    ReleaseDueHeld(from, to);
+  }
   return s;
+}
+
+int64_t Transport::SendAttemptsTo(MachineId id) const {
+  std::shared_ptr<MachineState> state = FindMachine(id);
+  if (state == nullptr) return 0;
+  return state->attempts.load(std::memory_order_relaxed);
 }
 
 void Transport::Crash(MachineId id) {

@@ -19,8 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -35,6 +37,8 @@ namespace muppet {
 using MachineId = int32_t;
 constexpr MachineId kInvalidMachine = -1;
 
+class FaultInjector;  // net/fault.h
+
 struct TransportOptions {
   // One-way delivery latency applied to every cross-machine send, in
   // microseconds. 0 disables the delay (throughput benchmarks). With a
@@ -48,6 +52,24 @@ struct TransportOptions {
   Clock* clock = nullptr;
   // Seed for the loss model.
   uint64_t seed = 1;
+
+  // Scripted fault injection (chaos harness, net/fault.h). Not owned; must
+  // outlive the transport. nullptr disables all fault hooks.
+  FaultInjector* faults = nullptr;
+  // When true the transport itself applies due machine actions from the
+  // plan (crash/restart at the transport level) at the top of every send.
+  // Engine-level harnesses set this false and apply machine actions
+  // through the engine so queue/cache loss is modeled too.
+  bool poll_fault_actions = true;
+  // Invoked when a logical message whose send already returned OK is later
+  // lost or declined (a held reorder delivery that fails, the unaccepted
+  // tail of a duplicate copy). Engines balance their in-flight and
+  // loss-accounting counters here. Called with no transport lock held.
+  std::function<void(int64_t)> on_async_loss;
+  // Invoked just before the transport delivers messages the sender never
+  // sent (duplicate copies), with the logical message count; engines
+  // pre-charge their in-flight counter so the extra processings balance.
+  std::function<void(int64_t)> on_extra_delivery;
 };
 
 // Thread-safe message fabric between simulated machines.
@@ -85,17 +107,28 @@ class Transport {
   // Deliver `payload` to machine `to`. Local sends (from == to) bypass the
   // latency/loss model — Muppet 2.0 passes events between threads of one
   // machine without any network hop (§4.5).
-  // Errors: Unavailable (crashed/unknown/dropped), ResourceExhausted
-  // (receiver declined), or whatever the handler returned.
-  Status Send(MachineId from, MachineId to, BytesView payload);
+  // Errors: Unavailable (crashed/unknown/dropped/partitioned),
+  // ResourceExhausted (receiver declined), or whatever the handler
+  // returned. `fault_signature` is the content signature handed to the
+  // fault injector (0 = hash the payload); irrelevant without faults.
+  Status Send(MachineId from, MachineId to, BytesView payload,
+              uint64_t fault_signature = 0);
 
   // Deliver a batch frame of `count` logical messages in one network hop:
   // one registry lookup, one latency charge, one loss roll for the whole
   // frame. *accepted receives how many messages the receiver took (0 when
   // the frame never arrived). Remote-hop amortization for Muppet 2.0's
-  // send coalescer.
+  // send coalescer. Fault rules treat the frame as one message (whole-
+  // frame drop/duplicate/hold), matching whole-frame loss semantics.
   Status SendBatch(MachineId from, MachineId to, BytesView frame,
-                   size_t count, size_t* accepted);
+                   size_t count, size_t* accepted,
+                   uint64_t fault_signature = 0);
+
+  // Deliver every message still held back by reorder faults, regardless of
+  // remaining window. Chaos harnesses call this before Drain() so no
+  // accepted-but-undelivered message outlives the run. Held messages whose
+  // destination has crashed are counted through on_async_loss.
+  void FlushHeld();
 
   // Account a same-machine delivery that legitimately bypassed the fabric
   // (the Muppet 2.0 zero-copy fast path): keeps message counters
@@ -127,15 +160,29 @@ class Transport {
   int64_t messages_local() const { return messages_local_.Get(); }
   int64_t frames_sent() const { return frames_sent_.Get(); }
   int64_t bytes_sent() const { return bytes_sent_.Get(); }
+  // Extra logical messages delivered by duplicate faults (each duplicated
+  // copy counts its logical message count).
+  int64_t messages_duplicated() const { return messages_duplicated_.Get(); }
+  // Logical messages accepted into the reorder holdback buffer.
+  int64_t messages_held() const { return messages_held_.Get(); }
+
+  // Cross-machine send/frame attempts routed at machine `id` since Start,
+  // whatever their outcome; held-message releases do not count (they were
+  // attempted when first sent). The chaos harness asserts this stops
+  // growing once a machine's failure is known cluster-wide — the "ring
+  // reroutes send nothing to a dead machine" invariant. 0 for unknown ids.
+  int64_t SendAttemptsTo(MachineId id) const;
 
   const TransportOptions& options() const { return options_; }
 
-  // Lock-hierarchy levels (pinned by tests/common/sync_test.cc). Both are
+  // Lock-hierarchy levels (pinned by tests/common/sync_test.cc). All are
   // leaves on the send path: FindMachine() drops the registry lock before
-  // the receiver's handler runs, so no transport lock is ever held while
+  // the receiver's handler runs, and the holdback lock is released before
+  // any held message is delivered, so no transport lock is ever held while
   // queue or engine locks are acquired.
   static constexpr LockLevel kRegistryLockLevel = LockLevel::kTransport;
   static constexpr LockLevel kRngLockLevel = LockLevel::kTransportRng;
+  static constexpr LockLevel kHoldLockLevel = LockLevel::kFaultHold;
 
  private:
   // Heap-allocated, shared_ptr-held state block per machine: Send() takes
@@ -145,6 +192,19 @@ class Transport {
     Handler handler;
     BatchHandler batch_handler;
     std::atomic<bool> up{true};
+    std::atomic<int64_t> attempts{0};
+  };
+
+  // A message accepted from its sender but held back by a reorder fault,
+  // released when `remaining` later messages pass it on the link (or at
+  // FlushHeld). Frames keep their logical message count.
+  struct HeldMessage {
+    MachineId from = kInvalidMachine;
+    MachineId to = kInvalidMachine;
+    Bytes data;
+    size_t count = 1;
+    bool is_frame = false;
+    uint32_t remaining = 1;
   };
 
   // nullptr when unknown. Bumps only a refcount under the shared lock.
@@ -153,6 +213,28 @@ class Transport {
   // Latency/loss model for one cross-machine hop; OK when the frame goes
   // through.
   Status ChargeHop();
+
+  // Fault-plan machine actions due now (crash/restore); called lock-free
+  // unless something is due.
+  void ApplyDueFaultActions();
+
+  // Park a message in the holdback buffer (reorder fault). The sender has
+  // already been told OK.
+  void HoldMessage(HeldMessage held);
+
+  // Age the holdback buffer of link from->to by one delivered message and
+  // deliver everything whose window expired. Must be called with no
+  // transport lock held.
+  void ReleaseDueHeld(MachineId from, MachineId to);
+
+  // Deliver one previously-held message (or flush-forced message); loss
+  // and decline are settled through on_async_loss since the sender is
+  // long gone.
+  void DeliverHeld(HeldMessage held);
+
+  // Deliver the extra copy of a duplicated message/frame.
+  void DeliverDuplicate(MachineState* state, MachineId from, BytesView data,
+                        size_t count, bool is_frame);
 
   TransportOptions options_;
   Clock* clock_;
@@ -164,12 +246,19 @@ class Transport {
   Mutex rng_mutex_{kRngLockLevel};
   Rng rng_ MUPPET_GUARDED_BY(rng_mutex_);
 
+  Mutex hold_mutex_{kHoldLockLevel};
+  // (from, to) -> held messages in arrival order.
+  std::map<std::pair<MachineId, MachineId>, std::vector<HeldMessage>>
+      holdback_ MUPPET_GUARDED_BY(hold_mutex_);
+
   Counter messages_sent_;
   Counter messages_dropped_;
   Counter messages_declined_;
   Counter messages_local_;
   Counter frames_sent_;
   Counter bytes_sent_;
+  Counter messages_duplicated_;
+  Counter messages_held_;
 };
 
 }  // namespace muppet

@@ -1,0 +1,121 @@
+// Deterministic chaos scenario runner. Stands up a multi-machine Muppet
+// 1.0 or 2.0 cluster (optionally backed by a kvstore slate store), feeds a
+// seeded workload while a FaultPlan injects scripted faults on a simulated
+// timeline, drains, and checks the paper's failure-handling invariants
+// (§4.3–4.4):
+//
+//   A  conservation  — every accepted event is accounted for exactly once:
+//                      published + emitted + duplicated ==
+//                      processed + lost + dropped-by-overflow;
+//   B  oracle        — surviving slates match (or, after state-destroying
+//                      crashes, never exceed) the ReferenceExecutor run on
+//                      the ledger of events the updater actually processed;
+//   C  convergence   — every live machine's failed-machine set equals the
+//                      master's after a drain (the §4.3 broadcast);
+//   D  rerouting     — once a machine's failure is known cluster-wide, no
+//                      further send is attempted to it (ring rerouting).
+//
+// Everything is driven by two seeds (workload + fault plan), so any
+// violation is replayable bit-for-bit; Describe() prints both seeds and
+// the full fault timeline next to the violations.
+#ifndef MUPPET_TESTING_SCENARIO_H_
+#define MUPPET_TESTING_SCENARIO_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "engine/engine.h"
+#include "net/fault.h"
+
+namespace muppet {
+namespace chaos {
+
+enum class EngineKind { kMuppet1, kMuppet2 };
+
+struct ScenarioOptions {
+  EngineKind engine = EngineKind::kMuppet2;
+
+  // Cluster shape.
+  int num_machines = 3;
+  int workers_per_function = 2;  // Muppet 1.0
+  int threads_per_machine = 2;   // Muppet 2.0
+  size_t queue_capacity = 4096;
+  OverflowPolicy overflow_policy = OverflowPolicy::kDrop;
+
+  // Workflow shape: false = input -> counting updater; true = input ->
+  // fan-out mapper (x2) -> counting updater.
+  bool fanout = false;
+
+  // Durable slate store backed by a KvCluster under `data_dir` (required
+  // when with_store). Write-through keeps the oracle exact across machine
+  // crashes.
+  bool with_store = false;
+  int store_nodes = 3;
+  std::string data_dir;
+  SlateFlushPolicy flush_policy = SlateFlushPolicy::kWriteThrough;
+  Timestamp slate_ttl_micros = 0;
+
+  // Seeded workload: `steps` rounds of `events_per_step` events over
+  // `num_keys` keys, each round starting at the next step_micros boundary
+  // of the simulated fault timeline.
+  uint64_t workload_seed = 1;
+  int num_keys = 16;
+  int steps = 4;
+  int events_per_step = 50;
+  Timestamp step_micros = 100 * kMicrosPerMilli;
+
+  // The scripted fault timeline (see RandomFaultPlan for seeded ones).
+  FaultPlan plan;
+};
+
+struct ScenarioResult {
+  // Empty when every invariant held.
+  std::vector<std::string> violations;
+
+  // Canonical processed-event ledger: sorted "ts|key|value" lines, one per
+  // counting-updater invocation. Excludes engine-assigned seq numbers, so
+  // two runs of the same seeds must produce identical traces.
+  std::vector<std::string> trace;
+
+  // Final per-key live counts, as fetched from the surviving cluster
+  // (missing slates read as 0).
+  std::map<std::string, int64_t> counts;
+
+  EngineStats stats;
+  int64_t messages_duplicated = 0;
+  int64_t messages_held = 0;
+  int64_t faults_dropped = 0;
+
+  bool ok() const { return violations.empty(); }
+
+  // Human-readable report: violations (if any), seeds, fault timeline,
+  // and a one-command replay hint.
+  std::string Describe(const ScenarioOptions& options) const;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioOptions options)
+      : options_(std::move(options)) {}
+
+  // Build the cluster, run the scenario to completion, tear down, and
+  // return the invariant-check results. Safe to call once per runner.
+  ScenarioResult Run();
+
+ private:
+  ScenarioOptions options_;
+};
+
+// A seed-derived FaultPlan sized for `options`: 1–3 per-link fault rules
+// (drop / duplicate / reorder / delay) plus, with moderate probability,
+// machine crash/restart pairs (never machine 0 — it hosts the publisher
+// role), a partition/heal pair, and store-node outages when a store is
+// configured. Same (seed, options shape) -> same plan.
+FaultPlan RandomFaultPlan(uint64_t seed, const ScenarioOptions& options);
+
+}  // namespace chaos
+}  // namespace muppet
+
+#endif  // MUPPET_TESTING_SCENARIO_H_

@@ -16,6 +16,7 @@
 #include "kvstore/memtable.h"
 #include "kvstore/node.h"
 #include "kvstore/wal.h"
+#include "net/fault.h"
 #include "net/transport.h"
 #include "service/bulk_slates.h"
 #include "service/http_server.h"
@@ -248,6 +249,8 @@ TEST(LockHierarchyTest, SubsystemsAssignTheDocumentedLevels) {
   EXPECT_EQ(Muppet2Engine::kDrainLockLevel, LockLevel::kDrain);
   EXPECT_EQ(Transport::kRegistryLockLevel, LockLevel::kTransport);
   EXPECT_EQ(Transport::kRngLockLevel, LockLevel::kTransportRng);
+  EXPECT_EQ(FaultInjector::kLockLevel, LockLevel::kFaultInjector);
+  EXPECT_EQ(Transport::kHoldLockLevel, LockLevel::kFaultHold);
   EXPECT_EQ(EventQueue::kLockLevel, LockLevel::kQueue);
   EXPECT_EQ(Master::kLockLevel, LockLevel::kMaster);
   EXPECT_EQ(ThrottleGovernor::kLockLevel, LockLevel::kThrottle);
@@ -273,6 +276,12 @@ TEST(LockHierarchyTest, DocumentedOrderingHolds) {
   EXPECT_TRUE(lt(LockLevel::kSlateStripe, LockLevel::kTaps));
   EXPECT_TRUE(lt(LockLevel::kTaps, LockLevel::kTransport));
   EXPECT_TRUE(lt(LockLevel::kTransport, LockLevel::kTransportRng));
+  // Fault path: the injector's decision lock and the reorder holdback lock
+  // are leaves between the rng and the receiver's queues; both are
+  // released before any handler (and so any queue lock) runs.
+  EXPECT_TRUE(lt(LockLevel::kTransportRng, LockLevel::kFaultInjector));
+  EXPECT_TRUE(lt(LockLevel::kFaultInjector, LockLevel::kFaultHold));
+  EXPECT_TRUE(lt(LockLevel::kFaultHold, LockLevel::kQueue));
   EXPECT_TRUE(lt(LockLevel::kTransportRng, LockLevel::kQueue));
   EXPECT_TRUE(lt(LockLevel::kQueue, LockLevel::kMaster));
   EXPECT_TRUE(lt(LockLevel::kMaster, LockLevel::kFailedSet));

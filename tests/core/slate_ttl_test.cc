@@ -1,0 +1,147 @@
+// Slate TTL garbage collection under a simulated clock (§4.2 "Flushing,
+// Quorum, and Time-to-Live Parameters"): expiry lands exactly at the TTL
+// boundary, compaction drops expired versions, and GC racing a concurrent
+// updater never loses the newest write.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/slate_store.h"
+#include "gtest/gtest.h"
+#include "kvstore/cluster.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using ::muppet::testing::TempDir;
+
+constexpr Timestamp kTtl = 1000;
+
+struct TtlFixture {
+  explicit TtlFixture(int nodes = 1) {
+    kv::KvClusterOptions options;
+    options.num_nodes = nodes;
+    options.replication_factor = nodes;
+    options.node.data_dir = dir.path();
+    options.node.clock = &clock;
+    cluster = std::make_unique<kv::KvCluster>(options);
+    EXPECT_OK(cluster->Open());
+    store = std::make_unique<SlateStore>(cluster.get(), SlateStoreOptions{});
+  }
+
+  TempDir dir;
+  SimulatedClock clock{0};
+  std::unique_ptr<kv::KvCluster> cluster;
+  std::unique_ptr<SlateStore> store;
+};
+
+TEST(SlateTtlTest, ExpiresExactlyAtTheTtlBoundary) {
+  TtlFixture f;
+  const SlateId id{"count", "k1"};
+  ASSERT_OK(f.store->Write(id, "v1", kTtl));
+
+  f.clock.Set(kTtl - 1);
+  Result<Bytes> r = f.store->Read(id);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(), "v1");
+
+  // expire_at = write_ts + ttl and expiry is `now >= expire_at`: the slate
+  // is gone at exactly t = kTtl, not one microsecond later.
+  f.clock.Set(kTtl);
+  EXPECT_TRUE(f.store->Read(id).status().IsNotFound());
+}
+
+TEST(SlateTtlTest, ZeroTtlLivesForever) {
+  TtlFixture f;
+  const SlateId id{"count", "k1"};
+  ASSERT_OK(f.store->Write(id, "v1", /*ttl_micros=*/0));
+  f.clock.Set(kTtl * 1000000);
+  Result<Bytes> r = f.store->Read(id);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(), "v1");
+}
+
+TEST(SlateTtlTest, RewriteAfterExpiryStartsAFreshTtlWindow) {
+  TtlFixture f;
+  const SlateId id{"count", "k1"};
+  ASSERT_OK(f.store->Write(id, "v1", kTtl));
+  f.clock.Set(kTtl);
+  ASSERT_TRUE(f.store->Read(id).status().IsNotFound());
+
+  // The updater re-initializes (sees nullptr) and writes a fresh slate;
+  // its window is anchored at the new write time.
+  ASSERT_OK(f.store->Write(id, "v2", kTtl));
+  f.clock.Set(2 * kTtl - 1);
+  Result<Bytes> r = f.store->Read(id);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(), "v2");
+  f.clock.Set(2 * kTtl);
+  EXPECT_TRUE(f.store->Read(id).status().IsNotFound());
+}
+
+TEST(SlateTtlTest, CompactionDropsExpiredVersionsButKeepsLiveOnes) {
+  TtlFixture f;
+  ASSERT_OK(f.store->Write({"count", "old"}, "dead", kTtl));
+  ASSERT_OK(f.store->Write({"count", "keep"}, "alive", /*ttl_micros=*/0));
+
+  auto shard = f.cluster->node(0)->GetColumnFamily("slates");
+  ASSERT_OK(shard);
+  ASSERT_OK(shard.value()->Flush());
+
+  f.clock.Set(kTtl);  // "old" is expired, "keep" is not
+  ASSERT_OK(shard.value()->CompactAll());
+
+  // GetRaw sees through tombstone/expiry filtering: after compaction the
+  // expired version is physically gone, not just hidden.
+  EXPECT_TRUE(shard.value()->GetRaw("old", "count").status().IsNotFound());
+  Result<Bytes> keep = f.store->Read({"count", "keep"});
+  ASSERT_OK(keep);
+  EXPECT_EQ(keep.value(), "alive");
+}
+
+TEST(SlateTtlTest, GcRacingConcurrentUpdateKeepsNewestWrite) {
+  TtlFixture f;
+  const SlateId id{"count", "hot"};
+  ASSERT_OK(f.store->Write(id, "seed", kTtl));
+
+  auto shard = f.cluster->node(0)->GetColumnFamily("slates");
+  ASSERT_OK(shard);
+
+  // Writer thread keeps updating the slate (fresh TTL each time) while the
+  // main thread advances the clock and runs flush+compaction GC cycles —
+  // the compactor must never resurrect an old version or drop the newest.
+  std::atomic<bool> stop{false};
+  std::atomic<int> last_written{0};
+  std::thread writer([&]() {
+    for (int i = 1; i <= 200; ++i) {
+      const std::string value = "v" + std::to_string(i);
+      if (!f.store->Write(id, value, kTtl).ok()) break;
+      last_written.store(i, std::memory_order_release);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  while (!stop.load(std::memory_order_acquire)) {
+    f.clock.Advance(1);  // keeps every write inside its TTL window
+    (void)shard.value()->Flush();
+    (void)shard.value()->CompactAll();
+  }
+  writer.join();
+
+  const int last = last_written.load(std::memory_order_acquire);
+  ASSERT_GT(last, 0);
+  Result<Bytes> r = f.store->Read(id);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(), "v" + std::to_string(last));
+
+  // And once time passes the final write's TTL, GC takes it too.
+  f.clock.Set(f.clock.Now() + kTtl);
+  (void)shard.value()->Flush();
+  ASSERT_OK(shard.value()->CompactAll());
+  EXPECT_TRUE(f.store->Read(id).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace muppet

@@ -1,5 +1,6 @@
 #include "engine/master.h"
 
+#include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -60,6 +61,63 @@ TEST(MasterTest, ClearFailureRestores) {
   master.AddListener([&](MachineId) { ++broadcasts; });
   EXPECT_TRUE(master.ReportFailure(1));
   EXPECT_EQ(broadcasts, 1);
+}
+
+TEST(MasterTest, ClearFailureBroadcastsToRecoveryListeners) {
+  Master master;
+  std::vector<MachineId> recoveries;
+  master.AddRecoveryListener([&](MachineId m) { recoveries.push_back(m); });
+  master.ReportFailure(2);
+  EXPECT_TRUE(master.ClearFailure(2));
+  ASSERT_EQ(recoveries.size(), 1u);
+  EXPECT_EQ(recoveries[0], 2);
+  EXPECT_EQ(master.recoveries_reported(), 1);
+}
+
+TEST(MasterTest, ClearFailureOfHealthyMachineDoesNotBroadcast) {
+  Master master;
+  int recoveries = 0;
+  master.AddRecoveryListener([&](MachineId) { ++recoveries; });
+  // Never reported failed: nothing to clear, nothing to broadcast.
+  EXPECT_FALSE(master.ClearFailure(5));
+  EXPECT_EQ(recoveries, 0);
+  EXPECT_EQ(master.recoveries_reported(), 0);
+  // And clearing twice broadcasts only once.
+  master.ReportFailure(5);
+  EXPECT_TRUE(master.ClearFailure(5));
+  EXPECT_FALSE(master.ClearFailure(5));
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(master.recoveries_reported(), 1);
+}
+
+TEST(MasterTest, MultipleRecoveryListenersAllNotified) {
+  Master master;
+  int a = 0, b = 0;
+  master.AddRecoveryListener([&](MachineId) { ++a; });
+  master.AddRecoveryListener([&](MachineId) { ++b; });
+  master.ReportFailure(3);
+  master.ClearFailure(3);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(MasterTest, FailClearFailCycleBroadcastsEachTransition) {
+  Master master;
+  std::vector<std::string> log;
+  master.AddListener([&](MachineId m) {
+    log.push_back("fail:" + std::to_string(m));
+  });
+  master.AddRecoveryListener([&](MachineId m) {
+    log.push_back("recover:" + std::to_string(m));
+  });
+  master.ReportFailure(1);
+  master.ClearFailure(1);
+  master.ReportFailure(1);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "fail:1");
+  EXPECT_EQ(log[1], "recover:1");
+  EXPECT_EQ(log[2], "fail:1");
+  EXPECT_TRUE(master.IsFailed(1));
 }
 
 }  // namespace
