@@ -33,7 +33,8 @@ void BuildApp(AppConfig* config) {
           "add updater");
 }
 
-void Run(double skew, bool two_choice, Table& table) {
+void Run(double skew, bool two_choice, uint64_t sample_period, Table& table,
+         JsonReport& report) {
   AppConfig config;
   BuildApp(&config);
   EngineOptions options;
@@ -42,6 +43,7 @@ void Run(double skew, bool two_choice, Table& table) {
   options.queue_capacity = 1 << 16;
   options.enable_two_choice = two_choice;
   options.secondary_queue_bias = 4;
+  options.trace.sample_period = sample_period;
   Muppet2Engine engine(config, options);
   CheckOk(engine.Start(), "start");
 
@@ -54,25 +56,47 @@ void Run(double skew, bool two_choice, Table& table) {
   const int64_t elapsed = timer.ElapsedMicros();
   const EngineStats stats = engine.Stats();
   table.Row({Fmt(skew, 1), two_choice ? "two-choice" : "single",
+             FmtInt(static_cast<int64_t>(sample_period)),
              Eps(kEvents, elapsed), FmtInt(stats.latency_p99_us),
              FmtInt(engine.secondary_dispatches()),
              FmtInt(engine.slate_contentions()),
              FmtInt(stats.events_processed)});
+  Json& row = report.AddRow();
+  row["zipf_skew"] = skew;
+  row["dispatch"] = two_choice ? "two-choice" : "single";
+  row["trace_sample_period"] = static_cast<int64_t>(sample_period);
+  row["events_per_sec"] =
+      static_cast<double>(kEvents) * 1e6 / static_cast<double>(elapsed);
+  row["secondary_dispatches"] = engine.secondary_dispatches();
+  row["slate_contentions"] = engine.slate_contentions();
+  JsonReport::PutLatency(stats, &row);
   CheckOk(engine.Stop(), "stop");
 }
 
 void Main() {
+  JsonReport report("dispatch");
   Banner("E7: two-choice queue dispatch vs single ownership (paper §4.5)");
-  Table table({"zipf_skew", "dispatch", "events/s", "p99_us",
-               "secondary", "contentions", "processed"});
+  Table table({"zipf_skew", "dispatch", "trace_period", "events/s",
+               "p99_us", "secondary", "contentions", "processed"});
+  constexpr uint64_t kDefaultPeriod = 1024;  // production sampling rate
   for (double skew : {0.0, 0.8, 1.2}) {
-    Run(skew, /*two_choice=*/false, table);
-    Run(skew, /*two_choice=*/true, table);
+    Run(skew, /*two_choice=*/false, kDefaultPeriod, table, report);
+    Run(skew, /*two_choice=*/true, kDefaultPeriod, table, report);
   }
   std::printf("\nPaper trend: under skew, two-choice diverts part of the "
               "hot key's load to a\nsecondary thread (secondary > 0) "
               "with contention bounded to two workers per\nslate; with "
               "uniform keys it behaves like single ownership.\n");
+
+  Banner("tracing overhead: sample_period sweep at zipf 0.8, two-choice");
+  Table overhead({"zipf_skew", "dispatch", "trace_period", "events/s",
+                  "p99_us", "secondary", "contentions", "processed"});
+  // period 0 = tracing off, 1024 = production sampling, 1 = trace all.
+  // Expectation: 1/1024 sampling is within run-to-run noise of off.
+  for (uint64_t period : {uint64_t{0}, uint64_t{1024}, uint64_t{1}}) {
+    Run(/*skew=*/0.8, /*two_choice=*/true, period, overhead, report);
+  }
+  report.Write();
 }
 
 }  // namespace

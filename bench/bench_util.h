@@ -6,7 +6,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "engine/engine.h"
+#include "json/json.h"
 
 namespace muppet {
 namespace bench {
@@ -97,6 +100,52 @@ class ScratchDir {
 
  private:
   std::string path_;
+};
+
+// Machine-readable companion to the printed tables: collects one JSON
+// object per measured row and writes BENCH_<name>.json on Write() so CI
+// can track latency percentiles across runs. Output directory is the CWD
+// unless MUPPET_BENCH_JSON_DIR is set.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& name) : name_(name) {
+    doc_ = Json::MakeObject();
+    doc_["bench"] = name;
+    doc_["rows"] = Json::MakeArray();
+  }
+
+  // Append a row; set fields on the returned node before the next AddRow.
+  Json& AddRow() {
+    doc_["rows"].Append(Json::MakeObject());
+    return doc_["rows"].AsArray().back();
+  }
+
+  // Copy the engine's latency percentiles into `row` (the p50/p95/p99
+  // series every bench is expected to expose).
+  static void PutLatency(const EngineStats& stats, Json* row) {
+    (*row)["latency_p50_us"] = stats.latency_p50_us;
+    (*row)["latency_p95_us"] = stats.latency_p95_us;
+    (*row)["latency_p99_us"] = stats.latency_p99_us;
+  }
+
+  void Write() const {
+    const char* dir = std::getenv("MUPPET_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr && dir[0] != '\0')
+                                 ? std::string(dir) + "/BENCH_" + name_ +
+                                       ".json"
+                                 : "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << doc_.DumpPretty() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  Json doc_;
 };
 
 // Abort the bench with a message if a Status is not OK.

@@ -1,0 +1,122 @@
+// Observability demo: a 2-machine Muppet 2.0 cluster with the full
+// introspection plane mounted on one HTTP server.
+//
+//   build/examples/observability_demo [seconds] [port]
+//
+// Prints ADMIN_PORT=<port> (and writes it to admin_port.txt) so scripts
+// can scrape the endpoints, then serves for `seconds` (default 5):
+//
+//   curl http://127.0.0.1:$PORT/metrics   # Prometheus text v0.0.4
+//   curl http://127.0.0.1:$PORT/statusz   # queue depths, ring ownership
+//   curl http://127.0.0.1:$PORT/tracez    # recent + slowest traces
+//   curl http://127.0.0.1:$PORT/status    # slate service counters
+//
+// The CI observability smoke step boots this binary and validates
+// /metrics with tools/check_prom.py.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/slate.h"
+#include "engine/muppet2.h"
+#include "json/json.h"
+#include "service/admin_service.h"
+#include "service/http_server.h"
+#include "service/slate_service.h"
+
+using muppet::AppConfig;
+using muppet::Bytes;
+using muppet::Event;
+using muppet::JsonSlate;
+using muppet::PerformerUtilities;
+
+int main(int argc, char** argv) {
+  const int serve_seconds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int port = argc > 2 ? std::atoi(argv[2]) : 0;
+
+  // Word-count pipeline: mapper "split" fans words out of a line, updater
+  // "count" tallies them — enough operators to exercise every span kind.
+  AppConfig config;
+  if (!config.DeclareInputStream("lines").ok() ||
+      !config.DeclareStream("words").ok()) {
+    return 1;
+  }
+  muppet::Status s = config.AddMapper(
+      "split",
+      muppet::MakeMapperFactory([](PerformerUtilities& out, const Event& e) {
+        std::string word;
+        const std::string line(e.value.begin(), e.value.end());
+        for (const char c : line + " ") {
+          if (c == ' ') {
+            if (!word.empty()) (void)out.Publish("words", word, "");
+            word.clear();
+          } else {
+            word.push_back(c);
+          }
+        }
+      }),
+      {"lines"});
+  if (!s.ok()) return 1;
+  s = config.AddUpdater(
+      "count",
+      muppet::MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                                    const Bytes* slate) {
+        JsonSlate state(slate);
+        state.data()["count"] = state.data().GetInt("count") + 1;
+        (void)out.ReplaceSlate(state.Serialize());
+      }),
+      {"words"});
+  if (!s.ok()) return 1;
+
+  muppet::EngineOptions options;
+  options.num_machines = 2;
+  options.threads_per_machine = 2;
+  options.trace.sample_period = 1;  // demo: trace every event
+  muppet::Muppet2Engine engine(config, options);
+  if (!engine.Start().ok()) return 1;
+
+  // Feed it some traffic so the endpoints have something to show.
+  const char* lines[] = {
+      "fast data needs fast answers",
+      "map update map update",
+      "streams of fast data",
+      "slates hold the state of streams",
+  };
+  muppet::Timestamp ts = 1;
+  for (int round = 0; round < 8; ++round) {
+    for (const char* line : lines) {
+      if (!engine.Publish("lines", "k" + std::to_string(ts % 7), line, ts)
+               .ok()) {
+        return 1;
+      }
+      ++ts;
+    }
+  }
+  if (!engine.Drain().ok()) return 1;
+
+  // Mount the whole plane: admin endpoints + slate fetches on one server.
+  muppet::AdminService admin(&engine, /*machine=*/0);
+  muppet::SlateService slates(&engine);
+  muppet::HttpServer server;
+  admin.AttachTo(&server);
+  slates.AttachTo(&server);
+  if (!server.Start(port).ok()) {
+    std::fprintf(stderr, "cannot bind port %d\n", port);
+    return 1;
+  }
+  std::printf("ADMIN_PORT=%d\n", server.port());
+  std::fflush(stdout);
+  {
+    std::ofstream f("admin_port.txt");
+    f << server.port() << "\n";
+  }
+  std::printf("serving /metrics /statusz /tracez /status for %ds ...\n",
+              serve_seconds);
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+
+  if (!server.Stop().ok()) return 1;
+  return engine.Stop().ok() ? 0 : 1;
+}

@@ -74,6 +74,15 @@ int64_t Histogram::Percentile(double q) const {
   return max();
 }
 
+int64_t Histogram::CumulativeCount(int64_t value) const {
+  const int upto = BucketFor(value);
+  int64_t seen = 0;
+  for (int i = 0; i <= upto; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return seen;
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -111,43 +120,139 @@ std::string Histogram::Summary() const {
   return os.str();
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  MutexLock lock(mutex_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return slot.get();
+MetricLabels MetricsRegistry::Canonicalize(const MetricLabels& labels) {
+  MetricLabels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+std::string MetricsRegistry::LabelsKey(const MetricLabels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) key += ',';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+MetricsRegistry::Child* MetricsRegistry::GetChild(const std::string& name,
+                                                  const MetricLabels& labels,
+                                                  MetricType type) {
+  Family& family = families_[name];
+  if (family.children.empty()) family.type = type;
+  MetricLabels canonical = Canonicalize(labels);
+  Child& child = family.children[LabelsKey(canonical)];
+  if (child.labels.empty() && !canonical.empty()) {
+    child.labels = std::move(canonical);
+  }
+  return &child;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const MetricLabels& labels) {
   MutexLock lock(mutex_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
-  return slot.get();
+  Child* child = GetChild(name, labels, MetricType::kCounter);
+  if (!child->counter) child->counter = std::make_unique<Counter>();
+  return child->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const MetricLabels& labels) {
+  MutexLock lock(mutex_);
+  Child* child = GetChild(name, labels, MetricType::kGauge);
+  if (!child->gauge) child->gauge = std::make_unique<Gauge>();
+  return child->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const MetricLabels& labels) {
+  MutexLock lock(mutex_);
+  Child* child = GetChild(name, labels, MetricType::kHistogram);
+  if (!child->histogram) child->histogram = std::make_unique<Histogram>();
+  return child->histogram.get();
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const MetricLabels& labels,
+                                       MetricType type,
+                                       std::function<int64_t()> callback) {
+  MutexLock lock(mutex_);
+  Child* child = GetChild(name, labels, type);
+  child->callback = std::move(callback);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  // Callbacks may take subsystem locks below kMetrics in the hierarchy
+  // (e.g. SlateCache::size()), so they must run after the registry mutex
+  // is released; collect them alongside their sample index first.
+  std::vector<std::pair<size_t, std::function<int64_t()>>> callbacks;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, family] : families_) {
+      for (const auto& [key, child] : family.children) {
+        Sample s;
+        s.name = name;
+        s.labels = child.labels;
+        s.type = family.type;
+        if (child.callback) {
+          callbacks.emplace_back(out.size(), child.callback);
+        } else if (child.counter) {
+          s.value = child.counter->Get();
+        } else if (child.gauge) {
+          s.value = child.gauge->Get();
+        } else if (child.histogram) {
+          s.histogram = child.histogram.get();
+        }
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  for (auto& [index, callback] : callbacks) {
+    out[index].value = callback();
+  }
+  return out;
 }
 
 std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
   MutexLock lock(mutex_);
   std::map<std::string, int64_t> out;
-  for (const auto& [name, c] : counters_) out[name] = c->Get();
+  for (const auto& [name, family] : families_) {
+    if (family.type != MetricType::kCounter) continue;
+    for (const auto& [key, child] : family.children) {
+      if (!child.counter) continue;
+      std::string full = key.empty() ? name : name + "{" + key + "}";
+      out[full] = child.counter->Get();
+    }
+  }
   return out;
 }
 
 std::string MetricsRegistry::Report() const {
-  MutexLock lock(mutex_);
   std::ostringstream os;
-  for (const auto& [name, c] : counters_) {
-    os << name << " = " << c->Get() << "\n";
-  }
-  for (const auto& [name, h] : histograms_) {
-    os << name << ": " << h->Summary() << "\n";
+  for (const Sample& s : Snapshot()) {
+    os << s.name;
+    if (!s.labels.empty()) os << "{" << LabelsKey(s.labels) << "}";
+    if (s.histogram != nullptr) {
+      os << ": " << s.histogram->Summary() << "\n";
+    } else {
+      os << " = " << s.value << "\n";
+    }
   }
   return os.str();
 }
 
 void MetricsRegistry::ResetAll() {
   MutexLock lock(mutex_);
-  for (auto& [name, c] : counters_) c->Reset();
-  for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, family] : families_) {
+    for (auto& [key, child] : family.children) {
+      if (child.counter) child.counter->Reset();
+      if (child.gauge) child.gauge->Reset();
+      if (child.histogram) child.histogram->Reset();
+    }
+  }
 }
 
 }  // namespace muppet

@@ -1,0 +1,114 @@
+#include "common/prom.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace muppet {
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// Fixed le ladder in microseconds: 100us .. 10s, then +Inf. Coarse on
+// purpose — the native 256-bucket histogram stays queryable in-process via
+// /statusz; the exposition ladder only needs enough resolution for the
+// paper's "under 2 seconds" claim to be visible on a dashboard.
+constexpr int64_t kLeLadderUs[] = {100,     1000,     10000,
+                                   100000,  1000000,  10000000};
+
+void AppendLabels(std::ostringstream& os, const MetricLabels& labels,
+                  const std::string& extra_key = "",
+                  const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << PromSanitizeName(k) << "=\"" << PromEscapeLabelValue(v) << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << "=\"" << extra_value << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromSanitizeName(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(out[i]);
+    const bool ok = std::isalpha(c) || c == '_' || c == ':' ||
+                    (i > 0 && std::isdigit(c));
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  std::string current_family;
+  for (const MetricsRegistry::Sample& s : registry.Snapshot()) {
+    const std::string name = PromSanitizeName(s.name);
+    if (name != current_family) {
+      current_family = name;
+      os << "# TYPE " << name << ' ' << TypeName(s.type) << '\n';
+    }
+    if (s.type == MetricType::kHistogram && s.histogram != nullptr) {
+      const Histogram& h = *s.histogram;
+      for (int64_t le : kLeLadderUs) {
+        os << name << "_bucket";
+        AppendLabels(os, s.labels, "le", std::to_string(le));
+        os << ' ' << h.CumulativeCount(le) << '\n';
+      }
+      os << name << "_bucket";
+      AppendLabels(os, s.labels, "le", "+Inf");
+      os << ' ' << h.count() << '\n';
+      os << name << "_sum";
+      AppendLabels(os, s.labels);
+      os << ' ' << h.sum() << '\n';
+      os << name << "_count";
+      AppendLabels(os, s.labels);
+      os << ' ' << h.count() << '\n';
+    } else {
+      os << name;
+      AppendLabels(os, s.labels);
+      os << ' ' << s.value << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace muppet

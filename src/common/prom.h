@@ -1,0 +1,33 @@
+// Prometheus text exposition format (v0.0.4) encoder for MetricsRegistry.
+// Serves /metrics on the admin service (service/admin_service.h) and the
+// chaos flight-recorder dump (testing/scenario.cc). Output is validated
+// in CI by tools/check_prom.py.
+#ifndef MUPPET_COMMON_PROM_H_
+#define MUPPET_COMMON_PROM_H_
+
+#include <string>
+
+#include "common/metrics.h"
+
+namespace muppet {
+
+// Content-Type for the exposition format.
+inline const char* PrometheusContentType() {
+  return "text/plain; version=0.0.4";
+}
+
+// Escape a label value: backslash, double-quote, and newline.
+std::string PromEscapeLabelValue(const std::string& value);
+
+// Sanitize a metric or label name to [a-zA-Z_:][a-zA-Z0-9_:]* (labels
+// without the colon); invalid characters become '_'.
+std::string PromSanitizeName(const std::string& name);
+
+// Encode a full registry snapshot: one # TYPE line per family, children
+// sorted by label key, histograms expanded into a cumulative
+// _bucket{le=...} ladder plus _sum and _count.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_PROM_H_

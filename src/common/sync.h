@@ -47,6 +47,8 @@
 //    110   journal          EventJournal / SlateLogger append files
 //    115   service          HttpServer worker-thread registry
 //    120   metrics          MetricsRegistry name->counter maps
+//    122   trace-stripe     TraceSink per-stripe trace ring buffers
+//    124   trace-slowest    TraceSink slowest-N retention list
 //    130   logging          log sink capture hook (innermost: any
 //                           subsystem may log while holding its locks)
 #ifndef MUPPET_COMMON_SYNC_H_
@@ -127,6 +129,8 @@ enum class LockLevel : int {
   kJournal = 110,
   kService = 115,
   kMetrics = 120,
+  kTraceStripe = 122,
+  kTraceSlowest = 124,
   kLogging = 130,
 };
 

@@ -1,0 +1,151 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace muppet {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kPublish:
+      return "publish";
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kMapExec:
+      return "map_exec";
+    case SpanKind::kUpdateExec:
+      return "update_exec";
+    case SpanKind::kSlateFetch:
+      return "slate_fetch";
+    case SpanKind::kNetHop:
+      return "net_hop";
+  }
+  return "unknown";
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceSink::TraceSink() : TraceSink(Options()) {}
+
+TraceSink::TraceSink(Options options)
+    : options_(options),
+      per_stripe_capacity_(
+          std::max<size_t>(1, options.recent_capacity / kStripes)) {}
+
+void TraceSink::Record(Span span) {
+  if (span.trace_id == 0) {
+    spans_dropped_.Add();
+    return;
+  }
+  spans_recorded_.Add();
+  Stripe& stripe = stripes_[span.trace_id % kStripes];
+
+  // A stripe eviction hands the record to the slowest-N list after the
+  // stripe mutex is released; the lock levels still permit nesting
+  // (stripe 122 < slowest 124) if that ever changes.
+  TraceRecord evicted;
+  bool have_evicted = false;
+  {
+    MutexLock lock(stripe.mutex);
+    auto it = stripe.index.find(span.trace_id);
+    if (it == stripe.index.end()) {
+      stripe.lru.emplace_front();
+      stripe.lru.front().trace_id = span.trace_id;
+      stripe.lru.front().first_start_us = span.start_us;
+      it = stripe.index.emplace(span.trace_id, stripe.lru.begin()).first;
+      if (stripe.lru.size() > per_stripe_capacity_) {
+        evicted = std::move(stripe.lru.back());
+        stripe.index.erase(evicted.trace_id);
+        stripe.lru.pop_back();
+        have_evicted = true;
+      }
+    } else if (it->second != stripe.lru.begin()) {
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+    }
+    TraceRecord& record = *it->second;
+    record.first_start_us = std::min(record.first_start_us, span.start_us);
+    record.last_end_us = std::max(record.last_end_us, span.end_us);
+    if (record.spans.size() < options_.max_spans_per_trace) {
+      record.spans.push_back(std::move(span));
+    } else {
+      spans_dropped_.Add();
+    }
+  }
+  if (have_evicted) {
+    traces_evicted_.Add();
+    OfferSlowest(std::move(evicted));
+  }
+}
+
+void TraceSink::OfferSlowest(TraceRecord record) {
+  if (options_.slowest_capacity == 0) return;
+  MutexLock lock(slowest_mutex_);
+  if (slowest_.size() < options_.slowest_capacity) {
+    slowest_.push_back(std::move(record));
+    return;
+  }
+  auto fastest = std::min_element(
+      slowest_.begin(), slowest_.end(),
+      [](const TraceRecord& a, const TraceRecord& b) {
+        return a.duration_us() < b.duration_us();
+      });
+  if (record.duration_us() > fastest->duration_us()) {
+    *fastest = std::move(record);
+  }
+}
+
+std::vector<TraceSink::TraceRecord> TraceSink::Recent(size_t max) const {
+  std::vector<TraceRecord> out;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    for (const TraceRecord& record : stripe.lru) out.push_back(record);
+  }
+  // Newest first: traces touched last have the largest end times.
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.last_end_us > b.last_end_us;
+            });
+  if (max != 0 && out.size() > max) out.resize(max);
+  return out;
+}
+
+std::vector<TraceSink::TraceRecord> TraceSink::Slowest() const {
+  std::vector<TraceRecord> out;
+  {
+    MutexLock lock(slowest_mutex_);
+    out = slowest_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.duration_us() > b.duration_us();
+            });
+  return out;
+}
+
+void ScopedSpan::Begin(TraceSink* sink, Clock* clock,
+                       const TraceContext& context, SpanKind kind,
+                       int32_t machine, std::string name) {
+  if (sink == nullptr || !context.sampled()) return;
+  sink_ = sink;
+  clock_ = clock;
+  span_.trace_id = context.trace_id;
+  span_.span_id = NextSpanId();
+  span_.parent_span = context.parent_span;
+  span_.kind = kind;
+  span_.machine = machine;
+  span_.name = std::move(name);
+  span_.start_us = clock_->Now();
+}
+
+void ScopedSpan::End() {
+  if (sink_ == nullptr) return;
+  span_.end_us = clock_->Now();
+  sink_->Record(std::move(span_));
+  sink_ = nullptr;
+}
+
+}  // namespace muppet

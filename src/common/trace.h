@@ -1,0 +1,213 @@
+// Sampled distributed tracing for the observability plane. A TraceContext
+// (trace id + parent span id) rides with every sampled event — including
+// across machines in the wire frames (engine/wire.h) — and each layer the
+// event passes through records a Span into the local machine's TraceSink:
+// publish, queue wait, map/update execution, slate fetch (hit/miss/store
+// round-trip), and the cross-machine hop. Stitching the spans of one
+// trace id back together reconstructs the event's full path through the
+// cluster (the "where did a slow event spend its time" question the
+// paper's §5 latency claims beg).
+//
+// Sampling is deterministic in the event *content*: an event is traced
+// iff Mix64(hash(key)) falls in the sample window. Engine-assigned state
+// (seq numbers, wall-clock times) never feeds the decision, so a chaos
+// replay of the same seeded workload re-samples exactly the same traces —
+// the same property net/fault.h relies on for fault decisions.
+#ifndef MUPPET_COMMON_TRACE_H_
+#define MUPPET_COMMON_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/sync.h"
+
+namespace muppet {
+
+// The per-event trace state carried on the wire. trace_id == 0 is the
+// "sampled bit" cleared: the event is untraced and every tracing site is
+// a single branch. parent_span links a downstream event to the span of
+// the operator execution that emitted it.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+
+  bool sampled() const { return trace_id != 0; }
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_id == b.trace_id && a.parent_span == b.parent_span;
+  }
+};
+
+// Span taxonomy (DESIGN.md §9). One span per layer an event crosses.
+enum class SpanKind : uint8_t {
+  kPublish = 0,     // external publish (the root span of a trace)
+  kQueueWait = 1,   // enqueue -> dequeue on a worker queue
+  kMapExec = 2,     // mapper invocation
+  kUpdateExec = 3,  // updater invocation (slate lock held)
+  kSlateFetch = 4,  // slate cache fetch, incl. store round-trip on miss
+  kNetHop = 5,      // cross-machine transport send
+};
+
+const char* SpanKindName(SpanKind kind);
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  SpanKind kind = SpanKind::kPublish;
+  // Machine the span was recorded on (-1 = unknown/external).
+  int32_t machine = -1;
+  // Operator or stream name; "->mN" for net hops.
+  std::string name;
+  // Kind-specific annotation, e.g. "hit" / "miss" / "miss+store".
+  std::string note;
+  Timestamp start_us = 0;
+  Timestamp end_us = 0;
+
+  Timestamp duration_us() const { return end_us - start_us; }
+};
+
+// Process-wide span id allocator; never returns 0.
+uint64_t NextSpanId();
+
+// Deterministic sampling decision: true iff the event keyed by `key_hash`
+// is traced at 1-in-`sample_period`. period 1 traces everything; period 0
+// disables tracing. Pure function of its arguments (chaos-replay safe).
+inline bool TraceSampled(uint64_t key_hash, uint64_t sample_period) {
+  if (sample_period == 0) return false;
+  if (sample_period == 1) return true;
+  return Mix64(key_hash) % sample_period == 0;
+}
+
+// Trace id for a freshly sampled event; mixes the publish seq in so two
+// events with the same key get distinct traces. Never returns 0.
+inline uint64_t MakeTraceId(uint64_t key_hash, uint64_t seq) {
+  const uint64_t id = Mix64(key_hash ^ (seq * 0x9E3779B97F4A7C15ULL));
+  return id == 0 ? 1 : id;
+}
+
+// Per-machine in-memory flight recorder: a lock-striped ring of the most
+// recent traces plus a separate slowest-N retention list, so a burst of
+// fast traces cannot wash out the outliers a latency investigation needs.
+// Spans arrive from many worker threads; a trace's spans all land in the
+// stripe picked by its trace id, so appends to one trace serialize on one
+// stripe mutex and recording never blocks the whole sink.
+class TraceSink {
+ public:
+  struct Options {
+    // Traces retained in the recent ring (across all stripes).
+    size_t recent_capacity = 256;
+    // Slowest traces retained after falling out of the recent ring.
+    size_t slowest_capacity = 16;
+    // Hard cap on spans per trace (runaway cyclic workflows).
+    size_t max_spans_per_trace = 128;
+  };
+
+  struct TraceRecord {
+    uint64_t trace_id = 0;
+    Timestamp first_start_us = 0;
+    Timestamp last_end_us = 0;
+    std::vector<Span> spans;
+
+    Timestamp duration_us() const { return last_end_us - first_start_us; }
+  };
+
+  TraceSink();
+  explicit TraceSink(Options options);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Append a span to its trace (creating the trace record if new). Spans
+  // with trace_id == 0 are dropped.
+  void Record(Span span);
+
+  // The most recently touched traces, newest first; `max` 0 = all.
+  std::vector<TraceRecord> Recent(size_t max = 0) const;
+
+  // The slowest traces evicted from the recent ring, slowest first.
+  std::vector<TraceRecord> Slowest() const;
+
+  int64_t spans_recorded() const { return spans_recorded_.Get(); }
+  int64_t spans_dropped() const { return spans_dropped_.Get(); }
+  int64_t traces_evicted() const { return traces_evicted_.Get(); }
+
+  // Lock-hierarchy levels (pinned by tests/common/sync_test.cc). Spans
+  // are recorded while subsystem locks — slate stripes, queue mutexes —
+  // are held, so both levels sit near the leaf end of the hierarchy;
+  // the slowest list nests inside a stripe eviction.
+  static constexpr LockLevel kStripeLockLevel = LockLevel::kTraceStripe;
+  static constexpr LockLevel kSlowestLockLevel = LockLevel::kTraceSlowest;
+
+ private:
+  static constexpr size_t kStripes = 8;
+
+  struct StripeMutex : Mutex {
+    StripeMutex() : Mutex(kStripeLockLevel) {}
+  };
+
+  struct Stripe {
+    mutable StripeMutex mutex;
+    // Front = most recently touched.
+    std::list<TraceRecord> lru MUPPET_GUARDED_BY(mutex);
+    std::unordered_map<uint64_t, std::list<TraceRecord>::iterator> index
+        MUPPET_GUARDED_BY(mutex);
+  };
+
+  // Offer an evicted trace to the slowest-N list.
+  void OfferSlowest(TraceRecord record);
+
+  Options options_;
+  size_t per_stripe_capacity_;
+  std::array<Stripe, kStripes> stripes_;
+
+  mutable Mutex slowest_mutex_{kSlowestLockLevel};
+  std::vector<TraceRecord> slowest_ MUPPET_GUARDED_BY(slowest_mutex_);
+
+  Counter spans_recorded_;
+  Counter spans_dropped_;
+  Counter traces_evicted_;
+};
+
+// RAII span recorder: Begin() arms it, destruction (or End()) stamps the
+// end time and records into the sink. Disarmed instances cost one branch,
+// so call sites wrap untraced events for free. Handy where a span must
+// cover a region with several exit paths (send retries, error returns).
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Arm the span; start time is taken from `clock` now. `sink` and
+  // `clock` must outlive the ScopedSpan.
+  void Begin(TraceSink* sink, Clock* clock, const TraceContext& context,
+             SpanKind kind, int32_t machine, std::string name);
+
+  void set_note(std::string note) { span_.note = std::move(note); }
+
+  // The armed span's id (0 when disarmed) — what emitted child events use
+  // as their parent_span.
+  uint64_t span_id() const { return sink_ != nullptr ? span_.span_id : 0; }
+
+  // Record now; further End() calls are no-ops.
+  void End();
+
+ private:
+  TraceSink* sink_ = nullptr;
+  Clock* clock_ = nullptr;
+  Span span_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_TRACE_H_

@@ -11,6 +11,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace muppet {
 
@@ -34,6 +35,12 @@ struct Event {
   // Wall-clock time the event's external ancestor entered the system;
   // carried through the workflow for end-to-end latency measurement.
   Timestamp origin_ts = 0;
+
+  // Sampled-tracing state (common/trace.h). Default (trace_id 0) means
+  // untraced. Carried at the routed-event layer on the wire — EncodeEvent
+  // below stays trace-free, so slate-ledger byte comparisons and fault
+  // signatures are unaffected by whether an event happens to be sampled.
+  TraceContext trace;
 };
 
 // The §3 stream order: (ts, then seq) — seq is the deterministic tie-break.

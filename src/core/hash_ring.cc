@@ -87,4 +87,22 @@ std::vector<WorkerRef> HashRing::WorkersOf(const std::string& function) const {
                                 it->second.workers.end());
 }
 
+std::map<MachineId, int> HashRing::OwnershipCounts(
+    const std::string& function) const {
+  std::map<MachineId, int> out;
+  auto it = rings_.find(function);
+  if (it == rings_.end()) return out;
+  for (const auto& [hash, worker] : it->second.points) {
+    ++out[worker.machine];
+  }
+  return out;
+}
+
+std::vector<std::string> HashRing::Functions() const {
+  std::vector<std::string> out;
+  out.reserve(rings_.size());
+  for (const auto& [name, ring] : rings_) out.push_back(name);
+  return out;
+}
+
 }  // namespace muppet

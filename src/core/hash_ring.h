@@ -61,6 +61,14 @@ class HashRing {
   // All workers of a function (sorted).
   std::vector<WorkerRef> WorkersOf(const std::string& function) const;
 
+  // Vnode points of `function` owned per machine — the /statusz view of
+  // how key space is spread across the cluster. Empty map for unknown
+  // functions.
+  std::map<MachineId, int> OwnershipCounts(const std::string& function) const;
+
+  // Names of all functions with registered workers (sorted).
+  std::vector<std::string> Functions() const;
+
  private:
   struct FunctionRing {
     // Sorted (hash, worker) circle.

@@ -89,6 +89,7 @@ class SlateCache {
   void Clear();
 
   size_t size() const MUPPET_EXCLUDES(mutex_);
+  size_t capacity() const { return options_.capacity; }
 
   static constexpr LockLevel kLockLevel = LockLevel::kSlateCache;
   int64_t hits() const { return hits_.Get(); }

@@ -20,6 +20,13 @@ std::string EngineStats::ToString() const {
      << " store_writes=" << slate_store_writes << "\n"
      << "failures_detected=" << failures_detected
      << " operator_instances=" << operator_instances << "\n"
+     << "transport: sent=" << transport_messages_sent
+     << " local=" << transport_messages_local
+     << " frames=" << transport_frames_sent
+     << " bytes=" << transport_bytes_sent
+     << " faults: dropped=" << faults_dropped
+     << " duplicated=" << faults_duplicated << " held=" << faults_held
+     << "\n"
      << "latency us: mean=" << latency_mean_us << " p50=" << latency_p50_us
      << " p95=" << latency_p95_us << " p99=" << latency_p99_us
      << " max=" << latency_max_us;

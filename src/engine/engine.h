@@ -6,11 +6,15 @@
 #define MUPPET_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/slate.h"
 #include "core/slate_store.h"
 #include "core/topology.h"
@@ -64,6 +68,20 @@ struct EngineOptions {
 
   // Clock for timestamps/latency (nullptr -> system clock).
   Clock* clock = nullptr;
+
+  // Sampled distributed tracing (common/trace.h).
+  struct TraceOptions {
+    // Master switch; when false no spans are recorded and events carry a
+    // zero TraceContext.
+    bool enabled = true;
+    // Trace 1-in-N events, decided by hash of the event key (deterministic
+    // across runs and chaos replays). 1 = trace everything, 0 = nothing.
+    uint64_t sample_period = 1024;
+    // Per-machine TraceSink retention.
+    size_t recent_traces = 256;
+    size_t slowest_traces = 16;
+  };
+  TraceOptions trace;
 };
 
 // A point-in-time snapshot of engine counters.
@@ -85,6 +103,16 @@ struct EngineStats {
 
   int64_t failures_detected = 0;
 
+  // Transport-level counters (net/transport.h; PR-1 datapath).
+  int64_t transport_messages_sent = 0;   // cross-machine messages
+  int64_t transport_messages_local = 0;  // same-machine fast-path deliveries
+  int64_t transport_frames_sent = 0;     // batch frames sent
+  int64_t transport_bytes_sent = 0;      // payload bytes sent
+  // Fault-injection counters (net/fault.h; zero without an injector).
+  int64_t faults_dropped = 0;
+  int64_t faults_duplicated = 0;
+  int64_t faults_held = 0;
+
   // End-to-end latency (external publish -> operator completion), usec.
   int64_t latency_p50_us = 0;
   int64_t latency_p95_us = 0;
@@ -97,6 +125,25 @@ struct EngineStats {
   int64_t operator_instances = 0;
 
   std::string ToString() const;
+};
+
+// Point-in-time view of one machine's runtime state, for /statusz
+// (service/admin_service.h) and operational tests.
+struct MachineStatus {
+  MachineId machine = 0;
+  bool crashed = false;
+  // Depth of each worker queue on the machine (Muppet 2.0: one per
+  // thread; Muppet 1.0: one per worker process hosted there).
+  std::vector<size_t> queue_depths;
+  size_t queue_capacity = 0;
+  // Slate cache occupancy.
+  size_t slate_cache_slates = 0;
+  size_t slate_cache_capacity = 0;
+  // Machines this machine currently believes failed (§4.3).
+  std::vector<MachineId> known_failed;
+  // Hash-ring ownership: function name -> vnode points owned by this
+  // machine's workers.
+  std::map<std::string, int> ring_ownership;
 };
 
 class Engine {
@@ -141,6 +188,25 @@ class Engine {
   virtual EngineStats Stats() const = 0;
 
   virtual const AppConfig& config() const = 0;
+
+  // --- Observability plane (optional; defaults are inert so alternative
+  // engine implementations keep compiling).
+
+  // Shared metrics registry backing /metrics; nullptr = none.
+  virtual MetricsRegistry* metrics() { return nullptr; }
+
+  // Per-machine trace ring; nullptr when tracing is off or the machine id
+  // is unknown.
+  virtual TraceSink* trace_sink(MachineId machine) {
+    (void)machine;
+    return nullptr;
+  }
+
+  // Per-machine runtime state for /statusz.
+  virtual std::vector<MachineStatus> MachineStatuses() const { return {}; }
+
+  // Events accepted but not yet fully processed.
+  virtual int64_t InflightEvents() const { return 0; }
 };
 
 }  // namespace muppet

@@ -184,7 +184,7 @@ Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
         // copies pre-charge it, so Drain() stays balanced under chaos.
         if (t.on_async_loss == nullptr) {
           t.on_async_loss = [this](int64_t n) {
-            lost_failure_.Add(n);
+            lost_failure_->Add(n);
             DecInflight(n);
           };
         }
@@ -196,7 +196,22 @@ Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
         return t;
       }()),
       ring_(options.ring_vnodes, options.ring_seed),
-      throttle_(options.throttle, clock_) {}
+      throttle_(options.throttle, clock_),
+      published_(metrics_.GetCounter("muppet_events_published_total")),
+      processed_(metrics_.GetCounter("muppet_events_processed_total")),
+      emitted_(metrics_.GetCounter("muppet_events_emitted_total")),
+      lost_failure_(metrics_.GetCounter("muppet_events_lost_failure_total")),
+      dropped_overflow_(
+          metrics_.GetCounter("muppet_events_dropped_overflow_total")),
+      redirected_overflow_(
+          metrics_.GetCounter("muppet_events_redirected_overflow_total")),
+      deadlocks_avoided_(
+          metrics_.GetCounter("muppet_deadlocks_avoided_total")),
+      store_reads_(metrics_.GetCounter("muppet_slate_store_reads_total")),
+      store_writes_(metrics_.GetCounter("muppet_slate_store_writes_total")),
+      operator_instances_(
+          metrics_.GetCounter("muppet_operator_instances_total")),
+      latency_(metrics_.GetHistogram("muppet_e2e_latency_us")) {}
 
 Muppet1Engine::~Muppet1Engine() { (void)Stop(); }
 
@@ -216,7 +231,18 @@ Status Muppet1Engine::Start() {
   for (int m = 0; m < options_.num_machines; ++m) {
     auto machine = std::make_unique<MachineCtx>();
     machine->id = m;
+    if (options_.trace.enabled && options_.trace.sample_period != 0) {
+      TraceSink::Options trace_options;
+      trace_options.recent_capacity = options_.trace.recent_traces;
+      trace_options.slowest_capacity = options_.trace.slowest_traces;
+      machine->trace_sink = std::make_unique<TraceSink>(trace_options);
+    }
     machines_.push_back(std::move(machine));
+  }
+
+  for (const std::string& sid : config_.InputStreams()) {
+    stream_published_[sid] = metrics_.GetCounter(
+        "muppet_stream_published_total", {{"stream", sid}});
   }
 
   // One set of workers per function, round-robin over machines.
@@ -246,7 +272,9 @@ Status Muppet1Engine::Start() {
       worker->queue = std::make_unique<EventQueue>(options_.queue_capacity);
       worker->task =
           std::make_unique<engine_internal::TaskProcessor>(config_, spec);
-      operator_instances_.Add();
+      worker->processed_counter = metrics_.GetCounter(
+          "muppet_operator_processed_total", {{"operator", name}});
+      operator_instances_->Add();
       if (spec.kind == OperatorKind::kUpdater) {
         worker->updater_options = spec.updater_options;
         const size_t share = std::max<size_t>(
@@ -263,6 +291,8 @@ Status Muppet1Engine::Start() {
       workers_.push_back(std::move(worker));
     }
   }
+
+  RegisterCallbackMetrics();
 
   for (auto& machine : machines_) {
     const MachineId id = machine->id;
@@ -304,7 +334,7 @@ SlateCache::WriteBack Muppet1Engine::MakeWriteBack(const std::string& updater,
                                                    Timestamp ttl) {
   return [this, updater, ttl](const SlateCache::DirtySlate& dirty) -> Status {
     if (options_.slate_store == nullptr) return Status::OK();
-    store_writes_.Add();
+    store_writes_->Add();
     if (dirty.deleted) {
       return options_.slate_store->Delete(dirty.id);
     }
@@ -356,7 +386,31 @@ Status Muppet1Engine::Publish(const std::string& stream, BytesView key,
   event.value.assign(value);
   event.seq = NextSeq();
   event.origin_ts = clock_->Now();
-  published_.Add();
+  published_->Add();
+  auto sp = stream_published_.find(stream);
+  if (sp != stream_published_.end()) sp->second->Add();
+
+  // Deterministic sampling: the decision is a pure function of the key,
+  // so a chaos replay of the same workload traces the same events.
+  if (options_.trace.enabled &&
+      TraceSampled(Fnv1a64(event.key), options_.trace.sample_period)) {
+    event.trace.trace_id = MakeTraceId(Fnv1a64(event.key), event.seq);
+    TraceSink* sink = SinkFor(0);
+    if (sink != nullptr) {
+      // Root span: the external publish itself (machine 0 plays the
+      // paper's M0 and accepts all external events).
+      Span root;
+      root.trace_id = event.trace.trace_id;
+      root.span_id = NextSpanId();
+      root.kind = SpanKind::kPublish;
+      root.machine = 0;
+      root.name = stream;
+      root.start_us = event.origin_ts;
+      root.end_us = clock_->Now();
+      event.trace.parent_span = root.span_id;
+      sink->Record(std::move(root));
+    }
+  }
   // The paper's special mapper M0 reads the input stream on one machine
   // and hashes events out to workers (§4.1); machine 0 plays that role.
   DeliverEvent(/*from=*/0, /*sender=*/nullptr, event);
@@ -377,7 +431,7 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
   const std::set<MachineId> failed = FailedSetFor(from);
   Result<WorkerRef> target = ring_.Route(function, event.key, failed);
   if (!target.ok()) {
-    lost_failure_.Add();
+    lost_failure_->Add();
     MUPPET_LOG(kWarning) << "engine: no live worker for " << function
                          << ", event lost";
     return;
@@ -388,6 +442,16 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
   Bytes payload;
   PutVarint32(&payload, static_cast<uint32_t>(target.value().slot));
   EncodeRoutedEvent(re, &payload);
+
+  // Net-hop span on the sender's sink; the RAII scope covers the retry
+  // loop, so the span absorbs throttle waits like a real wire would. 1.0
+  // serializes even same-machine sends, but only a cross-machine send is
+  // a network hop.
+  ScopedSpan hop;
+  if (target.value().machine != from) {
+    hop.Begin(SinkFor(from), clock_, event.trace, SpanKind::kNetHop, from,
+              "->m" + std::to_string(target.value().machine));
+  }
 
   const uint64_t signature = EventFaultSignature(re);
   int attempts = 0;
@@ -403,28 +467,28 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
       // Failure detected on send (§4.3): report to the master, which
       // broadcasts; the event itself is lost, not re-dispatched.
       master_.ReportFailure(target.value().machine);
-      lost_failure_.Add();
+      lost_failure_->Add();
       MUPPET_LOG(kWarning) << "engine: machine " << target.value().machine
                            << " unreachable; event logged as lost";
       return;
     }
     if (!s.IsResourceExhausted()) {
-      lost_failure_.Add();
+      lost_failure_->Add();
       return;
     }
 
     // Queue overflow (§4.3): apply the configured policy.
     switch (options_.overflow.policy) {
       case OverflowPolicy::kDrop:
-        dropped_overflow_.Add();
+        dropped_overflow_->Add();
         MUPPET_LOG(kDebug) << "engine: queue full, event dropped";
         return;
       case OverflowPolicy::kOverflowStream: {
         if (event.stream == options_.overflow.overflow_stream) {
-          dropped_overflow_.Add();  // the degraded path is itself full
+          dropped_overflow_->Add();  // the degraded path is itself full
           return;
         }
-        redirected_overflow_.Add();
+        redirected_overflow_->Add();
         Event redirected = event;
         redirected.stream = options_.overflow.overflow_stream;
         DeliverEvent(from, sender, redirected);
@@ -435,12 +499,12 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
         // Emitting back into a queue this worker itself drains can never
         // succeed by waiting — that is the paper's §5 deadlock scenario.
         if (sender != nullptr && target.value() == sender->ref) {
-          deadlocks_avoided_.Add();
-          dropped_overflow_.Add();
+          deadlocks_avoided_->Add();
+          dropped_overflow_->Add();
           return;
         }
         if (++attempts > kMaxThrottleRetries) {
-          dropped_overflow_.Add();
+          dropped_overflow_->Add();
           return;
         }
         clock_->SleepFor(200);
@@ -468,6 +532,7 @@ Status Muppet1Engine::HandleIncoming(MachineId to, BytesView payload) {
   if (it == machine->by_slot.end()) {
     return Status::NotFound("engine: no such worker slot");
   }
+  if (re.event.trace.sampled()) re.enqueue_ts = clock_->Now();
   // The queue declines when full; the decline propagates to the sender.
   return it->second->queue->TryPush(std::move(re));
 }
@@ -475,6 +540,21 @@ Status Muppet1Engine::HandleIncoming(MachineId to, BytesView payload) {
 void Muppet1Engine::ConductorLoop(Worker* worker) {
   RoutedEvent re;
   while (worker->queue->Pop(&re)) {
+    if (re.event.trace.sampled() && re.enqueue_ts != 0) {
+      TraceSink* sink = SinkFor(worker->ref.machine);
+      if (sink != nullptr) {
+        Span wait;
+        wait.trace_id = re.event.trace.trace_id;
+        wait.span_id = NextSpanId();
+        wait.parent_span = re.event.trace.parent_span;
+        wait.kind = SpanKind::kQueueWait;
+        wait.machine = worker->ref.machine;
+        wait.name = worker->function;
+        wait.start_us = re.enqueue_ts;
+        wait.end_us = clock_->Now();
+        sink->Record(std::move(wait));
+      }
+    }
     Status s = ProcessOne(worker, re.event);
     if (!s.ok()) {
       MUPPET_LOG(kError) << "worker " << worker->function << "@"
@@ -485,19 +565,22 @@ void Muppet1Engine::ConductorLoop(Worker* worker) {
 }
 
 Status Muppet1Engine::FetchSlateForWorker(Worker* worker, BytesView key,
-                                          Bytes* slate) {
+                                          Bytes* slate,
+                                          const char** source) {
   const SlateId id{worker->function, Bytes(key)};
   bool absent = false;
   Status s = worker->cache->LookupWithAbsent(id, slate, &absent);
   if (s.ok()) {
+    if (source != nullptr) *source = absent ? "absent_cached" : "hit";
     if (absent) return Status::NotFound("slate absent (cached)");
     return Status::OK();
   }
   // Cache miss: fetch from the durable store (§4.2).
   if (options_.slate_store != nullptr) {
-    store_reads_.Add();
+    store_reads_->Add();
     Result<Bytes> fetched = options_.slate_store->Read(id);
     if (fetched.ok()) {
+      if (source != nullptr) *source = "store";
       *slate = std::move(fetched).value();
       (void)worker->cache->Insert(id, *slate);
       return Status::OK();
@@ -507,17 +590,36 @@ Status Muppet1Engine::FetchSlateForWorker(Worker* worker, BytesView key,
   // Nowhere: "Muppet initializes a new slate in the cache" — we model the
   // fresh slate as a negative entry so the updater sees nullptr and
   // initializes its variables (§3).
+  if (source != nullptr) *source = "store_absent";
   worker->cache->InsertAbsent(id);
   return Status::NotFound("slate absent");
 }
 
 Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event) {
+  // Execution span: covers the slate fetch, the task-processor round
+  // trip, the slate write-back, and the delivery of emitted events (the
+  // same window the 2.0 engine's exec span covers). Outputs emitted here
+  // parent to it.
+  ScopedSpan exec;
+  exec.Begin(SinkFor(worker->ref.machine), clock_, event.trace,
+             worker->kind == OperatorKind::kUpdater ? SpanKind::kUpdateExec
+                                                    : SpanKind::kMapExec,
+             worker->ref.machine, worker->function);
+
   // Conductor: gather the slate, serialize the request, cross the
   // process boundary, decode the response.
   Bytes slate;
   bool has_slate = false;
   if (worker->kind == OperatorKind::kUpdater) {
-    Status s = FetchSlateForWorker(worker, event.key, &slate);
+    const char* fetch_source = nullptr;
+    ScopedSpan fetch;
+    fetch.Begin(SinkFor(worker->ref.machine), clock_,
+                TraceContext{event.trace.trace_id, exec.span_id()},
+                SpanKind::kSlateFetch, worker->ref.machine,
+                worker->function);
+    Status s = FetchSlateForWorker(worker, event.key, &slate, &fetch_source);
+    if (fetch_source != nullptr) fetch.set_note(fetch_source);
+    fetch.End();
     if (s.ok()) {
       has_slate = true;
     } else if (!s.IsNotFound()) {
@@ -547,13 +649,20 @@ Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event) {
   }
 
   for (Event& out : decoded.outputs) {
-    emitted_.Add();
+    // Child events parent to this execution span (the TaskProcessor codec
+    // deliberately carries no trace state — it models the 1.0 IPC
+    // boundary — so the conductor re-attaches it here).
+    out.trace.trace_id = event.trace.trace_id;
+    out.trace.parent_span = exec.span_id();
+    emitted_->Add();
     DeliverEvent(worker->ref.machine, worker, out);
   }
+  exec.End();
 
-  processed_.Add();
+  worker->processed_counter->Add();
+  processed_->Add();
   if (event.origin_ts > 0) {
-    latency_.Record(clock_->Now() - event.origin_ts);
+    latency_->Record(clock_->Now() - event.origin_ts);
   }
   return Status::OK();
 }
@@ -667,7 +776,7 @@ Status Muppet1Engine::CrashMachine(MachineId machine_id) {
   for (Worker* worker : machine->workers) {
     const size_t lost = worker->queue->Clear();
     worker->queue->Stop();
-    lost_failure_.Add(static_cast<int64_t>(lost));
+    lost_failure_->Add(static_cast<int64_t>(lost));
     DecInflight(static_cast<int64_t>(lost));
   }
   for (Worker* worker : machine->workers) {
@@ -710,14 +819,14 @@ Status Muppet1Engine::RestartMachine(MachineId machine_id) {
 
 EngineStats Muppet1Engine::Stats() const {
   EngineStats stats;
-  stats.events_published = published_.Get();
-  stats.events_processed = processed_.Get();
-  stats.events_emitted = emitted_.Get();
-  stats.events_lost_failure = lost_failure_.Get();
-  stats.events_dropped_overflow = dropped_overflow_.Get();
-  stats.events_redirected_overflow = redirected_overflow_.Get();
+  stats.events_published = published_->Get();
+  stats.events_processed = processed_->Get();
+  stats.events_emitted = emitted_->Get();
+  stats.events_lost_failure = lost_failure_->Get();
+  stats.events_dropped_overflow = dropped_overflow_->Get();
+  stats.events_redirected_overflow = redirected_overflow_->Get();
   stats.throttle_signals = throttle_.overflow_signals();
-  stats.deadlocks_avoided = deadlocks_avoided_.Get();
+  stats.deadlocks_avoided = deadlocks_avoided_->Get();
   for (const auto& worker : workers_) {
     if (worker->cache != nullptr) {
       stats.slate_cache_hits += worker->cache->hits();
@@ -725,16 +834,146 @@ EngineStats Muppet1Engine::Stats() const {
       stats.slate_cache_evictions += worker->cache->evictions();
     }
   }
-  stats.slate_store_reads = store_reads_.Get();
-  stats.slate_store_writes = store_writes_.Get();
+  stats.slate_store_reads = store_reads_->Get();
+  stats.slate_store_writes = store_writes_->Get();
   stats.failures_detected = master_.failures_reported();
-  stats.latency_p50_us = latency_.Percentile(0.50);
-  stats.latency_p95_us = latency_.Percentile(0.95);
-  stats.latency_p99_us = latency_.Percentile(0.99);
-  stats.latency_max_us = latency_.max();
-  stats.latency_mean_us = latency_.Mean();
-  stats.operator_instances = operator_instances_.Get();
+  stats.transport_messages_sent = transport_.messages_sent();
+  stats.transport_messages_local = transport_.messages_local();
+  stats.transport_frames_sent = transport_.frames_sent();
+  stats.transport_bytes_sent = transport_.bytes_sent();
+  stats.faults_dropped = transport_.messages_dropped();
+  stats.faults_duplicated = transport_.messages_duplicated();
+  stats.faults_held = transport_.messages_held();
+  stats.latency_p50_us = latency_->Percentile(0.50);
+  stats.latency_p95_us = latency_->Percentile(0.95);
+  stats.latency_p99_us = latency_->Percentile(0.99);
+  stats.latency_max_us = latency_->max();
+  stats.latency_mean_us = latency_->Mean();
+  stats.operator_instances = operator_instances_->Get();
   return stats;
+}
+
+std::vector<MachineStatus> Muppet1Engine::MachineStatuses() const {
+  std::vector<MachineStatus> out;
+  if (!started_) return out;
+  for (const auto& machine : machines_) {
+    MachineStatus ms;
+    ms.machine = machine->id;
+    ms.crashed = machine->crashed.load(std::memory_order_acquire);
+    for (const Worker* worker : machine->workers) {
+      ms.queue_depths.push_back(worker->queue->size());
+      // 1.0 scatters the machine's slate cache across its updater
+      // workers; report the machine-level aggregate.
+      if (worker->cache != nullptr) {
+        ms.slate_cache_slates += worker->cache->size();
+        ms.slate_cache_capacity += worker->cache->capacity();
+      }
+    }
+    ms.queue_capacity = options_.queue_capacity;
+    {
+      MutexLock lock(machine->failed_mutex);
+      ms.known_failed.assign(machine->failed.begin(), machine->failed.end());
+    }
+    for (const std::string& function : ring_.Functions()) {
+      auto counts = ring_.OwnershipCounts(function);
+      auto it = counts.find(machine->id);
+      if (it != counts.end()) ms.ring_ownership[function] = it->second;
+    }
+    out.push_back(std::move(ms));
+  }
+  return out;
+}
+
+void Muppet1Engine::RegisterCallbackMetrics() {
+  // Transport-level counters: owned by the transport, surfaced here so
+  // /metrics carries the datapath and fault-injection counters.
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_sent_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_sent(); });
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_local_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_local(); });
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_dropped_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_dropped(); });
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_declined_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_declined(); });
+  metrics_.RegisterCallback("muppet_transport_frames_sent_total", {},
+                            MetricType::kCounter,
+                            [this] { return transport_.frames_sent(); });
+  metrics_.RegisterCallback("muppet_transport_bytes_sent_total", {},
+                            MetricType::kCounter,
+                            [this] { return transport_.bytes_sent(); });
+  metrics_.RegisterCallback(
+      "muppet_faults_duplicated_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_duplicated(); });
+  metrics_.RegisterCallback("muppet_faults_held_total", {},
+                            MetricType::kCounter,
+                            [this] { return transport_.messages_held(); });
+  metrics_.RegisterCallback(
+      "muppet_inflight_events", {}, MetricType::kGauge,
+      [this] { return inflight_.load(std::memory_order_acquire); });
+
+  for (const auto& machine_ptr : machines_) {
+    MachineCtx* machine = machine_ptr.get();
+    const MetricLabels m_label = {{"machine", std::to_string(machine->id)}};
+    metrics_.RegisterCallback("muppet_machine_up", m_label,
+                              MetricType::kGauge, [machine] {
+                                return machine->crashed.load(
+                                           std::memory_order_acquire)
+                                           ? 0
+                                           : 1;
+                              });
+    // Machine-level aggregates over the per-worker cache partitions.
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_slates", m_label, MetricType::kGauge, [machine] {
+          int64_t total = 0;
+          for (const Worker* w : machine->workers) {
+            if (w->cache != nullptr) {
+              total += static_cast<int64_t>(w->cache->size());
+            }
+          }
+          return total;
+        });
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_capacity", m_label, MetricType::kGauge,
+        [machine] {
+          int64_t total = 0;
+          for (const Worker* w : machine->workers) {
+            if (w->cache != nullptr) {
+              total += static_cast<int64_t>(w->cache->capacity());
+            }
+          }
+          return total;
+        });
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_hits_total", m_label, MetricType::kCounter,
+        [machine] {
+          int64_t total = 0;
+          for (const Worker* w : machine->workers) {
+            if (w->cache != nullptr) total += w->cache->hits();
+          }
+          return total;
+        });
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_misses_total", m_label, MetricType::kCounter,
+        [machine] {
+          int64_t total = 0;
+          for (const Worker* w : machine->workers) {
+            if (w->cache != nullptr) total += w->cache->misses();
+          }
+          return total;
+        });
+    for (Worker* worker : machine->workers) {
+      MetricLabels q_label = m_label;
+      q_label.emplace_back("operator", worker->function);
+      q_label.emplace_back("slot", std::to_string(worker->ref.slot));
+      metrics_.RegisterCallback(
+          "muppet_queue_depth", q_label, MetricType::kGauge,
+          [worker] { return static_cast<int64_t>(worker->queue->size()); });
+    }
+  }
 }
 
 }  // namespace muppet

@@ -20,6 +20,7 @@
 
 #include "common/metrics.h"
 #include "common/sync.h"
+#include "common/trace.h"
 #include "core/hash_ring.h"
 #include "core/slate_cache.h"
 #include "engine/engine.h"
@@ -83,6 +84,16 @@ class Muppet1Engine final : public Engine {
   EngineStats Stats() const override;
   const AppConfig& config() const override { return config_; }
 
+  // Observability plane (engine.h).
+  MetricsRegistry* metrics() override { return &metrics_; }
+  TraceSink* trace_sink(MachineId machine) override {
+    return SinkFor(machine);
+  }
+  std::vector<MachineStatus> MachineStatuses() const override;
+  int64_t InflightEvents() const override {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
   // Observe events published to `stream` (tests/examples; invoked inline
   // on the publishing thread). Register before Start().
   void TapStream(const std::string& stream,
@@ -92,7 +103,7 @@ class Muppet1Engine final : public Engine {
   Transport& transport() { return transport_; }
   Master& master() { return master_; }
   ThrottleGovernor& throttle() { return throttle_; }
-  int64_t events_lost() const { return lost_failure_.Get(); }
+  int64_t events_lost() const { return lost_failure_->Get(); }
   // The failed-machine set as known on machine `m` (chaos harness asserts
   // every live machine's view converges to the master's after a drain).
   std::set<MachineId> KnownFailedOn(MachineId m) const {
@@ -109,6 +120,8 @@ class Muppet1Engine final : public Engine {
     std::unique_ptr<SlateCache> cache;  // updaters only
     UpdaterOptions updater_options;
     std::thread thread;
+    // Per-operator processed counter (registry child, set at Start()).
+    Counter* processed_counter = nullptr;
   };
 
   struct MachineCtx {
@@ -120,6 +133,8 @@ class Muppet1Engine final : public Engine {
     std::set<MachineId> failed MUPPET_GUARDED_BY(failed_mutex);
     std::atomic<bool> crashed{false};
     std::thread flusher;
+    // Per-machine trace ring (null when tracing is disabled).
+    std::unique_ptr<TraceSink> trace_sink;
   };
 
   void ConductorLoop(Worker* worker);
@@ -127,9 +142,22 @@ class Muppet1Engine final : public Engine {
   Status ProcessOne(Worker* worker, const Event& event);
 
   // Fetch the slate for (worker's updater, key): worker cache, then store.
-  // Returns NotFound if absent everywhere; *absent_cached true if the
-  // cache already knew it was absent.
-  Status FetchSlateForWorker(Worker* worker, BytesView key, Bytes* slate);
+  // Returns NotFound if absent everywhere. `source`, when non-null,
+  // reports the slate-fetch span note: "hit", "absent_cached", "store",
+  // "store_absent".
+  Status FetchSlateForWorker(Worker* worker, BytesView key, Bytes* slate,
+                             const char** source = nullptr);
+
+  TraceSink* SinkFor(MachineId machine) const {
+    if (machine < 0 || machine >= static_cast<MachineId>(machines_.size())) {
+      return nullptr;
+    }
+    return machines_[static_cast<size_t>(machine)]->trace_sink.get();
+  }
+
+  // Register the callback-backed gauges/counters once the cluster is
+  // built.
+  void RegisterCallbackMetrics();
 
   // Route an emitted/published event to all subscribers of its stream.
   // `sender` is the emitting worker (nullptr for external publishes).
@@ -176,18 +204,23 @@ class Muppet1Engine final : public Engine {
   std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_
       MUPPET_GUARDED_BY(taps_mutex_);
 
-  // Counters (see EngineStats).
-  Counter published_;
-  Counter processed_;
-  Counter emitted_;
-  Counter lost_failure_;
-  Counter dropped_overflow_;
-  Counter redirected_overflow_;
-  Counter deadlocks_avoided_;
-  Counter store_reads_;
-  Counter store_writes_;
-  Counter operator_instances_;
-  Histogram latency_;
+  // Shared registry backing /metrics; the counters below are registry
+  // children so the admin endpoints and EngineStats read the same cells.
+  // Declared before the pointers (initialization order).
+  MetricsRegistry metrics_;
+  Counter* published_;
+  Counter* processed_;
+  Counter* emitted_;
+  Counter* lost_failure_;
+  Counter* dropped_overflow_;
+  Counter* redirected_overflow_;
+  Counter* deadlocks_avoided_;
+  Counter* store_reads_;
+  Counter* store_writes_;
+  Counter* operator_instances_;
+  Histogram* latency_;
+  // Per-input-stream published counters (built at Start()).
+  std::map<std::string, Counter*> stream_published_;
 };
 
 }  // namespace muppet

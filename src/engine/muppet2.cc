@@ -20,17 +20,20 @@ const std::set<MachineId> kNoFailed;
 // mutations are applied to the central cache as they happen.
 class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
  public:
+  // `exec_span` is the span id of the surrounding operator execution (0
+  // when untraced); emitted events parent to it.
   DirectUtilities(Muppet2Engine* engine, MachineCtx* machine,
                   const Event& event, const std::string& function,
                   bool is_updater, uint64_t work,
-                  const UpdaterOptions* updater_options)
+                  const UpdaterOptions* updater_options, uint64_t exec_span)
       : engine_(engine),
         machine_(machine),
         event_(event),
         function_(function),
         is_updater_(is_updater),
         work_(work),
-        updater_options_(updater_options) {}
+        updater_options_(updater_options),
+        exec_span_(exec_span) {}
 
   Status Publish(const std::string& stream, BytesView key,
                  BytesView value) override {
@@ -59,7 +62,11 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
     out.key.assign(key);
     out.value.assign(value);
     out.origin_ts = event_.origin_ts;
-    engine_->emitted_.Add();
+    // A traced input's outputs stay in its trace, parented to this
+    // operator execution.
+    out.trace.trace_id = event_.trace.trace_id;
+    out.trace.parent_span = exec_span_;
+    engine_->emitted_->Add();
     engine_->DeliverEvent(machine_->id, work_, std::move(out));
     return Status::OK();
   }
@@ -91,6 +98,7 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
   bool is_updater_;
   uint64_t work_;
   const UpdaterOptions* updater_options_;
+  uint64_t exec_span_;
 };
 
 Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
@@ -106,7 +114,7 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
         // copies pre-charge it, so Drain() stays balanced under chaos.
         if (t.on_async_loss == nullptr) {
           t.on_async_loss = [this](int64_t n) {
-            lost_failure_.Add(n);
+            lost_failure_->Add(n);
             DecInflight(n);
           };
         }
@@ -118,7 +126,26 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
         return t;
       }()),
       ring_(options.ring_vnodes, options.ring_seed),
-      throttle_(options.throttle, clock_) {}
+      throttle_(options.throttle, clock_),
+      published_(metrics_.GetCounter("muppet_events_published_total")),
+      processed_(metrics_.GetCounter("muppet_events_processed_total")),
+      emitted_(metrics_.GetCounter("muppet_events_emitted_total")),
+      lost_failure_(metrics_.GetCounter("muppet_events_lost_failure_total")),
+      dropped_overflow_(
+          metrics_.GetCounter("muppet_events_dropped_overflow_total")),
+      redirected_overflow_(
+          metrics_.GetCounter("muppet_events_redirected_overflow_total")),
+      deadlocks_avoided_(
+          metrics_.GetCounter("muppet_deadlocks_avoided_total")),
+      store_reads_(metrics_.GetCounter("muppet_slate_store_reads_total")),
+      store_writes_(metrics_.GetCounter("muppet_slate_store_writes_total")),
+      operator_instances_(
+          metrics_.GetCounter("muppet_operator_instances_total")),
+      secondary_dispatch_(
+          metrics_.GetCounter("muppet_secondary_dispatch_total")),
+      slate_contention_(
+          metrics_.GetCounter("muppet_slate_contention_total")),
+      latency_(metrics_.GetHistogram("muppet_e2e_latency_us")) {}
 
 Muppet2Engine::~Muppet2Engine() { (void)Stop(); }
 
@@ -153,6 +180,12 @@ Status Muppet2Engine::Start() {
     const uint32_t fid = op_names_.Intern(name);
     (void)fid;
     ops_.push_back(OpInfo{&spec, Fnv1a64(name)});
+    op_processed_.push_back(metrics_.GetCounter(
+        "muppet_operator_processed_total", {{"operator", name}}));
+  }
+  for (const std::string& sid : config_.InputStreams()) {
+    stream_published_[sid] = metrics_.GetCounter(
+        "muppet_stream_published_total", {{"stream", sid}});
   }
   for (const std::string& sid : config_.AllStreams()) {
     const uint32_t stream_id = stream_names_.Intern(sid);
@@ -172,7 +205,7 @@ Status Muppet2Engine::Start() {
         SlateCacheOptions{options_.slate_cache_capacity},
         [this](const SlateCache::DirtySlate& dirty) -> Status {
           if (options_.slate_store == nullptr) return Status::OK();
-          store_writes_.Add();
+          store_writes_->Add();
           if (dirty.deleted) return options_.slate_store->Delete(dirty.id);
           Timestamp ttl = 0;
           const OperatorSpec* spec = config_.FindOperator(dirty.id.updater);
@@ -191,7 +224,7 @@ Status Muppet2Engine::Start() {
       } else {
         machine->updaters[fid] = spec.updater_factory(config_, spec.name);
       }
-      operator_instances_.Add();
+      operator_instances_->Add();
       // Every machine hosts every function; the ring routes keys among
       // machines.
       if (m == 0) {
@@ -207,8 +240,15 @@ Status Muppet2Engine::Start() {
       thread_ctx->queue = std::make_unique<EventQueue>(options_.queue_capacity);
       machine->threads.push_back(std::move(thread_ctx));
     }
+    if (options_.trace.enabled && options_.trace.sample_period != 0) {
+      TraceSink::Options trace_options;
+      trace_options.recent_capacity = options_.trace.recent_traces;
+      trace_options.slowest_capacity = options_.trace.slowest_traces;
+      machine->trace_sink = std::make_unique<TraceSink>(trace_options);
+    }
     machines_.push_back(std::move(machine));
   }
+  RegisterCallbackMetrics();
 
   for (auto& machine : machines_) {
     const MachineId id = machine->id;
@@ -295,7 +335,31 @@ Status Muppet2Engine::Publish(const std::string& stream, BytesView key,
   event.value.assign(value);
   event.seq = NextSeq();
   event.origin_ts = clock_->Now();
-  published_.Add();
+  published_->Add();
+  auto sp = stream_published_.find(stream);
+  if (sp != stream_published_.end()) sp->second->Add();
+
+  // Deterministic sampling: the decision is a pure function of the key,
+  // so a chaos replay of the same workload traces the same events.
+  if (options_.trace.enabled &&
+      TraceSampled(Fnv1a64(event.key), options_.trace.sample_period)) {
+    event.trace.trace_id = MakeTraceId(Fnv1a64(event.key), event.seq);
+    TraceSink* sink = SinkFor(0);
+    if (sink != nullptr) {
+      // Root span: the external publish itself (machine 0 accepts all
+      // external events in this in-process cluster).
+      Span root;
+      root.trace_id = event.trace.trace_id;
+      root.span_id = NextSpanId();
+      root.kind = SpanKind::kPublish;
+      root.machine = 0;
+      root.name = stream;
+      root.start_us = event.origin_ts;
+      root.end_us = clock_->Now();
+      event.trace.parent_span = root.span_id;
+      sink->Record(std::move(root));
+    }
+  }
   DeliverEvent(/*from=*/0, /*sender_work=*/0, std::move(event));
   return Status::OK();
 }
@@ -344,7 +408,7 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
       Result<WorkerRef> target =
           ring_.Route(op.spec->name, event.key, *failed);
       if (!target.ok()) {
-        lost_failure_.Add();
+        lost_failure_->Add();
         continue;
       }
       to = target.value().machine;
@@ -386,7 +450,7 @@ void Muppet2Engine::LocalDeliver(MachineId machine_id, uint64_t sender_work,
     // Matches the transport Unavailable path: a failed delivery is how
     // crashes are detected (§4.3).
     master_.ReportFailure(machine_id);
-    lost_failure_.Add();
+    lost_failure_->Add();
     return;
   }
   transport_.CountLocalDelivery();
@@ -400,19 +464,19 @@ void Muppet2Engine::LocalDeliver(MachineId machine_id, uint64_t sender_work,
     DecInflight(1);
 
     if (!s.IsResourceExhausted()) {
-      lost_failure_.Add();
+      lost_failure_->Add();
       return;
     }
     switch (options_.overflow.policy) {
       case OverflowPolicy::kDrop:
-        dropped_overflow_.Add();
+        dropped_overflow_->Add();
         return;
       case OverflowPolicy::kOverflowStream: {
         if (re.event.stream == options_.overflow.overflow_stream) {
-          dropped_overflow_.Add();
+          dropped_overflow_->Add();
           return;
         }
-        redirected_overflow_.Add();
+        redirected_overflow_->Add();
         Event redirected = std::move(re.event);
         redirected.stream = options_.overflow.overflow_stream;
         DeliverEvent(machine_id, sender_work, std::move(redirected));
@@ -423,12 +487,12 @@ void Muppet2Engine::LocalDeliver(MachineId machine_id, uint64_t sender_work,
         // A worker emitting to its own (function,key) work unit while its
         // queues are full can never make progress by waiting (§5).
         if (sender_work != 0 && re.work == sender_work) {
-          deadlocks_avoided_.Add();
-          dropped_overflow_.Add();
+          deadlocks_avoided_->Add();
+          dropped_overflow_->Add();
           return;
         }
         if (++attempts > kMaxThrottleRetries) {
-          dropped_overflow_.Add();
+          dropped_overflow_->Add();
           return;
         }
         clock_->SleepFor(200);
@@ -445,19 +509,49 @@ void Muppet2Engine::FlushRemoteBatch(MachineId from, uint64_t sender_work,
   EncodeRoutedEventFrame(batch, &frame);
   const size_t n = batch.size();
   size_t accepted = 0;
+
+  // Net-hop spans, recorded on the sender's sink: one per sampled event in
+  // the frame, all sharing the frame's send window.
+  TraceSink* sink = SinkFor(from);
+  Timestamp hop_start = 0;
+  if (sink != nullptr) {
+    for (const RoutedEvent& re : batch) {
+      if (re.event.trace.sampled()) {
+        hop_start = clock_->Now();
+        break;
+      }
+    }
+  }
+
   inflight_.fetch_add(static_cast<int64_t>(n), std::memory_order_acq_rel);
   Status s = transport_.SendBatch(from, to, frame, n, &accepted,
                                   FrameFaultSignature(batch));
+  if (hop_start != 0) {
+    const Timestamp hop_end = clock_->Now();
+    for (const RoutedEvent& re : batch) {
+      if (!re.event.trace.sampled()) continue;
+      Span hop;
+      hop.trace_id = re.event.trace.trace_id;
+      hop.span_id = NextSpanId();
+      hop.parent_span = re.event.trace.parent_span;
+      hop.kind = SpanKind::kNetHop;
+      hop.machine = from;
+      hop.name = "->m" + std::to_string(to);
+      hop.start_us = hop_start;
+      hop.end_us = hop_end;
+      sink->Record(std::move(hop));
+    }
+  }
   if (s.ok()) return;
   DecInflight(static_cast<int64_t>(n - accepted));
 
   if (s.IsUnavailable()) {
     master_.ReportFailure(to);
-    lost_failure_.Add(static_cast<int64_t>(n - accepted));
+    lost_failure_->Add(static_cast<int64_t>(n - accepted));
     return;
   }
   if (!s.IsResourceExhausted()) {
-    lost_failure_.Add(static_cast<int64_t>(n - accepted));
+    lost_failure_->Add(static_cast<int64_t>(n - accepted));
     return;
   }
   // The receiver took a prefix and declined the rest; the remainder goes
@@ -480,6 +574,11 @@ void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
     re = std::move(one.front());
   }
 
+  // One hop span covering the whole retry loop (ends at any return).
+  ScopedSpan hop;
+  hop.Begin(SinkFor(from), clock_, re.event.trace, SpanKind::kNetHop, from,
+            "->m" + std::to_string(to));
+
   int attempts = 0;
   const int kMaxThrottleRetries = 50;
   while (true) {
@@ -491,23 +590,23 @@ void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
 
     if (s.IsUnavailable()) {
       master_.ReportFailure(to);
-      lost_failure_.Add();
+      lost_failure_->Add();
       return;
     }
     if (!s.IsResourceExhausted()) {
-      lost_failure_.Add();
+      lost_failure_->Add();
       return;
     }
     switch (options_.overflow.policy) {
       case OverflowPolicy::kDrop:
-        dropped_overflow_.Add();
+        dropped_overflow_->Add();
         return;
       case OverflowPolicy::kOverflowStream: {
         if (re.event.stream == options_.overflow.overflow_stream) {
-          dropped_overflow_.Add();
+          dropped_overflow_->Add();
           return;
         }
-        redirected_overflow_.Add();
+        redirected_overflow_->Add();
         Event redirected = std::move(re.event);
         redirected.stream = options_.overflow.overflow_stream;
         DeliverEvent(from, sender_work, std::move(redirected));
@@ -516,12 +615,12 @@ void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
       case OverflowPolicy::kThrottle: {
         throttle_.NoteOverflow();
         if (sender_work != 0 && re.work == sender_work && to == from) {
-          deadlocks_avoided_.Add();
-          dropped_overflow_.Add();
+          deadlocks_avoided_->Add();
+          dropped_overflow_->Add();
           return;
         }
         if (++attempts > kMaxThrottleRetries) {
-          dropped_overflow_.Add();
+          dropped_overflow_->Add();
           return;
         }
         clock_->SleepFor(200);
@@ -572,6 +671,10 @@ Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
 }
 
 Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent* re) {
+  // All enqueue paths (local fast path, remote frames, legacy payloads)
+  // funnel through here, so the queue-wait span starts now.
+  if (re->event.trace.sampled()) re->enqueue_ts = clock_->Now();
+
   const size_t W = machine->threads.size();
   const uint64_t work = re->work;
   const size_t primary = Mix64(work) % W;
@@ -605,13 +708,13 @@ Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent* re) {
   } else {
     choice = primary;
   }
-  if (choice == secondary) secondary_dispatch_.Add();
+  if (choice == secondary) secondary_dispatch_->Add();
 
   Status s = machine->threads[choice]->queue->TryPushMove(re);
   if (s.IsResourceExhausted()) {
     // Try the other candidate before declining to the sender.
     const size_t other = (choice == primary) ? secondary : primary;
-    if (other == secondary) secondary_dispatch_.Add();
+    if (other == secondary) secondary_dispatch_->Add();
     s = machine->threads[other]->queue->TryPushMove(re);
   }
   return s;
@@ -622,6 +725,19 @@ void Muppet2Engine::WorkerLoop(MachineCtx* machine, ThreadCtx* thread) {
   batch.reserve(kWorkerPopBatch);
   while (thread->queue->PopBatch(&batch, kWorkerPopBatch)) {
     for (RoutedEvent& re : batch) {
+      if (re.event.trace.sampled() && machine->trace_sink != nullptr &&
+          re.enqueue_ts != 0) {
+        Span wait;
+        wait.trace_id = re.event.trace.trace_id;
+        wait.span_id = NextSpanId();
+        wait.parent_span = re.event.trace.parent_span;
+        wait.kind = SpanKind::kQueueWait;
+        wait.machine = machine->id;
+        wait.name = ops_[static_cast<size_t>(re.function_id)].spec->name;
+        wait.start_us = re.enqueue_ts;
+        wait.end_us = clock_->Now();
+        machine->trace_sink->Record(std::move(wait));
+      }
       thread->current.store(re.work, std::memory_order_release);
       Status s = ProcessOne(machine, re);
       if (!s.ok()) {
@@ -637,24 +753,28 @@ void Muppet2Engine::WorkerLoop(MachineCtx* machine, ThreadCtx* thread) {
 
 Status Muppet2Engine::FetchSlateOnMachine(MachineCtx* machine,
                                           const std::string& updater,
-                                          BytesView key, Bytes* slate) {
+                                          BytesView key, Bytes* slate,
+                                          const char** source) {
   const SlateId id{updater, Bytes(key)};
   bool absent = false;
   Status s = machine->cache->LookupWithAbsent(id, slate, &absent);
   if (s.ok()) {
+    if (source != nullptr) *source = absent ? "absent_cached" : "hit";
     if (absent) return Status::NotFound("slate absent (cached)");
     return Status::OK();
   }
   if (options_.slate_store != nullptr) {
-    store_reads_.Add();
+    store_reads_->Add();
     Result<Bytes> fetched = options_.slate_store->Read(id);
     if (fetched.ok()) {
+      if (source != nullptr) *source = "store";
       *slate = std::move(fetched).value();
       (void)machine->cache->Insert(id, *slate);
       return Status::OK();
     }
     if (!fetched.status().IsNotFound()) return fetched.status();
   }
+  if (source != nullptr) *source = "store_absent";
   machine->cache->InsertAbsent(id);
   return Status::NotFound("slate absent");
 }
@@ -666,9 +786,17 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
   const Event& event = re.event;
   const uint64_t work = re.work;
 
+  // Exec span: wraps the operator invocation; emitted events and the
+  // slate fetch parent to it. Disarmed (one branch) for untraced events.
+  ScopedSpan exec;
+  TraceSink* sink = event.trace.sampled() ? machine->trace_sink.get() : nullptr;
+
   if (spec.kind == OperatorKind::kMapper) {
+    exec.Begin(sink, clock_, event.trace, SpanKind::kMapExec, machine->id,
+               spec.name);
     DirectUtilities utils(this, machine, event, spec.name,
-                          /*is_updater=*/false, work, nullptr);
+                          /*is_updater=*/false, work, nullptr,
+                          exec.span_id());
     machine->mappers[fid]->Map(utils, event);
   } else {
     // Up to two threads can vie for the same slate (§4.5); the striped
@@ -676,26 +804,40 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
     bool contended = false;
     MutexLock guard(machine->slate_locks[work % kSlateLockStripes],
                     &contended);
-    if (contended) slate_contention_.Add();
+    if (contended) slate_contention_->Add();
+
+    exec.Begin(sink, clock_, event.trace, SpanKind::kUpdateExec, machine->id,
+               spec.name);
 
     Bytes slate;
     bool has_slate = false;
-    Status s = FetchSlateOnMachine(machine, spec.name, event.key, &slate);
-    if (s.ok()) {
-      has_slate = true;
-    } else if (!s.IsNotFound()) {
-      return s;
+    const char* fetch_source = nullptr;
+    {
+      ScopedSpan fetch;
+      fetch.Begin(sink, clock_,
+                  TraceContext{event.trace.trace_id, exec.span_id()},
+                  SpanKind::kSlateFetch, machine->id, spec.name);
+      Status s = FetchSlateOnMachine(machine, spec.name, event.key, &slate,
+                                     &fetch_source);
+      if (fetch_source != nullptr) fetch.set_note(fetch_source);
+      if (s.ok()) {
+        has_slate = true;
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
     }
     DirectUtilities utils(this, machine, event, spec.name,
                           /*is_updater=*/true, work,
-                          &spec.updater_options);
+                          &spec.updater_options, exec.span_id());
     machine->updaters[fid]->Update(utils, event,
                                    has_slate ? &slate : nullptr);
   }
+  exec.End();
 
-  processed_.Add();
+  op_processed_[fid]->Add();
+  processed_->Add();
   if (event.origin_ts > 0) {
-    latency_.Record(clock_->Now() - event.origin_ts);
+    latency_->Record(clock_->Now() - event.origin_ts);
   }
   return Status::OK();
 }
@@ -802,7 +944,7 @@ Status Muppet2Engine::CrashMachine(MachineId machine_id) {
     thread_ctx->queue->Stop();
     lost_total += static_cast<int64_t>(lost);
   }
-  lost_failure_.Add(lost_total);
+  lost_failure_->Add(lost_total);
   DecInflight(lost_total);
   for (auto& thread_ctx : machine->threads) {
     if (thread_ctx->thread.joinable()) thread_ctx->thread.join();
@@ -852,29 +994,129 @@ size_t Muppet2Engine::LargestQueueDepth() const {
 
 EngineStats Muppet2Engine::Stats() const {
   EngineStats stats;
-  stats.events_published = published_.Get();
-  stats.events_processed = processed_.Get();
-  stats.events_emitted = emitted_.Get();
-  stats.events_lost_failure = lost_failure_.Get();
-  stats.events_dropped_overflow = dropped_overflow_.Get();
-  stats.events_redirected_overflow = redirected_overflow_.Get();
+  stats.events_published = published_->Get();
+  stats.events_processed = processed_->Get();
+  stats.events_emitted = emitted_->Get();
+  stats.events_lost_failure = lost_failure_->Get();
+  stats.events_dropped_overflow = dropped_overflow_->Get();
+  stats.events_redirected_overflow = redirected_overflow_->Get();
   stats.throttle_signals = throttle_.overflow_signals();
-  stats.deadlocks_avoided = deadlocks_avoided_.Get();
+  stats.deadlocks_avoided = deadlocks_avoided_->Get();
   for (const auto& machine : machines_) {
     stats.slate_cache_hits += machine->cache->hits();
     stats.slate_cache_misses += machine->cache->misses();
     stats.slate_cache_evictions += machine->cache->evictions();
   }
-  stats.slate_store_reads = store_reads_.Get();
-  stats.slate_store_writes = store_writes_.Get();
+  stats.slate_store_reads = store_reads_->Get();
+  stats.slate_store_writes = store_writes_->Get();
   stats.failures_detected = master_.failures_reported();
-  stats.latency_p50_us = latency_.Percentile(0.50);
-  stats.latency_p95_us = latency_.Percentile(0.95);
-  stats.latency_p99_us = latency_.Percentile(0.99);
-  stats.latency_max_us = latency_.max();
-  stats.latency_mean_us = latency_.Mean();
-  stats.operator_instances = operator_instances_.Get();
+  stats.transport_messages_sent = transport_.messages_sent();
+  stats.transport_messages_local = transport_.messages_local();
+  stats.transport_frames_sent = transport_.frames_sent();
+  stats.transport_bytes_sent = transport_.bytes_sent();
+  stats.faults_dropped = transport_.messages_dropped();
+  stats.faults_duplicated = transport_.messages_duplicated();
+  stats.faults_held = transport_.messages_held();
+  stats.latency_p50_us = latency_->Percentile(0.50);
+  stats.latency_p95_us = latency_->Percentile(0.95);
+  stats.latency_p99_us = latency_->Percentile(0.99);
+  stats.latency_max_us = latency_->max();
+  stats.latency_mean_us = latency_->Mean();
+  stats.operator_instances = operator_instances_->Get();
   return stats;
+}
+
+std::vector<MachineStatus> Muppet2Engine::MachineStatuses() const {
+  std::vector<MachineStatus> out;
+  if (!started_) return out;
+  for (const auto& machine : machines_) {
+    MachineStatus ms;
+    ms.machine = machine->id;
+    ms.crashed = machine->crashed.load(std::memory_order_acquire);
+    for (const auto& thread_ctx : machine->threads) {
+      ms.queue_depths.push_back(thread_ctx->queue->size());
+    }
+    ms.queue_capacity = options_.queue_capacity;
+    ms.slate_cache_slates = machine->cache->size();
+    ms.slate_cache_capacity = machine->cache->capacity();
+    {
+      MutexLock lock(machine->failed_mutex);
+      ms.known_failed.assign(machine->failed.begin(), machine->failed.end());
+    }
+    for (const std::string& function : ring_.Functions()) {
+      auto counts = ring_.OwnershipCounts(function);
+      auto it = counts.find(machine->id);
+      if (it != counts.end()) ms.ring_ownership[function] = it->second;
+    }
+    out.push_back(std::move(ms));
+  }
+  return out;
+}
+
+void Muppet2Engine::RegisterCallbackMetrics() {
+  // Transport-level counters: owned by the transport, surfaced here so
+  // /metrics carries the PR-1 datapath and PR-3 fault counters.
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_sent_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_sent(); });
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_local_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_local(); });
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_dropped_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_dropped(); });
+  metrics_.RegisterCallback(
+      "muppet_transport_messages_declined_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_declined(); });
+  metrics_.RegisterCallback("muppet_transport_frames_sent_total", {},
+                            MetricType::kCounter,
+                            [this] { return transport_.frames_sent(); });
+  metrics_.RegisterCallback("muppet_transport_bytes_sent_total", {},
+                            MetricType::kCounter,
+                            [this] { return transport_.bytes_sent(); });
+  metrics_.RegisterCallback(
+      "muppet_faults_duplicated_total", {}, MetricType::kCounter,
+      [this] { return transport_.messages_duplicated(); });
+  metrics_.RegisterCallback("muppet_faults_held_total", {},
+                            MetricType::kCounter,
+                            [this] { return transport_.messages_held(); });
+  metrics_.RegisterCallback(
+      "muppet_inflight_events", {}, MetricType::kGauge,
+      [this] { return inflight_.load(std::memory_order_acquire); });
+
+  for (const auto& machine_ptr : machines_) {
+    MachineCtx* machine = machine_ptr.get();
+    const MetricLabels m_label = {{"machine", std::to_string(machine->id)}};
+    metrics_.RegisterCallback("muppet_machine_up", m_label,
+                              MetricType::kGauge, [machine] {
+                                return machine->crashed.load(
+                                           std::memory_order_acquire)
+                                           ? 0
+                                           : 1;
+                              });
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_slates", m_label, MetricType::kGauge,
+        [machine] { return static_cast<int64_t>(machine->cache->size()); });
+    metrics_.RegisterCallback("muppet_slate_cache_capacity", m_label,
+                              MetricType::kGauge, [machine] {
+                                return static_cast<int64_t>(
+                                    machine->cache->capacity());
+                              });
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_hits_total", m_label, MetricType::kCounter,
+        [machine] { return machine->cache->hits(); });
+    metrics_.RegisterCallback(
+        "muppet_slate_cache_misses_total", m_label, MetricType::kCounter,
+        [machine] { return machine->cache->misses(); });
+    for (const auto& thread_ptr : machine->threads) {
+      ThreadCtx* thread = thread_ptr.get();
+      MetricLabels qt_label = m_label;
+      qt_label.emplace_back("thread", std::to_string(thread->index));
+      metrics_.RegisterCallback(
+          "muppet_queue_depth", qt_label, MetricType::kGauge,
+          [thread] { return static_cast<int64_t>(thread->queue->size()); });
+    }
+  }
 }
 
 }  // namespace muppet

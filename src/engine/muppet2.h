@@ -34,6 +34,7 @@
 
 #include "common/metrics.h"
 #include "common/sync.h"
+#include "common/trace.h"
 #include "core/hash_ring.h"
 #include "core/intern.h"
 #include "core/slate_cache.h"
@@ -60,6 +61,16 @@ class Muppet2Engine final : public Engine {
   EngineStats Stats() const override;
   const AppConfig& config() const override { return config_; }
 
+  // Observability plane (engine.h).
+  MetricsRegistry* metrics() override { return &metrics_; }
+  TraceSink* trace_sink(MachineId machine) override {
+    return SinkFor(machine);
+  }
+  std::vector<MachineStatus> MachineStatuses() const override;
+  int64_t InflightEvents() const override {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
   // Observe events published to `stream` (register before Start()).
   void TapStream(const std::string& stream,
                  std::function<void(const Event&)> tap);
@@ -69,10 +80,10 @@ class Muppet2Engine final : public Engine {
   Master& master() { return master_; }
   ThrottleGovernor& throttle() { return throttle_; }
   // Events that went to their secondary rather than primary queue.
-  int64_t secondary_dispatches() const { return secondary_dispatch_.Get(); }
+  int64_t secondary_dispatches() const { return secondary_dispatch_->Get(); }
   // Peak distinct threads that ever held the same slate concurrently is
   // bounded by 2 by construction; this counts lock contentions observed.
-  int64_t slate_contentions() const { return slate_contention_.Get(); }
+  int64_t slate_contentions() const { return slate_contention_->Get(); }
   // Same-machine deliveries that took the zero-serialization fast path.
   int64_t local_fast_path_deliveries() const {
     return transport_.messages_local();
@@ -131,6 +142,8 @@ class Muppet2Engine final : public Engine {
     std::atomic<size_t> failed_count{0};
     std::atomic<bool> crashed{false};
     std::thread flusher;
+    // Per-machine trace ring (null when tracing is disabled).
+    std::unique_ptr<TraceSink> trace_sink;
   };
 
   // Interned per-function routing state, indexed by function id.
@@ -176,9 +189,22 @@ class Muppet2Engine final : public Engine {
   void RemoteDeliverOne(MachineId from, uint64_t sender_work, MachineId to,
                         RoutedEvent re);
 
+  // `source`, when non-null, reports where the slate came from for the
+  // slate-fetch span note: "hit", "absent_cached", "store", "store_absent".
   Status FetchSlateOnMachine(MachineCtx* machine,
                              const std::string& updater, BytesView key,
-                             Bytes* slate);
+                             Bytes* slate, const char** source = nullptr);
+
+  TraceSink* SinkFor(MachineId machine) const {
+    if (machine < 0 || machine >= static_cast<MachineId>(machines_.size())) {
+      return nullptr;
+    }
+    return machines_[static_cast<size_t>(machine)]->trace_sink.get();
+  }
+
+  // Register the callback-backed gauges/counters (queue depths, cache
+  // occupancy, transport and fault counters) once the cluster is built.
+  void RegisterCallbackMetrics();
 
   std::set<MachineId> FailedSetFor(MachineId machine) const;
   void RunTaps(const Event& event);
@@ -223,19 +249,28 @@ class Muppet2Engine final : public Engine {
   std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_
       MUPPET_GUARDED_BY(taps_mutex_);
 
-  Counter published_;
-  Counter processed_;
-  Counter emitted_;
-  Counter lost_failure_;
-  Counter dropped_overflow_;
-  Counter redirected_overflow_;
-  Counter deadlocks_avoided_;
-  Counter store_reads_;
-  Counter store_writes_;
-  Counter operator_instances_;
-  Counter secondary_dispatch_;
-  Counter slate_contention_;
-  Histogram latency_;
+  // Shared registry backing /metrics; the counters below are registry
+  // children so the admin endpoints and EngineStats read the same cells.
+  // Declared before the pointers (initialization order).
+  MetricsRegistry metrics_;
+  Counter* published_;
+  Counter* processed_;
+  Counter* emitted_;
+  Counter* lost_failure_;
+  Counter* dropped_overflow_;
+  Counter* redirected_overflow_;
+  Counter* deadlocks_avoided_;
+  Counter* store_reads_;
+  Counter* store_writes_;
+  Counter* operator_instances_;
+  Counter* secondary_dispatch_;
+  Counter* slate_contention_;
+  Histogram* latency_;
+  // Per-operator processed counters, indexed by interned function id
+  // (built at Start(), read-only afterwards).
+  std::vector<Counter*> op_processed_;
+  // Per-input-stream published counters (built at Start()).
+  std::map<std::string, Counter*> stream_published_;
 };
 
 }  // namespace muppet

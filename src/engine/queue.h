@@ -32,6 +32,9 @@ struct RoutedEvent {
   int32_t function_id = -1;
   // Cached work-unit hash of <function, event.key>; 0 = not computed.
   uint64_t work = 0;
+  // When the event is traced: time it entered this queue, for the
+  // queue-wait span. In-memory only — never serialized.
+  Timestamp enqueue_ts = 0;
 };
 
 class EventQueue {

@@ -50,11 +50,17 @@ inline uint64_t FrameFaultSignature(const std::vector<RoutedEvent>& events) {
   return h == 0 ? 1 : h;
 }
 
+// Trace context (common/trace.h) rides after the event payload in both
+// formats so a sampled trace follows its event across machines. It is
+// excluded from the fault signatures above on purpose: whether an event
+// is traced must never change which faults it draws.
 inline void EncodeRoutedEvent(const RoutedEvent& re, Bytes* out) {
   PutLengthPrefixed(out, re.function);
   Bytes event_bytes;
   EncodeEvent(re.event, &event_bytes);
   PutLengthPrefixed(out, event_bytes);
+  PutVarint64(out, re.event.trace.trace_id);
+  PutVarint64(out, re.event.trace.parent_span);
 }
 
 inline Status DecodeRoutedEvent(BytesView data, RoutedEvent* re) {
@@ -62,11 +68,18 @@ inline Status DecodeRoutedEvent(BytesView data, RoutedEvent* re) {
   const char* limit = p + data.size();
   BytesView function, event_bytes;
   if (!GetLengthPrefixed(&p, limit, &function) ||
-      !GetLengthPrefixed(&p, limit, &event_bytes) || p != limit) {
+      !GetLengthPrefixed(&p, limit, &event_bytes) ||
+      !GetVarint64(&p, limit, &re->event.trace.trace_id) ||
+      !GetVarint64(&p, limit, &re->event.trace.parent_span) || p != limit) {
     return Status::Corruption("wire: malformed routed event");
   }
   re->function.assign(function);
-  return DecodeEvent(event_bytes, &re->event);
+  // DecodeEvent resets the event's non-wire fields; keep the trace we
+  // just read.
+  const TraceContext trace = re->event.trace;
+  Status s = DecodeEvent(event_bytes, &re->event);
+  re->event.trace = trace;
+  return s;
 }
 
 // Batch frame: varint event count, then per event the interned function
@@ -81,6 +94,8 @@ inline void EncodeRoutedEventFrame(const std::vector<RoutedEvent>& events,
     event_bytes.clear();
     EncodeEvent(re.event, &event_bytes);
     PutLengthPrefixed(out, event_bytes);
+    PutVarint64(out, re.event.trace.trace_id);
+    PutVarint64(out, re.event.trace.parent_span);
   }
 }
 
@@ -106,14 +121,18 @@ class RoutedEventFrameReader {
     if (remaining_ == 0) return false;
     uint32_t fid = 0;
     BytesView event_bytes;
+    TraceContext trace;
     if (!GetVarint32(&p_, limit_, &fid) ||
         !GetVarint64(&p_, limit_, &re->work) ||
         !GetLengthPrefixed(&p_, limit_, &event_bytes) ||
+        !GetVarint64(&p_, limit_, &trace.trace_id) ||
+        !GetVarint64(&p_, limit_, &trace.parent_span) ||
         !DecodeEvent(event_bytes, &re->event).ok()) {
       corrupt_ = true;
       remaining_ = 0;
       return false;
     }
+    re->event.trace = trace;
     re->function_id = static_cast<int32_t>(fid);
     re->function.clear();
     --remaining_;

@@ -1,0 +1,143 @@
+#include "service/admin_service.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/prom.h"
+#include "common/trace.h"
+
+namespace muppet {
+namespace {
+
+std::string HexId(uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
+  return std::string(buf);
+}
+
+Json SpanToJson(const Span& span) {
+  Json j = Json::MakeObject();
+  j["span_id"] = HexId(span.span_id);
+  j["parent_span"] = HexId(span.parent_span);
+  j["kind"] = SpanKindName(span.kind);
+  j["machine"] = static_cast<int64_t>(span.machine);
+  j["name"] = span.name;
+  if (!span.note.empty()) j["note"] = span.note;
+  j["start_us"] = span.start_us;
+  j["duration_us"] = span.duration_us();
+  return j;
+}
+
+Json TraceToJson(const TraceSink::TraceRecord& record) {
+  Json j = Json::MakeObject();
+  j["trace_id"] = HexId(record.trace_id);
+  j["start_us"] = record.first_start_us;
+  j["duration_us"] = record.duration_us();
+  Json spans = Json::MakeArray();
+  for (const Span& span : record.spans) spans.Append(SpanToJson(span));
+  j["spans"] = std::move(spans);
+  return j;
+}
+
+}  // namespace
+
+Json TracezDocument(Engine* engine, MachineId machine) {
+  Json doc = Json::MakeObject();
+  doc["machine"] = static_cast<int64_t>(machine);
+  Json recent = Json::MakeArray();
+  Json slowest = Json::MakeArray();
+  TraceSink* sink = engine->trace_sink(machine);
+  if (sink != nullptr) {
+    for (const auto& record : sink->Recent()) {
+      recent.Append(TraceToJson(record));
+    }
+    for (const auto& record : sink->Slowest()) {
+      slowest.Append(TraceToJson(record));
+    }
+    doc["spans_recorded"] = sink->spans_recorded();
+    doc["spans_dropped"] = sink->spans_dropped();
+    doc["traces_evicted"] = sink->traces_evicted();
+  }
+  doc["recent"] = std::move(recent);
+  doc["slowest"] = std::move(slowest);
+  return doc;
+}
+
+Json StatuszDocument(Engine* engine, MachineId machine) {
+  Json doc = Json::MakeObject();
+  doc["serving_machine"] = static_cast<int64_t>(machine);
+  doc["inflight"] = engine->InflightEvents();
+
+  const EngineStats stats = engine->Stats();
+  Json js = Json::MakeObject();
+  js["published"] = stats.events_published;
+  js["processed"] = stats.events_processed;
+  js["emitted"] = stats.events_emitted;
+  js["lost_failure"] = stats.events_lost_failure;
+  js["dropped_overflow"] = stats.events_dropped_overflow;
+  js["failures_detected"] = stats.failures_detected;
+  doc["stats"] = std::move(js);
+
+  Json machines = Json::MakeArray();
+  for (const MachineStatus& ms : engine->MachineStatuses()) {
+    Json jm = Json::MakeObject();
+    jm["machine"] = static_cast<int64_t>(ms.machine);
+    jm["crashed"] = ms.crashed;
+    Json depths = Json::MakeArray();
+    for (size_t d : ms.queue_depths) depths.Append(static_cast<int64_t>(d));
+    jm["queue_depths"] = std::move(depths);
+    jm["queue_capacity"] = static_cast<int64_t>(ms.queue_capacity);
+    Json cache = Json::MakeObject();
+    cache["slates"] = static_cast<int64_t>(ms.slate_cache_slates);
+    cache["capacity"] = static_cast<int64_t>(ms.slate_cache_capacity);
+    jm["slate_cache"] = std::move(cache);
+    Json failed = Json::MakeArray();
+    for (MachineId f : ms.known_failed) failed.Append(static_cast<int64_t>(f));
+    jm["failed"] = std::move(failed);
+    Json ring = Json::MakeObject();
+    for (const auto& [function, points] : ms.ring_ownership) {
+      ring[function] = static_cast<int64_t>(points);
+    }
+    jm["ring_ownership"] = std::move(ring);
+    machines.Append(std::move(jm));
+  }
+  doc["machines"] = std::move(machines);
+  return doc;
+}
+
+HttpResponse AdminService::Metrics() const {
+  HttpResponse response;
+  MetricsRegistry* registry = engine_->metrics();
+  if (registry == nullptr) {
+    response.status = 404;
+    response.content_type = "text/plain";
+    response.body = "no metrics registry\n";
+    return response;
+  }
+  response.content_type = PrometheusContentType();
+  response.body = PrometheusText(*registry);
+  return response;
+}
+
+HttpResponse AdminService::Statusz() const {
+  HttpResponse response;
+  response.body = StatuszDocument(engine_, machine_).Dump();
+  return response;
+}
+
+HttpResponse AdminService::Tracez() const {
+  HttpResponse response;
+  response.body = TracezDocument(engine_, machine_).Dump();
+  return response;
+}
+
+void AdminService::AttachTo(HttpServer* server) {
+  server->RegisterHandler(
+      "/metrics", [this](const HttpRequest&) { return Metrics(); });
+  server->RegisterHandler(
+      "/statusz", [this](const HttpRequest&) { return Statusz(); });
+  server->RegisterHandler("/tracez",
+                          [this](const HttpRequest&) { return Tracez(); });
+}
+
+}  // namespace muppet

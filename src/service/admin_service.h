@@ -1,0 +1,57 @@
+// Per-machine introspection endpoints for a running engine (paper §4.5:
+// each node serves "basic status information"; this is that server grown
+// into a full observability plane):
+//
+//   /metrics  - Prometheus text exposition v0.0.4 of the engine's shared
+//               MetricsRegistry (common/prom.h)
+//   /statusz  - JSON runtime state: queue depths, slate-cache occupancy,
+//               hash-ring ownership, failed set, inflight count
+//   /tracez   - JSON dump of the machine's TraceSink: recent + slowest
+//               traces with their spans
+//
+// Engine-agnostic: everything flows through the Engine interface, so both
+// generations (and future engines) get the same endpoints for free.
+#ifndef MUPPET_SERVICE_ADMIN_SERVICE_H_
+#define MUPPET_SERVICE_ADMIN_SERVICE_H_
+
+#include <string>
+
+#include "engine/engine.h"
+#include "json/json.h"
+#include "service/http_server.h"
+
+namespace muppet {
+
+// The /tracez document for `machine`, also reused by the chaos harness's
+// flight-recorder dump (testing/scenario.cc). Trace and span ids are
+// rendered as hex strings (JSON numbers are signed 64-bit here).
+Json TracezDocument(Engine* engine, MachineId machine);
+
+// The /statusz document as seen from `machine` (cluster-wide state plus
+// which machine served it).
+Json StatuszDocument(Engine* engine, MachineId machine);
+
+class AdminService {
+ public:
+  // `engine` must outlive the service. `machine` scopes /tracez (and the
+  // serving_machine field of /statusz) to one machine's view.
+  explicit AdminService(Engine* engine, MachineId machine = 0)
+      : engine_(engine), machine_(machine) {}
+
+  // Handlers, callable directly (tests) or via AttachTo.
+  HttpResponse Metrics() const;
+  HttpResponse Statusz() const;
+  HttpResponse Tracez() const;
+
+  // Mount /metrics, /statusz, /tracez. Call before server->Start(); the
+  // service must outlive the server.
+  void AttachTo(HttpServer* server);
+
+ private:
+  Engine* engine_;
+  MachineId machine_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_SERVICE_ADMIN_SERVICE_H_

@@ -52,8 +52,20 @@ HttpResponse SlateService::StatusPage() const {
   j["slate_store_reads"] = stats.slate_store_reads;
   j["slate_store_writes"] = stats.slate_store_writes;
   j["failures_detected"] = stats.failures_detected;
-  j["latency_p50_us"] = stats.latency_p50_us;
-  j["latency_p99_us"] = stats.latency_p99_us;
+  // Latency comes from the engine's shared metrics registry — the same
+  // histogram /metrics exports — so the two endpoints can never disagree.
+  // Engines without a registry fall back to the stats snapshot.
+  MetricsRegistry* registry = engine_->metrics();
+  const Histogram* latency =
+      registry != nullptr ? registry->GetHistogram("muppet_e2e_latency_us")
+                          : nullptr;
+  if (latency != nullptr) {
+    j["latency_p50_us"] = latency->Percentile(0.50);
+    j["latency_p99_us"] = latency->Percentile(0.99);
+  } else {
+    j["latency_p50_us"] = stats.latency_p50_us;
+    j["latency_p99_us"] = stats.latency_p99_us;
+  }
   return HttpResponse{200, "application/json", j.Dump() + "\n"};
 }
 

@@ -10,8 +10,13 @@
 #include <thread>
 #include <utility>
 
+#include <cstdlib>
+#include <fstream>
+
+#include "common/prom.h"
 #include "common/rng.h"
 #include "common/sync.h"
+#include "service/admin_service.h"
 #include "core/reference_executor.h"
 #include "core/slate.h"
 #include "core/slate_store.h"
@@ -26,6 +31,36 @@ namespace {
 
 const char* EngineName(EngineKind kind) {
   return kind == EngineKind::kMuppet1 ? "muppet1" : "muppet2";
+}
+
+// Flight-recorder dump: on an invariant violation, capture every
+// machine's trace ring and a metrics snapshot before teardown destroys
+// them. Sampling is deterministic in the event keys, so replaying the
+// failing seeds re-records the same traces.
+void DumpFlightRecorder(const ScenarioOptions& options, Engine* engine,
+                        ScenarioResult* result) {
+  Json doc = Json::MakeObject();
+  doc["engine"] = EngineName(options.engine);
+  doc["fault_seed"] = options.plan.seed;
+  doc["workload_seed"] = options.workload_seed;
+  Json machines = Json::MakeArray();
+  for (MachineId m = 0; m < static_cast<MachineId>(options.num_machines);
+       ++m) {
+    machines.Append(TracezDocument(engine, m));
+  }
+  doc["machines"] = std::move(machines);
+  result->trace_dump = doc.Dump() + "\n";
+  if (engine->metrics() != nullptr) {
+    result->metrics_dump = PrometheusText(*engine->metrics());
+  }
+
+  const char* dir = std::getenv("MUPPET_CHAOS_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string base = std::string(dir) + "/chaos-" +
+                           EngineName(options.engine) + "-seed-" +
+                           std::to_string(options.plan.seed);
+  std::ofstream(base + "-traces.json") << result->trace_dump;
+  std::ofstream(base + "-metrics.prom") << result->metrics_dump;
 }
 
 // Ledger of the events the counting updater actually processed — the
@@ -165,6 +200,9 @@ ScenarioResult ScenarioRunner::Run() {
   // Machine crash/restart actions go through the engine (below) so queue
   // and cache loss is modeled, not just transport reachability.
   eo.transport.poll_fault_actions = false;
+  // Trace every event: chaos runs are small, and a violation report is
+  // worth far more with the full flight recorder attached.
+  eo.trace.sample_period = 1;
 
   std::unique_ptr<Muppet1Engine> m1;
   std::unique_ptr<Muppet2Engine> m2;
@@ -398,6 +436,14 @@ ScenarioResult ScenarioRunner::Run() {
         }
       }
     }
+  }
+
+  if (options_.inject_violation_for_test) {
+    result.violations.push_back("injected violation (test hook)");
+  }
+
+  if (!result.violations.empty()) {
+    DumpFlightRecorder(options_, engine, &result);
   }
 
   (void)engine->Stop();

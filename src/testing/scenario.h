@@ -68,6 +68,11 @@ struct ScenarioOptions {
 
   // The scripted fault timeline (see RandomFaultPlan for seeded ones).
   FaultPlan plan;
+
+  // Test hook: report one synthetic violation so the flight-recorder
+  // path (trace/metrics dump + artifact files) can be exercised without
+  // needing a genuine invariant failure.
+  bool inject_violation_for_test = false;
 };
 
 struct ScenarioResult {
@@ -87,6 +92,14 @@ struct ScenarioResult {
   int64_t messages_duplicated = 0;
   int64_t messages_held = 0;
   int64_t faults_dropped = 0;
+
+  // Flight recorder, populated only when an invariant was violated: the
+  // combined /tracez documents of every machine (JSON) and a /metrics
+  // snapshot (Prometheus text) taken before teardown. Also written as
+  // files under $MUPPET_CHAOS_ARTIFACT_DIR when that is set, so CI can
+  // upload the evidence next to the failing seed.
+  std::string trace_dump;
+  std::string metrics_dump;
 
   bool ok() const { return violations.empty(); }
 

@@ -32,6 +32,17 @@ TEST(CounterTest, ConcurrentAddsAreLossless) {
   EXPECT_EQ(c.Get(), kThreads * kAddsPerThread);
 }
 
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  EXPECT_EQ(g.Get(), 0);
+  g.Set(10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.Get(), 12);
+  g.Reset();
+  EXPECT_EQ(g.Get(), 0);
+}
+
 TEST(HistogramTest, EmptyHistogram) {
   Histogram h;
   EXPECT_EQ(h.count(), 0);
@@ -99,6 +110,49 @@ TEST(HistogramTest, MergeCombinesSamples) {
   EXPECT_NEAR(a.Mean(), 505.0, 0.5);
 }
 
+TEST(HistogramTest, MergeIntoEmptyAdoptsMinMaxCount) {
+  Histogram a, b;
+  b.Record(7);
+  b.Record(7000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 7);
+  EXPECT_EQ(a.max(), 7000);
+}
+
+TEST(HistogramTest, CumulativeCountIsMonotone) {
+  Histogram h;
+  for (int64_t v : {50, 500, 5000, 50000, 500000, 5000000}) h.Record(v);
+  int64_t prev = 0;
+  for (int64_t le : {100, 1000, 10000, 100000, 1000000, 10000000}) {
+    const int64_t c = h.CumulativeCount(le);
+    EXPECT_GE(c, prev) << "le=" << le;
+    prev = c;
+  }
+  // Every recorded value is <= the largest threshold probed above.
+  EXPECT_EQ(prev, h.count());
+  // A threshold below every sample counts nothing.
+  EXPECT_EQ(h.CumulativeCount(10), 0);
+}
+
+TEST(HistogramTest, ConcurrentRecordIsLossless) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kRecordsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.Record((t + 1) * 100 + i % 7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kRecordsPerThread);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), kThreads * 100 + 6);
+}
+
 TEST(HistogramTest, LargeValues) {
   Histogram h;
   const int64_t hour_us = 3600LL * 1000 * 1000;
@@ -140,6 +194,68 @@ TEST(MetricsRegistryTest, ResetAll) {
   registry.ResetAll();
   EXPECT_EQ(registry.GetCounter("c")->Get(), 0);
   EXPECT_EQ(registry.GetHistogram("h")->count(), 0);
+}
+
+TEST(MetricsRegistryTest, LabeledChildrenAreDistinctCells) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("ops_total", {{"operator", "a"}});
+  Counter* b = registry.GetCounter("ops_total", {{"operator", "b"}});
+  EXPECT_NE(a, b);
+  a->Add(1);
+  b->Add(2);
+  const auto values = registry.CounterValues();
+  EXPECT_EQ(values.at("ops_total{operator=a}"), 1);
+  EXPECT_EQ(values.at("ops_total{operator=b}"), 2);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitCells) {
+  MetricsRegistry registry;
+  Counter* a =
+      registry.GetCounter("x", {{"machine", "0"}, {"operator", "f"}});
+  Counter* b =
+      registry.GetCounter("x", {{"operator", "f"}, {"machine", "0"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, GaugeFamily) {
+  MetricsRegistry registry;
+  registry.GetGauge("depth", {{"thread", "0"}})->Set(4);
+  bool found = false;
+  for (const auto& sample : registry.Snapshot()) {
+    if (sample.name == "depth") {
+      EXPECT_EQ(sample.type, MetricType::kGauge);
+      EXPECT_EQ(sample.value, 4);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsRegistryTest, CallbackSampledAtSnapshot) {
+  MetricsRegistry registry;
+  int64_t depth = 7;
+  registry.RegisterCallback("queue_depth", {{"machine", "1"}},
+                            MetricType::kGauge, [&depth] { return depth; });
+  auto find = [&registry]() -> int64_t {
+    for (const auto& sample : registry.Snapshot()) {
+      if (sample.name == "queue_depth") return sample.value;
+    }
+    return -1;
+  };
+  EXPECT_EQ(find(), 7);
+  depth = 9;
+  EXPECT_EQ(find(), 9);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("apple")->Add(1);
+  registry.GetGauge("mango")->Set(1);
+  const auto snapshot = registry.Snapshot();
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_LE(snapshot[i - 1].name, snapshot[i].name);
+  }
 }
 
 }  // namespace

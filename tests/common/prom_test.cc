@@ -1,0 +1,115 @@
+#include "common/prom.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+TEST(PromEscapeTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(PromEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromEscapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(PromSanitizeTest, InvalidCharactersBecomeUnderscore) {
+  EXPECT_EQ(PromSanitizeName("muppet_events_total"), "muppet_events_total");
+  EXPECT_EQ(PromSanitizeName("bad-name.with spaces"), "bad_name_with_spaces");
+  // A leading digit is not a valid first character.
+  EXPECT_EQ(PromSanitizeName("9lives"), "_lives");
+}
+
+TEST(PromTextTest, CounterAndGaugeFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("muppet_events_total")->Add(3);
+  registry.GetGauge("muppet_queue_depth", {{"machine", "0"}})->Set(5);
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE muppet_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("muppet_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE muppet_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("muppet_queue_depth{machine=\"0\"} 5"),
+            std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PromTextTest, OneTypeLinePerFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("ops_total", {{"operator", "a"}})->Add(1);
+  registry.GetCounter("ops_total", {{"operator", "b"}})->Add(2);
+  const std::string text = PrometheusText(registry);
+  size_t first = text.find("# TYPE ops_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE ops_total counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("ops_total{operator=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ops_total{operator=\"b\"} 2"), std::string::npos);
+}
+
+TEST(PromTextTest, LabelsEmittedInSortedKeyOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("x_total", {{"zeta", "1"}, {"alpha", "2"}})->Add(1);
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("x_total{alpha=\"2\",zeta=\"1\"} 1"),
+            std::string::npos);
+}
+
+TEST(PromTextTest, LabelValuesEscaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("x_total", {{"stream", "in\"jec\\t\nion"}})->Add(1);
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("x_total{stream=\"in\\\"jec\\\\t\\nion\"} 1"),
+            std::string::npos);
+}
+
+TEST(PromTextTest, HistogramLadderIsCumulativeAndEndsAtInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("muppet_e2e_latency_us");
+  h->Record(50);       // <= 100
+  h->Record(5000);     // <= 10000
+  h->Record(2000000);  // <= 10000000
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE muppet_e2e_latency_us histogram"),
+            std::string::npos);
+
+  // Parse every bucket line and check the ladder is monotone and +Inf
+  // equals the sample count.
+  int64_t prev = 0;
+  size_t pos = 0;
+  int buckets = 0;
+  while ((pos = text.find("muppet_e2e_latency_us_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    const size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    const int64_t count = std::stoll(text.substr(value_at + 2));
+    EXPECT_GE(count, prev);
+    prev = count;
+    ++buckets;
+    pos = value_at;
+  }
+  EXPECT_GE(buckets, 7);  // 6-step ladder + +Inf
+  EXPECT_NE(text.find("muppet_e2e_latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("muppet_e2e_latency_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("muppet_e2e_latency_us_sum "), std::string::npos);
+}
+
+TEST(PromTextTest, CallbackMetricsAppear) {
+  MetricsRegistry registry;
+  registry.RegisterCallback("muppet_inflight_events", {}, MetricType::kGauge,
+                            [] { return int64_t{42}; });
+  const std::string text = PrometheusText(registry);
+  EXPECT_NE(text.find("# TYPE muppet_inflight_events gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("muppet_inflight_events 42"), std::string::npos);
+}
+
+TEST(PromTextTest, ContentType) {
+  EXPECT_EQ(std::string(PrometheusContentType()),
+            "text/plain; version=0.0.4");
+}
+
+}  // namespace
+}  // namespace muppet

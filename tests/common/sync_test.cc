@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/slate_cache.h"
 #include "engine/journal.h"
 #include "engine/master.h"
@@ -263,6 +264,8 @@ TEST(LockHierarchyTest, SubsystemsAssignTheDocumentedLevels) {
   EXPECT_EQ(SlateLogger::kLockLevel, LockLevel::kJournal);
   EXPECT_EQ(HttpServer::kLockLevel, LockLevel::kService);
   EXPECT_EQ(MetricsRegistry::kLockLevel, LockLevel::kMetrics);
+  EXPECT_EQ(TraceSink::kStripeLockLevel, LockLevel::kTraceStripe);
+  EXPECT_EQ(TraceSink::kSlowestLockLevel, LockLevel::kTraceSlowest);
 }
 
 TEST(LockHierarchyTest, DocumentedOrderingHolds) {
@@ -296,6 +299,11 @@ TEST(LockHierarchyTest, DocumentedOrderingHolds) {
   EXPECT_TRUE(lt(LockLevel::kStoreIo, LockLevel::kJournal));
   EXPECT_TRUE(lt(LockLevel::kJournal, LockLevel::kService));
   EXPECT_TRUE(lt(LockLevel::kService, LockLevel::kMetrics));
+  // Spans are recorded under subsystem locks (queue, slate stripes), and
+  // a stripe eviction may push into the slowest-N list.
+  EXPECT_TRUE(lt(LockLevel::kMetrics, LockLevel::kTraceStripe));
+  EXPECT_TRUE(lt(LockLevel::kTraceStripe, LockLevel::kTraceSlowest));
+  EXPECT_TRUE(lt(LockLevel::kTraceSlowest, LockLevel::kLogging));
   EXPECT_TRUE(lt(LockLevel::kMetrics, LockLevel::kLogging));
 }
 

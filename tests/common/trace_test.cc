@@ -1,0 +1,219 @@
+#include "common/trace.h"
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace muppet {
+namespace {
+
+Span MakeSpan(uint64_t trace_id, Timestamp start, Timestamp end,
+              SpanKind kind = SpanKind::kMapExec) {
+  Span s;
+  s.trace_id = trace_id;
+  s.span_id = NextSpanId();
+  s.kind = kind;
+  s.machine = 0;
+  s.start_us = start;
+  s.end_us = end;
+  return s;
+}
+
+TEST(TraceSamplingTest, DeterministicAcrossCalls) {
+  for (uint64_t key_hash : {1ULL, 42ULL, 0xDEADBEEFULL, ~0ULL}) {
+    for (uint64_t period : {2ULL, 64ULL, 1024ULL}) {
+      EXPECT_EQ(TraceSampled(key_hash, period),
+                TraceSampled(key_hash, period));
+    }
+  }
+}
+
+TEST(TraceSamplingTest, PeriodOneSamplesEverythingZeroNothing) {
+  for (uint64_t key_hash = 0; key_hash < 100; ++key_hash) {
+    EXPECT_TRUE(TraceSampled(key_hash, 1));
+    EXPECT_FALSE(TraceSampled(key_hash, 0));
+  }
+}
+
+TEST(TraceSamplingTest, SamplesRoughlyOneInPeriod) {
+  const uint64_t period = 16;
+  int sampled = 0;
+  const int kKeys = 4096;
+  for (int i = 0; i < kKeys; ++i) {
+    if (TraceSampled(Fnv1a64(std::to_string(i)), period)) ++sampled;
+  }
+  // Expected 256; allow a generous band — the point is "a fraction", not
+  // "all" or "none".
+  EXPECT_GT(sampled, kKeys / static_cast<int>(period) / 3);
+  EXPECT_LT(sampled, kKeys / static_cast<int>(period) * 3);
+}
+
+TEST(TraceIdTest, NeverZeroAndSeqSensitive) {
+  std::set<uint64_t> ids;
+  for (uint64_t seq = 1; seq <= 100; ++seq) {
+    const uint64_t id = MakeTraceId(/*key_hash=*/7, seq);
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  // Same key, different publishes -> distinct traces.
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(SpanKindTest, NamesCoverTaxonomy) {
+  EXPECT_STREQ(SpanKindName(SpanKind::kPublish), "publish");
+  EXPECT_STREQ(SpanKindName(SpanKind::kQueueWait), "queue_wait");
+  EXPECT_STREQ(SpanKindName(SpanKind::kMapExec), "map_exec");
+  EXPECT_STREQ(SpanKindName(SpanKind::kUpdateExec), "update_exec");
+  EXPECT_STREQ(SpanKindName(SpanKind::kSlateFetch), "slate_fetch");
+  EXPECT_STREQ(SpanKindName(SpanKind::kNetHop), "net_hop");
+}
+
+TEST(TraceSinkTest, GroupsSpansByTraceId) {
+  TraceSink sink;
+  sink.Record(MakeSpan(10, 0, 5));
+  sink.Record(MakeSpan(10, 5, 9));
+  sink.Record(MakeSpan(20, 2, 3));
+  const auto recent = sink.Recent();
+  ASSERT_EQ(recent.size(), 2u);
+  for (const auto& record : recent) {
+    if (record.trace_id == 10) {
+      EXPECT_EQ(record.spans.size(), 2u);
+      EXPECT_EQ(record.first_start_us, 0);
+      EXPECT_EQ(record.last_end_us, 9);
+      EXPECT_EQ(record.duration_us(), 9);
+    } else {
+      EXPECT_EQ(record.trace_id, 20u);
+      EXPECT_EQ(record.spans.size(), 1u);
+    }
+  }
+  EXPECT_EQ(sink.spans_recorded(), 3);
+}
+
+TEST(TraceSinkTest, DropsUntracedSpans) {
+  TraceSink sink;
+  sink.Record(MakeSpan(0, 0, 1));
+  EXPECT_TRUE(sink.Recent().empty());
+  EXPECT_EQ(sink.spans_dropped(), 1);
+}
+
+TEST(TraceSinkTest, RecentIsNewestFirstAndBounded) {
+  TraceSink::Options options;
+  options.recent_capacity = 16;
+  TraceSink sink(options);
+  for (uint64_t t = 1; t <= 8; ++t) {
+    sink.Record(MakeSpan(t, static_cast<Timestamp>(t),
+                         static_cast<Timestamp>(t + 1)));
+  }
+  const auto recent = sink.Recent(/*max=*/3);
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_GE(recent[0].last_end_us, recent[1].last_end_us);
+  EXPECT_GE(recent[1].last_end_us, recent[2].last_end_us);
+}
+
+TEST(TraceSinkTest, EvictionRetainsSlowestTraces) {
+  TraceSink::Options options;
+  options.recent_capacity = 8;  // 1 per stripe
+  options.slowest_capacity = 4;
+  TraceSink sink(options);
+  // One very slow trace, then a flood sharing its stripe to evict it.
+  // Stripe = trace_id % 8, so ids congruent mod 8 collide.
+  sink.Record(MakeSpan(8, 0, 1000000));
+  for (uint64_t t = 1; t <= 32; ++t) {
+    sink.Record(MakeSpan(8 * t + 8, 0, 10));
+  }
+  EXPECT_GT(sink.traces_evicted(), 0);
+  const auto slowest = sink.Slowest();
+  ASSERT_FALSE(slowest.empty());
+  EXPECT_EQ(slowest.front().trace_id, 8u);
+  EXPECT_EQ(slowest.front().duration_us(), 1000000);
+}
+
+TEST(TraceSinkTest, PerTraceSpanCapIsEnforced) {
+  TraceSink::Options options;
+  options.max_spans_per_trace = 4;
+  TraceSink sink(options);
+  for (int i = 0; i < 10; ++i) sink.Record(MakeSpan(5, i, i + 1));
+  const auto recent = sink.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent.front().spans.size(), 4u);
+  EXPECT_EQ(sink.spans_dropped(), 6);
+}
+
+TEST(TraceSinkTest, ConcurrentRecordIsSafeAndLossless) {
+  TraceSink::Options options;
+  options.recent_capacity = 1024;
+  options.max_spans_per_trace = 100000;
+  TraceSink sink(options);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        // 64 distinct traces shared across threads.
+        sink.Record(MakeSpan(1 + (i % 64), i, i + 1));
+      }
+      (void)t;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.spans_recorded(), kThreads * kSpansPerThread);
+  size_t total_spans = 0;
+  for (const auto& record : sink.Recent()) total_spans += record.spans.size();
+  EXPECT_EQ(total_spans,
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(ScopedSpanTest, RecordsOnDestruction) {
+  TraceSink sink;
+  SimulatedClock clock(100);
+  {
+    ScopedSpan span;
+    span.Begin(&sink, &clock, TraceContext{77, 3}, SpanKind::kUpdateExec,
+               /*machine=*/2, "count");
+    EXPECT_NE(span.span_id(), 0u);
+    span.set_note("hit");
+    clock.Advance(50);
+  }
+  const auto recent = sink.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const Span& s = recent.front().spans.front();
+  EXPECT_EQ(s.trace_id, 77u);
+  EXPECT_EQ(s.parent_span, 3u);
+  EXPECT_EQ(s.kind, SpanKind::kUpdateExec);
+  EXPECT_EQ(s.machine, 2);
+  EXPECT_EQ(s.name, "count");
+  EXPECT_EQ(s.note, "hit");
+  EXPECT_EQ(s.start_us, 100);
+  EXPECT_EQ(s.end_us, 150);
+}
+
+TEST(ScopedSpanTest, DisarmedWhenUnsampledOrNoSink) {
+  TraceSink sink;
+  SimulatedClock clock;
+  ScopedSpan unsampled;
+  unsampled.Begin(&sink, &clock, TraceContext{}, SpanKind::kMapExec, 0, "f");
+  EXPECT_EQ(unsampled.span_id(), 0u);
+  ScopedSpan no_sink;
+  no_sink.Begin(nullptr, &clock, TraceContext{1, 0}, SpanKind::kMapExec, 0,
+                "f");
+  EXPECT_EQ(no_sink.span_id(), 0u);
+  unsampled.End();
+  no_sink.End();
+  EXPECT_TRUE(sink.Recent().empty());
+}
+
+TEST(ScopedSpanTest, ExplicitEndRecordsOnce) {
+  TraceSink sink;
+  SimulatedClock clock;
+  ScopedSpan span;
+  span.Begin(&sink, &clock, TraceContext{9, 0}, SpanKind::kNetHop, 0, "->m1");
+  span.End();
+  span.End();  // no-op
+  EXPECT_EQ(sink.spans_recorded(), 1);
+}
+
+}  // namespace
+}  // namespace muppet

@@ -3,9 +3,14 @@
 // convergence, no-send-to-dead) and the bit-reproducibility guarantee.
 #include "testing/scenario.h"
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "gtest/gtest.h"
+#include "json/json.h"
 #include "tests/test_util.h"
 
 namespace muppet {
@@ -204,6 +209,58 @@ TEST(ScenarioResultTest, DescribePrintsSeedsTimelineAndReplayHint) {
 
   ScenarioResult ok;
   EXPECT_NE(ok.Describe(o).find("chaos scenario OK"), std::string::npos);
+}
+
+// A violated invariant triggers the flight recorder: the result carries
+// the combined trace rings and a metrics snapshot, and when
+// MUPPET_CHAOS_ARTIFACT_DIR is set both are written as files next to the
+// failing seed (the nightly workflow uploads that directory).
+TEST(FlightRecorderTest, ViolationDumpsTracesAndMetrics) {
+  TempDir artifacts;
+  ASSERT_EQ(setenv("MUPPET_CHAOS_ARTIFACT_DIR", artifacts.path().c_str(), 1),
+            0);
+  ScenarioOptions o;
+  o.engine = EngineKind::kMuppet2;
+  o.num_machines = 2;
+  o.steps = 2;
+  o.events_per_step = 25;
+  o.plan.seed = 123;
+  o.inject_violation_for_test = true;
+  ScenarioResult r = ScenarioRunner(o).Run();
+  unsetenv("MUPPET_CHAOS_ARTIFACT_DIR");
+  ASSERT_FALSE(r.ok());
+
+  // In-memory dumps: parseable tracez JSON per machine + Prometheus text.
+  Result<Json> traces = Json::Parse(r.trace_dump);
+  ASSERT_OK(traces.status());
+  ASSERT_EQ(traces.value()["machines"].size(), 2u);
+  const Json& m0 = traces.value()["machines"].AsArray()[0];
+  EXPECT_GT(m0["recent"].size(), 0u);  // chaos runs trace every event
+  EXPECT_NE(r.metrics_dump.find("# TYPE muppet_events_published_total"),
+            std::string::npos);
+
+  // Artifact files for CI upload.
+  const std::string stem =
+      artifacts.path() + "/chaos-muppet2-seed-123";
+  EXPECT_TRUE(std::filesystem::exists(stem + "-traces.json"));
+  ASSERT_TRUE(std::filesystem::exists(stem + "-metrics.prom"));
+  std::ifstream metrics(stem + "-metrics.prom");
+  std::stringstream contents;
+  contents << metrics.rdbuf();
+  EXPECT_EQ(contents.str(), r.metrics_dump);
+}
+
+// The same scenario without the hook stays green and dumps nothing.
+TEST(FlightRecorderTest, CleanRunLeavesNoDump) {
+  ScenarioOptions o;
+  o.engine = EngineKind::kMuppet2;
+  o.num_machines = 2;
+  o.steps = 2;
+  o.events_per_step = 25;
+  ScenarioResult r = ScenarioRunner(o).Run();
+  EXPECT_TRUE(r.ok()) << r.Describe(o);
+  EXPECT_TRUE(r.trace_dump.empty());
+  EXPECT_TRUE(r.metrics_dump.empty());
 }
 
 }  // namespace

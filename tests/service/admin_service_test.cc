@@ -1,0 +1,199 @@
+#include "service/admin_service.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+
+#include "common/prom.h"
+#include "engine/muppet1.h"
+#include "engine/muppet2.h"
+#include "gtest/gtest.h"
+#include "json/json.h"
+#include "service/slate_service.h"
+#include "tests/engine/engine_test_util.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+using ::muppet::testing::BuildCountingApp;
+
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), MSG_NOSIGNAL);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class AdminServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BuildCountingApp(&config_);
+    EngineOptions options;
+    options.num_machines = 2;
+    options.threads_per_machine = 2;
+    options.trace.sample_period = 1;
+    engine_ = std::make_unique<Muppet2Engine>(config_, options);
+    ASSERT_OK(engine_->Start());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(
+          engine_->Publish("in", "key" + std::to_string(i % 4), "", i + 1));
+    }
+    ASSERT_OK(engine_->Drain());
+  }
+
+  void TearDown() override { ASSERT_OK(engine_->Stop()); }
+
+  AppConfig config_;
+  std::unique_ptr<Muppet2Engine> engine_;
+};
+
+TEST_F(AdminServiceTest, MetricsEndpointServesPrometheusText) {
+  AdminService admin(engine_.get());
+  const HttpResponse response = admin.Metrics();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, PrometheusContentType());
+  EXPECT_NE(response.body.find("# TYPE muppet_events_published_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("muppet_events_published_total 20"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("muppet_operator_processed_total{"
+                               "operator=\"count\"} 20"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("muppet_stream_published_total{"
+                               "stream=\"in\"} 20"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("muppet_machine_up{machine=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("muppet_e2e_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("muppet_queue_depth{"), std::string::npos);
+  EXPECT_NE(response.body.find("muppet_transport_messages_sent_total"),
+            std::string::npos);
+}
+
+TEST_F(AdminServiceTest, StatuszReportsClusterState) {
+  AdminService admin(engine_.get(), /*machine=*/1);
+  const HttpResponse response = admin.Statusz();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  Result<Json> parsed = Json::Parse(response.body);
+  ASSERT_OK(parsed.status());
+  const Json& doc = parsed.value();
+  EXPECT_EQ(doc.GetInt("serving_machine", -1), 1);
+  EXPECT_EQ(doc.GetInt("inflight", -1), 0);
+  EXPECT_EQ(doc["stats"].GetInt("published", -1), 20);
+  ASSERT_TRUE(doc["machines"].is_array());
+  ASSERT_EQ(doc["machines"].size(), 2u);
+  const Json& m0 = doc["machines"].AsArray()[0];
+  EXPECT_EQ(m0.GetInt("machine", -1), 0);
+  EXPECT_FALSE(m0.GetBool("crashed", true));
+  EXPECT_TRUE(m0["queue_depths"].is_array());
+  EXPECT_GE(m0["slate_cache"].GetInt("slates", -1), 0);
+  EXPECT_GT(m0["slate_cache"].GetInt("capacity", 0), 0);
+  // The counting app's single updater owns ring points on every machine.
+  EXPECT_GT(m0["ring_ownership"].GetInt("count", 0), 0);
+}
+
+TEST_F(AdminServiceTest, TracezServesRecordedTraces) {
+  AdminService admin(engine_.get(), /*machine=*/0);
+  const HttpResponse response = admin.Tracez();
+  EXPECT_EQ(response.status, 200);
+  Result<Json> parsed = Json::Parse(response.body);
+  ASSERT_OK(parsed.status());
+  const Json& doc = parsed.value();
+  EXPECT_EQ(doc.GetInt("machine", -1), 0);
+  ASSERT_TRUE(doc["recent"].is_array());
+  ASSERT_GT(doc["recent"].size(), 0u);
+  const Json& trace = doc["recent"].AsArray().front();
+  ASSERT_TRUE(trace["spans"].is_array());
+  ASSERT_GT(trace["spans"].size(), 0u);
+  const Json& span = trace["spans"].AsArray().front();
+  EXPECT_FALSE(span["kind"].AsString().empty());
+  EXPECT_GE(span.GetInt("duration_us", -1), 0);
+  EXPECT_GT(doc.GetInt("spans_recorded", 0), 0);
+}
+
+TEST_F(AdminServiceTest, EndpointsMountOnHttpServer) {
+  AdminService admin(engine_.get());
+  HttpServer server;
+  admin.AttachTo(&server);
+  ASSERT_OK(server.Start(0));
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("muppet_events_published_total"), std::string::npos);
+  const std::string statusz = HttpGet(server.port(), "/statusz");
+  EXPECT_NE(statusz.find("\"machines\""), std::string::npos);
+  const std::string tracez = HttpGet(server.port(), "/tracez");
+  EXPECT_NE(tracez.find("\"recent\""), std::string::npos);
+  ASSERT_OK(server.Stop());
+}
+
+TEST(AdminServiceMuppet1Test, EndpointsWorkOnTheLegacyEngine) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options;
+  options.num_machines = 2;
+  options.workers_per_function = 2;
+  options.trace.sample_period = 1;
+  Muppet1Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(engine.Publish("in", "k" + std::to_string(i % 3), "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+
+  AdminService admin(&engine);
+  const HttpResponse metrics = admin.Metrics();
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("muppet_events_published_total 10"),
+            std::string::npos);
+  Result<Json> statusz = Json::Parse(admin.Statusz().body);
+  ASSERT_OK(statusz.status());
+  EXPECT_EQ(statusz.value()["machines"].size(), 2u);
+  Result<Json> tracez = Json::Parse(admin.Tracez().body);
+  ASSERT_OK(tracez.status());
+  EXPECT_GT(tracez.value()["recent"].size(), 0u);
+  ASSERT_OK(engine.Stop());
+}
+
+// The slate service's /status latency fields read the registry histogram
+// the admin /metrics endpoint exports — the two can never disagree.
+TEST_F(AdminServiceTest, SlateServiceLatencyMatchesRegistry) {
+  MetricsRegistry* registry = engine_->metrics();
+  ASSERT_NE(registry, nullptr);
+  const Histogram* latency = registry->GetHistogram("muppet_e2e_latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->count(), 0);
+  SlateService slates(engine_.get());
+  Result<Json> status = Json::Parse(slates.StatusPage().body);
+  ASSERT_OK(status.status());
+  EXPECT_EQ(status.value().GetInt("latency_p50_us", -1),
+            latency->Percentile(0.50));
+  EXPECT_EQ(status.value().GetInt("latency_p99_us", -1),
+            latency->Percentile(0.99));
+}
+
+}  // namespace
+}  // namespace muppet
