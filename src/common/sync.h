@@ -31,10 +31,15 @@
 //   -----  ---------------  ------------------------------------------
 //     10   slate-stripe     Muppet2 per-machine striped slate locks
 //     20   taps             engine tap registries (shared)
+//     22   split-table      SplitTable live hot-key split registry (shared;
+//                           read on the dispatch path under a stripe lock)
+//     24   merge-dedupe     per-machine applied merge-delta id sets
+//     25   ring-override    HashRing key->machine override table (shared)
 //     30   transport        Transport machine registry (shared)
 //     35   transport-rng    Transport loss-model RNG
 //     36   fault-injector   FaultInjector decision/partition/action state
 //     38   fault-hold       Transport reorder holdback buffer
+//     39   heat             HeatTracker heavy-hitter sketch
 //     40   queue            EventQueue mutex (items + stopped flag)
 //     50   master           Master failed-set + listener registry
 //     55   failed-set       per-machine failed-peer sets (both engines)
@@ -113,10 +118,14 @@ enum class LockLevel : int {
   kUnordered = 0,
   kSlateStripe = 10,
   kTaps = 20,
+  kSplitTable = 22,
+  kMergeDedupe = 24,
+  kRingOverride = 25,
   kTransport = 30,
   kTransportRng = 35,
   kFaultInjector = 36,
   kFaultHold = 38,
+  kHeat = 39,
   kQueue = 40,
   kMaster = 50,
   kFailedSet = 55,

@@ -1,0 +1,77 @@
+#include "core/heat.h"
+
+#include <algorithm>
+
+namespace muppet {
+
+HeatTracker::HeatTracker(HeatTrackerOptions options) : options_(options) {}
+
+void HeatTracker::Record(int32_t function_id, BytesView key) {
+  samples_recorded_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock guard(mutex_);
+  ++sampled_total_;
+  auto it = cells_.find({function_id, Bytes(key)});
+  if (it != cells_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (cells_.size() < std::max<size_t>(options_.capacity, 1)) {
+    cells_[{function_id, Bytes(key)}] = Cell{1, 0};
+    return;
+  }
+  // Space-saving eviction: replace the minimum-count entry; the newcomer
+  // inherits min+1 with error=min (it may have arrived up to `min` times
+  // while untracked).
+  auto min_it = cells_.begin();
+  for (auto cell = cells_.begin(); cell != cells_.end(); ++cell) {
+    if (cell->second.count < min_it->second.count) min_it = cell;
+  }
+  const int64_t min_count = min_it->second.count;
+  cells_.erase(min_it);
+  cells_[{function_id, Bytes(key)}] = Cell{min_count + 1, min_count};
+}
+
+void HeatTracker::Decay(double factor) {
+  if (factor < 0.0) factor = 0.0;
+  if (factor >= 1.0) return;
+  MutexLock guard(mutex_);
+  sampled_total_ = static_cast<int64_t>(sampled_total_ * factor);
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    it->second.count = static_cast<int64_t>(it->second.count * factor);
+    it->second.error = static_cast<int64_t>(it->second.error * factor);
+    if (it->second.count <= 0) {
+      it = cells_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<HeatEntry> HeatTracker::TopK(size_t k) const {
+  std::vector<HeatEntry> entries;
+  {
+    MutexLock guard(mutex_);
+    entries.reserve(cells_.size());
+    for (const auto& [id_key, cell] : cells_) {
+      HeatEntry entry;
+      entry.function_id = id_key.first;
+      entry.key = id_key.second;
+      entry.count = cell.count;
+      entry.error = cell.error;
+      entries.push_back(std::move(entry));
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const HeatEntry& a, const HeatEntry& b) {
+                     return a.count > b.count;
+                   });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+int64_t HeatTracker::sampled_total() const {
+  MutexLock guard(mutex_);
+  return sampled_total_;
+}
+
+}  // namespace muppet

@@ -1,0 +1,93 @@
+// Per-machine hotspot detection: a space-saving heavy-hitter sketch over
+// (function, key) pairs, fed by uniform arrival sampling on the dispatch
+// path. The sketch keeps a fixed number of counters; when a new pair
+// arrives at a full sketch it evicts the minimum-count entry and inherits
+// its count as the new entry's error bound (Metwally et al.'s
+// space-saving algorithm). Sampling every Nth arrival through one relaxed
+// atomic keeps the dispatch-path overhead well under 1%; the load manager
+// reads TopK() periodically and Decay() ages counts so a key that cools
+// off falls back out of the sketch.
+#ifndef MUPPET_CORE_HEAT_H_
+#define MUPPET_CORE_HEAT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sync.h"
+
+namespace muppet {
+
+struct HeatTrackerOptions {
+  // Number of (function, key) counters the sketch retains (min 1).
+  size_t capacity = 64;
+  // Record one arrival in `sample_period` (1 = record everything; min 1).
+  uint32_t sample_period = 32;
+};
+
+struct HeatEntry {
+  int32_t function_id = -1;
+  Bytes key;
+  // Estimated sampled arrivals (upper bound; true count >= count - error).
+  int64_t count = 0;
+  // Overestimation bound inherited from the entry this one evicted.
+  int64_t error = 0;
+};
+
+class HeatTracker {
+ public:
+  explicit HeatTracker(HeatTrackerOptions options = {});
+
+  // Dispatch-path gate: one relaxed fetch_add, true every Nth call. Call
+  // Record() only when this returns true.
+  bool ShouldSample() {
+    const uint32_t period = options_.sample_period > 0 ? options_.sample_period : 1;
+    return arrivals_.fetch_add(1, std::memory_order_relaxed) % period == 0;
+  }
+
+  // Slow path (amortized by the sampling period): fold one sampled
+  // arrival for (function_id, key) into the sketch.
+  void Record(int32_t function_id, BytesView key);
+
+  // Multiply every count (and the sampled total) by `factor` in [0,1),
+  // dropping entries that decay below one. Called by the load manager so
+  // heat reflects recent traffic, not history.
+  void Decay(double factor);
+
+  // The hottest entries, hottest first, at most `k`.
+  std::vector<HeatEntry> TopK(size_t k) const;
+
+  // Decayed total of sampled arrivals — the denominator for "fraction of
+  // traffic" heat estimates over TopK counts.
+  int64_t sampled_total() const;
+
+  // Monotone count of Record() calls (metrics; unaffected by Decay).
+  int64_t samples_recorded() const {
+    return samples_recorded_.load(std::memory_order_relaxed);
+  }
+
+  uint32_t sample_period() const { return options_.sample_period; }
+
+  static constexpr LockLevel kLockLevel = LockLevel::kHeat;
+
+ private:
+  struct Cell {
+    int64_t count = 0;
+    int64_t error = 0;
+  };
+
+  const HeatTrackerOptions options_;
+  std::atomic<uint64_t> arrivals_{0};
+  std::atomic<int64_t> samples_recorded_{0};
+
+  mutable Mutex mutex_{kLockLevel};
+  // Keyed by (function_id, key) so distinct operators' heat never merges.
+  std::map<std::pair<int32_t, Bytes>, Cell> cells_ MUPPET_GUARDED_BY(mutex_);
+  int64_t sampled_total_ MUPPET_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_CORE_HEAT_H_

@@ -9,12 +9,15 @@
 #define MUPPET_CORE_KEYSPLIT_H_
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace muppet {
 
@@ -50,6 +53,84 @@ class KeySplitter {
   std::map<Bytes, bool> hot_keys_;
   // Per-key round-robin cursors.
   std::map<Bytes, uint64_t> cursors_;
+};
+
+// Live registry of dynamically split hot keys, shared between the dispatch
+// path (readers) and the load manager (writer). Each split carries an
+// epoch that is bumped on every state change and travels on the wire with
+// routed events, so a processor can tell whether an event's shard
+// assignment is still current; stale-epoch events are re-routed to the
+// base key instead of resurrecting a drained shard slate.
+//
+// Lifecycle per (function, key):
+//   Split(shards)   — active, events fan out round-robin over shards
+//   BeginMerge()    — draining: new events route to the base key while
+//                     merge sweeps collect the shard slates
+//   Finish()        — entry removed; the key routes like any other
+class SplitTable {
+ public:
+  struct State {
+    int shards = 1;
+    uint32_t epoch = 0;
+    bool draining = false;
+    // Bytes of shard slate found by merge sweeps since the last
+    // TakeMergeFound (monotone while draining).
+    int64_t merge_found = 0;
+  };
+
+  struct Entry {
+    int32_t function_id = -1;
+    Bytes key;
+    State state;
+  };
+
+  explicit SplitTable(size_t max_entries = 64);
+
+  // Dispatch fast path: one relaxed load; when false, Lookup cannot match.
+  bool HasSplits() const {
+    return active_.load(std::memory_order_acquire) > 0;
+  }
+
+  // Split state for (function_id, key); false when the key is not split.
+  bool Lookup(int32_t function_id, BytesView key, State* state) const;
+
+  // Lookup + round-robin shard pick in one call. Returns the shard to
+  // route to, or -1 when the key is unsplit or draining.
+  int RouteShard(int32_t function_id, BytesView key, State* state) const;
+
+  // Install (or widen) a split. Bumps the epoch. Returns false when the
+  // table is full or `shards` <= 1.
+  bool Split(int32_t function_id, BytesView key, int shards);
+
+  // Transition to draining; new events route unsplit. Returns false when
+  // no active entry exists.
+  bool BeginMerge(int32_t function_id, BytesView key);
+
+  // Merge sweeps report recovered shard slate bytes here.
+  void NoteMergeFound(int32_t function_id, BytesView key, int64_t bytes);
+
+  // Reads and resets the merge_found accumulator (load-manager tick).
+  int64_t TakeMergeFound(int32_t function_id, BytesView key);
+
+  // Drop the entry entirely (merge complete).
+  void Finish(int32_t function_id, BytesView key);
+
+  std::vector<Entry> Entries() const;
+  size_t size() const;
+
+  static constexpr LockLevel kLockLevel = LockLevel::kSplitTable;
+
+ private:
+  struct Cell {
+    State state;
+    // Round-robin cursor; atomic so RouteShard works under the reader lock.
+    mutable std::atomic<uint64_t> cursor{0};
+  };
+
+  const size_t max_entries_;
+  std::atomic<size_t> active_{0};
+  mutable SharedMutex mutex_{kLockLevel};
+  std::map<std::pair<int32_t, Bytes>, Cell> cells_ MUPPET_GUARDED_BY(mutex_);
 };
 
 }  // namespace muppet

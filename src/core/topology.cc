@@ -104,6 +104,13 @@ Status AppConfig::Validate() const {
       return Status::InvalidArgument("config: negative slate TTL on '" +
                                      name + "'");
     }
+    if (spec.updater_options.associativity ==
+            Associativity::kAssociativeCommutative &&
+        !spec.updater_options.merger) {
+      return Status::InvalidArgument(
+          "config: updater '" + name +
+          "' declared associative/commutative without a slate merger");
+    }
   }
   if (input_streams_.empty()) {
     return Status::InvalidArgument("config: no input streams declared");

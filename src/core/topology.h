@@ -11,6 +11,7 @@
 #ifndef MUPPET_CORE_TOPOLOGY_H_
 #define MUPPET_CORE_TOPOLOGY_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -33,6 +34,22 @@ enum class SlateFlushPolicy : uint8_t {
   kOnEvict,       // only when evicted from the slate cache
 };
 
+// Whether an updater's computation commutes and associates over events of
+// one key (paper §5, Example 6: counting is both). Only such updaters may
+// be key-split by the load manager: their per-shard partial slates can be
+// re-aggregated in any order without changing the result.
+enum class Associativity : uint8_t {
+  kNone,                    // order-sensitive; never split
+  kAssociativeCommutative,  // partial slates merge via `merger`
+};
+
+// Folds a partial (shard) slate into an accumulator slate. `base` is
+// nullptr when no accumulator exists yet (the merge result is then
+// typically `part` itself). Must be pure: engines call it under slate
+// locks, possibly concurrently for different keys.
+using SlateMerger =
+    std::function<Bytes(const Bytes* base, const Bytes& part)>;
+
 struct UpdaterOptions {
   // Slate time-to-live; 0 = forever (§3). The store may garbage-collect a
   // slate not written for longer than this; the updater then sees nullptr
@@ -41,6 +58,10 @@ struct UpdaterOptions {
   SlateFlushPolicy flush_policy = SlateFlushPolicy::kInterval;
   // For kInterval: how long a slate may stay dirty before being flushed.
   Timestamp flush_interval_micros = 100 * kMicrosPerMilli;
+  // Declares the updater safe for dynamic key splitting. When set to
+  // kAssociativeCommutative, `merger` must be provided (Validate checks).
+  Associativity associativity = Associativity::kNone;
+  SlateMerger merger;
 };
 
 enum class OperatorKind : uint8_t { kMapper, kUpdater };

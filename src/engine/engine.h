@@ -18,6 +18,7 @@
 #include "core/slate.h"
 #include "core/slate_store.h"
 #include "core/topology.h"
+#include "engine/load_manager.h"
 #include "engine/overflow.h"
 #include "engine/throttle.h"
 #include "net/transport.h"
@@ -44,6 +45,12 @@ struct EngineOptions {
   // Queue-overflow handling (§4.3).
   OverflowOptions overflow;
   ThrottleOptions throttle;
+
+  // Self-tuning load management (engine/load_manager.h): hotspot
+  // detection, dynamic key splitting of associative updaters,
+  // occupancy-driven source pacing, and placement overrides. Off by
+  // default; Muppet 2.0 only.
+  LoadManagerOptions load_manager;
 
   // Muppet 2.0 dispatch: place the event on the secondary queue when it is
   // at least this many events shorter than the primary ("significantly
@@ -127,6 +134,19 @@ struct EngineStats {
   std::string ToString() const;
 };
 
+// One hot (function, key) pair as seen by the heat sketch, with its
+// current split state — the /statusz hot-key panel row.
+struct HotKeyInfo {
+  std::string function;
+  std::string key;
+  // Decayed sampled arrivals across all machines (sketch estimate).
+  int64_t sampled_count = 0;
+  bool split = false;
+  int shards = 1;
+  uint32_t split_epoch = 0;
+  bool draining = false;
+};
+
 // Point-in-time view of one machine's runtime state, for /statusz
 // (service/admin_service.h) and operational tests.
 struct MachineStatus {
@@ -204,6 +224,17 @@ class Engine {
 
   // Per-machine runtime state for /statusz.
   virtual std::vector<MachineStatus> MachineStatuses() const { return {}; }
+
+  // Hottest (function, key) pairs with their split state, hottest first
+  // — the /statusz hot-key panel. Empty when no heat tracking runs.
+  virtual std::vector<HotKeyInfo> HotKeys() const { return {}; }
+
+  // Suspend the self-tuning load-manager control loop, blocking until the
+  // in-progress tick (and its control-event injections) completes. No-op
+  // for engines without one. The chaos harness pauses before its final
+  // accounting so a mid-tick merge sweep cannot race the conservation
+  // snapshot.
+  virtual void PauseLoadManagement() {}
 
   // Events accepted but not yet fully processed.
   virtual int64_t InflightEvents() const { return 0; }

@@ -1,0 +1,144 @@
+// Self-tuning load management: the control loop that turns the heat
+// sketch (core/heat.h), queue-depth gauges, and the placement advisor
+// into runtime actions — dynamic key splits for associative updaters
+// (paper §5, Example 6, automated), an occupancy-driven source-throttle
+// floor (deadlock-free because only the source is paced, §5), and
+// key->machine placement overrides applied through the hash ring's
+// bounded override table.
+//
+// The decision logic lives in LoadController, a pure object with no
+// threads or engine references: the engine's load-manager tick gathers a
+// LoadSignals snapshot, calls Tick(), and applies the returned
+// LoadActions. That keeps every policy decision unit-testable without a
+// cluster.
+#ifndef MUPPET_ENGINE_LOAD_MANAGER_H_
+#define MUPPET_ENGINE_LOAD_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "core/heat.h"
+
+namespace muppet {
+
+struct LoadManagerOptions {
+  // Master switch; everything below is inert when false.
+  bool enabled = false;
+
+  // Control-loop period.
+  Timestamp tick_micros = 20 * kMicrosPerMilli;
+
+  // Heat sketch shape (per machine).
+  HeatTrackerOptions heat;
+  // Per-tick multiplicative aging of the sketch, so heat reflects recent
+  // traffic. 1.0 disables aging.
+  double heat_decay = 0.8;
+
+  // --- Key splitting -------------------------------------------------
+  // Shards installed per split key.
+  int split_shards = 8;
+  // Split a key once it draws at least this fraction of sampled arrivals
+  // (and the updater is declared associative/commutative).
+  double split_heat_fraction = 0.20;
+  // Merge a split key back once its fraction falls below this.
+  double merge_heat_fraction = 0.05;
+  // ... for this many consecutive ticks. One low tick is routinely just
+  // sampling noise (a few samples per tick at modest rates), and a
+  // spurious merge is expensive: the key re-serializes while draining and
+  // the next hot tick re-splits it.
+  int merge_cool_ticks = 3;
+  // Ignore heat readings until this many samples accumulated.
+  int64_t min_samples = 64;
+  // Ceiling on concurrently split keys.
+  size_t max_splits = 16;
+  // A merge finishes after this many consecutive ticks whose sweeps found
+  // no shard slates (two, because a sweep races in-flight shard events).
+  int merge_quiet_ticks = 2;
+
+  // --- Queue-occupancy throttling ------------------------------------
+  // Target occupancy of the hottest queue, as a fraction of capacity.
+  double target_occupancy = 0.5;
+  // Integral gain: fraction of max_floor_delay_micros added to the pacing
+  // floor per unit of occupancy error per tick.
+  double throttle_gain = 0.2;
+  // Ceiling on the occupancy-driven pacing floor.
+  Timestamp max_floor_delay_micros = 5 * kMicrosPerMilli;
+
+  // --- Placement feedback --------------------------------------------
+  // Periodically rebalance via ring overrides (disabled under chaos runs
+  // without a durable store: moving a key's owner mid-run would strand
+  // cache-only slates).
+  bool placement_enabled = false;
+  // Re-run the placement advisor every this many ticks.
+  int placement_period_ticks = 10;
+  // At most this many concurrent ring overrides.
+  size_t max_overrides = 32;
+  double placement_balance_slack = 0.25;
+};
+
+// One machine-agnostic heat reading: (function, key) and its decayed
+// sampled count.
+struct HeatReading {
+  int32_t function_id = -1;
+  Bytes key;
+  int64_t count = 0;
+};
+
+// Snapshot the engine hands the controller each tick.
+struct LoadSignals {
+  // Decayed total of sampled arrivals across all machines.
+  int64_t sampled_total = 0;
+  // Hottest (function, key) pairs, aggregated across machines.
+  std::vector<HeatReading> top;
+  // Depth/capacity of the fullest live queue.
+  double max_queue_occupancy = 0.0;
+
+  struct ActiveSplit {
+    int32_t function_id = -1;
+    Bytes key;
+    bool draining = false;
+  };
+  std::vector<ActiveSplit> active_splits;
+};
+
+struct LoadActions {
+  struct Split {
+    int32_t function_id = -1;
+    Bytes key;
+    int shards = 1;
+  };
+  // Keys to split now (engine filters for associativity + table bounds).
+  std::vector<Split> splits;
+  // Active splits to begin merging (heat subsided).
+  std::vector<std::pair<int32_t, Bytes>> merges;
+  // New source-pacing floor.
+  Timestamp floor_delay_micros = 0;
+};
+
+class LoadController {
+ public:
+  explicit LoadController(const LoadManagerOptions& options);
+
+  LoadActions Tick(const LoadSignals& signals);
+
+  Timestamp floor_delay_micros() const {
+    return static_cast<Timestamp>(floor_);
+  }
+
+ private:
+  const LoadManagerOptions options_;
+  // Integral throttle state, in micros (double so sub-micro gains
+  // accumulate across ticks).
+  double floor_ = 0.0;
+  // Consecutive ticks each active split has spent below the merge
+  // threshold (merge_cool_ticks hysteresis).
+  std::map<std::pair<int32_t, Bytes>, int> cool_;
+};
+
+}  // namespace muppet
+
+#endif  // MUPPET_ENGINE_LOAD_MANAGER_H_

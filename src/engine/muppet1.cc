@@ -245,6 +245,20 @@ Status Muppet1Engine::Start() {
         "muppet_stream_published_total", {{"stream", sid}});
   }
 
+  // Heat observation for the /statusz hot-key panel. Muppet 1.0 runs no
+  // control loop (no splitting, no placement — load_manager actions are
+  // 2.0-only), but the same sketch feeds the panel and metrics. The
+  // sketch keys on a dense function id; build the ad-hoc name<->id map
+  // from the (sorted) operator table so ids are deterministic.
+  if (options_.load_manager.enabled) {
+    for (const auto& [name, spec] : config_.operators()) {
+      (void)spec;
+      heat_fn_ids_[name] = static_cast<int32_t>(heat_fn_names_.size());
+      heat_fn_names_.push_back(name);
+    }
+    heat_ = std::make_unique<HeatTracker>(options_.load_manager.heat);
+  }
+
   // One set of workers per function, round-robin over machines.
   std::vector<int32_t> next_slot(static_cast<size_t>(options_.num_machines),
                                  0);
@@ -428,6 +442,10 @@ void Muppet1Engine::DeliverEvent(MachineId from, const Worker* sender,
 void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
                                  const std::string& function,
                                  const Event& event) {
+  if (heat_ != nullptr && heat_->ShouldSample()) {
+    const auto it = heat_fn_ids_.find(function);
+    if (it != heat_fn_ids_.end()) heat_->Record(it->second, event.key);
+  }
   const std::set<MachineId> failed = FailedSetFor(from);
   Result<WorkerRef> target = ring_.Route(function, event.key, failed);
   if (!target.ok()) {
@@ -884,6 +902,23 @@ std::vector<MachineStatus> Muppet1Engine::MachineStatuses() const {
   return out;
 }
 
+std::vector<HotKeyInfo> Muppet1Engine::HotKeys() const {
+  std::vector<HotKeyInfo> out;
+  if (heat_ == nullptr) return out;
+  for (const HeatEntry& e : heat_->TopK(16)) {
+    if (e.function_id < 0 ||
+        e.function_id >= static_cast<int32_t>(heat_fn_names_.size())) {
+      continue;
+    }
+    HotKeyInfo info;
+    info.function = heat_fn_names_[static_cast<size_t>(e.function_id)];
+    info.key = e.key;
+    info.sampled_count = e.count;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 void Muppet1Engine::RegisterCallbackMetrics() {
   // Transport-level counters: owned by the transport, surfaced here so
   // /metrics carries the datapath and fault-injection counters.
@@ -914,6 +949,16 @@ void Muppet1Engine::RegisterCallbackMetrics() {
   metrics_.RegisterCallback(
       "muppet_inflight_events", {}, MetricType::kGauge,
       [this] { return inflight_.load(std::memory_order_acquire); });
+  // Source-pacing visibility: the delay PaceSource() would apply right
+  // now (decayed overflow pressure, clamped to the adaptive floor).
+  metrics_.RegisterCallback(
+      "muppet_throttle_delay_micros", {}, MetricType::kGauge,
+      [this] { return throttle_.CurrentDelayMicros(); });
+  if (heat_ != nullptr) {
+    metrics_.RegisterCallback("muppet_heat_samples_total", {},
+                              MetricType::kCounter,
+                              [this] { return heat_->samples_recorded(); });
+  }
 
   for (const auto& machine_ptr : machines_) {
     MachineCtx* machine = machine_ptr.get();

@@ -22,6 +22,7 @@
 #include "common/sync.h"
 #include "common/trace.h"
 #include "core/hash_ring.h"
+#include "core/heat.h"
 #include "core/slate_cache.h"
 #include "engine/engine.h"
 #include "engine/master.h"
@@ -90,6 +91,9 @@ class Muppet1Engine final : public Engine {
     return SinkFor(machine);
   }
   std::vector<MachineStatus> MachineStatuses() const override;
+  // Heat observation only: Muppet 1.0 never splits keys (load_manager
+  // control loops are 2.0-only), so rows report split=false.
+  std::vector<HotKeyInfo> HotKeys() const override;
   int64_t InflightEvents() const override {
     return inflight_.load(std::memory_order_acquire);
   }
@@ -186,6 +190,14 @@ class Muppet1Engine final : public Engine {
   Master master_;
   HashRing ring_;
   ThrottleGovernor throttle_;
+
+  // Engine-wide heat sketch (created at Start() when
+  // options_.load_manager.enabled; 1.0 has no per-machine dispatch point,
+  // every send funnels through SendToWorker). The sketch keys on a dense
+  // function id; 1.0 has no interner, so Start() builds this ad-hoc map.
+  std::unique_ptr<HeatTracker> heat_;
+  std::map<std::string, int32_t> heat_fn_ids_;
+  std::vector<std::string> heat_fn_names_;
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

@@ -1,10 +1,13 @@
 #include "engine/muppet2.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "engine/placement.h"
 #include "engine/wire.h"
 
 namespace muppet {
@@ -22,10 +25,14 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
  public:
   // `exec_span` is the span id of the surrounding operator execution (0
   // when untraced); emitted events parent to it.
+  // `slate_key` is the key the updater's slate lives under: the event key
+  // normally, the shard sub-key (core/keysplit.h) when the event was
+  // routed to a shard of a split hot key.
   DirectUtilities(Muppet2Engine* engine, MachineCtx* machine,
                   const Event& event, const std::string& function,
                   bool is_updater, uint64_t work,
-                  const UpdaterOptions* updater_options, uint64_t exec_span)
+                  const UpdaterOptions* updater_options, uint64_t exec_span,
+                  BytesView slate_key = {})
       : engine_(engine),
         machine_(machine),
         event_(event),
@@ -33,7 +40,8 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
         is_updater_(is_updater),
         work_(work),
         updater_options_(updater_options),
-        exec_span_(exec_span) {}
+        exec_span_(exec_span),
+        slate_key_(slate_key.empty() ? BytesView(event.key) : slate_key) {}
 
   Status Publish(const std::string& stream, BytesView key,
                  BytesView value) override {
@@ -77,15 +85,16 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
     }
     const bool write_through = updater_options_->flush_policy ==
                                SlateFlushPolicy::kWriteThrough;
-    return machine_->cache->Update(SlateId{function_, event_.key}, slate,
-                                   engine_->clock_->Now(), write_through);
+    return machine_->cache->Update(SlateId{function_, Bytes(slate_key_)},
+                                   slate, engine_->clock_->Now(),
+                                   write_through);
   }
 
   Status DeleteSlate() override {
     if (!is_updater_) {
       return Status::FailedPrecondition("mapper cannot delete a slate");
     }
-    return machine_->cache->Delete(SlateId{function_, event_.key});
+    return machine_->cache->Delete(SlateId{function_, Bytes(slate_key_)});
   }
 
   const Event& current_event() const override { return event_; }
@@ -99,6 +108,7 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
   uint64_t work_;
   const UpdaterOptions* updater_options_;
   uint64_t exec_span_;
+  BytesView slate_key_;
 };
 
 Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
@@ -145,7 +155,10 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
           metrics_.GetCounter("muppet_secondary_dispatch_total")),
       slate_contention_(
           metrics_.GetCounter("muppet_slate_contention_total")),
-      latency_(metrics_.GetHistogram("muppet_e2e_latency_us")) {}
+      splits_installed_(metrics_.GetCounter("muppet_key_splits_total")),
+      merges_completed_(metrics_.GetCounter("muppet_key_merges_total")),
+      latency_(metrics_.GetHistogram("muppet_e2e_latency_us")),
+      queue_wait_(metrics_.GetHistogram("muppet_queue_wait_us")) {}
 
 Muppet2Engine::~Muppet2Engine() { (void)Stop(); }
 
@@ -234,6 +247,11 @@ Status Muppet2Engine::Start() {
       }
     }
 
+    if (options_.load_manager.enabled) {
+      machine->heat =
+          std::make_unique<HeatTracker>(options_.load_manager.heat);
+    }
+
     for (int t = 0; t < options_.threads_per_machine; ++t) {
       auto thread_ctx = std::make_unique<ThreadCtx>();
       thread_ctx->index = t;
@@ -289,6 +307,11 @@ Status Muppet2Engine::Start() {
     m->flusher = std::thread([this, m] { FlusherLoop(m); });
   }
 
+  if (options_.load_manager.enabled) {
+    lm_controller_ = std::make_unique<LoadController>(options_.load_manager);
+    lm_thread_ = std::thread([this] { LoadManagerLoop(); });
+  }
+
   started_ = true;
   return Status::OK();
 }
@@ -325,7 +348,11 @@ Status Muppet2Engine::Publish(const std::string& stream, BytesView key,
     return Status::InvalidArgument("'" + stream +
                                    "' is not a declared input stream");
   }
-  if (options_.overflow.policy == OverflowPolicy::kThrottle) {
+  if (options_.overflow.policy == OverflowPolicy::kThrottle ||
+      options_.load_manager.enabled) {
+    // The load manager's occupancy floor paces the source even when the
+    // overflow policy is not kThrottle — pacing only ever slows Publish,
+    // so the §5 deadlock-freedom argument is unaffected.
     throttle_.PaceSource();
   }
   Event event;
@@ -392,6 +419,14 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
     failed = &failed_copy;
   }
 
+  // Heat sampling (core/heat.h): one relaxed atomic on the common path,
+  // the sketch fold only every Nth arrival. Sampled on the sender's
+  // machine so the sketches shard naturally with the event flow.
+  HeatTracker* heat = nullptr;
+  if (options_.load_manager.enabled) {
+    heat = (sender != nullptr ? sender : machines_.front().get())->heat.get();
+  }
+
   // Remote targets coalesce into one frame per destination machine.
   std::vector<std::pair<MachineId, std::vector<RoutedEvent>>> remote;
 
@@ -399,14 +434,45 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
   // destination; skip the ring hash + vnode search per event.
   const bool trivial_route = machines_.size() == 1 && failed->empty();
 
+  // Lock-free fast path: no key is split almost always.
+  const bool maybe_split = split_table_.HasSplits();
+
   const size_t n = subs.size();
   for (size_t i = 0; i < n; ++i) {
     const uint32_t fid = subs[i];
     const OpInfo& op = ops_[fid];
+
+    if (heat != nullptr && heat->ShouldSample()) {
+      heat->Record(static_cast<int32_t>(fid), event.key);
+    }
+
+    // Dynamic key splitting: a hot key of an associative updater fans out
+    // round-robin over shard sub-keys. The event's own key is never
+    // rewritten — the shard widens routing and slate addressing only, and
+    // travels with the event alongside the epoch it was decided under.
+    int32_t shard = -1;
+    uint32_t split_epoch = 0;
+    uint64_t route_key_hash = key_hash;
+    Bytes shard_key;
+    BytesView route_key = event.key;
+    if (maybe_split && op.spec->kind == OperatorKind::kUpdater) {
+      SplitTable::State state;
+      const int picked =
+          split_table_.RouteShard(static_cast<int32_t>(fid), event.key,
+                                  &state);
+      if (picked >= 0) {
+        shard = picked;
+        split_epoch = state.epoch;
+        shard_key = MakeSplitKey(event.key, picked);
+        route_key = shard_key;
+        route_key_hash = Fnv1a64(route_key);
+      }
+    }
+
     MachineId to = 0;
     if (!trivial_route) {
-      Result<WorkerRef> target =
-          ring_.Route(op.spec->name, event.key, *failed);
+      Result<WorkerRef> target = ring_.Route(op.spec->name, route_key,
+                                             *failed);
       if (!target.ok()) {
         lost_failure_->Add();
         continue;
@@ -415,7 +481,9 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
     }
     RoutedEvent re;
     re.function_id = static_cast<int32_t>(fid);
-    re.work = CombineWork(op.name_hash, key_hash);
+    re.work = CombineWork(op.name_hash, route_key_hash);
+    re.shard = shard;
+    re.split_epoch = split_epoch;
     // The last subscriber takes the event by move — for the common
     // single-subscriber workflow the payload is never copied.
     if (i + 1 == n) {
@@ -672,8 +740,10 @@ Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
 
 Status Muppet2Engine::Dispatch(MachineCtx* machine, RoutedEvent* re) {
   // All enqueue paths (local fast path, remote frames, legacy payloads)
-  // funnel through here, so the queue-wait span starts now.
-  if (re->event.trace.sampled()) re->enqueue_ts = clock_->Now();
+  // funnel through here, so the queue-wait measurement starts now: a span
+  // for traced events, the muppet_queue_wait_us histogram for all events
+  // (the load manager's before/after-split p99 signal).
+  re->enqueue_ts = clock_->Now();
 
   const size_t W = machine->threads.size();
   const uint64_t work = re->work;
@@ -725,6 +795,9 @@ void Muppet2Engine::WorkerLoop(MachineCtx* machine, ThreadCtx* thread) {
   batch.reserve(kWorkerPopBatch);
   while (thread->queue->PopBatch(&batch, kWorkerPopBatch)) {
     for (RoutedEvent& re : batch) {
+      if (re.enqueue_ts != 0) {
+        queue_wait_->Record(clock_->Now() - re.enqueue_ts);
+      }
       if (re.event.trace.sampled() && machine->trace_sink != nullptr &&
           re.enqueue_ts != 0) {
         Span wait;
@@ -780,6 +853,8 @@ Status Muppet2Engine::FetchSlateOnMachine(MachineCtx* machine,
 }
 
 Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
+  if (re.ctl != kCtlNone) return ProcessControl(machine, re);
+
   const size_t fid = static_cast<size_t>(re.function_id);
   const OpInfo& op = ops_[fid];
   const OperatorSpec& spec = *op.spec;
@@ -806,6 +881,26 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
                     &contended);
     if (contended) slate_contention_->Add();
 
+    // Shard validation, inside the stripe lock so it cannot race a merge
+    // sweep of the same shard: an event routed under a split epoch that
+    // has since moved on (split widened, merge begun or finished) must
+    // not touch the stale shard slate — it re-enters delivery under its
+    // base key instead.
+    Bytes shard_key;
+    BytesView slate_key = event.key;
+    if (re.shard >= 0) {
+      SplitTable::State state;
+      const bool live =
+          split_table_.Lookup(re.function_id, event.key, &state) &&
+          state.epoch == re.split_epoch && !state.draining;
+      if (!live) {
+        ReshardToBase(machine, re);
+        return Status::OK();
+      }
+      shard_key = MakeSplitKey(event.key, re.shard);
+      slate_key = shard_key;
+    }
+
     exec.Begin(sink, clock_, event.trace, SpanKind::kUpdateExec, machine->id,
                spec.name);
 
@@ -817,7 +912,7 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
       fetch.Begin(sink, clock_,
                   TraceContext{event.trace.trace_id, exec.span_id()},
                   SpanKind::kSlateFetch, machine->id, spec.name);
-      Status s = FetchSlateOnMachine(machine, spec.name, event.key, &slate,
+      Status s = FetchSlateOnMachine(machine, spec.name, slate_key, &slate,
                                      &fetch_source);
       if (fetch_source != nullptr) fetch.set_note(fetch_source);
       if (s.ok()) {
@@ -828,7 +923,7 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
     }
     DirectUtilities utils(this, machine, event, spec.name,
                           /*is_updater=*/true, work,
-                          &spec.updater_options, exec.span_id());
+                          &spec.updater_options, exec.span_id(), slate_key);
     machine->updaters[fid]->Update(utils, event,
                                    has_slate ? &slate : nullptr);
   }
@@ -840,6 +935,126 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
     latency_->Record(clock_->Now() - event.origin_ts);
   }
   return Status::OK();
+}
+
+// Merge sweeps and deltas run as engine-level control events, never
+// reaching operator code. Both count processed_ when consumed (their
+// injection counted emitted_), keeping chaos conservation accounting
+// exact; neither counts op_processed_ or latency (origin_ts is 0).
+Status Muppet2Engine::ProcessControl(MachineCtx* machine,
+                                     const RoutedEvent& re) {
+  const OpInfo& op = ops_[static_cast<size_t>(re.function_id)];
+  const std::string& name = op.spec->name;
+
+  if (re.ctl == kCtlMergeSweep) {
+    // Read-and-delete the shard slate under its stripe lock (the same
+    // lock shard events serialize on), then forward the bytes toward the
+    // base key's owner. Safe under any interleaving: an associative fold
+    // moves slate mass, never duplicates or drops it — even a straggler
+    // sweep arriving after the merge finished (or after the key re-split)
+    // just moves that shard's mass home early.
+    const Bytes shard_key = MakeSplitKey(re.event.key, re.shard);
+    Bytes slate;
+    bool found = false;
+    {
+      MutexLock guard(machine->slate_locks[re.work % kSlateLockStripes]);
+      Status s = FetchSlateOnMachine(machine, name, shard_key, &slate);
+      if (s.ok()) {
+        found = true;
+        (void)machine->cache->Delete(SlateId{name, shard_key});
+      }
+    }
+    if (found) {
+      split_table_.NoteMergeFound(re.function_id, re.event.key,
+                                  static_cast<int64_t>(slate.size()));
+      RoutedEvent delta;
+      delta.function_id = re.function_id;
+      delta.work = CombineWork(op.name_hash, Fnv1a64(re.event.key));
+      delta.shard = re.shard;
+      delta.split_epoch = re.split_epoch;  // merge round id rides along
+      delta.ctl = kCtlMergeDelta;
+      delta.event.key = re.event.key;
+      delta.event.value = std::move(slate);
+      delta.event.seq = NextSeq();
+      SendControl(machine->id, re.work, re.event.key, std::move(delta));
+    }
+    processed_->Add();
+    return Status::OK();
+  }
+
+  // kCtlMergeDelta: fold the carried shard slate into the base slate via
+  // the updater's merger — exactly once per (shard, round), because the
+  // fault injector can duplicate the frame and a second fold would
+  // overcount.
+  const uint64_t dedupe_key = HashCombine(
+      HashCombine(HashCombine(static_cast<uint64_t>(re.function_id),
+                              Fnv1a64(re.event.key)),
+                  static_cast<uint64_t>(re.shard)),
+      static_cast<uint64_t>(re.split_epoch));
+  {
+    MutexLock guard(machine->slate_locks[re.work % kSlateLockStripes]);
+    bool fresh = false;
+    {
+      MutexLock dedupe(machine->merge_dedupe_mutex);
+      fresh = machine->merge_applied.insert(dedupe_key).second;
+    }
+    const SlateMerger& merger = op.spec->updater_options.merger;
+    if (fresh && merger != nullptr) {
+      Bytes base;
+      Status s = FetchSlateOnMachine(machine, name, re.event.key, &base);
+      const Bytes merged = merger(s.ok() ? &base : nullptr, re.event.value);
+      const bool write_through = op.spec->updater_options.flush_policy ==
+                                 SlateFlushPolicy::kWriteThrough;
+      (void)machine->cache->Update(SlateId{name, re.event.key}, merged,
+                                   clock_->Now(), write_through);
+    }
+  }
+  processed_->Add();
+  return Status::OK();
+}
+
+void Muppet2Engine::ReshardToBase(MachineCtx* machine,
+                                  const RoutedEvent& re) {
+  const OpInfo& op = ops_[static_cast<size_t>(re.function_id)];
+  RoutedEvent base = re;
+  base.shard = -1;
+  base.split_epoch = 0;
+  base.work = CombineWork(op.name_hash, Fnv1a64(base.event.key));
+  base.event.seq = NextSeq();
+  const std::set<MachineId> failed = FailedSetFor(machine->id);
+  Result<WorkerRef> target =
+      ring_.Route(op.spec->name, base.event.key, failed);
+  if (!target.ok()) {
+    lost_failure_->Add();
+    return;
+  }
+  const MachineId to = target.value().machine;
+  if (to == machine->id) {
+    LocalDeliver(machine->id, re.work, std::move(base));
+  } else {
+    RemoteDeliverOne(machine->id, re.work, to, std::move(base));
+  }
+}
+
+void Muppet2Engine::SendControl(MachineId from, uint64_t sender_work,
+                                BytesView route_key, RoutedEvent re) {
+  const OpInfo& op = ops_[static_cast<size_t>(re.function_id)];
+  // Injection counts emitted_; every downstream path settles it exactly
+  // once (processed on consumption, lost/dropped on failure) through the
+  // shared delivery machinery.
+  emitted_->Add();
+  const std::set<MachineId> failed = FailedSetFor(from);
+  Result<WorkerRef> target = ring_.Route(op.spec->name, route_key, failed);
+  if (!target.ok()) {
+    lost_failure_->Add();
+    return;
+  }
+  const MachineId to = target.value().machine;
+  if (to == from) {
+    LocalDeliver(from, sender_work, std::move(re));
+  } else {
+    RemoteDeliverOne(from, sender_work, to, std::move(re));
+  }
 }
 
 void Muppet2Engine::FlusherLoop(MachineCtx* machine) {
@@ -887,6 +1102,7 @@ Status Muppet2Engine::Stop() {
 
   (void)Drain();
   shutdown_.store(true, std::memory_order_release);
+  if (lm_thread_.joinable()) lm_thread_.join();
   for (auto& machine : machines_) {
     if (machine->flusher.joinable()) machine->flusher.join();
   }
@@ -907,6 +1123,17 @@ Status Muppet2Engine::Stop() {
   return Status::OK();
 }
 
+Status Muppet2Engine::FetchRoutedSlate(const std::string& updater,
+                                       BytesView key,
+                                       const std::set<MachineId>& failed,
+                                       Bytes* slate) {
+  Result<WorkerRef> target = ring_.Route(updater, key, failed);
+  if (!target.ok()) return target.status();
+  MachineCtx* machine =
+      machines_[static_cast<size_t>(target.value().machine)].get();
+  return FetchSlateOnMachine(machine, updater, key, slate);
+}
+
 Result<Bytes> Muppet2Engine::FetchSlate(const std::string& updater,
                                         BytesView key) {
   if (!started_) return Status::FailedPrecondition("engine not started");
@@ -918,12 +1145,36 @@ Result<Bytes> Muppet2Engine::FetchSlate(const std::string& updater,
   for (const auto& m : machines_) {
     if (m->crashed.load()) failed.insert(m->id);
   }
-  Result<WorkerRef> target = ring_.Route(updater, key, failed);
-  if (!target.ok()) return target.status();
-  MachineCtx* machine =
-      machines_[static_cast<size_t>(target.value().machine)].get();
+
+  // A split key's state is spread over the base slate plus one slate per
+  // shard; fold them with the updater's merger at read time (paper §5
+  // Example 6's re-aggregation). Draining entries aggregate the same way
+  // — shards the merge sweeps have not collected yet still count here.
+  const int32_t fid = op_names_.Find(updater);
+  SplitTable::State state;
+  if (fid >= 0 && split_table_.Lookup(fid, key, &state) &&
+      spec->updater_options.merger != nullptr) {
+    Bytes acc;
+    bool has = false;
+    Bytes part;
+    if (FetchRoutedSlate(updater, key, failed, &part).ok()) {
+      acc = std::move(part);
+      has = true;
+    }
+    for (int shard = 0; shard < state.shards; ++shard) {
+      const Bytes shard_key = MakeSplitKey(key, shard);
+      part.clear();
+      if (FetchRoutedSlate(updater, shard_key, failed, &part).ok()) {
+        acc = spec->updater_options.merger(has ? &acc : nullptr, part);
+        has = true;
+      }
+    }
+    if (!has) return Status::NotFound("slate absent");
+    return acc;
+  }
+
   Bytes slate;
-  Status s = FetchSlateOnMachine(machine, updater, key, &slate);
+  Status s = FetchRoutedSlate(updater, key, failed, &slate);
   if (!s.ok()) return s;
   return slate;
 }
@@ -1053,6 +1304,238 @@ std::vector<MachineStatus> Muppet2Engine::MachineStatuses() const {
   return out;
 }
 
+void Muppet2Engine::LoadManagerLoop() {
+  int tick = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    clock_->SleepFor(options_.load_manager.tick_micros);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    // Pause handshake (seq_cst on purpose: the store of idle_ must be
+    // ordered against the load of paused_, and the pauser's store of
+    // paused_ against its load of idle_ — release/acquire alone permits
+    // both sides to miss each other and a tick to run after
+    // PauseLoadManagement returned).
+    lm_idle_.store(false);
+    if (lm_paused_.load()) {
+      lm_idle_.store(true);
+      continue;
+    }
+    LoadManagerTick(tick++);
+    lm_idle_.store(true);
+  }
+  lm_idle_.store(true);
+}
+
+void Muppet2Engine::PauseLoadManagement() {
+  if (!options_.load_manager.enabled) return;
+  lm_paused_.store(true);
+  while (!lm_idle_.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Muppet2Engine::LoadManagerTick(int tick) {
+  const LoadManagerOptions& opt = options_.load_manager;
+
+  // --- Gather signals: decayed heat aggregated across machines, hottest
+  // queue occupancy, and the live split set.
+  LoadSignals signals;
+  std::map<std::pair<int32_t, Bytes>, int64_t> agg;
+  for (const auto& machine : machines_) {
+    if (machine->heat == nullptr ||
+        machine->crashed.load(std::memory_order_acquire)) {
+      continue;
+    }
+    machine->heat->Decay(opt.heat_decay);
+    signals.sampled_total += machine->heat->sampled_total();
+    for (HeatEntry& e : machine->heat->TopK(opt.heat.capacity)) {
+      agg[{e.function_id, std::move(e.key)}] += e.count;
+    }
+  }
+  signals.top.reserve(agg.size());
+  for (const auto& [fk, count] : agg) {
+    signals.top.push_back(HeatReading{fk.first, fk.second, count});
+  }
+  std::stable_sort(signals.top.begin(), signals.top.end(),
+                   [](const HeatReading& a, const HeatReading& b) {
+                     return a.count > b.count;
+                   });
+  for (const auto& machine : machines_) {
+    if (machine->crashed.load(std::memory_order_acquire)) continue;
+    for (const auto& thread_ctx : machine->threads) {
+      const double occ =
+          static_cast<double>(thread_ctx->queue->size()) /
+          static_cast<double>(std::max<size_t>(1, options_.queue_capacity));
+      signals.max_queue_occupancy =
+          std::max(signals.max_queue_occupancy, occ);
+    }
+  }
+  std::vector<SplitTable::Entry> entries = split_table_.Entries();
+  for (const auto& e : entries) {
+    signals.active_splits.push_back(
+        LoadSignals::ActiveSplit{e.function_id, e.key, e.state.draining});
+  }
+
+  LoadActions actions = lm_controller_->Tick(signals);
+
+  // --- Throttle: occupancy-driven floor under the decaying overflow
+  // signal (source-only, so deadlock-free; §5).
+  throttle_.SetFloorDelayMicros(actions.floor_delay_micros);
+
+  // --- Splits: only updaters that declared their computation associative
+  // and commutative (and provided a merger) may split (§5, Example 6).
+  for (const auto& split : actions.splits) {
+    if (split.function_id < 0 ||
+        static_cast<size_t>(split.function_id) >= ops_.size()) {
+      continue;
+    }
+    const OperatorSpec& spec =
+        *ops_[static_cast<size_t>(split.function_id)].spec;
+    if (spec.kind != OperatorKind::kUpdater) continue;
+    if (spec.updater_options.associativity !=
+        Associativity::kAssociativeCommutative) {
+      continue;
+    }
+    if (spec.updater_options.merger == nullptr) continue;
+    if (split_table_.Split(split.function_id, split.key, split.shards)) {
+      splits_installed_->Add();
+    }
+  }
+
+  // --- Merges: flip cooled-off splits to draining...
+  for (const auto& [mfid, mkey] : actions.merges) {
+    if (split_table_.BeginMerge(mfid, mkey)) {
+      merge_progress_[{mfid, mkey}] = MergeProgress{};
+    }
+  }
+
+  // ...and drive the draining ones: one sweep round per tick per key,
+  // finishing after merge_quiet_ticks consecutive rounds that found no
+  // shard slate (one quiet round can race the last in-flight shard
+  // events; two in a row cannot, since draining keys route unsplit).
+  entries = split_table_.Entries();
+  for (const auto& e : entries) {
+    if (!e.state.draining) continue;
+    MergeProgress& progress = merge_progress_[{e.function_id, e.key}];
+    const int64_t found =
+        split_table_.TakeMergeFound(e.function_id, e.key);
+    if (progress.rounds > 0) {
+      progress.quiet = found > 0 ? 0 : progress.quiet + 1;
+    }
+    if (progress.quiet >= opt.merge_quiet_ticks) {
+      split_table_.Finish(e.function_id, e.key);
+      merge_progress_.erase({e.function_id, e.key});
+      merges_completed_->Add();
+      continue;
+    }
+    InjectMergeSweeps(e.function_id, e.key, e.state);
+    ++progress.rounds;
+  }
+
+  // --- Placement feedback, every placement_period_ticks.
+  if (opt.placement_enabled && opt.placement_period_ticks > 0 &&
+      (tick + 1) % opt.placement_period_ticks == 0) {
+    ApplyPlacement();
+  }
+}
+
+void Muppet2Engine::InjectMergeSweeps(int32_t function_id, const Bytes& key,
+                                      const SplitTable::State& state) {
+  const uint32_t round =
+      merge_round_seq_.fetch_add(1, std::memory_order_relaxed);
+  const OpInfo& op = ops_[static_cast<size_t>(function_id)];
+  for (int shard = 0; shard < state.shards; ++shard) {
+    const Bytes shard_key = MakeSplitKey(key, shard);
+    RoutedEvent re;
+    re.function_id = function_id;
+    re.work = CombineWork(op.name_hash, Fnv1a64(shard_key));
+    re.shard = shard;
+    re.split_epoch = round;  // merge round id, not a split epoch
+    re.ctl = kCtlMergeSweep;
+    re.event.key = key;
+    re.event.seq = NextSeq();
+    // Machine 0 originates engine-wide control traffic (it is also the
+    // publisher machine, §4.1, and is never a chaos crash victim).
+    SendControl(/*from=*/0, /*sender_work=*/0, shard_key, std::move(re));
+  }
+}
+
+void Muppet2Engine::ApplyPlacement() {
+  const LoadManagerOptions& opt = options_.load_manager;
+  PlacementAdvisor advisor(options_.num_machines,
+                           opt.placement_balance_slack);
+  for (const auto& machine : machines_) {
+    if (machine->heat == nullptr) continue;
+    for (const HeatEntry& e : machine->heat->TopK(opt.heat.capacity)) {
+      if (e.function_id < 0 ||
+          static_cast<size_t>(e.function_id) >= ops_.size()) {
+        continue;
+      }
+      advisor.ObserveFlow(machine->id,
+                          ops_[static_cast<size_t>(e.function_id)].spec->name,
+                          e.key, e.count);
+    }
+  }
+  if (advisor.total_events() == 0) return;
+
+  PlacementAdvisor::Analysis analysis;
+  std::vector<PlacementAdvisor::Assignment> proposal =
+      advisor.Propose(&analysis);
+  std::stable_sort(
+      proposal.begin(), proposal.end(),
+      [](const PlacementAdvisor::Assignment& a,
+         const PlacementAdvisor::Assignment& b) { return a.events > b.events; });
+  ring_.ClearAllOverrides();
+  size_t applied = 0;
+  for (const auto& a : proposal) {
+    if (applied >= opt.max_overrides) break;
+    // Split keys route per shard; pinning their base key would fight the
+    // split. Skip them.
+    const int32_t fid = op_names_.Find(a.function);
+    SplitTable::State state;
+    if (fid >= 0 && split_table_.Lookup(fid, a.key, &state)) continue;
+    if (ring_.SetOverride(a.function, a.key, a.machine)) ++applied;
+  }
+}
+
+std::vector<HotKeyInfo> Muppet2Engine::HotKeys() const {
+  std::vector<HotKeyInfo> out;
+  if (!started_) return out;
+  std::map<std::pair<int32_t, Bytes>, int64_t> agg;
+  for (const auto& machine : machines_) {
+    if (machine->heat == nullptr) continue;
+    for (HeatEntry& e :
+         machine->heat->TopK(options_.load_manager.heat.capacity)) {
+      agg[{e.function_id, std::move(e.key)}] += e.count;
+    }
+  }
+  // Splits stay on the panel even when their heat has decayed away.
+  for (const auto& e : split_table_.Entries()) {
+    agg.emplace(std::make_pair(e.function_id, e.key), 0);
+  }
+  for (const auto& [fk, count] : agg) {
+    if (fk.first < 0 || static_cast<size_t>(fk.first) >= ops_.size()) {
+      continue;
+    }
+    HotKeyInfo info;
+    info.function = ops_[static_cast<size_t>(fk.first)].spec->name;
+    info.key = fk.second;
+    info.sampled_count = count;
+    SplitTable::State state;
+    if (split_table_.Lookup(fk.first, fk.second, &state)) {
+      info.split = true;
+      info.shards = state.shards;
+      info.split_epoch = state.epoch;
+      info.draining = state.draining;
+    }
+    out.push_back(std::move(info));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HotKeyInfo& a, const HotKeyInfo& b) {
+                     return a.sampled_count > b.sampled_count;
+                   });
+  return out;
+}
+
 void Muppet2Engine::RegisterCallbackMetrics() {
   // Transport-level counters: owned by the transport, surfaced here so
   // /metrics carries the PR-1 datapath and PR-3 fault counters.
@@ -1083,6 +1566,25 @@ void Muppet2Engine::RegisterCallbackMetrics() {
   metrics_.RegisterCallback(
       "muppet_inflight_events", {}, MetricType::kGauge,
       [this] { return inflight_.load(std::memory_order_acquire); });
+  // Load-management plane: the live source-pacing delay (decayed overflow
+  // signal clamped below by the occupancy floor), the floor itself, the
+  // live split count, and the ring's placement overrides.
+  metrics_.RegisterCallback(
+      "muppet_throttle_delay_micros", {}, MetricType::kGauge,
+      [this] {
+        return static_cast<int64_t>(throttle_.CurrentDelayMicros());
+      });
+  metrics_.RegisterCallback(
+      "muppet_throttle_floor_micros", {}, MetricType::kGauge,
+      [this] {
+        return static_cast<int64_t>(throttle_.floor_delay_micros());
+      });
+  metrics_.RegisterCallback(
+      "muppet_active_splits", {}, MetricType::kGauge,
+      [this] { return static_cast<int64_t>(split_table_.size()); });
+  metrics_.RegisterCallback(
+      "muppet_ring_overrides", {}, MetricType::kGauge,
+      [this] { return static_cast<int64_t>(ring_.override_count()); });
 
   for (const auto& machine_ptr : machines_) {
     MachineCtx* machine = machine_ptr.get();
@@ -1108,6 +1610,12 @@ void Muppet2Engine::RegisterCallbackMetrics() {
     metrics_.RegisterCallback(
         "muppet_slate_cache_misses_total", m_label, MetricType::kCounter,
         [machine] { return machine->cache->misses(); });
+    if (machine->heat != nullptr) {
+      HeatTracker* heat = machine->heat.get();
+      metrics_.RegisterCallback(
+          "muppet_heat_samples_total", m_label, MetricType::kCounter,
+          [heat] { return heat->samples_recorded(); });
+    }
     for (const auto& thread_ptr : machine->threads) {
       ThreadCtx* thread = thread_ptr.get();
       MetricLabels qt_label = m_label;

@@ -36,7 +36,9 @@
 #include "common/sync.h"
 #include "common/trace.h"
 #include "core/hash_ring.h"
+#include "core/heat.h"
 #include "core/intern.h"
+#include "core/keysplit.h"
 #include "core/slate_cache.h"
 #include "engine/engine.h"
 #include "engine/master.h"
@@ -67,6 +69,8 @@ class Muppet2Engine final : public Engine {
     return SinkFor(machine);
   }
   std::vector<MachineStatus> MachineStatuses() const override;
+  std::vector<HotKeyInfo> HotKeys() const override;
+  void PauseLoadManagement() override;
   int64_t InflightEvents() const override {
     return inflight_.load(std::memory_order_acquire);
   }
@@ -91,6 +95,12 @@ class Muppet2Engine final : public Engine {
   // Status endpoint data (§4.5: "basic status information (such as the
   // event count of the largest event queues)").
   size_t LargestQueueDepth() const;
+  // Live split registry (test/bench introspection; the load manager is
+  // the only writer during normal operation).
+  SplitTable& split_table() { return split_table_; }
+  // Keys split / merges completed by the load manager.
+  int64_t key_splits() const { return splits_installed_->Get(); }
+  int64_t key_merges() const { return merges_completed_->Get(); }
   // The failed-machine set as known on machine `m` (chaos harness asserts
   // every live machine's view converges to the master's after a drain).
   std::set<MachineId> KnownFailedOn(MachineId m) const {
@@ -105,6 +115,7 @@ class Muppet2Engine final : public Engine {
   static constexpr LockLevel kTapsLockLevel = LockLevel::kTaps;
   static constexpr LockLevel kFailedSetLockLevel = LockLevel::kFailedSet;
   static constexpr LockLevel kDrainLockLevel = LockLevel::kDrain;
+  static constexpr LockLevel kMergeDedupeLockLevel = LockLevel::kMergeDedupe;
 
  private:
   static constexpr size_t kSlateLockStripes = 64;
@@ -144,6 +155,14 @@ class Muppet2Engine final : public Engine {
     std::thread flusher;
     // Per-machine trace ring (null when tracing is disabled).
     std::unique_ptr<TraceSink> trace_sink;
+    // Heat sketch fed by this machine's dispatches (null when the load
+    // manager is disabled).
+    std::unique_ptr<HeatTracker> heat;
+    // Merge-delta dedupe: the fault injector may duplicate a frame, and
+    // folding the same shard slate into the base key twice would
+    // overcount. Keyed by hash of (function, base key, shard, round).
+    mutable Mutex merge_dedupe_mutex{kMergeDedupeLockLevel};
+    std::set<uint64_t> merge_applied MUPPET_GUARDED_BY(merge_dedupe_mutex);
   };
 
   // Interned per-function routing state, indexed by function id.
@@ -159,6 +178,32 @@ class Muppet2Engine final : public Engine {
   void WorkerLoop(MachineCtx* machine, ThreadCtx* thread);
   void FlusherLoop(MachineCtx* machine);
   Status ProcessOne(MachineCtx* machine, const RoutedEvent& re);
+
+  // Control-plane events (merge sweeps/deltas), intercepted by ProcessOne
+  // before the operator would run.
+  Status ProcessControl(MachineCtx* machine, const RoutedEvent& re);
+
+  // An event whose shard routing went stale (the split epoch moved on
+  // while it was in flight) re-enters delivery under its base key instead
+  // of resurrecting a drained shard slate. Counts neither emitted nor
+  // processed — like an overflow redirect, the logical event settles once,
+  // wherever it finally lands.
+  void ReshardToBase(MachineCtx* machine, const RoutedEvent& re);
+
+  // Inject one engine-manufactured control event, routed by `route_key`
+  // over the live ring. Counts emitted_ (the consumer counts processed_),
+  // so chaos conservation accounting stays exact.
+  void SendControl(MachineId from, uint64_t sender_work, BytesView route_key,
+                   RoutedEvent re);
+
+  // Self-tuning load-management control loop (one engine-wide thread).
+  void LoadManagerLoop();
+  void LoadManagerTick(int tick);
+  // One merge-sweep round: a kCtlMergeSweep per shard of a draining key.
+  void InjectMergeSweeps(int32_t function_id, const Bytes& key,
+                         const SplitTable::State& state);
+  // Placement feedback: rebuild ring overrides from the heat sketches.
+  void ApplyPlacement();
 
   // Two-choice dispatch of an arrived event into one of the machine's
   // thread queues; locks at most the two candidate queues. On success *re
@@ -194,6 +239,11 @@ class Muppet2Engine final : public Engine {
   Status FetchSlateOnMachine(MachineCtx* machine,
                              const std::string& updater, BytesView key,
                              Bytes* slate, const char** source = nullptr);
+
+  // FetchSlate helper: route `key` over the live ring and read the owning
+  // machine's cache/store.
+  Status FetchRoutedSlate(const std::string& updater, BytesView key,
+                          const std::set<MachineId>& failed, Bytes* slate);
 
   TraceSink* SinkFor(MachineId machine) const {
     if (machine < 0 || machine >= static_cast<MachineId>(machines_.size())) {
@@ -249,6 +299,28 @@ class Muppet2Engine final : public Engine {
   std::map<std::string, std::vector<std::function<void(const Event&)>>> taps_
       MUPPET_GUARDED_BY(taps_mutex_);
 
+  // --- Self-tuning load management (engine/load_manager.h). The split
+  // table is read on the dispatch path (lock-free fast path when no key
+  // is split); the controller and the merge bookkeeping below belong to
+  // the single load-manager thread.
+  SplitTable split_table_;
+  std::unique_ptr<LoadController> lm_controller_;
+  std::thread lm_thread_;
+  // Pause handshake: PauseLoadManagement() raises paused_ and waits for
+  // idle_ so no tick (or its control-event injection) is mid-flight.
+  std::atomic<bool> lm_paused_{false};
+  std::atomic<bool> lm_idle_{true};
+  // Merge rounds get globally unique ids (carried in the control events'
+  // split_epoch field) so delta dedupe distinguishes rounds.
+  std::atomic<uint32_t> merge_round_seq_{1};
+  // Load-manager-thread-only: per draining key, sweep rounds injected and
+  // consecutive quiet (nothing-found) ticks.
+  struct MergeProgress {
+    int rounds = 0;
+    int quiet = 0;
+  };
+  std::map<std::pair<int32_t, Bytes>, MergeProgress> merge_progress_;
+
   // Shared registry backing /metrics; the counters below are registry
   // children so the admin endpoints and EngineStats read the same cells.
   // Declared before the pointers (initialization order).
@@ -265,7 +337,12 @@ class Muppet2Engine final : public Engine {
   Counter* operator_instances_;
   Counter* secondary_dispatch_;
   Counter* slate_contention_;
+  Counter* splits_installed_;
+  Counter* merges_completed_;
   Histogram* latency_;
+  // Time events spend queued before a worker pops them (recorded for
+  // every event; the bench's before/after-split p99 comparison).
+  Histogram* queue_wait_;
   // Per-operator processed counters, indexed by interned function id
   // (built at Start(), read-only afterwards).
   std::vector<Counter*> op_processed_;

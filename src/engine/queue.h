@@ -25,13 +25,39 @@ namespace muppet {
 // reuse the cached hash instead of re-hashing strings (§4.5). `function`
 // by name remains for the 1.0 engine and the name-based wire codec; it is
 // empty on the 2.0 fast path.
+// Control-plane event kinds carried in RoutedEvent::ctl. Control events
+// are injected by the engine's load manager, intercepted before the
+// operator runs, and counted emitted/processed like data events so
+// conservation accounting stays exact.
+enum : uint8_t {
+  kCtlNone = 0,
+  // Read-and-delete one shard slate of a draining split key, emitting a
+  // kCtlMergeDelta with the slate bytes toward the base key's owner.
+  kCtlMergeSweep = 1,
+  // Fold the carried shard slate (event.value) into the base key's slate
+  // via the updater's SlateMerger.
+  kCtlMergeDelta = 2,
+};
+
 struct RoutedEvent {
   std::string function;
   Event event;
   // Interned destination function id; -1 when only `function` is set.
   int32_t function_id = -1;
-  // Cached work-unit hash of <function, event.key>; 0 = not computed.
+  // Cached work-unit hash of <function, routing key>; 0 = not computed.
+  // For split keys this hashes the shard sub-key, not event.key.
   uint64_t work = 0;
+  // Dynamic key splitting (core/keysplit.h SplitTable): the shard this
+  // event was routed to (-1 = unsplit) and the split epoch the routing
+  // decision was made under. event.key always stays the base key; the
+  // shard only widens routing and slate addressing, so a processor whose
+  // table moved on (epoch mismatch) can re-route to the base key instead
+  // of resurrecting a drained shard slate.
+  int32_t shard = -1;
+  uint32_t split_epoch = 0;
+  // Control-plane kind (kCtlNone for data events). For control events
+  // split_epoch carries the merge round id instead.
+  uint8_t ctl = kCtlNone;
   // When the event is traced: time it entered this queue, for the
   // queue-wait span. In-memory only — never serialized.
   Timestamp enqueue_ts = 0;

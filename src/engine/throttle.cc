@@ -20,17 +20,27 @@ void ThrottleGovernor::NoteOverflow() {
 }
 
 Timestamp ThrottleGovernor::CurrentDelayMicros() {
-  MutexLock lock(mutex_);
-  const Timestamp now = clock_->Now();
-  if (now > last_decay_ && delay_micros_ > 0.0 &&
-      options_.halflife_micros > 0) {
-    const double halflives = static_cast<double>(now - last_decay_) /
-                             static_cast<double>(options_.halflife_micros);
-    delay_micros_ *= std::pow(0.5, halflives);
-    if (delay_micros_ < 1.0) delay_micros_ = 0.0;
+  Timestamp decayed = 0;
+  {
+    MutexLock lock(mutex_);
+    const Timestamp now = clock_->Now();
+    if (now > last_decay_ && delay_micros_ > 0.0 &&
+        options_.halflife_micros > 0) {
+      const double halflives = static_cast<double>(now - last_decay_) /
+                               static_cast<double>(options_.halflife_micros);
+      delay_micros_ *= std::pow(0.5, halflives);
+      if (delay_micros_ < 1.0) delay_micros_ = 0.0;
+    }
+    last_decay_ = now;
+    decayed = static_cast<Timestamp>(delay_micros_);
   }
-  last_decay_ = now;
-  return static_cast<Timestamp>(delay_micros_);
+  return std::max(decayed, floor_micros_.load(std::memory_order_relaxed));
+}
+
+void ThrottleGovernor::SetFloorDelayMicros(Timestamp floor) {
+  if (floor < 0) floor = 0;
+  floor_micros_.store(std::min(floor, options_.max_delay_micros),
+                      std::memory_order_relaxed);
 }
 
 void ThrottleGovernor::PaceSource() {

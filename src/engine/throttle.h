@@ -37,11 +37,21 @@ class ThrottleGovernor {
   // A queue somewhere declined an event: increase pressure.
   void NoteOverflow();
 
-  // Delay the source should insert before its next publish, after decay.
+  // Delay the source should insert before its next publish: the decayed
+  // overflow delay or the load-manager floor, whichever is larger.
   Timestamp CurrentDelayMicros();
 
   // Convenience for sources: sleep for the current delay (no-op at zero).
   void PaceSource();
+
+  // Occupancy-driven pacing floor, set by the load-manager control loop
+  // (integral action on queue depth). Unlike overflow signals it does not
+  // decay; the controller moves it up and down each tick. Still applied
+  // only at the source, so the paper's deadlock-freedom argument holds.
+  void SetFloorDelayMicros(Timestamp floor);
+  Timestamp floor_delay_micros() const {
+    return floor_micros_.load(std::memory_order_relaxed);
+  }
 
   int64_t overflow_signals() const { return signals_.Get(); }
 
@@ -55,6 +65,7 @@ class ThrottleGovernor {
   Mutex mutex_{kLockLevel};
   double delay_micros_ MUPPET_GUARDED_BY(mutex_) = 0.0;
   Timestamp last_decay_ MUPPET_GUARDED_BY(mutex_) = 0;
+  std::atomic<Timestamp> floor_micros_{0};
   Counter signals_;
 };
 

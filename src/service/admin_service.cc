@@ -102,6 +102,24 @@ Json StatuszDocument(Engine* engine, MachineId machine) {
     machines.Append(std::move(jm));
   }
   doc["machines"] = std::move(machines);
+
+  // Hot-key panel: the heat sketch's hottest (function, key) pairs with
+  // their live split state. Empty array when heat tracking is off.
+  Json hot = Json::MakeArray();
+  for (const HotKeyInfo& hk : engine->HotKeys()) {
+    Json jh = Json::MakeObject();
+    jh["function"] = hk.function;
+    jh["key"] = hk.key;
+    jh["sampled_count"] = hk.sampled_count;
+    jh["split"] = hk.split;
+    if (hk.split) {
+      jh["shards"] = static_cast<int64_t>(hk.shards);
+      jh["split_epoch"] = static_cast<int64_t>(hk.split_epoch);
+      jh["draining"] = hk.draining;
+    }
+    hot.Append(std::move(jh));
+  }
+  doc["hot_keys"] = std::move(hot);
   return doc;
 }
 

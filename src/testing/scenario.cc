@@ -98,6 +98,19 @@ Status BuildApp(AppConfig* config, const ScenarioOptions& options,
   UpdaterOptions uo;
   uo.flush_policy = options.flush_policy;
   uo.slate_ttl_micros = options.slate_ttl_micros;
+  if (options.hot_split) {
+    // Declare the count associative so the load manager may split its hot
+    // keys; the merger sums partial counts (count is a sum, so any
+    // grouping of the events folds to the same total).
+    uo.associativity = Associativity::kAssociativeCommutative;
+    uo.merger = [](const Bytes* base, const Bytes& part) {
+      JsonSlate b(base);
+      JsonSlate p(&part);
+      b.data()["count"] =
+          b.data().GetInt("count", 0) + p.data().GetInt("count", 0);
+      return b.Serialize();
+    };
+  }
   MUPPET_RETURN_IF_ERROR(config->DeclareInputStream("in"));
   if (!options.fanout) {
     return config->AddUpdater("count", CountingUpdater(recorder), {"in"},
@@ -203,6 +216,20 @@ ScenarioResult ScenarioRunner::Run() {
   // Trace every event: chaos runs are small, and a violation report is
   // worth far more with the full flight recorder attached.
   eo.trace.sample_period = 1;
+  if (options_.hot_split) {
+    // Aggressive self-tuning so a split triggers (and later merges back)
+    // within a handful of 100ms steps. Placement stays off: overrides
+    // move key ownership, which the strict oracle treats as disruptive.
+    eo.load_manager.enabled = true;
+    eo.load_manager.tick_micros = 2 * kMicrosPerMilli;
+    eo.load_manager.heat.sample_period = 4;
+    eo.load_manager.heat_decay = 0.5;
+    eo.load_manager.min_samples = 16;
+    eo.load_manager.split_heat_fraction = 0.3;
+    eo.load_manager.merge_heat_fraction = 0.05;
+    eo.load_manager.split_shards = 4;
+    eo.load_manager.placement_enabled = false;
+  }
 
   std::unique_ptr<Muppet1Engine> m1;
   std::unique_ptr<Muppet2Engine> m2;
@@ -295,10 +322,16 @@ ScenarioResult ScenarioRunner::Run() {
       apply_action(a);
     }
     if (step < options_.steps) {
+      // hot_split skews ~half the traffic onto k0 for the first half of
+      // the steps (split triggers), then goes uniform (merge triggers).
+      const bool hot_phase =
+          options_.hot_split && step * 2 < options_.steps;
       for (int i = 0; i < options_.events_per_step; ++i) {
         const std::string key =
-            "k" + std::to_string(
-                      rng.Uniform(static_cast<uint64_t>(options_.num_keys)));
+            hot_phase && rng.Chance(0.5)
+                ? "k0"
+                : "k" + std::to_string(rng.Uniform(
+                            static_cast<uint64_t>(options_.num_keys)));
         const std::string value =
             "s" + std::to_string(step) + "e" + std::to_string(i);
         (void)engine->Publish("in", key, value, base + i + 1);
@@ -322,6 +355,16 @@ ScenarioResult ScenarioRunner::Run() {
       it = failed_now.count(it->first) == 0 ? dead_attempts.erase(it)
                                             : std::next(it);
     }
+  }
+
+  // The load manager injects control events (merge sweeps/deltas) from
+  // its own thread. Pause it before the final accounting so a mid-tick
+  // injection cannot race the conservation snapshot, then drain once more
+  // so control events already in flight settle.
+  engine->PauseLoadManagement();
+  if (!aborted) {
+    s = quiesce();
+    if (!s.ok()) fail("scenario: final drain: " + s.ToString());
   }
 
   // ---- Invariant D: the ring reroutes; nothing is sent to a machine

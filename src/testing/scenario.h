@@ -48,6 +48,17 @@ struct ScenarioOptions {
   // fan-out mapper (x2) -> counting updater.
   bool fanout = false;
 
+  // Exercise the self-tuning load manager: the counting updater is
+  // declared associative/commutative with a count-summing merger, the
+  // load manager runs with an aggressive tick so splits trigger inside a
+  // short scenario, and the workload skews ~half its events onto one hot
+  // key for the first half of the steps (uniform after, so the split
+  // drains and merges back). The oracle checks are unchanged — split or
+  // not, per-key counts must match the reference exactly when no fault
+  // destroys state, because FetchSlate aggregates base + shard slates
+  // and the associative fold moves mass without duplicating or dropping.
+  bool hot_split = false;
+
   // Durable slate store backed by a KvCluster under `data_dir` (required
   // when with_store). Write-through keeps the oracle exact across machine
   // crashes.

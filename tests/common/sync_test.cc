@@ -8,6 +8,9 @@
 
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/hash_ring.h"
+#include "core/heat.h"
+#include "core/keysplit.h"
 #include "core/slate_cache.h"
 #include "engine/journal.h"
 #include "engine/master.h"
@@ -246,6 +249,10 @@ TEST_F(LockOrderTest, DisabledCheckerIsSilent) {
 TEST(LockHierarchyTest, SubsystemsAssignTheDocumentedLevels) {
   EXPECT_EQ(Muppet2Engine::kSlateStripeLockLevel, LockLevel::kSlateStripe);
   EXPECT_EQ(Muppet2Engine::kTapsLockLevel, LockLevel::kTaps);
+  EXPECT_EQ(SplitTable::kLockLevel, LockLevel::kSplitTable);
+  EXPECT_EQ(Muppet2Engine::kMergeDedupeLockLevel, LockLevel::kMergeDedupe);
+  EXPECT_EQ(HashRing::kOverrideLockLevel, LockLevel::kRingOverride);
+  EXPECT_EQ(HeatTracker::kLockLevel, LockLevel::kHeat);
   EXPECT_EQ(Muppet2Engine::kFailedSetLockLevel, LockLevel::kFailedSet);
   EXPECT_EQ(Muppet2Engine::kDrainLockLevel, LockLevel::kDrain);
   EXPECT_EQ(Transport::kRegistryLockLevel, LockLevel::kTransport);
@@ -277,6 +284,17 @@ TEST(LockHierarchyTest, DocumentedOrderingHolds) {
   // Updater path: stripe -> taps -> transport/rng -> queue -> master ->
   // failed-set -> drain/throttle -> cache -> store.
   EXPECT_TRUE(lt(LockLevel::kSlateStripe, LockLevel::kTaps));
+  // Load-management plane: the dispatch path consults the split table and
+  // heat sketch under a stripe; merge sweeps take the dedupe lock after
+  // taps; placement overrides are read during routing before the
+  // transport is touched.
+  EXPECT_TRUE(lt(LockLevel::kSlateStripe, LockLevel::kSplitTable));
+  EXPECT_TRUE(lt(LockLevel::kTaps, LockLevel::kMergeDedupe));
+  EXPECT_TRUE(lt(LockLevel::kSplitTable, LockLevel::kMergeDedupe));
+  EXPECT_TRUE(lt(LockLevel::kMergeDedupe, LockLevel::kRingOverride));
+  EXPECT_TRUE(lt(LockLevel::kRingOverride, LockLevel::kTransport));
+  EXPECT_TRUE(lt(LockLevel::kFaultHold, LockLevel::kHeat));
+  EXPECT_TRUE(lt(LockLevel::kHeat, LockLevel::kQueue));
   EXPECT_TRUE(lt(LockLevel::kTaps, LockLevel::kTransport));
   EXPECT_TRUE(lt(LockLevel::kTransport, LockLevel::kTransportRng));
   // Fault path: the injector's decision lock and the reorder holdback lock

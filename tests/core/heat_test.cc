@@ -1,0 +1,113 @@
+#include "core/heat.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+HeatTrackerOptions Opts(size_t capacity, uint32_t sample_period = 1) {
+  HeatTrackerOptions o;
+  o.capacity = capacity;
+  o.sample_period = sample_period;
+  return o;
+}
+
+TEST(HeatTrackerTest, CountsAndRanksArrivals) {
+  HeatTracker heat(Opts(8));
+  for (int i = 0; i < 30; ++i) heat.Record(1, "hot");
+  for (int i = 0; i < 10; ++i) heat.Record(1, "warm");
+  heat.Record(1, "cold");
+
+  auto top = heat.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "hot");
+  EXPECT_EQ(top[0].count, 30);
+  EXPECT_EQ(top[0].error, 0);
+  EXPECT_EQ(top[1].key, "warm");
+  EXPECT_EQ(top[1].count, 10);
+  EXPECT_EQ(heat.sampled_total(), 41);
+  EXPECT_EQ(heat.samples_recorded(), 41);
+}
+
+TEST(HeatTrackerTest, FunctionsDoNotMerge) {
+  HeatTracker heat(Opts(8));
+  heat.Record(1, "k");
+  heat.Record(2, "k");
+  heat.Record(2, "k");
+  auto top = heat.TopK(8);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].function_id, 2);
+  EXPECT_EQ(top[0].count, 2);
+  EXPECT_EQ(top[1].function_id, 1);
+  EXPECT_EQ(top[1].count, 1);
+}
+
+TEST(HeatTrackerTest, SpaceSavingEvictsMinimumAndInheritsError) {
+  HeatTracker heat(Opts(2));
+  for (int i = 0; i < 5; ++i) heat.Record(1, "a");
+  for (int i = 0; i < 2; ++i) heat.Record(1, "b");
+  // Full sketch: "c" evicts the minimum ("b", count 2) and inherits its
+  // count as error, entering at count 3 = evicted + 1.
+  heat.Record(1, "c");
+
+  auto top = heat.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 5);
+  EXPECT_EQ(top[1].key, "c");
+  EXPECT_EQ(top[1].count, 3);
+  EXPECT_EQ(top[1].error, 2);
+  // True count >= count - error for every entry (the space-saving bound).
+  for (const HeatEntry& e : top) EXPECT_GE(e.count, e.error);
+}
+
+TEST(HeatTrackerTest, HeavyHitterSurvivesManyDistinctKeys) {
+  // The guarantee that matters for hotspot detection: a key drawing far
+  // more than total/capacity arrivals cannot be evicted by one-off keys.
+  HeatTracker heat(Opts(16));
+  for (int i = 0; i < 500; ++i) {
+    heat.Record(1, "hot");
+    heat.Record(1, "one-off-" + std::to_string(i));
+  }
+  auto top = heat.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key, "hot");
+  EXPECT_GE(top[0].count, 500);
+}
+
+TEST(HeatTrackerTest, DecayAgesCountsAndDropsCold) {
+  HeatTracker heat(Opts(8));
+  for (int i = 0; i < 100; ++i) heat.Record(1, "hot");
+  heat.Record(1, "cold");
+
+  heat.Decay(0.5);
+  auto top = heat.TopK(8);
+  ASSERT_EQ(top.size(), 1u);  // cold decayed below one and fell out
+  EXPECT_EQ(top[0].key, "hot");
+  EXPECT_EQ(top[0].count, 50);
+  EXPECT_EQ(heat.sampled_total(), 50);
+  // The monotone metrics counter is unaffected by aging.
+  EXPECT_EQ(heat.samples_recorded(), 101);
+
+  heat.Decay(0.0);
+  EXPECT_TRUE(heat.TopK(8).empty());
+  EXPECT_EQ(heat.sampled_total(), 0);
+}
+
+TEST(HeatTrackerTest, SamplingGatePeriod) {
+  HeatTracker heat(Opts(8, /*sample_period=*/4));
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (heat.ShouldSample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 25);
+
+  HeatTracker every(Opts(8, /*sample_period=*/1));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(every.ShouldSample());
+}
+
+}  // namespace
+}  // namespace muppet

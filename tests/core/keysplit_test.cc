@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "common/rng.h"
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 
@@ -74,6 +75,45 @@ TEST(KeySplitterTest, SingleShardPassThrough) {
   EXPECT_EQ(splitter.RouteKey("anything"), "anything");
 }
 
+TEST(KeySplitTest, FuzzRoundTrip) {
+  // Seeded fuzz over keys dense in the separator and digits — the two
+  // character classes the codec treats specially — plus empty keys and
+  // shard counts past three digits.
+  Rng rng(771);
+  const char alphabet[] = "#0123456789ab";
+  for (int iter = 0; iter < 5000; ++iter) {
+    Bytes base;
+    const size_t len = rng.Uniform(12);
+    for (size_t i = 0; i < len; ++i) {
+      base.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    const int shard = static_cast<int>(rng.Uniform(100000));
+    const Bytes split = MakeSplitKey(base, shard);
+    Bytes parsed_base;
+    int parsed_shard = -1;
+    SCOPED_TRACE("split key: " + split);
+    ASSERT_OK(ParseSplitKey(split, &parsed_base, &parsed_shard));
+    EXPECT_EQ(parsed_base, base);
+    EXPECT_EQ(parsed_shard, shard);
+  }
+}
+
+TEST(KeySplitTest, ManyShardsBeyondThreeDigits) {
+  const Bytes split = MakeSplitKey("k", 1000);
+  Bytes base;
+  int shard = -1;
+  ASSERT_OK(ParseSplitKey(split, &base, &shard));
+  EXPECT_EQ(base, "k");
+  EXPECT_EQ(shard, 1000);
+}
+
+TEST(KeySplitTest, NegativeShardClampsToZero) {
+  // A negative shard cannot round-trip (ParseSplitKey rejects "key#-1"),
+  // so MakeSplitKey clamps instead of emitting an unparseable key.
+  EXPECT_EQ(MakeSplitKey("k", -1), MakeSplitKey("k", 0));
+  EXPECT_EQ(MakeSplitKey("k", -42), "k#0");
+}
+
 TEST(KeySplitterTest, PerKeyCursorsIndependent) {
   KeySplitter splitter(2);
   // Alternating keys each get their own round-robin.
@@ -82,6 +122,104 @@ TEST(KeySplitterTest, PerKeyCursorsIndependent) {
   EXPECT_EQ(splitter.RouteKey("a"), MakeSplitKey("a", 1));
   EXPECT_EQ(splitter.RouteKey("b"), MakeSplitKey("b", 1));
   EXPECT_EQ(splitter.RouteKey("a"), MakeSplitKey("a", 0));
+}
+
+TEST(SplitTableTest, LifecycleSplitDrainFinish) {
+  SplitTable table;
+  EXPECT_FALSE(table.HasSplits());
+  SplitTable::State state;
+  EXPECT_FALSE(table.Lookup(1, "hot", &state));
+  EXPECT_EQ(table.RouteShard(1, "hot", &state), -1);
+
+  ASSERT_TRUE(table.Split(1, "hot", 4));
+  EXPECT_TRUE(table.HasSplits());
+  ASSERT_TRUE(table.Lookup(1, "hot", &state));
+  EXPECT_EQ(state.shards, 4);
+  EXPECT_FALSE(state.draining);
+  const uint32_t split_epoch = state.epoch;
+
+  // Round-robin covers every shard evenly.
+  std::map<int, int> picked;
+  for (int i = 0; i < 40; ++i) {
+    const int shard = table.RouteShard(1, "hot", &state);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    picked[shard]++;
+  }
+  EXPECT_EQ(picked.size(), 4u);
+  for (const auto& [shard, count] : picked) EXPECT_EQ(count, 10);
+
+  // Draining: entry still visible (FetchSlate aggregation needs it) but
+  // new events route unsplit, and the epoch moved.
+  ASSERT_TRUE(table.BeginMerge(1, "hot"));
+  ASSERT_TRUE(table.Lookup(1, "hot", &state));
+  EXPECT_TRUE(state.draining);
+  EXPECT_NE(state.epoch, split_epoch);
+  EXPECT_EQ(table.RouteShard(1, "hot", &state), -1);
+
+  table.NoteMergeFound(1, "hot", 128);
+  table.NoteMergeFound(1, "hot", 64);
+  EXPECT_EQ(table.TakeMergeFound(1, "hot"), 192);
+  EXPECT_EQ(table.TakeMergeFound(1, "hot"), 0);
+
+  table.Finish(1, "hot");
+  EXPECT_FALSE(table.HasSplits());
+  EXPECT_FALSE(table.Lookup(1, "hot", &state));
+}
+
+TEST(SplitTableTest, WidenBumpsEpochAndNeverShrinks) {
+  SplitTable table;
+  ASSERT_TRUE(table.Split(1, "hot", 2));
+  SplitTable::State state;
+  ASSERT_TRUE(table.Lookup(1, "hot", &state));
+  const uint32_t e1 = state.epoch;
+
+  ASSERT_TRUE(table.Split(1, "hot", 8));
+  ASSERT_TRUE(table.Lookup(1, "hot", &state));
+  EXPECT_EQ(state.shards, 8);
+  EXPECT_NE(state.epoch, e1);
+
+  // Narrowing is refused: shard slates beyond the narrower width would be
+  // stranded with no event ever routed to sweep them.
+  EXPECT_FALSE(table.Split(1, "hot", 2));
+  ASSERT_TRUE(table.Lookup(1, "hot", &state));
+  EXPECT_EQ(state.shards, 8);
+}
+
+TEST(SplitTableTest, KeysAndFunctionsIndependent) {
+  SplitTable table;
+  ASSERT_TRUE(table.Split(1, "a", 2));
+  ASSERT_TRUE(table.Split(2, "a", 4));
+  SplitTable::State state;
+  ASSERT_TRUE(table.Lookup(1, "a", &state));
+  EXPECT_EQ(state.shards, 2);
+  ASSERT_TRUE(table.Lookup(2, "a", &state));
+  EXPECT_EQ(state.shards, 4);
+  EXPECT_FALSE(table.Lookup(1, "b", &state));
+  EXPECT_EQ(table.size(), 2u);
+
+  table.Finish(1, "a");
+  EXPECT_TRUE(table.HasSplits());
+  ASSERT_TRUE(table.Lookup(2, "a", &state));
+}
+
+TEST(SplitTableTest, CapacityBounded) {
+  SplitTable table(/*max_entries=*/2);
+  EXPECT_TRUE(table.Split(1, "a", 2));
+  EXPECT_TRUE(table.Split(1, "b", 2));
+  EXPECT_FALSE(table.Split(1, "c", 2));
+  // Widening an existing entry is not a new entry.
+  EXPECT_TRUE(table.Split(1, "a", 4));
+  table.Finish(1, "a");
+  EXPECT_TRUE(table.Split(1, "c", 2));
+}
+
+TEST(SplitTableTest, RejectsDegenerateShardCounts) {
+  SplitTable table;
+  EXPECT_FALSE(table.Split(1, "a", 1));
+  EXPECT_FALSE(table.Split(1, "a", 0));
+  EXPECT_FALSE(table.Split(1, "a", -3));
+  EXPECT_FALSE(table.HasSplits());
 }
 
 }  // namespace

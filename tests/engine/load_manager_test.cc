@@ -1,0 +1,156 @@
+// LoadController policy tests: the controller is a pure object (no
+// threads, no engine), so every split/merge/throttle decision is pinned
+// here without a cluster.
+#include "engine/load_manager.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace muppet {
+namespace {
+
+LoadManagerOptions BaseOptions() {
+  LoadManagerOptions o;
+  o.enabled = true;
+  o.min_samples = 10;
+  o.split_heat_fraction = 0.20;
+  o.merge_heat_fraction = 0.05;
+  o.merge_cool_ticks = 3;
+  o.split_shards = 4;
+  o.max_splits = 2;
+  o.target_occupancy = 0.5;
+  // Exactly representable gain so floor expectations below are exact.
+  o.throttle_gain = 0.25;
+  o.max_floor_delay_micros = 1000;
+  return o;
+}
+
+LoadSignals Signals(int64_t total,
+                    std::vector<HeatReading> top,
+                    std::vector<LoadSignals::ActiveSplit> active = {}) {
+  LoadSignals s;
+  s.sampled_total = total;
+  s.top = std::move(top);
+  s.active_splits = std::move(active);
+  return s;
+}
+
+TEST(LoadControllerTest, SplitsKeysAboveHeatFraction) {
+  LoadController c(BaseOptions());
+  // hot = 40%, warm = 10%: only hot crosses the 20% split threshold.
+  LoadActions a = c.Tick(
+      Signals(100, {{1, "hot", 40}, {1, "warm", 10}}));
+  ASSERT_EQ(a.splits.size(), 1u);
+  EXPECT_EQ(a.splits[0].function_id, 1);
+  EXPECT_EQ(a.splits[0].key, "hot");
+  EXPECT_EQ(a.splits[0].shards, 4);
+  EXPECT_TRUE(a.merges.empty());
+}
+
+TEST(LoadControllerTest, MinSamplesGatesEverything) {
+  LoadController c(BaseOptions());
+  // 9 < min_samples(10): even a 100%-share key is ignored.
+  LoadActions a = c.Tick(Signals(9, {{1, "hot", 9}}));
+  EXPECT_TRUE(a.splits.empty());
+  EXPECT_TRUE(a.merges.empty());
+}
+
+TEST(LoadControllerTest, MaxSplitsCapCountsActiveOnes) {
+  LoadController c(BaseOptions());  // max_splits = 2
+  LoadActions a = c.Tick(Signals(
+      100, {{1, "a", 40}, {1, "b", 30}, {1, "c", 25}}));
+  EXPECT_EQ(a.splits.size(), 2u);
+
+  // With one split already live, only one slot remains.
+  a = c.Tick(Signals(100, {{1, "b", 40}, {1, "c", 30}},
+                     {{1, "a", /*draining=*/false}}));
+  ASSERT_EQ(a.splits.size(), 1u);
+  EXPECT_EQ(a.splits[0].key, "b");
+}
+
+TEST(LoadControllerTest, AlreadySplitKeysNotResplit) {
+  LoadController c(BaseOptions());
+  LoadActions a = c.Tick(Signals(100, {{1, "hot", 40}, {2, "other", 30}},
+                                 {{1, "hot", /*draining=*/false}}));
+  // "hot" stays split (still warm, no merge) and is not split again;
+  // the different-function "other" key gets the remaining slot.
+  ASSERT_EQ(a.splits.size(), 1u);
+  EXPECT_EQ(a.splits[0].function_id, 2);
+  EXPECT_TRUE(a.merges.empty());
+}
+
+TEST(LoadControllerTest, MergeRequiresConsecutiveCoolTicks) {
+  LoadController c(BaseOptions());  // merge_cool_ticks = 3
+  const LoadSignals cold =
+      Signals(100, {{1, "other", 40}}, {{1, "hot", false}});
+  // Two cold ticks: not yet.
+  EXPECT_TRUE(c.Tick(cold).merges.empty());
+  EXPECT_TRUE(c.Tick(cold).merges.empty());
+  // Third consecutive cold tick triggers the merge.
+  LoadActions a = c.Tick(cold);
+  ASSERT_EQ(a.merges.size(), 1u);
+  EXPECT_EQ(a.merges[0].first, 1);
+  EXPECT_EQ(a.merges[0].second, "hot");
+}
+
+TEST(LoadControllerTest, WarmTickResetsCoolCounter) {
+  LoadController c(BaseOptions());
+  const LoadSignals cold =
+      Signals(100, {{1, "other", 40}}, {{1, "hot", false}});
+  // 10% share is above merge_heat_fraction (5%): still warm.
+  const LoadSignals warm =
+      Signals(100, {{1, "other", 40}, {1, "hot", 10}}, {{1, "hot", false}});
+  EXPECT_TRUE(c.Tick(cold).merges.empty());
+  EXPECT_TRUE(c.Tick(cold).merges.empty());
+  EXPECT_TRUE(c.Tick(warm).merges.empty());  // counter resets here
+  EXPECT_TRUE(c.Tick(cold).merges.empty());
+  EXPECT_TRUE(c.Tick(cold).merges.empty());
+  EXPECT_EQ(c.Tick(cold).merges.size(), 1u);
+}
+
+TEST(LoadControllerTest, DrainingSplitsNeverMergedAgain) {
+  LoadController c(BaseOptions());
+  const LoadSignals cold = Signals(100, {{1, "other", 40}},
+                                   {{1, "hot", /*draining=*/true}});
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(c.Tick(cold).merges.empty());
+}
+
+TEST(LoadControllerTest, ThrottleFloorRampsClampsAndBleeds) {
+  LoadController c(BaseOptions());  // target 0.5, gain 0.25, max 1000us
+  // Occupancy at target: floor stays zero.
+  LoadSignals s = Signals(0, {});
+  s.max_queue_occupancy = 0.5;
+  EXPECT_EQ(c.Tick(s).floor_delay_micros, 0);
+
+  // Full queues: +0.5 error * 0.25 gain * 1000us = +125us per tick,
+  // clamped at max after enough ticks.
+  s.max_queue_occupancy = 1.0;
+  EXPECT_EQ(c.Tick(s).floor_delay_micros, 125);
+  EXPECT_EQ(c.Tick(s).floor_delay_micros, 250);
+  for (int i = 0; i < 50; ++i) c.Tick(s);
+  EXPECT_EQ(c.Tick(s).floor_delay_micros, 1000);
+  EXPECT_EQ(c.floor_delay_micros(), 1000);
+
+  // Empty queues bleed it back off, clamped at zero.
+  s.max_queue_occupancy = 0.0;
+  EXPECT_EQ(c.Tick(s).floor_delay_micros, 875);
+  for (int i = 0; i < 50; ++i) c.Tick(s);
+  EXPECT_EQ(c.Tick(s).floor_delay_micros, 0);
+}
+
+TEST(LoadControllerTest, ThrottleActsEvenBelowMinSamples) {
+  // Queue pressure is real regardless of how few heat samples exist.
+  LoadController c(BaseOptions());
+  LoadSignals s = Signals(0, {{1, "hot", 0}});
+  s.max_queue_occupancy = 1.0;
+  LoadActions a = c.Tick(s);
+  EXPECT_EQ(a.floor_delay_micros, 125);
+  EXPECT_TRUE(a.splits.empty());
+}
+
+}  // namespace
+}  // namespace muppet

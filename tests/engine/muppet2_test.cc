@@ -1,7 +1,9 @@
 #include "engine/muppet2.h"
 
 #include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "gtest/gtest.h"
 #include "tests/engine/engine_test_util.h"
@@ -167,6 +169,86 @@ TEST(Muppet2Test, RejectsBadShape) {
   EngineOptions options = SmallOptions(0, 0);
   Muppet2Engine engine(config, options);
   EXPECT_FALSE(engine.Start().ok());
+}
+
+// Full hot-key lifecycle against the live engine: a skewed stream trips
+// the heat sketch, the load manager splits the key, reads re-aggregate
+// base + shard slates exactly; when the traffic goes uniform the heat
+// decays and the key merges back, still exact.
+TEST(Muppet2Test, HotKeySplitAndMergeLifecycle) {
+  AppConfig config;
+  UpdaterOptions uo;
+  uo.associativity = Associativity::kAssociativeCommutative;
+  uo.merger = [](const Bytes* base, const Bytes& part) {
+    JsonSlate b(base);
+    JsonSlate p(&part);
+    b.data()["count"] =
+        b.data().GetInt("count", 0) + p.data().GetInt("count", 0);
+    return b.Serialize();
+  };
+  BuildCountingApp(&config, /*forward=*/false, uo);
+
+  EngineOptions options = SmallOptions();
+  options.load_manager.enabled = true;
+  options.load_manager.tick_micros = 1 * kMicrosPerMilli;
+  options.load_manager.heat.sample_period = 1;
+  options.load_manager.min_samples = 8;
+  options.load_manager.split_heat_fraction = 0.5;
+  options.load_manager.merge_heat_fraction = 0.2;
+  options.load_manager.heat_decay = 0.5;
+  options.load_manager.split_shards = 4;
+  // Wide hysteresis so the split survives the brief idle gaps between
+  // this test's phases; phase 2 still reaches the merge quickly.
+  options.load_manager.merge_cool_ticks = 25;
+  Muppet2Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+
+  // Phase 1: hammer one key until the load manager splits it.
+  int64_t hot_count = 0;
+  int64_t seq = 0;
+  for (int round = 0; round < 2000 && engine.key_splits() == 0; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_OK(engine.Publish("in", "hot", "", ++seq));
+      ++hot_count;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(engine.key_splits(), 0) << "hot key never split";
+  ASSERT_OK(engine.Drain());
+
+  // Mid-split reads aggregate base + shard slates exactly.
+  EXPECT_EQ(CountOf(engine, "count", "hot"), hot_count);
+
+  // The split shows on the hot-key panel.
+  bool split_row = false;
+  for (const HotKeyInfo& hk : engine.HotKeys()) {
+    if (hk.function == "count" && hk.key == "hot" && hk.split) {
+      split_row = true;
+      EXPECT_EQ(hk.shards, 4);
+    }
+  }
+  EXPECT_TRUE(split_row);
+
+  // Phase 2: go uniform; the hot key's heat decays and it merges back.
+  for (int round = 0; round < 5000 && engine.key_merges() == 0; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      ASSERT_OK(engine.Publish("in", "u" + std::to_string(k), "", ++seq));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(engine.key_merges(), 0) << "split never merged back";
+  engine.PauseLoadManagement();
+  ASSERT_OK(engine.Drain());
+
+  // Counts stay exact through the whole lifecycle.
+  EXPECT_EQ(CountOf(engine, "count", "hot"), hot_count);
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_GT(CountOf(engine, "count", "u" + std::to_string(k)), 0);
+  }
+  const EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.events_lost_failure, 0);
+  EXPECT_EQ(stats.events_dropped_overflow, 0);
+  ASSERT_OK(engine.Stop());
 }
 
 TEST(Muppet2Test, StopFlushesAndIsIdempotent) {

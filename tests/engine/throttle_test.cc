@@ -69,5 +69,79 @@ TEST(ThrottleTest, PressureReturnsAfterNewSignals) {
   EXPECT_GT(governor.CurrentDelayMicros(), 0);
 }
 
+TEST(ThrottleTest, ZeroElapsedReadsAreStable) {
+  // Two reads at the same instant must agree: decay applies only to
+  // elapsed time, and repeated polling (the /metrics gauge calls
+  // CurrentDelayMicros too) must not itself erode the delay.
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  for (int i = 0; i < 4; ++i) governor.NoteOverflow();
+  const Timestamp first = governor.CurrentDelayMicros();
+  EXPECT_EQ(first, 400);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(governor.CurrentDelayMicros(), first);
+  }
+}
+
+TEST(ThrottleTest, HugeForwardClockJumpDecaysCleanlyToZero) {
+  // An NTP step or a VM pause can make hours pass between reads. The
+  // exponent gets enormous; the result must be a clean zero, not a NaN,
+  // negative, or wrapped delay.
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  for (int i = 0; i < 10; ++i) governor.NoteOverflow();
+  clock.Advance(3600LL * 1000 * 1000);  // one hour: ~3.6M halflives
+  EXPECT_EQ(governor.CurrentDelayMicros(), 0);
+  // Pressure still accumulates normally afterwards.
+  governor.NoteOverflow();
+  EXPECT_EQ(governor.CurrentDelayMicros(), 100);
+}
+
+TEST(ThrottleTest, BackwardClockJumpNeverInflatesDelay) {
+  // now < last_decay (clock stepped back): no decay happens, but the
+  // delay must not grow either — pow(0.5, negative) would double it.
+  SimulatedClock clock;
+  clock.Advance(10000);
+  ThrottleGovernor governor(TestOptions(), &clock);
+  for (int i = 0; i < 4; ++i) governor.NoteOverflow();
+  clock.Set(5000);
+  EXPECT_EQ(governor.CurrentDelayMicros(), 400);
+  // Once the clock moves forward again, decay resumes from the rewound
+  // reference point.
+  clock.Advance(1000);  // one halflife past the rewound instant
+  EXPECT_NEAR(static_cast<double>(governor.CurrentDelayMicros()), 200.0, 20.0);
+}
+
+TEST(ThrottleTest, FloorClampsCurrentDelayFromBelow) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);
+  governor.SetFloorDelayMicros(250);
+  // No overflow pressure at all: the floor alone paces the source.
+  EXPECT_EQ(governor.CurrentDelayMicros(), 250);
+  EXPECT_EQ(governor.floor_delay_micros(), 250);
+
+  // Overflow pressure above the floor wins...
+  for (int i = 0; i < 4; ++i) governor.NoteOverflow();
+  EXPECT_EQ(governor.CurrentDelayMicros(), 400);
+  // ...and once it decays below the floor, the floor takes over again.
+  clock.Advance(10000);
+  EXPECT_EQ(governor.CurrentDelayMicros(), 250);
+
+  // The floor does not decay: only the controller moves it.
+  clock.Advance(100000);
+  EXPECT_EQ(governor.CurrentDelayMicros(), 250);
+  governor.SetFloorDelayMicros(0);
+  EXPECT_EQ(governor.CurrentDelayMicros(), 0);
+}
+
+TEST(ThrottleTest, FloorClampedToMaxAndNonNegative) {
+  SimulatedClock clock;
+  ThrottleGovernor governor(TestOptions(), &clock);  // max_delay 1000
+  governor.SetFloorDelayMicros(999999);
+  EXPECT_EQ(governor.floor_delay_micros(), 1000);
+  governor.SetFloorDelayMicros(-7);
+  EXPECT_EQ(governor.floor_delay_micros(), 0);
+}
+
 }  // namespace
 }  // namespace muppet

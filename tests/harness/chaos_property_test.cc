@@ -31,18 +31,19 @@ uint64_t EnvU64(const char* name, uint64_t def) {
 }
 
 void WriteArtifact(EngineKind engine, uint64_t seed,
-                   const std::string& report) {
+                   const std::string& suffix, const std::string& report) {
   const char* dir = std::getenv("MUPPET_CHAOS_ARTIFACT_DIR");
   if (dir == nullptr || *dir == '\0') return;
   const std::string path =
       std::string(dir) + "/chaos-" +
-      (engine == EngineKind::kMuppet1 ? "muppet1" : "muppet2") + "-seed-" +
-      std::to_string(seed) + ".txt";
+      (engine == EngineKind::kMuppet1 ? "muppet1" : "muppet2") + suffix +
+      "-seed-" + std::to_string(seed) + ".txt";
   std::ofstream out(path);
   out << report;
 }
 
-ScenarioOptions SweepOptions(EngineKind engine, uint64_t seed) {
+ScenarioOptions SweepOptions(EngineKind engine, uint64_t seed,
+                             bool hot_split = false) {
   ScenarioOptions o;
   o.engine = engine;
   // Smaller than the tier-1 scripted scenarios: the sweep's power comes
@@ -51,12 +52,18 @@ ScenarioOptions SweepOptions(EngineKind engine, uint64_t seed) {
   o.steps = 3;
   o.events_per_step = 30;
   o.num_keys = 8;
+  // hot_split runs the load manager over a skewed-then-uniform workload,
+  // so split-epoch changes (install, widen, drain) race whatever the
+  // seeded fault plan throws at the cluster. A bit longer so the uniform
+  // phase can begin merges mid-faults.
+  o.hot_split = hot_split;
+  if (hot_split) o.steps = 4;
   o.workload_seed = seed;
   o.plan = RandomFaultPlan(seed, o);
   return o;
 }
 
-void RunSweep(EngineKind engine) {
+void RunSweep(EngineKind engine, bool hot_split = false) {
   const uint64_t base = EnvU64("MUPPET_CHAOS_BASE_SEED", 1);
   const uint64_t replay = EnvU64("MUPPET_CHAOS_REPLAY_SEED", 0);
   const uint64_t count = EnvU64("MUPPET_CHAOS_SEEDS", 200);
@@ -70,12 +77,12 @@ void RunSweep(EngineKind engine) {
 
   int failures = 0;
   for (uint64_t seed : seeds) {
-    const ScenarioOptions o = SweepOptions(engine, seed);
+    const ScenarioOptions o = SweepOptions(engine, seed, hot_split);
     const ScenarioResult r = ScenarioRunner(o).Run();
     if (!r.ok()) {
       ++failures;
       const std::string report = r.Describe(o);
-      WriteArtifact(engine, seed, report);
+      WriteArtifact(engine, seed, hot_split ? "-hotsplit" : "", report);
       ADD_FAILURE() << "chaos seed " << seed << " violated invariants\n"
                     << report;
       if (failures >= 3) break;  // enough to diagnose; don't spam
@@ -89,6 +96,14 @@ TEST(ChaosPropertyTest, Muppet1RandomizedSweep) {
 
 TEST(ChaosPropertyTest, Muppet2RandomizedSweep) {
   RunSweep(EngineKind::kMuppet2);
+}
+
+// Hot-split sweep: the load manager splits/merges the hot key while the
+// seeded fault plan crashes, partitions, drops, and reorders around it.
+// Split-epoch changes racing machine failures is exactly the surface this
+// covers; the oracle stays strict whenever no fault destroys state.
+TEST(ChaosPropertyTest, Muppet2SplitEpochSweep) {
+  RunSweep(EngineKind::kMuppet2, /*hot_split=*/true);
 }
 
 // A handful of sweep seeds re-run twice each: same seed, same plan must

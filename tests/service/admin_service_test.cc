@@ -90,6 +90,8 @@ TEST_F(AdminServiceTest, MetricsEndpointServesPrometheusText) {
   EXPECT_NE(response.body.find("muppet_queue_depth{"), std::string::npos);
   EXPECT_NE(response.body.find("muppet_transport_messages_sent_total"),
             std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE muppet_throttle_delay_micros gauge"),
+            std::string::npos);
 }
 
 TEST_F(AdminServiceTest, StatuszReportsClusterState) {
@@ -169,12 +171,54 @@ TEST(AdminServiceMuppet1Test, EndpointsWorkOnTheLegacyEngine) {
   EXPECT_EQ(metrics.status, 200);
   EXPECT_NE(metrics.body.find("muppet_events_published_total 10"),
             std::string::npos);
+  EXPECT_NE(metrics.body.find("muppet_throttle_delay_micros"),
+            std::string::npos);
   Result<Json> statusz = Json::Parse(admin.Statusz().body);
   ASSERT_OK(statusz.status());
   EXPECT_EQ(statusz.value()["machines"].size(), 2u);
   Result<Json> tracez = Json::Parse(admin.Tracez().body);
   ASSERT_OK(tracez.status());
   EXPECT_GT(tracez.value()["recent"].size(), 0u);
+  ASSERT_OK(engine.Stop());
+}
+
+// With load management enabled, /statusz exposes the heat sketch as a
+// hot-key panel and /metrics counts heat samples. min_samples is set
+// unreachably high so the controller only observes — no split can fire
+// mid-test and make the panel's split fields nondeterministic.
+TEST(AdminServiceHotKeysTest, StatuszExportsHeatPanel) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options;
+  options.num_machines = 2;
+  options.threads_per_machine = 2;
+  options.load_manager.enabled = true;
+  options.load_manager.heat.sample_period = 1;
+  options.load_manager.min_samples = 1LL << 40;
+  // No per-tick aging: the panel row must still be there when read.
+  options.load_manager.heat_decay = 1.0;
+  Muppet2Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(engine.Publish("in", "hot", "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+
+  AdminService admin(&engine);
+  Result<Json> statusz = Json::Parse(admin.Statusz().body);
+  ASSERT_OK(statusz.status());
+  const Json& hot = statusz.value()["hot_keys"];
+  ASSERT_TRUE(hot.is_array());
+  ASSERT_GT(hot.size(), 0u);
+  const Json& row = hot.AsArray().front();
+  EXPECT_EQ(row["function"].AsString(), "count");
+  EXPECT_EQ(row["key"].AsString(), "hot");
+  EXPECT_GT(row.GetInt("sampled_count", 0), 0);
+  EXPECT_FALSE(row.GetBool("split", true));
+
+  const HttpResponse metrics = admin.Metrics();
+  EXPECT_NE(metrics.body.find("muppet_heat_samples_total"),
+            std::string::npos);
   ASSERT_OK(engine.Stop());
 }
 
