@@ -40,6 +40,7 @@ struct Event {
   // untraced. Carried at the routed-event layer on the wire — EncodeEvent
   // below stays trace-free, so slate-ledger byte comparisons and fault
   // signatures are unaffected by whether an event happens to be sampled.
+  // muppet-lint: allow(wire): rides the routed-event envelope instead
   TraceContext trace;
 };
 

@@ -85,7 +85,8 @@ class EventJournal {
  private:
   Mutex mutex_{kLockLevel};
   std::FILE* file_ MUPPET_GUARDED_BY(mutex_) = nullptr;
-  std::string path_;  // written once in Open(), stable afterwards
+  // muppet-lint: allow(guarded): written once in Open(), stable after
+  std::string path_;
   // Monotonic append index: advanced under mutex_, read lock-free by
   // next_index().
   std::atomic<uint64_t> next_index_{0};

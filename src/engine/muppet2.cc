@@ -1329,6 +1329,10 @@ void Muppet2Engine::PauseLoadManagement() {
   if (!options_.load_manager.enabled) return;
   lm_paused_.store(true);
   while (!lm_idle_.load()) {
+    // Settle spin against the load-manager thread: waits on lm_idle_,
+    // not on simulated time, so routing it through Clock would deadlock
+    // a paused virtual clock.
+    // muppet-lint: allow(determinism): bounded real-time settle spin
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
 }

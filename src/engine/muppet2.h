@@ -319,6 +319,7 @@ class Muppet2Engine final : public Engine {
     int rounds = 0;
     int quiet = 0;
   };
+  // muppet-lint: allow(guarded): confined to the load-manager thread
   std::map<std::pair<int32_t, Bytes>, MergeProgress> merge_progress_;
 
   // Shared registry backing /metrics; the counters below are registry

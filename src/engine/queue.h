@@ -60,6 +60,7 @@ struct RoutedEvent {
   uint8_t ctl = kCtlNone;
   // When the event is traced: time it entered this queue, for the
   // queue-wait span. In-memory only — never serialized.
+  // muppet-lint: allow(wire): stamped on the receiving machine only
   Timestamp enqueue_ts = 0;
 };
 

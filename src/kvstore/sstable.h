@@ -89,16 +89,25 @@ class SsTableReader {
   DeviceModel* device_;
   // Seek+read pairs on the shared handle are serialized by file_mutex_
   // once Open() publishes the reader; Load() runs pre-publication and so
-  // touches file_ unlocked.
+  // touches file_ unlocked. The same applies to the metadata below:
+  // written only by Load(), immutable once Open() returns the reader.
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   std::FILE* file_ = nullptr;
   Mutex file_mutex_{LockLevel::kStoreIo};
 
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   std::vector<IndexEntry> index_;
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   BloomFilter bloom_{0};
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   uint64_t entry_count_ = 0;
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   uint64_t max_seqno_ = 0;
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   uint64_t file_size_ = 0;
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   Bytes smallest_key_;
+  // muppet-lint: allow(guarded): Load() runs pre-publication
   Bytes largest_key_;
 };
 

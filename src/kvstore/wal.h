@@ -53,7 +53,8 @@ class WalWriter {
  private:
   Mutex mutex_{kLockLevel};
   std::FILE* file_ MUPPET_GUARDED_BY(mutex_) = nullptr;
-  std::string path_;  // written only by Open(), stable afterwards
+  // muppet-lint: allow(guarded): written only by Open(), stable after
+  std::string path_;
 };
 
 // Replay every intact record of the log at `path` in append order.

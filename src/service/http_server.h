@@ -76,6 +76,7 @@ class HttpServer {
   // Registered before Start(); the spawn of accept_thread_ publishes the
   // map to connection threads, which only read it. Not lock-guarded by
   // design — RegisterHandler after Start() would be a bug.
+  // muppet-lint: allow(guarded): registered pre-Start(), read-only after
   std::map<std::string, Handler> handlers_;  // by prefix
 };
 

@@ -304,6 +304,10 @@ ScenarioResult ScenarioRunner::Run() {
     std::thread flush_pump([&]() {
       while (!drained.load(std::memory_order_acquire)) {
         transport->FlushHeld();
+        // Pacing only: the quiesce result depends on the drained flag,
+        // not on how many times this loop spins, so real-time sleep
+        // cannot leak into oracle-visible state.
+        // muppet-lint: allow(determinism): flush-pump pacing sleep
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     });

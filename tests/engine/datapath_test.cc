@@ -3,12 +3,12 @@
 // executor) and the two-choice ownership invariant that replaced the
 // machine-wide dispatch lock.
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/reference_executor.h"
 #include "engine/muppet2.h"
 #include "gtest/gtest.h"
@@ -150,7 +150,7 @@ TEST(DatapathTest, TwoChoiceOwnershipInvariantWithoutDispatchLock) {
   // threads ever process that work unit. The machine-wide dispatch lock is
   // gone; the invariant must hold purely from deterministic placement.
   AppConfig config;
-  std::mutex mu;
+  Mutex mu{LockLevel::kUnordered};
   std::map<std::string, std::set<std::thread::id>> owners;
   ASSERT_OK(config.DeclareInputStream("in"));
   ASSERT_OK(config.AddUpdater(
@@ -158,7 +158,7 @@ TEST(DatapathTest, TwoChoiceOwnershipInvariantWithoutDispatchLock) {
       MakeUpdaterFactory([&mu, &owners](PerformerUtilities& out,
                                         const Event& e, const Bytes* slate) {
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
           owners[Bytes(e.key)].insert(std::this_thread::get_id());
         }
         JsonSlate s(slate);
@@ -179,7 +179,7 @@ TEST(DatapathTest, TwoChoiceOwnershipInvariantWithoutDispatchLock) {
   for (int k = 0; k < 4; ++k) {
     const std::string key = "k" + std::to_string(k);
     EXPECT_EQ(CountOf(engine, "own", key), kN / 4);
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     EXPECT_LE(owners[key].size(), 2u)
         << "work unit " << key << " was processed by more than two threads";
   }

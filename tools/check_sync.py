@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Tree-wide concurrency lint.
 
-Fails if any file under src/ names a raw standard-library synchronization
-primitive instead of the annotated wrappers in src/common/sync.h
-(muppet::Mutex / SharedMutex / MutexLock / ReaderMutexLock /
-WriterMutexLock / CondVar). The wrappers carry Clang thread-safety
-attributes and participate in the runtime lock-order checker; a raw
-std::mutex is invisible to both.
+Fails if any file under src/, tests/, or bench/ names a raw
+standard-library synchronization primitive instead of the annotated
+wrappers in src/common/sync.h (muppet::Mutex / SharedMutex / MutexLock /
+ReaderMutexLock / WriterMutexLock / CondVar). The wrappers carry Clang
+thread-safety attributes and participate in the runtime lock-order
+checker; a raw std::mutex is invisible to both. Tests and benches are
+held to the same rule: a test that takes a raw lock around engine state
+can mask (or cause) an ordering bug the checker would otherwise catch.
 
 Usage: tools/check_sync.py [repo_root]     (exit 0 = clean)
 """
@@ -38,34 +40,41 @@ FORBIDDEN = [
 ]
 
 
+SCAN_DIRS = ("src", "tests", "bench")
+
+
 def main() -> int:
     root = sys.argv[1] if len(sys.argv) > 1 else os.getcwd()
-    src = os.path.join(root, "src")
-    if not os.path.isdir(src):
+    if not os.path.isdir(os.path.join(root, "src")):
         print(f"check_sync: no src/ under {root}", file=sys.stderr)
         return 2
+    roots = [os.path.join(root, d) for d in SCAN_DIRS
+             if os.path.isdir(os.path.join(root, d))]
 
     violations = 0
-    for dirpath, _, filenames in sorted(os.walk(src)):
-        for name in sorted(filenames):
-            if not name.endswith((".h", ".cc")):
-                continue
-            path = os.path.join(dirpath, name)
-            rel = os.path.relpath(path, root)
-            if rel in ALLOWED:
-                continue
-            with open(path, encoding="utf-8") as f:
-                for lineno, line in enumerate(f, start=1):
-                    for pattern, what in FORBIDDEN:
-                        if pattern.search(line):
-                            print(f"{rel}:{lineno}: raw {what}; use the "
-                                  "wrappers in common/sync.h")
-                            violations += 1
+    for scan_root in roots:
+        for dirpath, _, filenames in sorted(os.walk(scan_root)):
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                if rel in ALLOWED:
+                    continue
+                with open(path, encoding="utf-8") as f:
+                    for lineno, line in enumerate(f, start=1):
+                        for pattern, what in FORBIDDEN:
+                            if pattern.search(line):
+                                print(f"{rel}:{lineno}: raw {what}; use "
+                                      "the wrappers in common/sync.h")
+                                violations += 1
 
     if violations:
         print(f"check_sync: {violations} violation(s)", file=sys.stderr)
         return 1
-    print("check_sync: OK (no raw std synchronization primitives in src/)")
+    scanned = ", ".join(os.path.relpath(r, root) + "/" for r in roots)
+    print(f"check_sync: OK (no raw std synchronization primitives in "
+          f"{scanned})")
     return 0
 
 

@@ -1,0 +1,76 @@
+"""Optional libclang frontend.
+
+When the Python clang bindings (clang.cindex) and a loadable libclang
+are present, muppet-lint cross-validates its built-in class/field model
+against the real AST: for each class the textual model found, the
+libclang field list must match. Divergence is reported as a warning
+(the textual model stays authoritative so results are identical on
+hosts without libclang, e.g. the GCC-only default toolchain here).
+
+When the bindings are absent the skip is loud — one stderr line —
+mirroring the lint target's clang-format/clang-tidy skip idiom.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def load():
+    """Return the clang.cindex module, or None after a loud skip."""
+    try:
+        import clang.cindex as cindex  # type: ignore
+    except ImportError:
+        print("muppet-lint: libclang python bindings not found -- "
+              "AST cross-validation skipped (built-in parser only)",
+              file=sys.stderr)
+        return None
+    try:
+        cindex.Index.create()
+    except Exception as e:  # cindex present but libclang.so missing
+        print(f"muppet-lint: libclang unusable ({e}) -- "
+              "AST cross-validation skipped (built-in parser only)",
+              file=sys.stderr)
+        return None
+    return cindex
+
+
+def cross_validate(cindex, root: str, files, model_classes) -> list[str]:
+    """Compare the textual field model with libclang's view.
+
+    model_classes: {class name -> set of field names} from cpp_model.
+    Returns warning strings (never findings: a parse divergence is a
+    muppet-lint bug, not a code bug).
+    """
+    warnings: list[str] = []
+    index = cindex.Index.create()
+    args = ["-std=c++20", f"-I{root}/src", f"-I{root}"]
+    for sf in files:
+        if not sf.rel.endswith(".h"):
+            continue
+        try:
+            tu = index.parse(sf.path, args=args)
+        except Exception as e:
+            warnings.append(f"{sf.rel}: libclang parse failed: {e}")
+            continue
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (cindex.CursorKind.CLASS_DECL,
+                                   cindex.CursorKind.STRUCT_DECL):
+                continue
+            if not cursor.is_definition():
+                continue
+            if cursor.location.file is None or \
+                    cursor.location.file.name != sf.path:
+                continue
+            name = cursor.spelling
+            if name not in model_classes:
+                continue
+            ast_fields = {c.spelling for c in cursor.get_children()
+                          if c.kind == cindex.CursorKind.FIELD_DECL}
+            model_fields = model_classes[name]
+            missing = ast_fields - model_fields
+            if missing:
+                warnings.append(
+                    f"{sf.rel}: class {name}: built-in parser missed "
+                    f"field(s) {sorted(missing)} that libclang sees")
+    return warnings

@@ -1,0 +1,150 @@
+"""Pass 3: determinism lint.
+
+The chaos harness replays whole cluster runs bit-for-bit from one seed
+(DESIGN.md §8); the reference oracle compares slate ledgers byte by
+byte. Both break the moment engine/core/net/testing code consults a
+nondeterminism source. This pass bans, inside those paths:
+
+  * wall clocks (`std::chrono::*_clock::now`, `time(nullptr)`,
+    `gettimeofday`, `clock_gettime`) — production time flows through
+    the Clock abstraction (common/clock.h) so simulations can drive it;
+  * real-time sleeps (`std::this_thread::sleep_for/sleep_until`) —
+    settle loops must be justified with a suppression, everything else
+    goes through Clock::SleepFor;
+  * ambient randomness (`std::rand`, `srand`, `std::random_device`,
+    `std::mt19937` and friends) — seeds are plumbed explicitly via
+    common/rng.h;
+  * pointer-keyed ordered containers (`std::map<T*, ...>`,
+    `std::set<T*>`) — address order differs across runs;
+  * iteration over unordered containers inside serialization /
+    fingerprint / comparison functions — hash-table order is not part
+    of the wire or oracle contract.
+
+Scope: src/engine, src/core, src/net, src/testing (common/clock.* is
+the sanctioned wall-clock user and is exempt, as is common/rng.h).
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpp_model import (Finding, SourceFile, parse_classes, parse_functions)
+
+CHECK = "determinism"
+
+SCOPE_DIRS = ("src/engine/", "src/core/", "src/net/", "src/testing/")
+EXEMPT_FILES = ("src/common/clock.h", "src/common/clock.cc",
+                "src/common/rng.h")
+
+BANNED = [
+    (re.compile(r"\bstd::chrono::(system|steady|high_resolution)_clock"
+                r"\s*::\s*now\b"),
+     "wall-clock read; route time through the Clock abstraction "
+     "(common/clock.h) so simulated runs stay reproducible"),
+    (re.compile(r"\b(system|steady|high_resolution)_clock::now\b"),
+     "wall-clock read; route time through the Clock abstraction "
+     "(common/clock.h) so simulated runs stay reproducible"),
+    (re.compile(r"\bstd::this_thread::sleep_(for|until)\b"),
+     "real-time sleep; use Clock::SleepFor (or justify a bounded settle "
+     "loop with a suppression)"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
+     "wall-clock read; route time through the Clock abstraction"),
+    (re.compile(r"\b(gettimeofday|clock_gettime)\s*\("),
+     "wall-clock read; route time through the Clock abstraction"),
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|\brandom\s*\(\s*\)"),
+     "ambient RNG; seed an explicit generator from common/rng.h"),
+    (re.compile(r"\bstd::random_device\b"),
+     "nondeterministic seed source; seeds are plumbed explicitly"),
+    (re.compile(r"\bstd::(mt19937(_64)?|minstd_rand0?|"
+                r"default_random_engine|ranlux\w+|knuth_b)\b"),
+     "std random engine; use the explicit-seed generator in common/rng.h"),
+]
+
+PTR_KEYED_RE = re.compile(
+    r"\bstd::(map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(map|set|multimap|multiset)\s*<[^;=]*?>\s+(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;)]*?:\s*([\w\.\->\[\]]+)\s*\)")
+ORDER_SENSITIVE_FN_RE = re.compile(
+    r"Encode|Serialize|ToWire|Fingerprint|Signature|Snapshot|Ledger|"
+    r"Oracle|Compare|Digest|Checksum")
+ORDER_SENSITIVE_BODY_RE = re.compile(
+    r"\bPut(Varint32|Varint64|Fixed32|Fixed64|LengthPrefixed)\s*\(|"
+    r"\bEncode\w*\s*\(|\bHashCombine\s*\(|\bFnv1a64\s*\(")
+
+
+def _in_scope(sf: SourceFile) -> bool:
+    if sf.rel in EXEMPT_FILES:
+        return False
+    return any(sf.rel.startswith(d) for d in SCOPE_DIRS)
+
+
+def run(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        if not _in_scope(sf):
+            continue
+        code_lines = sf.code.split("\n")
+        for lineno, line in enumerate(code_lines, start=1):
+            for pattern, why in BANNED:
+                if pattern.search(line) and not sf.allows(CHECK, lineno):
+                    findings.append(Finding(
+                        CHECK, sf.rel, lineno,
+                        f"{pattern.search(line).group(0)}: {why}"))
+            if PTR_KEYED_RE.search(line) and not sf.allows(CHECK, lineno):
+                findings.append(Finding(
+                    CHECK, sf.rel, lineno,
+                    "pointer-keyed ordered container: iteration order is "
+                    "the address order of this run; key by a stable id "
+                    "instead"))
+        findings.extend(_unordered_iteration(sf))
+    return findings
+
+
+def _unordered_iteration(sf: SourceFile) -> list[Finding]:
+    """Range-for over an unordered container inside an order-sensitive
+    function (named like a codec/fingerprint, or whose loop body feeds
+    wire primitives / hash combination)."""
+    findings: list[Finding] = []
+    # Unordered names declared anywhere in the file (members + locals).
+    unordered_names = {m.group(2)
+                       for m in UNORDERED_DECL_RE.finditer(sf.code)}
+    if not unordered_names:
+        return findings
+    classes = parse_classes(sf)
+    for fn in parse_functions(sf, classes):
+        body = sf.code[fn.body_start:fn.body_end]
+        for fm in RANGE_FOR_RE.finditer(body):
+            target = fm.group(1)
+            leaf = re.sub(r"\[[^\]]*\]", "",
+                          target.split("->")[-1].split(".")[-1])
+            if leaf not in unordered_names:
+                continue
+            loop_line = sf.line_of(fn.body_start + fm.start())
+            name_sensitive = bool(ORDER_SENSITIVE_FN_RE.search(fn.name))
+            # The loop body: from the `{` after the for(...) to its match.
+            open_idx = body.find("{", fm.end())
+            loop_body = ""
+            if open_idx >= 0:
+                depth = 0
+                for i in range(open_idx, len(body)):
+                    if body[i] == "{":
+                        depth += 1
+                    elif body[i] == "}":
+                        depth -= 1
+                        if depth == 0:
+                            loop_body = body[open_idx:i]
+                            break
+            body_sensitive = bool(ORDER_SENSITIVE_BODY_RE.search(loop_body))
+            if not (name_sensitive or body_sensitive):
+                continue
+            if sf.allows(CHECK, loop_line):
+                continue
+            findings.append(Finding(
+                CHECK, sf.rel, loop_line,
+                f"iteration over unordered container '{leaf}' feeds "
+                f"{'wire/hash output' if body_sensitive else 'the order-sensitive function ' + fn.name}"
+                "; hash-table order differs between runs — iterate a "
+                "sorted copy or an ordered container"))
+    return findings

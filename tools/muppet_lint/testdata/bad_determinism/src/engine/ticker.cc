@@ -1,0 +1,15 @@
+// Fixture: wall-clock read inside an engine path.
+#include <chrono>
+#include <cstdint>
+
+namespace muppet {
+
+uint64_t NowMs() {
+  auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+}  // namespace muppet

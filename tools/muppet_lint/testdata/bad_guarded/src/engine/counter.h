@@ -1,0 +1,31 @@
+// Fixture: `hits_` is mutated by Tick() (not a lifecycle method) in a
+// mutex-owning class, with no MUPPET_GUARDED_BY. `limit_` is written
+// only by the constructor and must NOT be flagged; `guarded_` is
+// annotated and must not be flagged either.
+#ifndef FIXTURE_ENGINE_COUNTER_H_
+#define FIXTURE_ENGINE_COUNTER_H_
+
+#include "common/sync.h"
+
+namespace muppet {
+
+class HitCounter {
+ public:
+  explicit HitCounter(int limit) { limit_ = limit; }
+
+  void Tick() {
+    MutexLock lock(mutex_);
+    hits_++;
+    guarded_++;
+  }
+
+ private:
+  Mutex mutex_{LockLevel::kLow};
+  int hits_ = 0;
+  int guarded_ MUPPET_GUARDED_BY(mutex_) = 0;
+  int limit_ = 0;
+};
+
+}  // namespace muppet
+
+#endif  // FIXTURE_ENGINE_COUNTER_H_

@@ -1,0 +1,21 @@
+// Fixture: interprocedural lock-order inversion. Inverted() holds kMid
+// and calls TakeLow(), which acquires kLow (20 -> 10: inverted).
+#include "common/sync.h"
+
+namespace muppet {
+
+class Inverter {
+ public:
+  void Inverted() {
+    MutexLock a(mid_);
+    TakeLow();
+  }
+
+  void TakeLow() { MutexLock b(low_); }
+
+ private:
+  Mutex low_{LockLevel::kLow};
+  Mutex mid_{LockLevel::kMid};
+};
+
+}  // namespace muppet

@@ -1,0 +1,13 @@
+// Fixture: a suppression without the mandatory justification is itself
+// a finding, and it must NOT silence the underlying violation.
+#include <chrono>
+#include <thread>
+
+namespace muppet {
+
+void Nap() {
+  // muppet-lint: allow(determinism)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace muppet

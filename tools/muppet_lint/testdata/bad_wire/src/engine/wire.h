@@ -1,0 +1,34 @@
+// Fixture: encoder writes field `c` (3 primitives) but the decoder
+// stops after `b` (2 primitives) — both the count check and the field
+// symmetry check must fire.
+#ifndef FIXTURE_ENGINE_WIRE_H_
+#define FIXTURE_ENGINE_WIRE_H_
+
+#include <cstdint>
+
+namespace muppet {
+
+struct Ping {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+void PutVarint64(void* out, uint64_t v);
+bool GetVarint64(void* in, uint64_t* v);
+
+inline void EncodePing(void* out, const Ping& ping) {
+  PutVarint64(out, ping.a);
+  PutVarint64(out, ping.b);
+  PutVarint64(out, ping.c);
+}
+
+inline bool DecodePing(void* in, Ping* ping) {
+  if (!GetVarint64(in, &ping->a)) return false;
+  if (!GetVarint64(in, &ping->b)) return false;
+  return true;
+}
+
+}  // namespace muppet
+
+#endif  // FIXTURE_ENGINE_WIRE_H_

@@ -1,0 +1,19 @@
+// Fixture: well-ordered acquisitions, no banned calls, no unguarded
+// mutable state.
+#include "common/sync.h"
+
+namespace muppet {
+
+class Ordered {
+ public:
+  void Both() {
+    MutexLock a(low_);
+    MutexLock b(mid_);
+  }
+
+ private:
+  Mutex low_{LockLevel::kLow};
+  Mutex mid_{LockLevel::kMid};
+};
+
+}  // namespace muppet

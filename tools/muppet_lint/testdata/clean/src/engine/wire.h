@@ -1,0 +1,31 @@
+// Fixture: a complete codec — every Put has its Get, every encoded
+// field is read back.
+#ifndef FIXTURE_ENGINE_WIRE_H_
+#define FIXTURE_ENGINE_WIRE_H_
+
+#include <cstdint>
+
+namespace muppet {
+
+struct Ping {
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+void PutVarint64(void* out, uint64_t v);
+bool GetVarint64(void* in, uint64_t* v);
+
+inline void EncodePing(void* out, const Ping& ping) {
+  PutVarint64(out, ping.a);
+  PutVarint64(out, ping.b);
+}
+
+inline bool DecodePing(void* in, Ping* ping) {
+  if (!GetVarint64(in, &ping->a)) return false;
+  if (!GetVarint64(in, &ping->b)) return false;
+  return true;
+}
+
+}  // namespace muppet
+
+#endif  // FIXTURE_ENGINE_WIRE_H_

@@ -1,0 +1,13 @@
+// Fixture: a justified suppression silences the violation on the next
+// line; the run must come back clean.
+#include <chrono>
+#include <thread>
+
+namespace muppet {
+
+void Nap() {
+  // muppet-lint: allow(determinism): fixture settle loop, bounded
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace muppet

@@ -1,0 +1,208 @@
+"""Pass 2: wire-codec completeness.
+
+For every encode/decode pair in the wire-bearing files (engine/wire.h,
+core/event, net/, kvstore/format.h) this pass verifies that a field
+written on the wire is always read back:
+
+  1. *Field-count pinning* — the number of Put* primitive calls in the
+     encoder equals the number of Get* primitive calls in the decoder.
+     Dropping a GetVarint while the PutVarint stays (the classic
+     "silently truncated struct" bug) trips this even when no field
+     name can be matched.
+  2. *Field symmetry* — every struct member the encoder references must
+     be referenced by the decoder (as `p->member`, or via an
+     identically named local that is later assigned/`.assign`ed).
+  3. *Struct completeness* — every member of a struct that has at least
+     one encoder must appear in *some* encoder of that struct, or carry
+     a `// muppet-lint: allow(wire): why` suppression on its
+     declaration (for fields that deliberately never ride the wire).
+
+Pairs are discovered by name (`EncodeX` <-> `DecodeX`); decoders
+implemented as streaming reader classes are matched through the
+EXTRA_PAIRS table below (e.g. EncodeRoutedEventFrame <->
+RoutedEventFrameReader::Next).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from cpp_model import (ClassInfo, Finding, FunctionInfo, SourceFile,
+                       parse_classes, parse_functions)
+
+CHECK = "wire"
+
+# Files that define wire formats. Directories end with "/".
+WIRE_PATHS = (
+    "src/engine/wire.h",
+    "src/core/event.h", "src/core/event.cc",
+    "src/core/slate.h", "src/core/slate.cc",
+    "src/kvstore/format.h",
+    "src/net/",
+)
+
+# Encoder -> decoder pairs that the EncodeX/DecodeX convention cannot
+# discover (streaming reader classes).
+EXTRA_PAIRS = {
+    "EncodeRoutedEventFrame": ("RoutedEventFrameReader", "Next"),
+}
+
+PUT_RE = re.compile(r"\bPut(Varint32|Varint64|Fixed32|Fixed64|"
+                    r"LengthPrefixed)\s*\(")
+GET_RE = re.compile(r"\bGet(Varint32|Varint64|Fixed32|Fixed64|"
+                    r"LengthPrefixed)\s*\(")
+
+
+@dataclass
+class Codec:
+    fn: FunctionInfo
+    body: str
+    param: str           # name of the struct parameter ("" if none)
+    struct: str          # struct type name ("" if none)
+    prim_calls: int
+
+
+def _in_scope(sf: SourceFile) -> bool:
+    return any(sf.rel == p or (p.endswith("/") and sf.rel.startswith(p))
+               for p in WIRE_PATHS)
+
+
+def _struct_param(header: str, by_ref: bool) -> tuple[str, str]:
+    """(param name, struct type) of the serialized struct argument."""
+    if by_ref:
+        m = re.search(r"\bconst\s+([A-Z]\w*)\s*&\s*(\w+)", header)
+    else:
+        m = re.search(r"\b([A-Z]\w*)\s*\*\s*(\w+)", header)
+    if not m or m.group(1) in ("Bytes", "BytesView", "Status"):
+        return "", ""
+    return m.group(2), m.group(1)
+
+
+def _fields_used(body: str, param: str) -> set[str]:
+    """First-level member names referenced off `param` (by . or ->)."""
+    if not param:
+        return set()
+    return {m.group(1) for m in
+            re.finditer(r"\b" + re.escape(param) + r"\s*(?:\.|->)\s*(\w+)",
+                        body)}
+
+
+def run(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    scoped = [sf for sf in files if _in_scope(sf)]
+
+    encoders: dict[str, Codec] = {}
+    decoders: dict[str, Codec] = {}
+    reader_methods: dict[tuple[str, str], Codec] = {}
+    structs: dict[str, ClassInfo] = {}
+
+    for sf in scoped:
+        classes = parse_classes(sf)
+        for ci in classes:
+            structs.setdefault(ci.name, ci)
+        for fn in parse_functions(sf, classes):
+            body = sf.code[fn.body_start:fn.body_end]
+            puts = len(PUT_RE.findall(body))
+            gets = len(GET_RE.findall(body))
+            if fn.name.startswith("Encode") and puts:
+                param, struct = _struct_param(fn.header_text, by_ref=True)
+                if not param:
+                    # Batch encoders take vector<X> and iterate:
+                    # `for (const X& item : items)`.
+                    fm = re.search(
+                        r"for\s*\(\s*const\s+([A-Z]\w*)\s*&\s*(\w+)\s*:",
+                        body)
+                    if fm:
+                        struct, param = fm.group(1), fm.group(2)
+                encoders[fn.name] = Codec(fn, body, param, struct, puts)
+            elif fn.name.startswith("Decode") and gets:
+                param, struct = _struct_param(fn.header_text, by_ref=False)
+                decoders[fn.name] = Codec(fn, body, param, struct, gets)
+            elif fn.cls and gets:
+                param, struct = _struct_param(fn.header_text, by_ref=False)
+                reader_methods[(fn.cls, fn.name)] = Codec(
+                    fn, body, param, struct, gets)
+
+    # Also pick up struct definitions outside the wire files (RoutedEvent
+    # lives in engine/queue.h, Event in core/event.h).
+    for sf in files:
+        if sf in scoped:
+            continue
+        for ci in parse_classes(sf):
+            structs.setdefault(ci.name, ci)
+
+    encoded_fields_by_struct: dict[str, set[str]] = {}
+    paired_structs: dict[str, list[str]] = {}
+
+    for name, enc in sorted(encoders.items()):
+        suffix = name[len("Encode"):]
+        dec: Codec | None = decoders.get("Decode" + suffix)
+        dec_extra_prims = 0
+        if dec is None and name in EXTRA_PAIRS:
+            reader_cls, method = EXTRA_PAIRS[name]
+            dec = reader_methods.get((reader_cls, method))
+            # A streaming reader may consume frame-level prefixes (the
+            # event count) in its constructor; count those too.
+            ctor = reader_methods.get((reader_cls, reader_cls))
+            if ctor is not None:
+                dec_extra_prims = ctor.prim_calls
+        sf = enc.fn.file
+        if dec is None:
+            if not sf.allows(CHECK, enc.fn.line):
+                findings.append(Finding(
+                    CHECK, sf.rel, enc.fn.line,
+                    f"{name} has no matching Decode{suffix} "
+                    f"(or registered reader) in the wire scope"))
+            continue
+
+        # 1. field-count pinning
+        dec_prims = dec.prim_calls + dec_extra_prims
+        if enc.prim_calls != dec_prims and not sf.allows(
+                CHECK, enc.fn.line):
+            findings.append(Finding(
+                CHECK, sf.rel, enc.fn.line,
+                f"codec field-count mismatch: {name} writes "
+                f"{enc.prim_calls} wire primitives but "
+                f"{dec.fn.key} reads {dec_prims} "
+                f"({dec.fn.file.rel}:{dec.fn.line})"))
+
+        # 2. field symmetry (needs a recognizable struct param on the
+        # encoder; the decoder may use locals named after the fields).
+        enc_fields = _fields_used(enc.body, enc.param)
+        if enc.struct:
+            encoded_fields_by_struct.setdefault(
+                enc.struct, set()).update(enc_fields)
+            paired_structs.setdefault(enc.struct, []).append(name)
+        dec_fields = _fields_used(dec.body, dec.param)
+        dec_idents = set(re.findall(r"[A-Za-z_]\w*", dec.body))
+        for f in sorted(enc_fields):
+            if f in dec_fields or f in dec_idents:
+                continue
+            if sf.allows(CHECK, enc.fn.line):
+                continue
+            findings.append(Finding(
+                CHECK, sf.rel, enc.fn.line,
+                f"field '{f}' is written by {name} but never read back "
+                f"by {dec.fn.key} ({dec.fn.file.rel}:{dec.fn.line})"))
+
+    # 3. struct completeness
+    for struct, enc_fields in sorted(encoded_fields_by_struct.items()):
+        ci = structs.get(struct)
+        if ci is None:
+            continue
+        for fld in ci.fields:
+            if fld.is_static or fld.is_constexpr:
+                continue
+            if fld.name in enc_fields:
+                continue
+            if ci.file.allows(CHECK, fld.line):
+                continue
+            findings.append(Finding(
+                CHECK, ci.file.rel, fld.line,
+                f"{struct}::{fld.name} is never serialized by any of its "
+                f"encoders ({', '.join(paired_structs[struct])}); if the "
+                f"field deliberately stays off the wire, annotate it with "
+                f"`// muppet-lint: allow(wire): <why>`"))
+
+    return findings

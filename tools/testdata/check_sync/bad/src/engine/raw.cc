@@ -1,0 +1,10 @@
+// Fixture: raw std synchronization that check_sync must reject.
+#include <mutex>
+
+namespace muppet {
+
+std::mutex g_raw;
+
+void Touch() { std::lock_guard<std::mutex> lock(g_raw); }
+
+}  // namespace muppet

@@ -1,0 +1,9 @@
+// Fixture: raw std synchronization in a test file — the extended scan
+// over tests/ must catch this too.
+#include <shared_mutex>
+
+namespace muppet {
+
+std::shared_mutex g_test_raw;
+
+}  // namespace muppet

@@ -1,0 +1,14 @@
+// Fixture: uses only the project wrappers; check_sync must pass.
+#include "common/sync.h"
+
+namespace muppet {
+
+class Fine {
+ public:
+  void Touch() { MutexLock lock(mutex_); }
+
+ private:
+  Mutex mutex_{LockLevel::kUnordered};
+};
+
+}  // namespace muppet

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fixture tests for the standalone repo linters (ctest: tools_selftest).
+
+Covers:
+  * check_sync.py — rejects raw std synchronization in src/ AND tests/
+    (the fixture seeds one violation in each), passes a clean tree
+  * check_prom.py — accepts a spec-conforming exposition, rejects one
+    with a duplicate sample and a non-cumulative histogram ladder
+
+check_bench.py and muppet-lint carry their own selftests
+(check_bench.py --selftest, muppet_lint/selftest.py).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TESTDATA = os.path.join(HERE, "testdata")
+
+_failures: list[str] = []
+
+
+def run(script: str, *args: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(HERE, script), *args],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check(cond: bool, what: str) -> None:
+    tag = "ok" if cond else "FAIL"
+    print(f"[{tag}] {what}")
+    if not cond:
+        _failures.append(what)
+
+
+def main() -> int:
+    rc, out = run("check_sync.py", os.path.join(TESTDATA, "check_sync",
+                                                "clean"))
+    check(rc == 0, f"check_sync passes the clean fixture (rc={rc})")
+
+    rc, out = run("check_sync.py", os.path.join(TESTDATA, "check_sync",
+                                                "bad"))
+    check(rc == 1, f"check_sync fails the seeded fixture (rc={rc})")
+    check("raw.cc" in out and "std::mutex" in out,
+          "src/ violation reported with file and primitive")
+    check("raw_test.cc" in out,
+          "tests/ violation reported (extended scan)")
+
+    rc, out = run("check_prom.py", os.path.join(TESTDATA, "check_prom",
+                                                "good.prom"))
+    check(rc == 0, f"check_prom accepts a conforming scrape (rc={rc})")
+
+    rc, out = run("check_prom.py", os.path.join(TESTDATA, "check_prom",
+                                                "bad.prom"))
+    check(rc == 1, f"check_prom rejects the seeded scrape (rc={rc})")
+    check("duplicate" in out.lower(), "duplicate sample reported")
+    check("cumulative" in out.lower() or "bucket" in out.lower(),
+          "non-cumulative histogram ladder reported")
+
+    if _failures:
+        print(f"\ntools_selftest: {len(_failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("\ntools_selftest: all fixtures behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
