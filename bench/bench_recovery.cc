@@ -1,0 +1,136 @@
+// E17 (DESIGN.md §12): the cost of durability and the speed of recovery.
+//
+// Part 1 — knob overhead: the same counting workload runs under each
+// consistency setting. kLossy must sit within noise of the engine's
+// ordinary throughput (the changelog code is fully bypassed); the
+// at-least-once column prices the buffered changelog (one fsync per
+// `sync_every_records`), and exactly-once prices a sync per append plus
+// the receive-side dedup probe.
+//
+// Part 2 — replay throughput: after a durable run, machine 1 crashes and
+// restarts; recovery replays its changelog suffix before the machine
+// rejoins. Reported as records/sec through ReplayChangelog, the number
+// that bounds how fast a machine can come back.
+//
+// Emits BENCH_recovery.json (gated by tools/check_bench.py).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/slate.h"
+#include "engine/muppet2.h"
+#include "engine/slatelog.h"
+#include "json/json.h"
+#include "workload/zipf_keys.h"
+
+namespace muppet {
+namespace bench {
+namespace {
+
+constexpr int kEvents = 30000;
+constexpr int kMachines = 4;
+constexpr int kNumKeys = 512;
+
+void BuildCounting(AppConfig* config) {
+  CheckOk(config->DeclareInputStream("in"), "declare");
+  CheckOk(config->AddUpdater(
+              "count",
+              MakeUpdaterFactory([](PerformerUtilities& out, const Event&,
+                                    const Bytes* slate) {
+                JsonSlate s(slate);
+                s.data()["count"] = s.data().GetInt("count") + 1;
+                (void)out.ReplaceSlate(s.Serialize());
+              }),
+              {"in"}),
+          "add updater");
+}
+
+void Run(Consistency knob, Table& table, JsonReport& report) {
+  AppConfig config;
+  BuildCounting(&config);
+  ScratchDir scratch;
+  EngineOptions options;
+  options.num_machines = kMachines;
+  options.threads_per_machine = 2;
+  options.queue_capacity = 1 << 16;
+  options.durability.consistency = knob;
+  if (knob != Consistency::kLossy) {
+    options.durability.dir = scratch.path();
+  }
+  Muppet2Engine engine(config, options);
+  CheckOk(engine.Start(), "start");
+
+  workload::ZipfKeyGenerator keys(kNumKeys, 0.9, "k", 23);
+  Stopwatch timer;
+  for (int i = 0; i < kEvents; ++i) {
+    CheckOk(engine.Publish("in", keys.Next(), "", i + 1), "publish");
+  }
+  CheckOk(engine.Drain(), "drain");
+  const int64_t elapsed = timer.ElapsedMicros();
+  const EngineStats steady = engine.Stats();
+
+  Json& row = report.AddRow();
+  row["consistency"] = ConsistencyName(knob);
+  row["phase"] = "steady";
+  row["events"] = static_cast<int64_t>(kEvents);
+  row["elapsed_us"] = elapsed;
+  row["events_per_sec"] = static_cast<double>(kEvents) * 1e6 /
+                          static_cast<double>(elapsed > 0 ? elapsed : 1);
+  row["slatelog_appends"] = steady.slatelog_appends;
+  row["checkpoints"] = steady.checkpoints;
+  JsonReport::PutLatency(steady, &row);
+  table.Row({ConsistencyName(knob), "steady", Eps(kEvents, elapsed),
+             FmtInt(steady.latency_p99_us), FmtInt(steady.slatelog_appends),
+             "-", "-"});
+
+  // Part 2: crash/restart machine 1 and time the replay that gates its
+  // rejoin. Lossy has nothing to replay, so the phase is durable-only.
+  if (knob != Consistency::kLossy) {
+    CheckOk(engine.CrashMachine(1), "crash");
+    Stopwatch recovery;
+    CheckOk(engine.RestartMachine(1), "restart");
+    const int64_t replay_elapsed = recovery.ElapsedMicros();
+    const EngineStats after = engine.Stats();
+    const int64_t replayed =
+        after.slatelog_replayed_records - steady.slatelog_replayed_records;
+    Json& rrow = report.AddRow();
+    rrow["consistency"] = ConsistencyName(knob);
+    rrow["phase"] = "replay";
+    rrow["replay_records"] = replayed;
+    rrow["replay_elapsed_us"] = replay_elapsed;
+    rrow["replay_records_per_sec"] =
+        static_cast<double>(replayed) * 1e6 /
+        static_cast<double>(replay_elapsed > 0 ? replay_elapsed : 1);
+    table.Row({ConsistencyName(knob), "replay", "-", "-", "-",
+               FmtInt(replayed), Eps(replayed, replay_elapsed)});
+  }
+  CheckOk(engine.Stop(), "stop");
+}
+
+void Main() {
+  Banner("E17: durability-knob overhead and changelog replay throughput "
+         "(Muppet 2.0, 4 machines)");
+  JsonReport report("recovery");
+  Table table({"consistency", "phase", "events/s", "p99_us", "appends",
+               "replayed", "replay_rec/s"});
+  Run(Consistency::kLossy, table, report);
+  Run(Consistency::kAtLeastOnce, table, report);
+  Run(Consistency::kExactlyOnce, table, report);
+  report.Write();
+  std::printf("\nExpected trend: lossy ~= the engine's ordinary throughput "
+              "(changelog fully\nbypassed); at-least-once pays one fsync per "
+              "sync_every_records; exactly-once\npays a sync per append. "
+              "Replay streams the changelog suffix back well above\nsteady "
+              "publish rates, so recovery is bounded by log length, not "
+              "live load.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace muppet
+
+int main() {
+  muppet::bench::Main();
+  return 0;
+}

@@ -35,6 +35,9 @@
 //                           read on the dispatch path under a stripe lock)
 //     24   merge-dedupe     per-machine applied merge-delta id sets
 //     25   ring-override    HashRing key->machine override table (shared)
+//     26   dedup-table      exactly-once bounded event-identity dedup table
+//                           (consulted on frame receive; seeded under the
+//                           recovery path while the machine is unroutable)
 //     30   transport        Transport machine registry (shared)
 //     35   transport-rng    Transport loss-model RNG
 //     36   fault-injector   FaultInjector decision/partition/action state
@@ -50,6 +53,9 @@
 //     90   store-tables     Shard SSTable list
 //    100   store-io         MemTable map, WAL file, SSTable file handle
 //    110   journal          EventJournal / SlateLogger append files
+//    112   slate-changelog  SlateChangelog segment files + manifest cursor
+//                           (appended under a slate-stripe lock on the
+//                           update path; synced from the flusher thread)
 //    115   service          HttpServer worker-thread registry
 //    120   metrics          MetricsRegistry name->counter maps
 //    122   trace-stripe     TraceSink per-stripe trace ring buffers
@@ -121,6 +127,7 @@ enum class LockLevel : int {
   kSplitTable = 22,
   kMergeDedupe = 24,
   kRingOverride = 25,
+  kDedupTable = 26,
   kTransport = 30,
   kTransportRng = 35,
   kFaultInjector = 36,
@@ -136,6 +143,7 @@ enum class LockLevel : int {
   kStoreTables = 90,
   kStoreIo = 100,
   kJournal = 110,
+  kSlateChangelog = 112,
   kService = 115,
   kMetrics = 120,
   kTraceStripe = 122,

@@ -20,6 +20,13 @@ std::string EngineStats::ToString() const {
      << " store_writes=" << slate_store_writes << "\n"
      << "failures_detected=" << failures_detected
      << " operator_instances=" << operator_instances << "\n"
+     << "durability: appends=" << slatelog_appends
+     << " synced=" << slatelog_synced_records
+     << " replays=" << slatelog_replays
+     << " replayed=" << slatelog_replayed_records
+     << " torn_tails=" << slatelog_torn_tails
+     << " checkpoints=" << checkpoints << " deduped=" << events_deduped
+     << "\n"
      << "transport: sent=" << transport_messages_sent
      << " local=" << transport_messages_local
      << " frames=" << transport_frames_sent

@@ -20,6 +20,7 @@
 #include "core/topology.h"
 #include "engine/load_manager.h"
 #include "engine/overflow.h"
+#include "engine/slatelog.h"
 #include "engine/throttle.h"
 #include "net/transport.h"
 
@@ -62,6 +63,13 @@ struct EngineOptions {
 
   // Durable slate store; nullptr runs cache-only (volatile slates).
   SlateStore* slate_store = nullptr;
+
+  // Durability / consistency knob (engine/slatelog.h, DESIGN.md §12):
+  // kLossy reproduces the paper (crash loses cached updates, zero cost);
+  // kAtLeastOnce adds a per-machine slate changelog with buffered syncs
+  // and replay-on-recovery; kExactlyOnce syncs every append and dedups
+  // redelivered cross-machine batches after the recovery epoch cut.
+  DurabilityOptions durability;
 
   // Background flusher cadence for SlateFlushPolicy::kInterval updaters.
   Timestamp flush_poll_micros = 10 * kMicrosPerMilli;
@@ -109,6 +117,15 @@ struct EngineStats {
   int64_t slate_store_writes = 0;
 
   int64_t failures_detected = 0;
+
+  // Durability plane (engine/slatelog.h; all zero in kLossy mode).
+  int64_t slatelog_appends = 0;          // changelog records written
+  int64_t slatelog_synced_records = 0;   // records made durable (fsynced)
+  int64_t slatelog_replays = 0;          // recovery replay passes completed
+  int64_t slatelog_replayed_records = 0;  // records applied during replays
+  int64_t slatelog_torn_tails = 0;       // replays that hit a torn tail
+  int64_t checkpoints = 0;               // incremental checkpoints taken
+  int64_t events_deduped = 0;  // redelivered events suppressed (exactly-once)
 
   // Transport-level counters (net/transport.h; PR-1 datapath).
   int64_t transport_messages_sent = 0;   // cross-machine messages
@@ -164,6 +181,16 @@ struct MachineStatus {
   // Hash-ring ownership: function name -> vnode points owned by this
   // machine's workers.
   std::map<std::string, int> ring_ownership;
+
+  // Durability panel (engine/slatelog.h; zeros in kLossy mode).
+  std::string consistency;        // knob name ("lossy", "at-least-once", ...)
+  uint64_t slatelog_lsn = 0;          // last appended changelog lsn
+  uint64_t slatelog_synced_lsn = 0;   // last durable (fsynced) lsn
+  uint64_t slatelog_segments = 0;     // live segment files
+  uint64_t manifest_lsn = 0;          // checkpoint cursor
+  int64_t replays = 0;                // recovery replays on this machine
+  size_t dedup_entries = 0;           // dedup-table occupancy
+  size_t dedup_capacity = 0;
 };
 
 class Engine {

@@ -18,6 +18,7 @@ bool Master::ReportFailure(MachineId machine) {
   std::vector<FailureListener> listeners;
   {
     MutexLock lock(mutex_);
+    recovering_.erase(machine);  // a re-crash aborts any recovery in flight
     if (!failed_.insert(machine).second) return false;  // already known
     listeners = listeners_;
   }
@@ -33,6 +34,7 @@ bool Master::ClearFailure(MachineId machine) {
   {
     MutexLock lock(mutex_);
     if (failed_.erase(machine) == 0) return false;  // was not failed
+    recovering_.erase(machine);
     listeners = recovery_listeners_;
   }
   recoveries_reported_.Add();
@@ -40,6 +42,17 @@ bool Master::ClearFailure(MachineId machine) {
                     << " recovered; broadcasting";
   for (const RecoveryListener& l : listeners) l(machine);
   return true;
+}
+
+bool Master::BeginRecovery(MachineId machine) {
+  MutexLock lock(mutex_);
+  if (failed_.count(machine) == 0) return false;
+  return recovering_.insert(machine).second;
+}
+
+bool Master::IsRecovering(MachineId machine) const {
+  MutexLock lock(mutex_);
+  return recovering_.count(machine) > 0;
 }
 
 std::set<MachineId> Master::failed() const {

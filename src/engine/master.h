@@ -45,7 +45,22 @@ class Master {
   // chaos harness's scripted restarts). Idempotent: only clearing a
   // machine actually marked failed broadcasts to recovery listeners.
   // Returns true if the machine was failed.
+  //
+  // Durable recovery ordering (DESIGN.md §12): ClearFailure is the point
+  // where peers erase the machine from their failed sets and the ring
+  // starts routing to it again — so an engine must finish restoring the
+  // machine's slates (changelog replay) BEFORE calling it. BeginRecovery
+  // marks the intermediate state: the machine is coming back (its
+  // transport endpoint may be live for replay traffic) but it is still
+  // failed for routing purposes until ClearFailure.
   bool ClearFailure(MachineId machine);
+
+  // Mark a failed machine as recovering. The machine stays in failed()
+  // (unroutable) and no recovery broadcast fires. Returns false if the
+  // machine is not failed or already recovering.
+  bool BeginRecovery(MachineId machine);
+
+  bool IsRecovering(MachineId machine) const MUPPET_EXCLUDES(mutex_);
 
   std::set<MachineId> failed() const MUPPET_EXCLUDES(mutex_);
   bool IsFailed(MachineId machine) const MUPPET_EXCLUDES(mutex_);
@@ -60,6 +75,7 @@ class Master {
  private:
   mutable Mutex mutex_{kLockLevel};
   std::set<MachineId> failed_ MUPPET_GUARDED_BY(mutex_);
+  std::set<MachineId> recovering_ MUPPET_GUARDED_BY(mutex_);
   std::vector<FailureListener> listeners_ MUPPET_GUARDED_BY(mutex_);
   std::vector<RecoveryListener> recovery_listeners_ MUPPET_GUARDED_BY(mutex_);
   Counter failures_reported_;

@@ -211,6 +211,16 @@ Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
       store_writes_(metrics_.GetCounter("muppet_slate_store_writes_total")),
       operator_instances_(
           metrics_.GetCounter("muppet_operator_instances_total")),
+      slatelog_appends_(
+          metrics_.GetCounter("muppet_slatelog_appends_total")),
+      slatelog_replays_(
+          metrics_.GetCounter("muppet_slatelog_replays_total")),
+      slatelog_replayed_(
+          metrics_.GetCounter("muppet_slatelog_replayed_records_total")),
+      slatelog_torn_tails_(
+          metrics_.GetCounter("muppet_slatelog_torn_tails_total")),
+      checkpoints_(metrics_.GetCounter("muppet_checkpoints_total")),
+      deduped_(metrics_.GetCounter("muppet_events_deduped_total")),
       latency_(metrics_.GetHistogram("muppet_e2e_latency_us")) {}
 
 Muppet1Engine::~Muppet1Engine() { (void)Stop(); }
@@ -227,6 +237,11 @@ Status Muppet1Engine::Start() {
           "engine: overflow stream is not declared");
     }
   }
+  if (durable() && options_.durability.dir.empty()) {
+    return Status::InvalidArgument(
+        "engine: durability requires a changelog directory "
+        "(EngineOptions::durability.dir)");
+  }
 
   for (int m = 0; m < options_.num_machines; ++m) {
     auto machine = std::make_unique<MachineCtx>();
@@ -236,6 +251,18 @@ Status Muppet1Engine::Start() {
       trace_options.recent_capacity = options_.trace.recent_traces;
       trace_options.slowest_capacity = options_.trace.slowest_traces;
       machine->trace_sink = std::make_unique<TraceSink>(trace_options);
+    }
+    if (durable()) {
+      SlateChangelog::Options log_options;
+      log_options.sync_every_records =
+          exactly_once() ? 1 : options_.durability.sync_every_records;
+      machine->changelog = std::make_unique<SlateChangelog>(
+          options_.durability.dir, static_cast<uint64_t>(m), log_options);
+      MUPPET_RETURN_IF_ERROR(machine->changelog->Open());
+      if (exactly_once()) {
+        machine->dedup =
+            std::make_unique<DedupTable>(options_.durability.dedup_capacity);
+      }
     }
     machines_.push_back(std::move(machine));
   }
@@ -329,6 +356,15 @@ Status Muppet1Engine::Start() {
       machine->failed.erase(recovered);
     }
   });
+
+  // Cold-start replay (warm process restart in a durable mode): re-home
+  // every machine's logged slates into their owning workers' caches
+  // before any conductor runs.
+  if (durable()) {
+    for (auto& machine : machines_) {
+      MUPPET_RETURN_IF_ERROR(ReplayChangelog(machine.get()));
+    }
+  }
 
   // Spin up conductors and per-machine flushers.
   for (auto& worker : workers_) {
@@ -457,6 +493,14 @@ void Muppet1Engine::SendToWorker(MachineId from, const Worker* sender,
 
   RoutedEvent re{function, event};
   re.event.seq = NextSeq();
+  // Exactly-once: stamp the delivery identity the receiver dedups on
+  // (engine/slatelog.h). Derived after the final seq assignment so each
+  // routed copy is a distinct delivery.
+  if (exactly_once()) {
+    re.dedup = DedupIdentity(
+        HashCombine(Fnv1a64(function), Fnv1a64(event.key)), re.event.ts,
+        re.event.seq);
+  }
   Bytes payload;
   PutVarint32(&payload, static_cast<uint32_t>(target.value().slot));
   EncodeRoutedEvent(re, &payload);
@@ -551,8 +595,21 @@ Status Muppet1Engine::HandleIncoming(MachineId to, BytesView payload) {
     return Status::NotFound("engine: no such worker slot");
   }
   if (re.event.trace.sampled()) re.enqueue_ts = clock_->Now();
+  // Exactly-once suppression (engine/slatelog.h): an identity this
+  // machine already processed settles as deduped. Recorded only after a
+  // successful push so a declined (queue-full) send can be retried by the
+  // sender without being mistaken for a duplicate.
+  const uint64_t dedup_id =
+      (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
+  if (dedup_id != 0 && machine->dedup->Contains(dedup_id)) {
+    deduped_->Add();
+    DecInflight(1);
+    return Status::OK();
+  }
   // The queue declines when full; the decline propagates to the sender.
-  return it->second->queue->TryPush(std::move(re));
+  Status s = it->second->queue->TryPush(std::move(re));
+  if (s.ok() && dedup_id != 0) machine->dedup->Seed(dedup_id);
+  return s;
 }
 
 void Muppet1Engine::ConductorLoop(Worker* worker) {
@@ -573,7 +630,7 @@ void Muppet1Engine::ConductorLoop(Worker* worker) {
         sink->Record(std::move(wait));
       }
     }
-    Status s = ProcessOne(worker, re.event);
+    Status s = ProcessOne(worker, re.event, re.dedup);
     if (!s.ok()) {
       MUPPET_LOG(kError) << "worker " << worker->function << "@"
                          << worker->ref.machine << ": " << s.ToString();
@@ -613,7 +670,8 @@ Status Muppet1Engine::FetchSlateForWorker(Worker* worker, BytesView key,
   return Status::NotFound("slate absent");
 }
 
-Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event) {
+Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event,
+                                 uint64_t dedup) {
   // Execution span: covers the slate fetch, the task-processor round
   // trip, the slate write-back, and the delivery of emitted events (the
   // same window the 2.0 engine's exec span covers). Outputs emitted here
@@ -654,6 +712,8 @@ Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event) {
   MUPPET_RETURN_IF_ERROR(
       engine_internal::TaskProcessor::DecodeResponse(response, &decoded));
 
+  MachineCtx* machine =
+      machines_[static_cast<size_t>(worker->ref.machine)].get();
   if (worker->kind == OperatorKind::kUpdater) {
     const SlateId id{worker->function, event.key};
     if (decoded.slate_action == 1) {
@@ -661,9 +721,21 @@ Status Muppet1Engine::ProcessOne(Worker* worker, const Event& event) {
                                  SlateFlushPolicy::kWriteThrough;
       MUPPET_RETURN_IF_ERROR(worker->cache->Update(
           id, decoded.slate, clock_->Now(), write_through));
+      AppendSlateLog(machine, SlateLogKind::kUpdate, worker->function,
+                     event.key, decoded.slate, event, dedup);
     } else if (decoded.slate_action == 2) {
       MUPPET_RETURN_IF_ERROR(worker->cache->Delete(id));
+      AppendSlateLog(machine, SlateLogKind::kDelete, worker->function,
+                     event.key, BytesView(), event, dedup);
+    } else if (dedup != 0 && machine->changelog != nullptr) {
+      // No slate effect, but the processed identity must survive into
+      // replay seeding (exactly-once epoch cut).
+      AppendSlateLog(machine, SlateLogKind::kMark, worker->function,
+                     event.key, BytesView(), event, dedup);
     }
+  } else if (dedup != 0 && machine->changelog != nullptr) {
+    AppendSlateLog(machine, SlateLogKind::kMark, worker->function, event.key,
+                   BytesView(), event, dedup);
   }
 
   for (Event& out : decoded.outputs) {
@@ -698,7 +770,145 @@ void Muppet1Engine::FlusherLoop(MachineCtx* machine) {
       (void)worker->cache->FlushDirty(
           now - worker->updater_options.flush_interval_micros);
     }
+    if (machine->changelog != nullptr) MaybeCheckpoint(machine);
   }
+}
+
+void Muppet1Engine::AppendSlateLog(MachineCtx* machine, SlateLogKind kind,
+                                   const std::string& updater, BytesView key,
+                                   BytesView value, const Event& event,
+                                   uint64_t dedup) {
+  if (machine->changelog == nullptr) return;
+  SlateLogRecord rec;
+  rec.kind = static_cast<uint8_t>(kind);
+  rec.updater = updater;
+  rec.key.assign(key);
+  rec.value.assign(value);
+  rec.ts = event.ts;
+  rec.seq = event.seq;
+  rec.work = HashCombine(Fnv1a64(updater), Fnv1a64(key));
+  rec.dedup = dedup;
+  Result<uint64_t> lsn = machine->changelog->Append(std::move(rec));
+  if (!lsn.ok()) {
+    MUPPET_LOG(kError) << "slatelog: append failed on machine "
+                       << machine->id << ": " << lsn.status().ToString();
+    return;
+  }
+  slatelog_appends_->Add();
+  machine->appends_since_checkpoint.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Muppet1Engine::MaybeCheckpoint(MachineCtx* machine) {
+  // Bound the at-least-once loss window across workload pauses.
+  (void)machine->changelog->Sync();
+
+  const uint64_t every = options_.durability.checkpoint_every_records;
+  if (every == 0 || options_.slate_store == nullptr) return;
+  if (machine->appends_since_checkpoint.load(std::memory_order_acquire) <
+      every) {
+    return;
+  }
+
+  const uint64_t cut = machine->changelog->last_lsn();
+  machine->appends_since_checkpoint.store(0, std::memory_order_release);
+  // 1.0 scatters the machine's slates over per-worker caches; a
+  // checkpoint flushes them all.
+  for (Worker* worker : machine->workers) {
+    if (worker->cache == nullptr) continue;
+    Result<int> flushed = worker->cache->FlushDirty(INT64_MAX);
+    if (!flushed.ok()) {
+      MUPPET_LOG(kError) << "slatelog: checkpoint flush failed on machine "
+                         << machine->id << ": "
+                         << flushed.status().ToString();
+      return;
+    }
+  }
+
+  (void)machine->changelog->RotateSegment();
+
+  CheckpointManifest manifest;
+  manifest.machine = static_cast<uint64_t>(machine->id);
+  manifest.lsn = cut;
+  manifest.segment = machine->changelog->active_segment();
+  manifest.ts = clock_->Now();
+  Status s = SlateChangelog::WriteManifestFile(options_.durability.dir,
+                                               manifest);
+  if (!s.ok()) {
+    MUPPET_LOG(kError) << "slatelog: manifest write failed on machine "
+                       << machine->id << ": " << s.ToString();
+    return;
+  }
+  machine->manifest_lsn.store(cut, std::memory_order_release);
+
+  Bytes payload;
+  EncodeCheckpointManifest(manifest, &payload);
+  (void)options_.slate_store->cluster()->Put(
+      kCheckpointColumnFamily,
+      "machine-" + std::to_string(machine->id), "manifest", payload);
+
+  (void)machine->changelog->DropSegmentsCoveredBy(cut);
+  checkpoints_->Add();
+}
+
+Status Muppet1Engine::ReplayChangelog(MachineCtx* machine) {
+  if (machine->changelog == nullptr) return Status::OK();
+  CheckpointManifest manifest;
+  MUPPET_RETURN_IF_ERROR(SlateChangelog::ReadManifestFile(
+      options_.durability.dir, static_cast<uint64_t>(machine->id),
+      &manifest));
+  machine->manifest_lsn.store(manifest.lsn, std::memory_order_release);
+
+  // Re-home each logged slate into its owning worker's cache. Routing
+  // uses the steady-state (no-failures) ring view: the records were
+  // written by this machine's workers under stable membership, so their
+  // keys route back to the same slots.
+  const std::set<MachineId> no_failed;
+  const Timestamp now = clock_->Now();
+  const size_t seed_window = options_.durability.replay_seed_window;
+  std::deque<uint64_t> identities;
+  SlateLogReplayStats replay_stats;
+  Status s = SlateChangelog::Replay(
+      options_.durability.dir, static_cast<uint64_t>(machine->id),
+      manifest.lsn,
+      [&](const SlateLogRecord& rec) {
+        if (rec.dedup != 0 && machine->dedup != nullptr) {
+          identities.push_back(rec.dedup);
+          if (identities.size() > seed_window) identities.pop_front();
+        }
+        const SlateLogKind kind = static_cast<SlateLogKind>(rec.kind);
+        if (kind == SlateLogKind::kMark) return;
+        Result<WorkerRef> target =
+            ring_.Route(rec.updater, rec.key, no_failed);
+        if (!target.ok() || target.value().machine != machine->id) return;
+        auto it = machine->by_slot.find({rec.updater, target.value().slot});
+        if (it == machine->by_slot.end() || it->second->cache == nullptr) {
+          return;
+        }
+        if (kind == SlateLogKind::kUpdate) {
+          (void)it->second->cache->Update(SlateId{rec.updater, rec.key},
+                                          rec.value, now,
+                                          /*write_through=*/false);
+        } else {
+          (void)it->second->cache->Delete(SlateId{rec.updater, rec.key});
+        }
+      },
+      &replay_stats);
+  if (!s.ok()) return s;
+
+  if (machine->dedup != nullptr) {
+    for (const uint64_t id : identities) machine->dedup->Seed(id);
+  }
+
+  slatelog_replays_->Add();
+  slatelog_replayed_->Add(static_cast<int64_t>(replay_stats.records));
+  if (replay_stats.truncated_tail) slatelog_torn_tails_->Add();
+  machine->replays.fetch_add(1, std::memory_order_acq_rel);
+  MUPPET_LOG(kInfo) << "slatelog: machine " << machine->id << " replayed "
+                    << replay_stats.records << " records ("
+                    << replay_stats.skipped << " below manifest lsn "
+                    << manifest.lsn << ", torn_tail="
+                    << (replay_stats.truncated_tail ? "yes" : "no") << ")";
+  return Status::OK();
 }
 
 void Muppet1Engine::DecInflight(int64_t n) {
@@ -739,6 +949,13 @@ Status Muppet1Engine::Stop() {
       (void)worker->cache->FlushDirty(INT64_MAX);
     }
     worker->queue->Stop();
+  }
+  // Graceful shutdown syncs each changelog tail: stop/start in a durable
+  // mode is lossless (only crashes lose the unsynced tail).
+  for (auto& machine : machines_) {
+    if (machine->changelog != nullptr && !machine->crashed.load()) {
+      (void)machine->changelog->Close();
+    }
   }
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
@@ -804,6 +1021,11 @@ Status Muppet1Engine::CrashMachine(MachineId machine_id) {
   for (Worker* worker : machine->workers) {
     if (worker->cache != nullptr) worker->cache->Clear();
   }
+  // Durability plane: unsynced changelog appends die with the machine's
+  // memory (the durable prefix stays for replay); the dedup table is
+  // volatile and re-seeded from the changelog at recovery.
+  if (machine->changelog != nullptr) machine->changelog->CrashClose();
+  if (machine->dedup != nullptr) machine->dedup->Clear();
   return Status::OK();
 }
 
@@ -818,9 +1040,20 @@ Status Muppet1Engine::RestartMachine(MachineId machine_id) {
     return Status::FailedPrecondition("machine not crashed");
   }
 
+  // Recovery ordering (Master::ClearFailure doc): the machine stays
+  // unroutable until its slates are restored.
+  (void)master_.BeginRecovery(machine_id);
+
   // FlusherLoop exits once it observes crashed; the conductor threads were
   // joined by CrashMachine. Join the flusher before respawning either.
   if (machine->flusher.joinable()) machine->flusher.join();
+
+  // Restore durable state before any traffic can reach the machine.
+  if (machine->changelog != nullptr) {
+    MUPPET_RETURN_IF_ERROR(machine->changelog->Open());
+    MUPPET_RETURN_IF_ERROR(ReplayChangelog(machine));
+  }
+
   for (Worker* worker : machine->workers) {
     worker->queue->Restart();
   }
@@ -855,6 +1088,18 @@ EngineStats Muppet1Engine::Stats() const {
   stats.slate_store_reads = store_reads_->Get();
   stats.slate_store_writes = store_writes_->Get();
   stats.failures_detected = master_.failures_reported();
+  stats.slatelog_appends = slatelog_appends_->Get();
+  for (const auto& machine : machines_) {
+    if (machine->changelog != nullptr) {
+      stats.slatelog_synced_records +=
+          static_cast<int64_t>(machine->changelog->synced_lsn());
+    }
+  }
+  stats.slatelog_replays = slatelog_replays_->Get();
+  stats.slatelog_replayed_records = slatelog_replayed_->Get();
+  stats.slatelog_torn_tails = slatelog_torn_tails_->Get();
+  stats.checkpoints = checkpoints_->Get();
+  stats.events_deduped = deduped_->Get();
   stats.transport_messages_sent = transport_.messages_sent();
   stats.transport_messages_local = transport_.messages_local();
   stats.transport_frames_sent = transport_.frames_sent();
@@ -896,6 +1141,19 @@ std::vector<MachineStatus> Muppet1Engine::MachineStatuses() const {
       auto counts = ring_.OwnershipCounts(function);
       auto it = counts.find(machine->id);
       if (it != counts.end()) ms.ring_ownership[function] = it->second;
+    }
+    ms.consistency = ConsistencyName(options_.durability.consistency);
+    if (machine->changelog != nullptr) {
+      ms.slatelog_lsn = machine->changelog->last_lsn();
+      ms.slatelog_synced_lsn = machine->changelog->synced_lsn();
+      ms.slatelog_segments = machine->changelog->segment_count();
+      ms.manifest_lsn =
+          machine->manifest_lsn.load(std::memory_order_acquire);
+      ms.replays = machine->replays.load(std::memory_order_acquire);
+    }
+    if (machine->dedup != nullptr) {
+      ms.dedup_entries = machine->dedup->size();
+      ms.dedup_capacity = machine->dedup->capacity();
     }
     out.push_back(std::move(ms));
   }
@@ -1010,6 +1268,35 @@ void Muppet1Engine::RegisterCallbackMetrics() {
           }
           return total;
         });
+    if (machine->changelog != nullptr) {
+      SlateChangelog* log = machine->changelog.get();
+      metrics_.RegisterCallback(
+          "muppet_slatelog_lsn", m_label, MetricType::kGauge,
+          [log] { return static_cast<int64_t>(log->last_lsn()); });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_synced_lsn", m_label, MetricType::kGauge,
+          [log] { return static_cast<int64_t>(log->synced_lsn()); });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_segments", m_label, MetricType::kGauge,
+          [log] { return static_cast<int64_t>(log->segment_count()); });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_manifest_lsn", m_label, MetricType::kGauge,
+          [machine] {
+            return static_cast<int64_t>(
+                machine->manifest_lsn.load(std::memory_order_acquire));
+          });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_machine_replays_total", m_label,
+          MetricType::kCounter, [machine] {
+            return machine->replays.load(std::memory_order_acquire);
+          });
+    }
+    if (machine->dedup != nullptr) {
+      DedupTable* dedup = machine->dedup.get();
+      metrics_.RegisterCallback(
+          "muppet_dedup_entries", m_label, MetricType::kGauge,
+          [dedup] { return static_cast<int64_t>(dedup->size()); });
+    }
     for (Worker* worker : machine->workers) {
       MetricLabels q_label = m_label;
       q_label.emplace_back("operator", worker->function);

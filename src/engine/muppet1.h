@@ -139,11 +139,35 @@ class Muppet1Engine final : public Engine {
     std::thread flusher;
     // Per-machine trace ring (null when tracing is disabled).
     std::unique_ptr<TraceSink> trace_sink;
+    // Durability plane (engine/slatelog.h); both null in kLossy mode,
+    // dedup additionally null below kExactlyOnce. One changelog per
+    // machine even though 1.0 scatters slates over per-worker caches —
+    // records carry (updater, key), so replay re-homes each slate.
+    std::unique_ptr<SlateChangelog> changelog;
+    std::unique_ptr<DedupTable> dedup;
+    std::atomic<uint64_t> manifest_lsn{0};
+    std::atomic<uint64_t> appends_since_checkpoint{0};
+    std::atomic<int64_t> replays{0};
   };
 
   void ConductorLoop(Worker* worker);
   void FlusherLoop(MachineCtx* machine);
-  Status ProcessOne(Worker* worker, const Event& event);
+  Status ProcessOne(Worker* worker, const Event& event, uint64_t dedup);
+
+  // --- Durability plane (engine/slatelog.h; DESIGN.md §12). Same
+  // semantics as the 2.0 engine's: changelog appends on every slate
+  // write, checkpoints from the flusher, replay before rejoin.
+  bool durable() const {
+    return options_.durability.consistency != Consistency::kLossy;
+  }
+  bool exactly_once() const {
+    return options_.durability.consistency == Consistency::kExactlyOnce;
+  }
+  void AppendSlateLog(MachineCtx* machine, SlateLogKind kind,
+                      const std::string& updater, BytesView key,
+                      BytesView value, const Event& event, uint64_t dedup);
+  void MaybeCheckpoint(MachineCtx* machine);
+  Status ReplayChangelog(MachineCtx* machine);
 
   // Fetch the slate for (worker's updater, key): worker cache, then store.
   // Returns NotFound if absent everywhere. `source`, when non-null,
@@ -230,6 +254,12 @@ class Muppet1Engine final : public Engine {
   Counter* store_reads_;
   Counter* store_writes_;
   Counter* operator_instances_;
+  Counter* slatelog_appends_;
+  Counter* slatelog_replays_;
+  Counter* slatelog_replayed_;
+  Counter* slatelog_torn_tails_;
+  Counter* checkpoints_;
+  Counter* deduped_;
   Histogram* latency_;
   // Per-input-stream published counters (built at Start()).
   std::map<std::string, Counter*> stream_published_;

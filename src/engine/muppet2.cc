@@ -32,7 +32,7 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
                   const Event& event, const std::string& function,
                   bool is_updater, uint64_t work,
                   const UpdaterOptions* updater_options, uint64_t exec_span,
-                  BytesView slate_key = {})
+                  BytesView slate_key = {}, uint64_t dedup = 0)
       : engine_(engine),
         machine_(machine),
         event_(event),
@@ -41,7 +41,8 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
         work_(work),
         updater_options_(updater_options),
         exec_span_(exec_span),
-        slate_key_(slate_key.empty() ? BytesView(event.key) : slate_key) {}
+        slate_key_(slate_key.empty() ? BytesView(event.key) : slate_key),
+        dedup_(dedup) {}
 
   Status Publish(const std::string& stream, BytesView key,
                  BytesView value) override {
@@ -85,19 +86,36 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
     }
     const bool write_through = updater_options_->flush_policy ==
                                SlateFlushPolicy::kWriteThrough;
-    return machine_->cache->Update(SlateId{function_, Bytes(slate_key_)},
-                                   slate, engine_->clock_->Now(),
-                                   write_through);
+    Status s = machine_->cache->Update(SlateId{function_, Bytes(slate_key_)},
+                                       slate, engine_->clock_->Now(),
+                                       write_through);
+    if (s.ok()) {
+      wrote_slate_ = true;
+      engine_->AppendSlateLog(machine_, SlateLogKind::kUpdate, function_,
+                              slate_key_, slate, event_, work_, dedup_);
+    }
+    return s;
   }
 
   Status DeleteSlate() override {
     if (!is_updater_) {
       return Status::FailedPrecondition("mapper cannot delete a slate");
     }
-    return machine_->cache->Delete(SlateId{function_, Bytes(slate_key_)});
+    Status s = machine_->cache->Delete(SlateId{function_, Bytes(slate_key_)});
+    if (s.ok()) {
+      wrote_slate_ = true;
+      engine_->AppendSlateLog(machine_, SlateLogKind::kDelete, function_,
+                              slate_key_, BytesView(), event_, work_, dedup_);
+    }
+    return s;
   }
 
   const Event& current_event() const override { return event_; }
+
+  // Whether the operator wrote (or deleted) its slate — an exactly-once
+  // event with no slate effect still needs a kMark record so its identity
+  // survives into replay seeding.
+  bool wrote_slate() const { return wrote_slate_; }
 
  private:
   Muppet2Engine* engine_;
@@ -109,6 +127,8 @@ class Muppet2Engine::DirectUtilities final : public PerformerUtilities {
   const UpdaterOptions* updater_options_;
   uint64_t exec_span_;
   BytesView slate_key_;
+  uint64_t dedup_;
+  bool wrote_slate_ = false;
 };
 
 Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
@@ -157,6 +177,16 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
           metrics_.GetCounter("muppet_slate_contention_total")),
       splits_installed_(metrics_.GetCounter("muppet_key_splits_total")),
       merges_completed_(metrics_.GetCounter("muppet_key_merges_total")),
+      slatelog_appends_(
+          metrics_.GetCounter("muppet_slatelog_appends_total")),
+      slatelog_replays_(
+          metrics_.GetCounter("muppet_slatelog_replays_total")),
+      slatelog_replayed_(
+          metrics_.GetCounter("muppet_slatelog_replayed_records_total")),
+      slatelog_torn_tails_(
+          metrics_.GetCounter("muppet_slatelog_torn_tails_total")),
+      checkpoints_(metrics_.GetCounter("muppet_checkpoints_total")),
+      deduped_(metrics_.GetCounter("muppet_events_deduped_total")),
       latency_(metrics_.GetHistogram("muppet_e2e_latency_us")),
       queue_wait_(metrics_.GetHistogram("muppet_queue_wait_us")) {}
 
@@ -183,6 +213,11 @@ Status Muppet2Engine::Start() {
   if (options_.overflow.policy == OverflowPolicy::kOverflowStream &&
       !config_.HasStream(options_.overflow.overflow_stream)) {
     return Status::InvalidArgument("engine: overflow stream is not declared");
+  }
+  if (durable() && options_.durability.dir.empty()) {
+    return Status::InvalidArgument(
+        "engine: durability requires a changelog directory "
+        "(EngineOptions::durability.dir)");
   }
 
   // Intern operator and stream names into dense ids; precompute the
@@ -252,6 +287,21 @@ Status Muppet2Engine::Start() {
           std::make_unique<HeatTracker>(options_.load_manager.heat);
     }
 
+    if (durable()) {
+      SlateChangelog::Options log_options;
+      // Exactly-once pays for its guarantee: every record is durable
+      // before the update is acknowledged.
+      log_options.sync_every_records =
+          exactly_once() ? 1 : options_.durability.sync_every_records;
+      machine->changelog = std::make_unique<SlateChangelog>(
+          options_.durability.dir, static_cast<uint64_t>(m), log_options);
+      MUPPET_RETURN_IF_ERROR(machine->changelog->Open());
+      if (exactly_once()) {
+        machine->dedup =
+            std::make_unique<DedupTable>(options_.durability.dedup_capacity);
+      }
+    }
+
     for (int t = 0; t < options_.threads_per_machine; ++t) {
       auto thread_ctx = std::make_unique<ThreadCtx>();
       thread_ctx->index = t;
@@ -297,6 +347,16 @@ Status Muppet2Engine::Start() {
                                   std::memory_order_release);
     }
   });
+
+  // Cold-start replay: a changelog directory left by a previous engine
+  // (warm process restart) restores every machine's slates before any
+  // worker thread runs, so a stop/start cycle in a durable mode loses
+  // nothing past the last sync.
+  if (durable()) {
+    for (auto& machine : machines_) {
+      MUPPET_RETURN_IF_ERROR(ReplayChangelog(machine.get()));
+    }
+  }
 
   for (auto& machine : machines_) {
     MachineCtx* m = machine.get();
@@ -492,6 +552,12 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
       re.event = event;
     }
     re.event.seq = NextSeq();
+    // Exactly-once: stamp the delivery identity the receiver dedups on.
+    // Derived after the final seq assignment so each routed copy (one per
+    // subscriber) is a distinct delivery.
+    if (exactly_once()) {
+      re.dedup = DedupIdentity(re.work, re.event.ts, re.event.seq);
+    }
 
     if (to == from) {
       LocalDeliver(from, sender_work, std::move(re));
@@ -710,7 +776,16 @@ Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
   re.function_id = fid;
   re.work = CombineWork(ops_[static_cast<size_t>(fid)].name_hash,
                         Fnv1a64(re.event.key));
-  return Dispatch(machine, &re);
+  const uint64_t dedup_id =
+      (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
+  if (dedup_id != 0 && machine->dedup->Contains(dedup_id)) {
+    deduped_->Add();
+    DecInflight(1);
+    return Status::OK();
+  }
+  Status s = Dispatch(machine, &re);
+  if (s.ok() && dedup_id != 0) machine->dedup->Seed(dedup_id);
+  return s;
 }
 
 Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
@@ -728,8 +803,23 @@ Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
         static_cast<size_t>(re.function_id) >= ops_.size()) {
       return Status::Corruption("wire: frame names unknown function id");
     }
+    // Exactly-once suppression: a data event whose delivery identity this
+    // machine already processed (a redelivered batch after the recovery
+    // epoch cut, or an injector duplicate) settles here as deduped. The
+    // identity is recorded only after a successful dispatch so a declined
+    // push (queue full) can be retried by the sender without being
+    // mistaken for a duplicate.
+    const uint64_t dedup_id =
+        (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
+    if (dedup_id != 0 && machine->dedup->Contains(dedup_id)) {
+      deduped_->Add();
+      DecInflight(1);
+      ++*accepted;
+      continue;
+    }
     Status s = Dispatch(machine, &re);
     if (!s.ok()) return s;
+    if (dedup_id != 0) machine->dedup->Seed(dedup_id);
     ++*accepted;
   }
   if (reader.corrupt()) {
@@ -873,6 +963,13 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
                           /*is_updater=*/false, work, nullptr,
                           exec.span_id());
     machine->mappers[fid]->Map(utils, event);
+    // Mappers never write slates; in exactly-once mode the processed
+    // identity still has to reach the changelog (kMark) so replay can
+    // re-seed the dedup table past the crash.
+    if (re.dedup != 0 && machine->changelog != nullptr) {
+      AppendSlateLog(machine, SlateLogKind::kMark, spec.name, event.key,
+                     BytesView(), event, work, re.dedup);
+    }
   } else {
     // Up to two threads can vie for the same slate (§4.5); the striped
     // lock serializes the contending pair.
@@ -923,9 +1020,17 @@ Status Muppet2Engine::ProcessOne(MachineCtx* machine, const RoutedEvent& re) {
     }
     DirectUtilities utils(this, machine, event, spec.name,
                           /*is_updater=*/true, work,
-                          &spec.updater_options, exec.span_id(), slate_key);
+                          &spec.updater_options, exec.span_id(), slate_key,
+                          re.dedup);
     machine->updaters[fid]->Update(utils, event,
                                    has_slate ? &slate : nullptr);
+    // An updater that chose not to touch its slate still consumed the
+    // event; mark the identity for exactly-once replay seeding.
+    if (re.dedup != 0 && !utils.wrote_slate() &&
+        machine->changelog != nullptr) {
+      AppendSlateLog(machine, SlateLogKind::kMark, spec.name, slate_key,
+                     BytesView(), event, work, re.dedup);
+    }
   }
   exec.End();
 
@@ -1021,6 +1126,9 @@ void Muppet2Engine::ReshardToBase(MachineCtx* machine,
   base.split_epoch = 0;
   base.work = CombineWork(op.name_hash, Fnv1a64(base.event.key));
   base.event.seq = NextSeq();
+  if (exactly_once()) {
+    base.dedup = DedupIdentity(base.work, base.event.ts, base.event.seq);
+  }
   const std::set<MachineId> failed = FailedSetFor(machine->id);
   Result<WorkerRef> target =
       ring_.Route(op.spec->name, base.event.key, failed);
@@ -1070,7 +1178,148 @@ void Muppet2Engine::FlusherLoop(MachineCtx* machine) {
       (void)machine->cache->FlushDirtyFor(
           name, now - spec.updater_options.flush_interval_micros);
     }
+    if (machine->changelog != nullptr) MaybeCheckpoint(machine);
   }
+}
+
+void Muppet2Engine::AppendSlateLog(MachineCtx* machine, SlateLogKind kind,
+                                   const std::string& updater,
+                                   BytesView slate_key, BytesView value,
+                                   const Event& event, uint64_t work,
+                                   uint64_t dedup) {
+  if (machine->changelog == nullptr) return;
+  SlateLogRecord rec;
+  rec.kind = static_cast<uint8_t>(kind);
+  rec.updater = updater;
+  rec.key.assign(slate_key);
+  rec.value.assign(value);
+  rec.ts = event.ts;
+  rec.seq = event.seq;
+  rec.work = work;
+  rec.dedup = dedup;
+  Result<uint64_t> lsn = machine->changelog->Append(std::move(rec));
+  if (!lsn.ok()) {
+    MUPPET_LOG(kError) << "slatelog: append failed on machine "
+                       << machine->id << ": " << lsn.status().ToString();
+    return;
+  }
+  slatelog_appends_->Add();
+  machine->appends_since_checkpoint.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Muppet2Engine::MaybeCheckpoint(MachineCtx* machine) {
+  // Sync the buffered tail on every flusher pass, so the at-least-once
+  // loss window is bounded by sync_every_records even when the workload
+  // pauses mid-cadence.
+  (void)machine->changelog->Sync();
+
+  const uint64_t every = options_.durability.checkpoint_every_records;
+  if (every == 0 || options_.slate_store == nullptr) return;
+  if (machine->appends_since_checkpoint.load(std::memory_order_acquire) <
+      every) {
+    return;
+  }
+
+  // Everything appended up to `cut` is captured by the dirty flush below;
+  // records appended during the flush are simply re-replayed next time
+  // (absolute values — replay is idempotent), so the cut is conservative,
+  // never wrong.
+  const uint64_t cut = machine->changelog->last_lsn();
+  machine->appends_since_checkpoint.store(0, std::memory_order_release);
+  Result<int> flushed = machine->cache->FlushDirty(INT64_MAX);
+  if (!flushed.ok()) {
+    MUPPET_LOG(kError) << "slatelog: checkpoint flush failed on machine "
+                       << machine->id << ": "
+                       << flushed.status().ToString();
+    return;
+  }
+
+  // Close the pre-cut history into its own file so it can be dropped
+  // wholesale once the manifest is durable.
+  (void)machine->changelog->RotateSegment();
+
+  CheckpointManifest manifest;
+  manifest.machine = static_cast<uint64_t>(machine->id);
+  manifest.lsn = cut;
+  manifest.segment = machine->changelog->active_segment();
+  manifest.ts = clock_->Now();
+  Status s = SlateChangelog::WriteManifestFile(options_.durability.dir,
+                                               manifest);
+  if (!s.ok()) {
+    MUPPET_LOG(kError) << "slatelog: manifest write failed on machine "
+                       << machine->id << ": " << s.ToString();
+    return;
+  }
+  machine->manifest_lsn.store(cut, std::memory_order_release);
+
+  // Ops mirror in the kvstore (the manifest file is authoritative; this
+  // makes the cursor visible to store-level tooling).
+  Bytes payload;
+  EncodeCheckpointManifest(manifest, &payload);
+  (void)options_.slate_store->cluster()->Put(
+      kCheckpointColumnFamily,
+      "machine-" + std::to_string(machine->id), "manifest", payload);
+
+  (void)machine->changelog->DropSegmentsCoveredBy(cut);
+  checkpoints_->Add();
+}
+
+Status Muppet2Engine::ReplayChangelog(MachineCtx* machine) {
+  if (machine->changelog == nullptr) return Status::OK();
+  CheckpointManifest manifest;
+  MUPPET_RETURN_IF_ERROR(SlateChangelog::ReadManifestFile(
+      options_.durability.dir, static_cast<uint64_t>(machine->id),
+      &manifest));
+  machine->manifest_lsn.store(manifest.lsn, std::memory_order_release);
+
+  // Slates at or below the manifest live in the kvstore and fault in
+  // through the ordinary miss path; replay applies only the suffix.
+  // Updates re-enter the cache dirty (not written through) so the next
+  // flush persists them — replayed state must survive a later eviction.
+  const Timestamp now = clock_->Now();
+  const size_t seed_window = options_.durability.replay_seed_window;
+  std::deque<uint64_t> identities;
+  SlateLogReplayStats replay_stats;
+  Status s = SlateChangelog::Replay(
+      options_.durability.dir, static_cast<uint64_t>(machine->id),
+      manifest.lsn,
+      [&](const SlateLogRecord& rec) {
+        switch (static_cast<SlateLogKind>(rec.kind)) {
+          case SlateLogKind::kUpdate:
+            (void)machine->cache->Update(SlateId{rec.updater, rec.key},
+                                         rec.value, now,
+                                         /*write_through=*/false);
+            break;
+          case SlateLogKind::kDelete:
+            (void)machine->cache->Delete(SlateId{rec.updater, rec.key});
+            break;
+          case SlateLogKind::kMark:
+            break;
+        }
+        if (rec.dedup != 0 && machine->dedup != nullptr) {
+          identities.push_back(rec.dedup);
+          if (identities.size() > seed_window) identities.pop_front();
+        }
+      },
+      &replay_stats);
+  if (!s.ok()) return s;
+
+  // Epoch cut: the most recent identities re-arm the dedup table so a
+  // redelivered pre-crash batch is suppressed, not re-applied.
+  if (machine->dedup != nullptr) {
+    for (const uint64_t id : identities) machine->dedup->Seed(id);
+  }
+
+  slatelog_replays_->Add();
+  slatelog_replayed_->Add(static_cast<int64_t>(replay_stats.records));
+  if (replay_stats.truncated_tail) slatelog_torn_tails_->Add();
+  machine->replays.fetch_add(1, std::memory_order_acq_rel);
+  MUPPET_LOG(kInfo) << "slatelog: machine " << machine->id << " replayed "
+                    << replay_stats.records << " records ("
+                    << replay_stats.skipped << " below manifest lsn "
+                    << manifest.lsn << ", torn_tail="
+                    << (replay_stats.truncated_tail ? "yes" : "no") << ")";
+  return Status::OK();
 }
 
 void Muppet2Engine::DecInflight(int64_t n) {
@@ -1109,6 +1358,9 @@ Status Muppet2Engine::Stop() {
   for (auto& machine : machines_) {
     if (!machine->crashed.load()) {
       (void)machine->cache->FlushDirty(INT64_MAX);
+      // Graceful shutdown syncs the changelog tail: a stop/start cycle in
+      // a durable mode is lossless (only crashes lose the unsynced tail).
+      if (machine->changelog != nullptr) (void)machine->changelog->Close();
     }
     for (auto& thread_ctx : machine->threads) {
       thread_ctx->queue->Stop();
@@ -1202,6 +1454,12 @@ Status Muppet2Engine::CrashMachine(MachineId machine_id) {
   }
   // The central slate cache dies with the machine: unflushed updates lost.
   machine->cache->Clear();
+  // Crash model for the durability plane: buffered-but-unsynced changelog
+  // appends are lost with the machine's memory (the durable prefix stays
+  // on disk for replay); the dedup table is volatile and rebuilt from the
+  // changelog at recovery.
+  if (machine->changelog != nullptr) machine->changelog->CrashClose();
+  if (machine->dedup != nullptr) machine->dedup->Clear();
   return Status::OK();
 }
 
@@ -1216,9 +1474,27 @@ Status Muppet2Engine::RestartMachine(MachineId machine_id) {
     return Status::FailedPrecondition("machine not crashed");
   }
 
+  // Recovery ordering (Master::ClearFailure doc): the machine must stay
+  // unroutable — failed on every peer, absent from the ring's live view —
+  // until its slates are restored. BeginRecovery marks the intermediate
+  // state (no-op if no sender ever noticed the crash, in which case no
+  // peer routed away from it either).
+  (void)master_.BeginRecovery(machine_id);
+
   // FlusherLoop exits once it observes crashed; the worker threads were
   // joined by CrashMachine. Join the flusher before respawning either.
   if (machine->flusher.joinable()) machine->flusher.join();
+
+  // Restore the durable state BEFORE any traffic can reach the machine:
+  // reopen the changelog (continuing the lsn sequence past the durable
+  // prefix), then replay the suffix past the manifest into the cache and
+  // re-seed the dedup table. Only after that do the queues re-arm, the
+  // transport endpoint come back, and the failure clear.
+  if (machine->changelog != nullptr) {
+    MUPPET_RETURN_IF_ERROR(machine->changelog->Open());
+    MUPPET_RETURN_IF_ERROR(ReplayChangelog(machine));
+  }
+
   for (auto& thread_ctx : machine->threads) {
     thread_ctx->queue->Restart();
   }
@@ -1261,6 +1537,20 @@ EngineStats Muppet2Engine::Stats() const {
   stats.slate_store_reads = store_reads_->Get();
   stats.slate_store_writes = store_writes_->Get();
   stats.failures_detected = master_.failures_reported();
+  stats.slatelog_appends = slatelog_appends_->Get();
+  // synced_lsn counts durable records exactly (lsns are dense and survive
+  // restarts), so the sum across machines is the synced-record total.
+  for (const auto& machine : machines_) {
+    if (machine->changelog != nullptr) {
+      stats.slatelog_synced_records +=
+          static_cast<int64_t>(machine->changelog->synced_lsn());
+    }
+  }
+  stats.slatelog_replays = slatelog_replays_->Get();
+  stats.slatelog_replayed_records = slatelog_replayed_->Get();
+  stats.slatelog_torn_tails = slatelog_torn_tails_->Get();
+  stats.checkpoints = checkpoints_->Get();
+  stats.events_deduped = deduped_->Get();
   stats.transport_messages_sent = transport_.messages_sent();
   stats.transport_messages_local = transport_.messages_local();
   stats.transport_frames_sent = transport_.frames_sent();
@@ -1298,6 +1588,19 @@ std::vector<MachineStatus> Muppet2Engine::MachineStatuses() const {
       auto counts = ring_.OwnershipCounts(function);
       auto it = counts.find(machine->id);
       if (it != counts.end()) ms.ring_ownership[function] = it->second;
+    }
+    ms.consistency = ConsistencyName(options_.durability.consistency);
+    if (machine->changelog != nullptr) {
+      ms.slatelog_lsn = machine->changelog->last_lsn();
+      ms.slatelog_synced_lsn = machine->changelog->synced_lsn();
+      ms.slatelog_segments = machine->changelog->segment_count();
+      ms.manifest_lsn =
+          machine->manifest_lsn.load(std::memory_order_acquire);
+      ms.replays = machine->replays.load(std::memory_order_acquire);
+    }
+    if (machine->dedup != nullptr) {
+      ms.dedup_entries = machine->dedup->size();
+      ms.dedup_capacity = machine->dedup->capacity();
     }
     out.push_back(std::move(ms));
   }
@@ -1619,6 +1922,40 @@ void Muppet2Engine::RegisterCallbackMetrics() {
       metrics_.RegisterCallback(
           "muppet_heat_samples_total", m_label, MetricType::kCounter,
           [heat] { return heat->samples_recorded(); });
+    }
+    if (machine->changelog != nullptr) {
+      SlateChangelog* changelog = machine->changelog.get();
+      metrics_.RegisterCallback(
+          "muppet_slatelog_lsn", m_label, MetricType::kGauge, [changelog] {
+            return static_cast<int64_t>(changelog->last_lsn());
+          });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_synced_lsn", m_label, MetricType::kGauge,
+          [changelog] {
+            return static_cast<int64_t>(changelog->synced_lsn());
+          });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_segments", m_label, MetricType::kGauge,
+          [changelog] {
+            return static_cast<int64_t>(changelog->segment_count());
+          });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_manifest_lsn", m_label, MetricType::kGauge,
+          [machine] {
+            return static_cast<int64_t>(
+                machine->manifest_lsn.load(std::memory_order_acquire));
+          });
+      metrics_.RegisterCallback(
+          "muppet_slatelog_machine_replays_total", m_label,
+          MetricType::kCounter, [machine] {
+            return machine->replays.load(std::memory_order_acquire);
+          });
+    }
+    if (machine->dedup != nullptr) {
+      DedupTable* dedup = machine->dedup.get();
+      metrics_.RegisterCallback(
+          "muppet_dedup_entries", m_label, MetricType::kGauge,
+          [dedup] { return static_cast<int64_t>(dedup->size()); });
     }
     for (const auto& thread_ptr : machine->threads) {
       ThreadCtx* thread = thread_ptr.get();

@@ -163,6 +163,17 @@ class Muppet2Engine final : public Engine {
     // overcount. Keyed by hash of (function, base key, shard, round).
     mutable Mutex merge_dedupe_mutex{kMergeDedupeLockLevel};
     std::set<uint64_t> merge_applied MUPPET_GUARDED_BY(merge_dedupe_mutex);
+    // Durability plane (engine/slatelog.h); both null in kLossy mode,
+    // dedup additionally null below kExactlyOnce.
+    std::unique_ptr<SlateChangelog> changelog;
+    std::unique_ptr<DedupTable> dedup;
+    // Checkpoint cursor as of the last checkpoint or replay.
+    std::atomic<uint64_t> manifest_lsn{0};
+    // Changelog appends since the last checkpoint (cadence trigger, read
+    // by the flusher thread).
+    std::atomic<uint64_t> appends_since_checkpoint{0};
+    // Recovery replays completed on this machine (cold-start included).
+    std::atomic<int64_t> replays{0};
   };
 
   // Interned per-function routing state, indexed by function id.
@@ -178,6 +189,31 @@ class Muppet2Engine final : public Engine {
   void WorkerLoop(MachineCtx* machine, ThreadCtx* thread);
   void FlusherLoop(MachineCtx* machine);
   Status ProcessOne(MachineCtx* machine, const RoutedEvent& re);
+
+  // --- Durability plane (engine/slatelog.h; DESIGN.md §12).
+  bool durable() const {
+    return options_.durability.consistency != Consistency::kLossy;
+  }
+  bool exactly_once() const {
+    return options_.durability.consistency == Consistency::kExactlyOnce;
+  }
+  // Append one changelog record for a slate write/delete/mark on
+  // `machine`. No-op in kLossy mode; append failures are logged, never
+  // fail the update (durability degrades, the data path does not stop).
+  void AppendSlateLog(MachineCtx* machine, SlateLogKind kind,
+                      const std::string& updater, BytesView slate_key,
+                      BytesView value, const Event& event, uint64_t work,
+                      uint64_t dedup);
+  // Flusher-thread checkpoint pass: sync the changelog tail; when the
+  // cadence fires (and a slate store is configured) flush dirty slates,
+  // persist + mirror the manifest, rotate the segment and drop covered
+  // history.
+  void MaybeCheckpoint(MachineCtx* machine);
+  // Recovery replay: restore the machine's slates from the changelog
+  // suffix past the manifest cursor and re-seed the dedup table with the
+  // most recent event identities (the epoch cut). Must complete before
+  // the machine becomes routable again (Master::BeginRecovery doc).
+  Status ReplayChangelog(MachineCtx* machine);
 
   // Control-plane events (merge sweeps/deltas), intercepted by ProcessOne
   // before the operator would run.
@@ -340,6 +376,12 @@ class Muppet2Engine final : public Engine {
   Counter* slate_contention_;
   Counter* splits_installed_;
   Counter* merges_completed_;
+  Counter* slatelog_appends_;
+  Counter* slatelog_replays_;
+  Counter* slatelog_replayed_;
+  Counter* slatelog_torn_tails_;
+  Counter* checkpoints_;
+  Counter* deduped_;
   Histogram* latency_;
   // Time events spend queued before a worker pops them (recorded for
   // every event; the bench's before/after-split p99 comparison).

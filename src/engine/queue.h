@@ -58,6 +58,11 @@ struct RoutedEvent {
   // Control-plane kind (kCtlNone for data events). For control events
   // split_epoch carries the merge round id instead.
   uint8_t ctl = kCtlNone;
+  // Exactly-once delivery identity (engine/slatelog.h DedupIdentity): set
+  // by the sender when the durability knob is kExactlyOnce, 0 otherwise.
+  // The receiving machine suppresses data events whose identity it has
+  // already processed (redelivered batches after a recovery epoch cut).
+  uint64_t dedup = 0;
   // When the event is traced: time it entered this queue, for the
   // queue-wait span. In-memory only — never serialized.
   // muppet-lint: allow(wire): stamped on the receiving machine only

@@ -1,0 +1,574 @@
+#include "engine/slatelog.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+
+namespace muppet {
+
+namespace fs = std::filesystem;
+
+const char* ConsistencyName(Consistency mode) {
+  switch (mode) {
+    case Consistency::kLossy:
+      return "lossy";
+    case Consistency::kAtLeastOnce:
+      return "at-least-once";
+    case Consistency::kExactlyOnce:
+      return "exactly-once";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Wire formats.
+// ---------------------------------------------------------------------------
+
+void EncodeSlateLogRecord(const SlateLogRecord& rec, Bytes* out) {
+  PutVarint32(out, rec.kind);
+  PutVarint64(out, rec.lsn);
+  PutLengthPrefixed(out, rec.updater);
+  PutLengthPrefixed(out, rec.key);
+  PutLengthPrefixed(out, rec.value);
+  PutVarint64(out, static_cast<uint64_t>(rec.ts));
+  PutVarint64(out, rec.seq);
+  PutVarint64(out, rec.work);
+  PutVarint64(out, rec.dedup);
+}
+
+Status DecodeSlateLogRecord(BytesView data, SlateLogRecord* rec) {
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  uint32_t kind = 0;
+  uint64_t lsn = 0, ts = 0, seq = 0, work = 0, dedup = 0;
+  BytesView updater, key, value;
+  if (!GetVarint32(&p, limit, &kind) || !GetVarint64(&p, limit, &lsn) ||
+      !GetLengthPrefixed(&p, limit, &updater) ||
+      !GetLengthPrefixed(&p, limit, &key) ||
+      !GetLengthPrefixed(&p, limit, &value) ||
+      !GetVarint64(&p, limit, &ts) || !GetVarint64(&p, limit, &seq) ||
+      !GetVarint64(&p, limit, &work) || !GetVarint64(&p, limit, &dedup) ||
+      p != limit || kind > static_cast<uint32_t>(SlateLogKind::kMark)) {
+    return Status::Corruption("slatelog: malformed record");
+  }
+  rec->kind = static_cast<uint8_t>(kind);
+  rec->lsn = lsn;
+  rec->updater.assign(updater);
+  rec->key.assign(key);
+  rec->value.assign(value);
+  rec->ts = static_cast<Timestamp>(ts);
+  rec->seq = seq;
+  rec->work = work;
+  rec->dedup = dedup;
+  return Status::OK();
+}
+
+void EncodeCheckpointManifest(const CheckpointManifest& manifest, Bytes* out) {
+  PutVarint64(out, manifest.machine);
+  PutVarint64(out, manifest.lsn);
+  PutVarint64(out, manifest.segment);
+  PutVarint64(out, static_cast<uint64_t>(manifest.ts));
+}
+
+Status DecodeCheckpointManifest(BytesView data, CheckpointManifest* manifest) {
+  const char* p = data.data();
+  const char* limit = p + data.size();
+  uint64_t machine = 0, lsn = 0, segment = 0, ts = 0;
+  if (!GetVarint64(&p, limit, &machine) || !GetVarint64(&p, limit, &lsn) ||
+      !GetVarint64(&p, limit, &segment) || !GetVarint64(&p, limit, &ts) ||
+      p != limit) {
+    return Status::Corruption("slatelog: malformed manifest");
+  }
+  manifest->machine = machine;
+  manifest->lsn = lsn;
+  manifest->segment = segment;
+  manifest->ts = static_cast<Timestamp>(ts);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// StdioLogDevice.
+// ---------------------------------------------------------------------------
+
+StdioLogDevice::~StdioLogDevice() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status StdioLogDevice::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("slatelog: device already open");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("slatelog: open " + path + ": " +
+                           std::strerror(errno));
+  }
+  file_ = f;
+  return Status::OK();
+}
+
+Status StdioLogDevice::Write(BytesView frame) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("slatelog: device not open");
+  }
+  buffer_.append(frame.data(), frame.size());
+  return Status::OK();
+}
+
+Status StdioLogDevice::Sync() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("slatelog: device not open");
+  }
+  if (!buffer_.empty()) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      return Status::IOError("slatelog: short write");
+    }
+    buffer_.clear();
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("slatelog: flush failed");
+  }
+  ::fsync(::fileno(file_));
+  return Status::OK();
+}
+
+Status StdioLogDevice::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = Sync();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  buffer_.clear();
+  if (!s.ok()) return s;
+  if (rc != 0) return Status::IOError("slatelog: close failed");
+  return Status::OK();
+}
+
+void StdioLogDevice::CrashClose() {
+  buffer_.clear();  // the crash loses everything past the last sync
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SlateChangelog.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kFrameHeaderBytes = 8;  // [u32 crc][u32 len]
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+std::string SegmentFileName(uint64_t machine, uint64_t segment) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "changelog-%llu-%08llu.log",
+                static_cast<unsigned long long>(machine),
+                static_cast<unsigned long long>(segment));
+  return buf;
+}
+
+// Parse "<segment>" out of a segment file name for `machine`; returns false
+// for unrelated files (other machines, manifests, temp files).
+bool ParseSegmentFileName(const std::string& name, uint64_t machine,
+                          uint64_t* segment) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "changelog-%llu-",
+                static_cast<unsigned long long>(machine));
+  const std::string pfx(prefix);
+  if (name.size() <= pfx.size() + 4 || name.compare(0, pfx.size(), pfx) != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return false;
+  }
+  const std::string digits = name.substr(pfx.size(),
+                                         name.size() - pfx.size() - 4);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *segment = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+// Sorted segment numbers present on disk for `machine`.
+std::vector<uint64_t> ListSegments(const std::string& dir, uint64_t machine) {
+  std::vector<uint64_t> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t segment = 0;
+    if (ParseSegmentFileName(entry.path().filename().string(), machine,
+                             &segment)) {
+      segments.push_back(segment);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+// Scan one segment file, invoking `cb` for each intact record in order.
+// Returns false if the scan stopped at a torn/corrupt frame.
+bool ScanSegment(const std::string& path,
+                 const std::function<void(const SlateLogRecord&)>& cb) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return true;  // vanished segment == empty
+  Bytes header(kFrameHeaderBytes, '\0');
+  Bytes payload;
+  bool clean = true;
+  while (true) {
+    const size_t got = std::fread(header.data(), 1, kFrameHeaderBytes, f);
+    if (got == 0) break;  // clean EOF
+    if (got < kFrameHeaderBytes) {
+      clean = false;
+      break;
+    }
+    const uint32_t crc = DecodeFixed32(header.data());
+    const uint32_t len = DecodeFixed32(header.data() + 4);
+    if (len > kMaxRecordBytes) {
+      clean = false;
+      break;
+    }
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, f) != len) {
+      clean = false;
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      clean = false;
+      break;
+    }
+    SlateLogRecord rec;
+    if (!DecodeSlateLogRecord(payload, &rec).ok()) {
+      clean = false;
+      break;
+    }
+    cb(rec);
+  }
+  std::fclose(f);
+  return clean;
+}
+
+}  // namespace
+
+std::string SlateChangelog::SegmentPath(const std::string& dir,
+                                        uint64_t machine, uint64_t segment) {
+  return (fs::path(dir) / SegmentFileName(machine, segment)).string();
+}
+
+std::string SlateChangelog::ManifestPath(const std::string& dir,
+                                         uint64_t machine) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "manifest-%llu",
+                static_cast<unsigned long long>(machine));
+  return (fs::path(dir) / buf).string();
+}
+
+SlateChangelog::SlateChangelog(std::string dir, uint64_t machine,
+                               Options options)
+    : dir_(std::move(dir)), machine_(machine), options_(std::move(options)) {}
+
+SlateChangelog::~SlateChangelog() {
+  MutexLock lock(mutex_);
+  if (device_ != nullptr) {
+    (void)device_->Close();
+    device_.reset();
+  }
+}
+
+Status SlateChangelog::OpenActiveLocked() {
+  device_ = options_.device_factory ? options_.device_factory()
+                                    : std::make_unique<StdioLogDevice>();
+  return device_->Open(SegmentPath(dir_, machine_, active_segment_));
+}
+
+Status SlateChangelog::Open() {
+  MutexLock lock(mutex_);
+  if (device_ != nullptr) {
+    return Status::FailedPrecondition("slatelog: already open");
+  }
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("slatelog: mkdir " + dir_ + ": " + ec.message());
+  }
+  segment_max_lsn_.clear();
+  uint64_t max_lsn = 0;
+  const std::vector<uint64_t> segments = ListSegments(dir_, machine_);
+  for (uint64_t segment : segments) {
+    uint64_t seg_max = 0;
+    ScanSegment(SegmentPath(dir_, machine_, segment),
+                [&seg_max](const SlateLogRecord& rec) {
+                  seg_max = std::max(seg_max, rec.lsn);
+                });
+    segment_max_lsn_[segment] = seg_max;
+    max_lsn = std::max(max_lsn, seg_max);
+  }
+  active_segment_ = segments.empty() ? 1 : segments.back();
+  segment_max_lsn_.emplace(active_segment_, max_lsn);
+  next_lsn_ = max_lsn + 1;
+  // Everything that survived on disk is durable by definition.
+  synced_lsn_ = max_lsn;
+  unsynced_records_ = 0;
+  return OpenActiveLocked();
+}
+
+Result<uint64_t> SlateChangelog::Append(SlateLogRecord rec) {
+  MutexLock lock(mutex_);
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("slatelog: not open");
+  }
+  rec.lsn = next_lsn_;
+  Bytes payload;
+  EncodeSlateLogRecord(rec, &payload);
+  Bytes frame;
+  frame.reserve(payload.size() + kFrameHeaderBytes);
+  PutFixed32(&frame, Crc32(payload));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  MUPPET_RETURN_IF_ERROR(device_->Write(frame));
+  next_lsn_++;
+  segment_max_lsn_[active_segment_] = rec.lsn;
+  unsynced_records_++;
+  if (options_.sync_every_records <= 1 ||
+      unsynced_records_ >= options_.sync_every_records) {
+    MUPPET_RETURN_IF_ERROR(SyncLocked());
+  }
+  return rec.lsn;
+}
+
+Status SlateChangelog::SyncLocked() {
+  MUPPET_RETURN_IF_ERROR(device_->Sync());
+  synced_lsn_ = next_lsn_ - 1;
+  unsynced_records_ = 0;
+  return Status::OK();
+}
+
+Status SlateChangelog::Sync() {
+  MutexLock lock(mutex_);
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("slatelog: not open");
+  }
+  return SyncLocked();
+}
+
+Status SlateChangelog::RotateSegment() {
+  MutexLock lock(mutex_);
+  if (device_ == nullptr) {
+    return Status::FailedPrecondition("slatelog: not open");
+  }
+  MUPPET_RETURN_IF_ERROR(SyncLocked());
+  MUPPET_RETURN_IF_ERROR(device_->Close());
+  device_.reset();
+  active_segment_++;
+  segment_max_lsn_.emplace(active_segment_, next_lsn_ - 1);
+  return OpenActiveLocked();
+}
+
+Result<int> SlateChangelog::DropSegmentsCoveredBy(uint64_t manifest_lsn) {
+  MutexLock lock(mutex_);
+  int dropped = 0;
+  for (auto it = segment_max_lsn_.begin(); it != segment_max_lsn_.end();) {
+    const auto [segment, seg_max] = *it;
+    if (segment == active_segment_ || seg_max > manifest_lsn) {
+      ++it;
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(SegmentPath(dir_, machine_, segment), ec);
+    if (ec) {
+      return Status::IOError("slatelog: drop segment: " + ec.message());
+    }
+    it = segment_max_lsn_.erase(it);
+    dropped++;
+  }
+  return dropped;
+}
+
+void SlateChangelog::CrashClose() {
+  MutexLock lock(mutex_);
+  if (device_ == nullptr) return;
+  device_->CrashClose();
+  device_.reset();
+  // The unsynced suffix is gone; the next Open() rescans the durable
+  // prefix and continues the lsn sequence after it.
+  next_lsn_ = synced_lsn_ + 1;
+  unsynced_records_ = 0;
+}
+
+Status SlateChangelog::Close() {
+  MutexLock lock(mutex_);
+  if (device_ == nullptr) return Status::OK();
+  Status s = device_->Close();
+  device_.reset();
+  if (s.ok()) {
+    synced_lsn_ = next_lsn_ - 1;
+    unsynced_records_ = 0;
+  }
+  return s;
+}
+
+uint64_t SlateChangelog::last_lsn() const {
+  MutexLock lock(mutex_);
+  return next_lsn_ - 1;
+}
+
+uint64_t SlateChangelog::synced_lsn() const {
+  MutexLock lock(mutex_);
+  return synced_lsn_;
+}
+
+uint64_t SlateChangelog::active_segment() const {
+  MutexLock lock(mutex_);
+  return active_segment_;
+}
+
+uint64_t SlateChangelog::segment_count() const {
+  MutexLock lock(mutex_);
+  return segment_max_lsn_.size();
+}
+
+Status SlateChangelog::Replay(
+    const std::string& dir, uint64_t machine, uint64_t from_lsn,
+    const std::function<void(const SlateLogRecord&)>& cb,
+    SlateLogReplayStats* stats) {
+  SlateLogReplayStats local;
+  SlateLogReplayStats* out = stats != nullptr ? stats : &local;
+  *out = SlateLogReplayStats{};
+  for (uint64_t segment : ListSegments(dir, machine)) {
+    out->segments++;
+    const bool clean =
+        ScanSegment(SegmentPath(dir, machine, segment),
+                    [&](const SlateLogRecord& rec) {
+                      if (rec.lsn <= from_lsn) {
+                        out->skipped++;
+                        return;
+                      }
+                      out->records++;
+                      cb(rec);
+                    });
+    if (!clean) {
+      // A torn tail is normal in the *last* segment after a crash; seeing
+      // one earlier means later history exists but the replay stops at the
+      // last complete record regardless — absolute-value records keep the
+      // restored prefix self-consistent.
+      out->truncated_tail = true;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status SlateChangelog::WriteManifestFile(const std::string& dir,
+                                         const CheckpointManifest& manifest) {
+  Bytes payload;
+  EncodeCheckpointManifest(manifest, &payload);
+  Bytes frame;
+  PutFixed32(&frame, Crc32(payload));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+
+  const std::string path = ManifestPath(dir, manifest.machine);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("slatelog: open " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  const bool wrote = std::fwrite(frame.data(), 1, frame.size(), f) ==
+                     frame.size();
+  if (std::fflush(f) != 0 || !wrote) {
+    std::fclose(f);
+    return Status::IOError("slatelog: manifest write failed");
+  }
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("slatelog: manifest rename: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status SlateChangelog::ReadManifestFile(const std::string& dir,
+                                        uint64_t machine,
+                                        CheckpointManifest* manifest) {
+  *manifest = CheckpointManifest{};
+  manifest->machine = machine;
+  const std::string path = ManifestPath(dir, machine);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no checkpoint yet
+  Bytes header(kFrameHeaderBytes, '\0');
+  Status s = Status::OK();
+  if (std::fread(header.data(), 1, kFrameHeaderBytes, f) !=
+      kFrameHeaderBytes) {
+    s = Status::Corruption("slatelog: manifest truncated");
+  } else {
+    const uint32_t crc = DecodeFixed32(header.data());
+    const uint32_t len = DecodeFixed32(header.data() + 4);
+    Bytes payload(len, '\0');
+    if (len > kMaxRecordBytes ||
+        std::fread(payload.data(), 1, len, f) != len ||
+        Crc32(payload) != crc) {
+      s = Status::Corruption("slatelog: manifest corrupt");
+    } else {
+      s = DecodeCheckpointManifest(payload, manifest);
+    }
+  }
+  std::fclose(f);
+  if (!s.ok()) *manifest = CheckpointManifest{};
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// DedupTable.
+// ---------------------------------------------------------------------------
+
+uint64_t DedupIdentity(uint64_t sid_hash, Timestamp ts, uint64_t seq) {
+  const uint64_t id = Mix64(
+      HashCombine(HashCombine(sid_hash, static_cast<uint64_t>(ts)), seq));
+  return id == 0 ? 1 : id;  // 0 is reserved for "no identity"
+}
+
+DedupTable::DedupTable(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool DedupTable::CheckAndInsert(uint64_t id) {
+  MutexLock lock(mutex_);
+  if (present_.count(id) != 0) return false;
+  if (fifo_.size() >= capacity_) {
+    present_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  fifo_.push_back(id);
+  present_.insert(id);
+  return true;
+}
+
+bool DedupTable::Contains(uint64_t id) const {
+  MutexLock lock(mutex_);
+  return present_.count(id) != 0;
+}
+
+void DedupTable::Seed(uint64_t id) { (void)CheckAndInsert(id); }
+
+void DedupTable::Clear() {
+  MutexLock lock(mutex_);
+  fifo_.clear();
+  present_.clear();
+}
+
+size_t DedupTable::size() const {
+  MutexLock lock(mutex_);
+  return fifo_.size();
+}
+
+}  // namespace muppet

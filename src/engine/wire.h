@@ -61,6 +61,7 @@ inline void EncodeRoutedEvent(const RoutedEvent& re, Bytes* out) {
   PutLengthPrefixed(out, event_bytes);
   PutVarint64(out, re.event.trace.trace_id);
   PutVarint64(out, re.event.trace.parent_span);
+  PutVarint64(out, re.dedup);
 }
 
 inline Status DecodeRoutedEvent(BytesView data, RoutedEvent* re) {
@@ -70,7 +71,8 @@ inline Status DecodeRoutedEvent(BytesView data, RoutedEvent* re) {
   if (!GetLengthPrefixed(&p, limit, &function) ||
       !GetLengthPrefixed(&p, limit, &event_bytes) ||
       !GetVarint64(&p, limit, &re->event.trace.trace_id) ||
-      !GetVarint64(&p, limit, &re->event.trace.parent_span) || p != limit) {
+      !GetVarint64(&p, limit, &re->event.trace.parent_span) ||
+      !GetVarint64(&p, limit, &re->dedup) || p != limit) {
     return Status::Corruption("wire: malformed routed event");
   }
   re->function.assign(function);
@@ -95,6 +97,7 @@ inline void EncodeRoutedEventFrame(const std::vector<RoutedEvent>& events,
     PutVarint32(out, static_cast<uint32_t>(re.shard + 1));
     PutVarint32(out, re.split_epoch);
     PutVarint32(out, re.ctl);
+    PutVarint64(out, re.dedup);
     event_bytes.clear();
     EncodeEvent(re.event, &event_bytes);
     PutLengthPrefixed(out, event_bytes);
@@ -133,6 +136,7 @@ class RoutedEventFrameReader {
         !GetVarint32(&p_, limit_, &shard_plus_one) ||
         !GetVarint32(&p_, limit_, &re->split_epoch) ||
         !GetVarint32(&p_, limit_, &ctl) ||
+        !GetVarint64(&p_, limit_, &re->dedup) ||
         !GetLengthPrefixed(&p_, limit_, &event_bytes) ||
         !GetVarint64(&p_, limit_, &trace.trace_id) ||
         !GetVarint64(&p_, limit_, &trace.parent_span) ||

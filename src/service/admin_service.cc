@@ -78,6 +78,18 @@ Json StatuszDocument(Engine* engine, MachineId machine) {
   js["failures_detected"] = stats.failures_detected;
   doc["stats"] = std::move(js);
 
+  // Durability panel (engine/slatelog.h; DESIGN.md §12). All-zero in
+  // kLossy mode, but always present so dashboards need no feature probe.
+  Json durability = Json::MakeObject();
+  durability["slatelog_appends"] = stats.slatelog_appends;
+  durability["slatelog_synced_records"] = stats.slatelog_synced_records;
+  durability["slatelog_replays"] = stats.slatelog_replays;
+  durability["slatelog_replayed_records"] = stats.slatelog_replayed_records;
+  durability["slatelog_torn_tails"] = stats.slatelog_torn_tails;
+  durability["checkpoints"] = stats.checkpoints;
+  durability["events_deduped"] = stats.events_deduped;
+  doc["durability"] = std::move(durability);
+
   Json machines = Json::MakeArray();
   for (const MachineStatus& ms : engine->MachineStatuses()) {
     Json jm = Json::MakeObject();
@@ -99,6 +111,16 @@ Json StatuszDocument(Engine* engine, MachineId machine) {
       ring[function] = static_cast<int64_t>(points);
     }
     jm["ring_ownership"] = std::move(ring);
+    Json jd = Json::MakeObject();
+    jd["consistency"] = ms.consistency;
+    jd["slatelog_lsn"] = static_cast<int64_t>(ms.slatelog_lsn);
+    jd["slatelog_synced_lsn"] = static_cast<int64_t>(ms.slatelog_synced_lsn);
+    jd["slatelog_segments"] = static_cast<int64_t>(ms.slatelog_segments);
+    jd["manifest_lsn"] = static_cast<int64_t>(ms.manifest_lsn);
+    jd["replays"] = ms.replays;
+    jd["dedup_entries"] = static_cast<int64_t>(ms.dedup_entries);
+    jd["dedup_capacity"] = static_cast<int64_t>(ms.dedup_capacity);
+    jm["durability"] = std::move(jd);
     machines.Append(std::move(jm));
   }
   doc["machines"] = std::move(machines);

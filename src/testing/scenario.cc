@@ -11,6 +11,7 @@
 #include <utility>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "common/prom.h"
@@ -61,6 +62,22 @@ void DumpFlightRecorder(const ScenarioOptions& options, Engine* engine,
                            std::to_string(options.plan.seed);
   std::ofstream(base + "-traces.json") << result->trace_dump;
   std::ofstream(base + "-metrics.prom") << result->metrics_dump;
+
+  // Durable runs also preserve the changelog segments and checkpoint
+  // manifests: with them plus the seeds, a violation can be replayed AND
+  // the recovered state independently re-derived offline.
+  if (options.durability_dir.empty()) return;
+  std::error_code ec;
+  const std::filesystem::path dest = base + "-slatelog";
+  std::filesystem::create_directories(dest, ec);
+  if (ec) return;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.durability_dir, ec)) {
+    if (ec || !entry.is_regular_file(ec)) continue;
+    std::filesystem::copy_file(
+        entry.path(), dest / entry.path().filename(),
+        std::filesystem::copy_options::overwrite_existing, ec);
+  }
 }
 
 // Ledger of the events the counting updater actually processed — the
@@ -144,7 +161,8 @@ std::string ScenarioResult::Describe(const ScenarioOptions& options) const {
          " steps=" + std::to_string(options.steps) + "x" +
          std::to_string(options.events_per_step) +
          " keys=" + std::to_string(options.num_keys) +
-         " store=" + (options.with_store ? "yes" : "no") + "\n";
+         " store=" + (options.with_store ? "yes" : "no") +
+         " consistency=" + ConsistencyName(options.consistency) + "\n";
   out += options.plan.ToString();
   out += "replay: ScenarioRunner with workload_seed=" +
          std::to_string(options.workload_seed) +
@@ -167,6 +185,11 @@ ScenarioResult ScenarioRunner::Run() {
   }
   if (options_.with_store && options_.data_dir.empty()) {
     fail("scenario: with_store requires data_dir");
+    return result;
+  }
+  if (options_.consistency != Consistency::kLossy &&
+      options_.durability_dir.empty()) {
+    fail("scenario: durable consistency requires durability_dir");
     return result;
   }
 
@@ -216,6 +239,10 @@ ScenarioResult ScenarioRunner::Run() {
   // Trace every event: chaos runs are small, and a violation report is
   // worth far more with the full flight recorder attached.
   eo.trace.sample_period = 1;
+  eo.durability.consistency = options_.consistency;
+  eo.durability.dir = options_.durability_dir;
+  eo.durability.sync_every_records = options_.sync_every_records;
+  eo.durability.checkpoint_every_records = options_.checkpoint_every_records;
   if (options_.hot_split) {
     // Aggressive self-tuning so a split triggers (and later merges back)
     // within a handful of 100ms steps. Placement stays off: overrides
@@ -395,8 +422,10 @@ ScenarioResult ScenarioRunner::Run() {
 
   // ---- Invariant A: conservation. Every accepted logical event settles
   // exactly once. Duplicate-fault copies enter on the left because the
-  // transport manufactured deliveries the application never published.
-  // (kOverflowStream re-routes instead of settling, so it is exempt.)
+  // transport manufactured deliveries the application never published;
+  // exactly-once dedup settles a suppressed redelivery as `deduped`
+  // rather than processing it twice. (kOverflowStream re-routes instead
+  // of settling, so it is exempt.)
   result.stats = engine->Stats();
   result.messages_duplicated = transport->messages_duplicated();
   result.messages_held = transport->messages_held();
@@ -407,11 +436,13 @@ ScenarioResult ScenarioRunner::Run() {
                            result.messages_duplicated;
     const int64_t settled = result.stats.events_processed +
                             result.stats.events_lost_failure +
-                            result.stats.events_dropped_overflow;
+                            result.stats.events_dropped_overflow +
+                            result.stats.events_deduped;
     if (pushed != settled) {
       fail("invariant A (conservation): pushed=" + std::to_string(pushed) +
            " (published+emitted+duplicated) != settled=" +
-           std::to_string(settled) + " (processed+lost+overflow-dropped)");
+           std::to_string(settled) +
+           " (processed+lost+overflow-dropped+deduped)");
     }
   }
 
@@ -448,19 +479,50 @@ ScenarioResult ScenarioRunner::Run() {
       // moved key ownership mid-run: machine/store crashes wipe caches,
       // and partitions or dropped sends mark machines failed (§4.3
       // detection-by-failed-send), splitting a key's count across owners.
+      //
+      // The durability plane changes the crash case (DESIGN.md §12): a
+      // crash whose restart is scripted at the *same* timestamp fires
+      // back-to-back at a drain boundary (zero in-flight events, ring
+      // never re-homes a key), so replay can restore state in place. Such
+      // "recoverable" crashes keep kExactlyOnce runs strict, and bound
+      // kAtLeastOnce runs to an unsynced-tail deficit of at most
+      // crashes x sync_every_records records (each lost changelog append
+      // regresses exactly one key's count by one).
+      const bool recovery_enabled =
+          options_.consistency != Consistency::kLossy;
       bool ownership_disrupting = false;
+      int64_t recoverable_crashes = 0;
       for (const FaultAction& a : options_.plan.actions) {
-        if (a.kind == FaultAction::Kind::kCrashMachine ||
-            a.kind == FaultAction::Kind::kCrashStoreNode ||
-            a.kind == FaultAction::Kind::kPartition) {
+        if (a.kind == FaultAction::Kind::kCrashMachine) {
+          bool recovered_in_place = false;
+          if (recovery_enabled) {
+            for (const FaultAction& b : options_.plan.actions) {
+              if (b.kind == FaultAction::Kind::kRestartMachine &&
+                  b.a == a.a && b.at_micros == a.at_micros) {
+                recovered_in_place = true;
+                break;
+              }
+            }
+          }
+          if (recovered_in_place) {
+            ++recoverable_crashes;
+          } else {
+            ownership_disrupting = true;
+          }
+        } else if (a.kind == FaultAction::Kind::kCrashStoreNode ||
+                   a.kind == FaultAction::Kind::kPartition) {
           ownership_disrupting = true;
         }
       }
       for (const FaultRule& r : options_.plan.rules) {
         if (r.drop_probability > 0.0) ownership_disrupting = true;
       }
-      const bool exact = !ownership_disrupting;
+      const bool exact =
+          !ownership_disrupting &&
+          (recoverable_crashes == 0 ||
+           options_.consistency == Consistency::kExactlyOnce);
 
+      int64_t deficit = 0;
       for (const auto& [id, ref_bytes] : ref.slates()) {
         JsonSlate ref_slate(&ref_bytes);
         const int64_t ref_count = ref_slate.data().GetInt("count", 0);
@@ -471,6 +533,7 @@ ScenarioResult ScenarioRunner::Run() {
           live_count = live_slate.data().GetInt("count", 0);
         }
         result.counts[std::string(id.key)] = live_count;
+        if (live_count < ref_count) deficit += ref_count - live_count;
         if (live_count > ref_count) {
           fail("invariant B (oracle): key '" + std::string(id.key) +
                "' live count " + std::to_string(live_count) +
@@ -480,6 +543,20 @@ ScenarioResult ScenarioRunner::Run() {
                "' live count " + std::to_string(live_count) +
                " != reference " + std::to_string(ref_count) +
                " with no state-destroying fault in the plan");
+        }
+      }
+      if (!ownership_disrupting && recoverable_crashes > 0 &&
+          options_.consistency == Consistency::kAtLeastOnce) {
+        const int64_t floor_bound =
+            recoverable_crashes *
+            static_cast<int64_t>(options_.sync_every_records);
+        if (deficit > floor_bound) {
+          fail("invariant B (at-least-once floor): total count deficit " +
+               std::to_string(deficit) + " exceeds the unsynced-tail " +
+               "bound of " + std::to_string(floor_bound) + " (" +
+               std::to_string(recoverable_crashes) + " crash(es) x " +
+               std::to_string(options_.sync_every_records) +
+               " sync_every_records)");
         }
       }
     }
@@ -574,6 +651,61 @@ FaultPlan RandomFaultPlan(uint64_t seed, const ScenarioOptions& options) {
         static_cast<Timestamp>(1 + rng.Uniform(std::max<uint64_t>(1, steps - 1)));
     plan.CrashStoreNodeAt(at, node);
     plan.RestoreStoreNodeAt(at + options.step_micros, node);
+  }
+  return plan;
+}
+
+const char* CrashShapeName(CrashShape shape) {
+  switch (shape) {
+    case CrashShape::kCrashRestart:
+      return "crash_restart";
+    case CrashShape::kCrashDuringCheckpoint:
+      return "crash_during_checkpoint";
+    case CrashShape::kCrashDuringReplay:
+      return "crash_during_replay";
+  }
+  return "unknown";
+}
+
+FaultPlan RecoveryFaultPlan(uint64_t seed, CrashShape shape,
+                            const ScenarioOptions& options) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed ^ 0x51A7E70CULL);
+  const MachineId n = static_cast<MachineId>(options.num_machines);
+  const uint64_t steps = static_cast<uint64_t>(std::max(2, options.steps));
+
+  // Machine 0 hosts the publisher role (§4.1); victims start at 1. Each
+  // pair lands on an interior drain boundary so slates have accumulated
+  // before the crash and events keep arriving after the recovery.
+  auto victim = [&]() -> MachineId {
+    return n > 1 ? 1 + static_cast<MachineId>(
+                           rng.Uniform(static_cast<uint64_t>(n - 1)))
+                 : 0;
+  };
+  auto boundary = [&]() -> Timestamp {
+    return options.step_micros *
+           static_cast<Timestamp>(1 + rng.Uniform(steps - 1));
+  };
+
+  const MachineId v = victim();
+  const Timestamp at = boundary();
+  const int cycles = shape == CrashShape::kCrashDuringReplay ? 2 : 1;
+  for (int c = 0; c < cycles; ++c) plan.CrashAt(at, v).RestartAt(at, v);
+
+  // crash_during_checkpoint stacks a second pair on another boundary:
+  // with the tiny checkpoint_every_records the caller sets for this
+  // shape, more recoveries mean more chances to land mid-manifest-write.
+  // The other shapes take a second victim half the time for variety.
+  if (shape == CrashShape::kCrashDuringCheckpoint || rng.Chance(0.5)) {
+    const MachineId v2 = victim();
+    Timestamp at2 = boundary();
+    if (at2 == at && v2 == v) {
+      at2 = options.step_micros *
+            static_cast<Timestamp>(1 + (at / options.step_micros) % (steps - 1));
+    }
+    const int cycles2 = shape == CrashShape::kCrashDuringReplay ? 2 : 1;
+    for (int c = 0; c < cycles2; ++c) plan.CrashAt(at2, v2).RestartAt(at2, v2);
   }
   return plan;
 }

@@ -68,6 +68,19 @@ struct ScenarioOptions {
   SlateFlushPolicy flush_policy = SlateFlushPolicy::kWriteThrough;
   Timestamp slate_ttl_micros = 0;
 
+  // Durability / consistency knob (engine/slatelog.h, DESIGN.md §12).
+  // Anything above kLossy requires `durability_dir` (per-machine slate
+  // changelogs live there) and changes the oracle contract: a crash whose
+  // restart is scripted at the same boundary destroys no slate state, so
+  // kExactlyOnce plans built from such pairs are held to *strict* oracle
+  // equality, and kAtLeastOnce plans to a bounded-loss floor (the total
+  // count deficit across keys may not exceed crashes x sync_every_records,
+  // the unsynced changelog tail a crash is allowed to eat).
+  Consistency consistency = Consistency::kLossy;
+  std::string durability_dir;
+  uint64_t sync_every_records = 32;        // kAtLeastOnce buffering window
+  uint64_t checkpoint_every_records = 512;  // small => mid-run checkpoints
+
   // Seeded workload: `steps` rounds of `events_per_step` events over
   // `num_keys` keys, each round starting at the next step_micros boundary
   // of the simulated fault timeline.
@@ -138,6 +151,35 @@ class ScenarioRunner {
 // role), a partition/heal pair, and store-node outages when a store is
 // configured. Same (seed, options shape) -> same plan.
 FaultPlan RandomFaultPlan(uint64_t seed, const ScenarioOptions& options);
+
+// Crash shapes for the recovery matrix ({consistency} x {shape} sweep in
+// tests/harness/chaos_property_test.cc). All shapes script crash/restart
+// pairs at drain boundaries (both actions carry the same timestamp, so
+// they fire back-to-back with zero in-flight events and the ring never
+// re-homes a key mid-recovery — exactly the regime where kExactlyOnce
+// promises strict oracle equality).
+enum class CrashShape {
+  // One crash/restart pair on a random victim at a random interior
+  // boundary: the machine loses every cached slate and must replay.
+  kCrashRestart,
+  // Same pair, but the caller is expected to set a tiny
+  // checkpoint_every_records so the victim's flusher is checkpointing
+  // near-continuously and the crash races manifest/rotation in flight.
+  kCrashDuringCheckpoint,
+  // Two recovery cycles back-to-back (crash, restart, crash, restart at
+  // one boundary). Replay is read-only on the changelog, so a crash that
+  // lands mid-replay is observationally a fresh recovery; the double
+  // cycle exercises exactly that replay-of-replayed-state path.
+  kCrashDuringReplay,
+};
+
+const char* CrashShapeName(CrashShape shape);
+
+// A seed-derived recovery plan of the given shape: crash/restart pairs
+// only, no link faults, so the durability oracle contract above applies.
+// Same (seed, shape, options shape) -> same plan.
+FaultPlan RecoveryFaultPlan(uint64_t seed, CrashShape shape,
+                            const ScenarioOptions& options);
 
 }  // namespace chaos
 }  // namespace muppet

@@ -269,6 +269,8 @@ TEST(LockHierarchyTest, SubsystemsAssignTheDocumentedLevels) {
   EXPECT_EQ(kv::WalWriter::kLockLevel, LockLevel::kStoreIo);
   EXPECT_EQ(EventJournal::kLockLevel, LockLevel::kJournal);
   EXPECT_EQ(SlateLogger::kLockLevel, LockLevel::kJournal);
+  EXPECT_EQ(DedupTable::kLockLevel, LockLevel::kDedupTable);
+  EXPECT_EQ(SlateChangelog::kLockLevel, LockLevel::kSlateChangelog);
   EXPECT_EQ(HttpServer::kLockLevel, LockLevel::kService);
   EXPECT_EQ(MetricsRegistry::kLockLevel, LockLevel::kMetrics);
   EXPECT_EQ(TraceSink::kStripeLockLevel, LockLevel::kTraceStripe);
@@ -309,6 +311,18 @@ TEST(LockHierarchyTest, DocumentedOrderingHolds) {
   EXPECT_TRUE(lt(LockLevel::kFailedSet, LockLevel::kDrain));
   EXPECT_TRUE(lt(LockLevel::kDrain, LockLevel::kThrottle));
   EXPECT_TRUE(lt(LockLevel::kThrottle, LockLevel::kSlateCache));
+  // Durability plane (DESIGN.md §12): the dedup check runs on the receive
+  // path before dispatch touches any queue lock; changelog appends run
+  // under the updater's slate stripe / cache locks and may reach the
+  // store (checkpoint flush), so the changelog sits above the whole store
+  // chain but below the service/metrics/logging leaves.
+  EXPECT_TRUE(lt(LockLevel::kRingOverride, LockLevel::kDedupTable));
+  EXPECT_TRUE(lt(LockLevel::kDedupTable, LockLevel::kQueue));
+  EXPECT_TRUE(lt(LockLevel::kSlateStripe, LockLevel::kSlateChangelog));
+  EXPECT_TRUE(lt(LockLevel::kSlateCache, LockLevel::kSlateChangelog));
+  EXPECT_TRUE(lt(LockLevel::kStoreIo, LockLevel::kSlateChangelog));
+  EXPECT_TRUE(lt(LockLevel::kJournal, LockLevel::kSlateChangelog));
+  EXPECT_TRUE(lt(LockLevel::kSlateChangelog, LockLevel::kService));
   // Cache eviction writes back under the cache lock: cache -> store chain.
   EXPECT_TRUE(lt(LockLevel::kSlateCache, LockLevel::kStoreNode));
   EXPECT_TRUE(lt(LockLevel::kStoreNode, LockLevel::kStoreTables));

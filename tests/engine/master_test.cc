@@ -101,6 +101,50 @@ TEST(MasterTest, MultipleRecoveryListenersAllNotified) {
   EXPECT_EQ(b, 1);
 }
 
+// ---- Durable recovery ordering (DESIGN.md §12): a recovering machine
+// must stay unroutable (in failed()) until its changelog replay finishes
+// and ClearFailure runs. The ClearFailure-before-replay bug this guards
+// against let events route to a machine whose slates were still empty.
+
+TEST(MasterTest, BeginRecoveryKeepsMachineUnroutable) {
+  Master master;
+  int recoveries = 0;
+  master.AddRecoveryListener([&](MachineId) { ++recoveries; });
+  master.ReportFailure(2);
+  EXPECT_TRUE(master.BeginRecovery(2));
+  // Still failed for routing, flagged as recovering, and crucially no
+  // recovery broadcast yet — peers must keep routing around it.
+  EXPECT_TRUE(master.IsFailed(2));
+  EXPECT_TRUE(master.IsRecovering(2));
+  EXPECT_EQ(recoveries, 0);
+  // Replay done: ClearFailure rejoins the machine and ends recovery.
+  EXPECT_TRUE(master.ClearFailure(2));
+  EXPECT_FALSE(master.IsFailed(2));
+  EXPECT_FALSE(master.IsRecovering(2));
+  EXPECT_EQ(recoveries, 1);
+}
+
+TEST(MasterTest, BeginRecoveryRequiresAFailedMachine) {
+  Master master;
+  EXPECT_FALSE(master.BeginRecovery(4));  // never failed
+  EXPECT_FALSE(master.IsRecovering(4));
+  master.ReportFailure(4);
+  EXPECT_TRUE(master.BeginRecovery(4));
+  EXPECT_FALSE(master.BeginRecovery(4));  // already recovering
+}
+
+TEST(MasterTest, ReCrashDuringRecoveryAbortsIt) {
+  Master master;
+  master.ReportFailure(1);
+  EXPECT_TRUE(master.BeginRecovery(1));
+  // The machine dies again mid-replay: the recovery is abandoned and the
+  // machine is plain-failed, so a later restart must BeginRecovery anew.
+  master.ReportFailure(1);
+  EXPECT_FALSE(master.IsRecovering(1));
+  EXPECT_TRUE(master.IsFailed(1));
+  EXPECT_TRUE(master.BeginRecovery(1));
+}
+
 TEST(MasterTest, FailClearFailCycleBroadcastsEachTransition) {
   Master master;
   std::vector<std::string> log;

@@ -35,6 +35,8 @@ METRIC_KEYS = frozenset({
     "secondary_dispatches", "slate_contentions",
     "key_splits", "key_merges",
     "exact",
+    "slatelog_appends", "checkpoints",
+    "replay_records", "replay_elapsed_us", "replay_records_per_sec",
 })
 
 

@@ -78,6 +78,10 @@ def main() -> int:
           "count-pinning check fires (3 puts vs 2 gets)")
     check("bad_wire", "'c'" in out,
           "dropped field named in the symmetry finding")
+    check("bad_wire", "'dedup'" in out,
+          "slatelog scope scanned: dropped dedup identity caught")
+    check("bad_wire", "EncodeSlateLogRecord" in out,
+          "slatelog codec named in its finding")
 
     rc, out = _run("bad_determinism")
     check("bad_determinism", rc == 1, f"exit 1 on wall clock (got {rc})")

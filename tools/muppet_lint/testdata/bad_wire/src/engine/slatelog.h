@@ -1,0 +1,35 @@
+// Fixture: a changelog-record codec whose decoder drops the trailing
+// `dedup` identity field — exactly the truncation that would silently
+// break exactly-once replay. Both the count check and the field symmetry
+// check must fire, proving the slatelog path is inside the wire scope.
+#ifndef FIXTURE_ENGINE_SLATELOG_H_
+#define FIXTURE_ENGINE_SLATELOG_H_
+
+#include <cstdint>
+
+namespace muppet {
+
+struct SlateLogRecord {
+  uint64_t lsn = 0;
+  uint64_t seq = 0;
+  uint64_t dedup = 0;
+};
+
+void PutVarint64(void* out, uint64_t v);
+bool GetVarint64(void* in, uint64_t* v);
+
+inline void EncodeSlateLogRecord(void* out, const SlateLogRecord& rec) {
+  PutVarint64(out, rec.lsn);
+  PutVarint64(out, rec.seq);
+  PutVarint64(out, rec.dedup);
+}
+
+inline bool DecodeSlateLogRecord(void* in, SlateLogRecord* rec) {
+  if (!GetVarint64(in, &rec->lsn)) return false;
+  if (!GetVarint64(in, &rec->seq)) return false;
+  return true;
+}
+
+}  // namespace muppet
+
+#endif  // FIXTURE_ENGINE_SLATELOG_H_

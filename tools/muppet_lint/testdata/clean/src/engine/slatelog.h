@@ -1,0 +1,51 @@
+// Fixture: a complete changelog codec — record and manifest both round
+// trip every field, so the slatelog wire scope stays quiet on clean code.
+#ifndef FIXTURE_ENGINE_SLATELOG_H_
+#define FIXTURE_ENGINE_SLATELOG_H_
+
+#include <cstdint>
+
+namespace muppet {
+
+struct SlateLogRecord {
+  uint64_t lsn = 0;
+  uint64_t seq = 0;
+  uint64_t dedup = 0;
+};
+
+struct CheckpointManifest {
+  uint64_t machine = 0;
+  uint64_t lsn = 0;
+};
+
+void PutVarint64(void* out, uint64_t v);
+bool GetVarint64(void* in, uint64_t* v);
+
+inline void EncodeSlateLogRecord(void* out, const SlateLogRecord& rec) {
+  PutVarint64(out, rec.lsn);
+  PutVarint64(out, rec.seq);
+  PutVarint64(out, rec.dedup);
+}
+
+inline bool DecodeSlateLogRecord(void* in, SlateLogRecord* rec) {
+  if (!GetVarint64(in, &rec->lsn)) return false;
+  if (!GetVarint64(in, &rec->seq)) return false;
+  if (!GetVarint64(in, &rec->dedup)) return false;
+  return true;
+}
+
+inline void EncodeCheckpointManifest(void* out,
+                                     const CheckpointManifest& manifest) {
+  PutVarint64(out, manifest.machine);
+  PutVarint64(out, manifest.lsn);
+}
+
+inline bool DecodeCheckpointManifest(void* in, CheckpointManifest* manifest) {
+  if (!GetVarint64(in, &manifest->machine)) return false;
+  if (!GetVarint64(in, &manifest->lsn)) return false;
+  return true;
+}
+
+}  // namespace muppet
+
+#endif  // FIXTURE_ENGINE_SLATELOG_H_

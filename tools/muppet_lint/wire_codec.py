@@ -36,6 +36,7 @@ CHECK = "wire"
 # Files that define wire formats. Directories end with "/".
 WIRE_PATHS = (
     "src/engine/wire.h",
+    "src/engine/slatelog.h", "src/engine/slatelog.cc",
     "src/core/event.h", "src/core/event.cc",
     "src/core/slate.h", "src/core/slate.cc",
     "src/kvstore/format.h",
