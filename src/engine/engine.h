@@ -124,6 +124,7 @@ struct EngineStats {
   int64_t slatelog_replays = 0;          // recovery replay passes completed
   int64_t slatelog_replayed_records = 0;  // records applied during replays
   int64_t slatelog_torn_tails = 0;       // replays that hit a torn tail
+  int64_t slatelog_corrupt_segments = 0;  // non-final segments with a bad frame
   int64_t checkpoints = 0;               // incremental checkpoints taken
   int64_t events_deduped = 0;  // redelivered events suppressed (exactly-once)
 

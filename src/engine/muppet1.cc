@@ -219,6 +219,8 @@ Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
           metrics_.GetCounter("muppet_slatelog_replayed_records_total")),
       slatelog_torn_tails_(
           metrics_.GetCounter("muppet_slatelog_torn_tails_total")),
+      slatelog_corrupt_segments_(metrics_.GetCounter(
+          "muppet_slatelog_corrupt_segments_total")),
       checkpoints_(metrics_.GetCounter("muppet_checkpoints_total")),
       deduped_(metrics_.GetCounter("muppet_events_deduped_total")),
       latency_(metrics_.GetHistogram("muppet_e2e_latency_us")) {}
@@ -596,19 +598,21 @@ Status Muppet1Engine::HandleIncoming(MachineId to, BytesView payload) {
   }
   if (re.event.trace.sampled()) re.enqueue_ts = clock_->Now();
   // Exactly-once suppression (engine/slatelog.h): an identity this
-  // machine already processed settles as deduped. Recorded only after a
-  // successful push so a declined (queue-full) send can be retried by the
-  // sender without being mistaken for a duplicate.
+  // machine already processed settles as deduped. The identity is
+  // reserved atomically BEFORE the push — check-then-record would let two
+  // concurrent deliveries of the same identity both pass the check — and
+  // unwound on a declined (queue-full) send so the sender's retry is not
+  // mistaken for a duplicate.
   const uint64_t dedup_id =
       (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
-  if (dedup_id != 0 && machine->dedup->Contains(dedup_id)) {
+  if (dedup_id != 0 && !machine->dedup->CheckAndInsert(dedup_id)) {
     deduped_->Add();
     DecInflight(1);
     return Status::OK();
   }
   // The queue declines when full; the decline propagates to the sender.
   Status s = it->second->queue->TryPush(std::move(re));
-  if (s.ok() && dedup_id != 0) machine->dedup->Seed(dedup_id);
+  if (!s.ok() && dedup_id != 0) machine->dedup->Remove(dedup_id);
   return s;
 }
 
@@ -902,12 +906,18 @@ Status Muppet1Engine::ReplayChangelog(MachineCtx* machine) {
   slatelog_replays_->Add();
   slatelog_replayed_->Add(static_cast<int64_t>(replay_stats.records));
   if (replay_stats.truncated_tail) slatelog_torn_tails_->Add();
+  if (replay_stats.corrupt_segments > 0) {
+    slatelog_corrupt_segments_->Add(
+        static_cast<int64_t>(replay_stats.corrupt_segments));
+  }
   machine->replays.fetch_add(1, std::memory_order_acq_rel);
   MUPPET_LOG(kInfo) << "slatelog: machine " << machine->id << " replayed "
                     << replay_stats.records << " records ("
                     << replay_stats.skipped << " below manifest lsn "
                     << manifest.lsn << ", torn_tail="
-                    << (replay_stats.truncated_tail ? "yes" : "no") << ")";
+                    << (replay_stats.truncated_tail ? "yes" : "no")
+                    << ", corrupt_segments=" << replay_stats.corrupt_segments
+                    << ")";
   return Status::OK();
 }
 
@@ -1098,6 +1108,7 @@ EngineStats Muppet1Engine::Stats() const {
   stats.slatelog_replays = slatelog_replays_->Get();
   stats.slatelog_replayed_records = slatelog_replayed_->Get();
   stats.slatelog_torn_tails = slatelog_torn_tails_->Get();
+  stats.slatelog_corrupt_segments = slatelog_corrupt_segments_->Get();
   stats.checkpoints = checkpoints_->Get();
   stats.events_deduped = deduped_->Get();
   stats.transport_messages_sent = transport_.messages_sent();

@@ -185,6 +185,8 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
           metrics_.GetCounter("muppet_slatelog_replayed_records_total")),
       slatelog_torn_tails_(
           metrics_.GetCounter("muppet_slatelog_torn_tails_total")),
+      slatelog_corrupt_segments_(metrics_.GetCounter(
+          "muppet_slatelog_corrupt_segments_total")),
       checkpoints_(metrics_.GetCounter("muppet_checkpoints_total")),
       deduped_(metrics_.GetCounter("muppet_events_deduped_total")),
       latency_(metrics_.GetHistogram("muppet_e2e_latency_us")),
@@ -778,13 +780,19 @@ Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
                         Fnv1a64(re.event.key));
   const uint64_t dedup_id =
       (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
-  if (dedup_id != 0 && machine->dedup->Contains(dedup_id)) {
+  // Reserve the identity atomically before dispatch: a check-then-record
+  // pattern would let two concurrent deliveries of the same identity (a
+  // redelivered batch racing the original during recovery) both pass the
+  // check and double-apply the event.
+  if (dedup_id != 0 && !machine->dedup->CheckAndInsert(dedup_id)) {
     deduped_->Add();
     DecInflight(1);
     return Status::OK();
   }
   Status s = Dispatch(machine, &re);
-  if (s.ok() && dedup_id != 0) machine->dedup->Seed(dedup_id);
+  // A declined push (queue full) is retried by the sender; unwind the
+  // reservation so the retry is not mistaken for a duplicate.
+  if (!s.ok() && dedup_id != 0) machine->dedup->Remove(dedup_id);
   return s;
 }
 
@@ -806,20 +814,23 @@ Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
     // Exactly-once suppression: a data event whose delivery identity this
     // machine already processed (a redelivered batch after the recovery
     // epoch cut, or an injector duplicate) settles here as deduped. The
-    // identity is recorded only after a successful dispatch so a declined
-    // push (queue full) can be retried by the sender without being
-    // mistaken for a duplicate.
+    // identity is reserved atomically BEFORE dispatch — check-then-record
+    // would let two concurrent deliveries of the same identity both pass
+    // the check — and unwound if the push is declined (queue full) so the
+    // sender's retry is not mistaken for a duplicate.
     const uint64_t dedup_id =
         (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
-    if (dedup_id != 0 && machine->dedup->Contains(dedup_id)) {
+    if (dedup_id != 0 && !machine->dedup->CheckAndInsert(dedup_id)) {
       deduped_->Add();
       DecInflight(1);
       ++*accepted;
       continue;
     }
     Status s = Dispatch(machine, &re);
-    if (!s.ok()) return s;
-    if (dedup_id != 0) machine->dedup->Seed(dedup_id);
+    if (!s.ok()) {
+      if (dedup_id != 0) machine->dedup->Remove(dedup_id);
+      return s;
+    }
     ++*accepted;
   }
   if (reader.corrupt()) {
@@ -1313,12 +1324,18 @@ Status Muppet2Engine::ReplayChangelog(MachineCtx* machine) {
   slatelog_replays_->Add();
   slatelog_replayed_->Add(static_cast<int64_t>(replay_stats.records));
   if (replay_stats.truncated_tail) slatelog_torn_tails_->Add();
+  if (replay_stats.corrupt_segments > 0) {
+    slatelog_corrupt_segments_->Add(
+        static_cast<int64_t>(replay_stats.corrupt_segments));
+  }
   machine->replays.fetch_add(1, std::memory_order_acq_rel);
   MUPPET_LOG(kInfo) << "slatelog: machine " << machine->id << " replayed "
                     << replay_stats.records << " records ("
                     << replay_stats.skipped << " below manifest lsn "
                     << manifest.lsn << ", torn_tail="
-                    << (replay_stats.truncated_tail ? "yes" : "no") << ")";
+                    << (replay_stats.truncated_tail ? "yes" : "no")
+                    << ", corrupt_segments=" << replay_stats.corrupt_segments
+                    << ")";
   return Status::OK();
 }
 
@@ -1549,6 +1566,7 @@ EngineStats Muppet2Engine::Stats() const {
   stats.slatelog_replays = slatelog_replays_->Get();
   stats.slatelog_replayed_records = slatelog_replayed_->Get();
   stats.slatelog_torn_tails = slatelog_torn_tails_->Get();
+  stats.slatelog_corrupt_segments = slatelog_corrupt_segments_->Get();
   stats.checkpoints = checkpoints_->Get();
   stats.events_deduped = deduped_->Get();
   stats.transport_messages_sent = transport_.messages_sent();

@@ -380,6 +380,7 @@ class Muppet2Engine final : public Engine {
   Counter* slatelog_replays_;
   Counter* slatelog_replayed_;
   Counter* slatelog_torn_tails_;
+  Counter* slatelog_corrupt_segments_;
   Counter* checkpoints_;
   Counter* deduped_;
   Histogram* latency_;

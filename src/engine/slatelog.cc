@@ -1,5 +1,6 @@
 #include "engine/slatelog.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -215,14 +216,19 @@ std::vector<uint64_t> ListSegments(const std::string& dir, uint64_t machine) {
 }
 
 // Scan one segment file, invoking `cb` for each intact record in order.
-// Returns false if the scan stopped at a torn/corrupt frame.
+// Returns false if the scan stopped at a torn/corrupt frame. `clean_end`,
+// when non-null, receives the byte offset just past the last intact frame
+// (the truncation point for a torn tail).
 bool ScanSegment(const std::string& path,
-                 const std::function<void(const SlateLogRecord&)>& cb) {
+                 const std::function<void(const SlateLogRecord&)>& cb,
+                 uint64_t* clean_end = nullptr) {
+  if (clean_end != nullptr) *clean_end = 0;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return true;  // vanished segment == empty
   Bytes header(kFrameHeaderBytes, '\0');
   Bytes payload;
   bool clean = true;
+  uint64_t offset = 0;
   while (true) {
     const size_t got = std::fread(header.data(), 1, kFrameHeaderBytes, f);
     if (got == 0) break;  // clean EOF
@@ -250,10 +256,22 @@ bool ScanSegment(const std::string& path,
       clean = false;
       break;
     }
+    offset += kFrameHeaderBytes + len;
+    if (clean_end != nullptr) *clean_end = offset;
     cb(rec);
   }
   std::fclose(f);
   return clean;
+}
+
+// Make a directory-entry mutation (segment create/unlink, manifest rename)
+// itself durable: fsync the containing directory. Best-effort on platforms
+// where directories cannot be opened for fsync.
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
 }
 
 }  // namespace
@@ -286,7 +304,12 @@ SlateChangelog::~SlateChangelog() {
 Status SlateChangelog::OpenActiveLocked() {
   device_ = options_.device_factory ? options_.device_factory()
                                     : std::make_unique<StdioLogDevice>();
-  return device_->Open(SegmentPath(dir_, machine_, active_segment_));
+  MUPPET_RETURN_IF_ERROR(
+      device_->Open(SegmentPath(dir_, machine_, active_segment_)));
+  // Persist the segment's directory entry too, so the file itself (not
+  // just its contents) survives a crash.
+  SyncDir(dir_);
+  return Status::OK();
 }
 
 Status SlateChangelog::Open() {
@@ -304,14 +327,37 @@ Status SlateChangelog::Open() {
   const std::vector<uint64_t> segments = ListSegments(dir_, machine_);
   for (uint64_t segment : segments) {
     uint64_t seg_max = 0;
-    ScanSegment(SegmentPath(dir_, machine_, segment),
-                [&seg_max](const SlateLogRecord& rec) {
-                  seg_max = std::max(seg_max, rec.lsn);
-                });
+    uint64_t clean_end = 0;
+    const std::string path = SegmentPath(dir_, machine_, segment);
+    const bool clean = ScanSegment(path,
+                                   [&seg_max](const SlateLogRecord& rec) {
+                                     seg_max = std::max(seg_max, rec.lsn);
+                                   },
+                                   &clean_end);
+    if (!clean && segment == segments.back()) {
+      // Torn tail on the segment we are about to append to: truncate at
+      // the last intact frame, or records appended after the garbage
+      // would be unreachable (Replay stops at the first bad frame).
+      std::error_code ec;
+      fs::resize_file(path, clean_end, ec);
+      if (ec) {
+        return Status::IOError("slatelog: truncate torn tail of " + path +
+                               ": " + ec.message());
+      }
+    }
     segment_max_lsn_[segment] = seg_max;
     max_lsn = std::max(max_lsn, seg_max);
   }
+  // The checkpoint cursor floors the sequence: a checkpoint may have
+  // dropped every segment carrying the highest lsns (leaving only a fresh
+  // empty active segment), and reissuing lsns at or below the cursor
+  // would make Replay() skip acknowledged records forever. A corrupt or
+  // missing manifest reads as a zero floor.
+  CheckpointManifest manifest;
+  (void)ReadManifestFile(dir_, machine_, &manifest);
+  max_lsn = std::max(max_lsn, manifest.lsn);
   active_segment_ = segments.empty() ? 1 : segments.back();
+  active_segment_ = std::max(active_segment_, manifest.segment);
   segment_max_lsn_.emplace(active_segment_, max_lsn);
   next_lsn_ = max_lsn + 1;
   // Everything that survived on disk is durable by definition.
@@ -389,6 +435,7 @@ Result<int> SlateChangelog::DropSegmentsCoveredBy(uint64_t manifest_lsn) {
     it = segment_max_lsn_.erase(it);
     dropped++;
   }
+  if (dropped > 0) SyncDir(dir_);
   return dropped;
 }
 
@@ -442,10 +489,11 @@ Status SlateChangelog::Replay(
   SlateLogReplayStats local;
   SlateLogReplayStats* out = stats != nullptr ? stats : &local;
   *out = SlateLogReplayStats{};
-  for (uint64_t segment : ListSegments(dir, machine)) {
+  const std::vector<uint64_t> segments = ListSegments(dir, machine);
+  for (size_t i = 0; i < segments.size(); ++i) {
     out->segments++;
     const bool clean =
-        ScanSegment(SegmentPath(dir, machine, segment),
+        ScanSegment(SegmentPath(dir, machine, segments[i]),
                     [&](const SlateLogRecord& rec) {
                       if (rec.lsn <= from_lsn) {
                         out->skipped++;
@@ -455,12 +503,18 @@ Status SlateChangelog::Replay(
                       cb(rec);
                     });
     if (!clean) {
-      // A torn tail is normal in the *last* segment after a crash; seeing
-      // one earlier means later history exists but the replay stops at the
-      // last complete record regardless — absolute-value records keep the
-      // restored prefix self-consistent.
-      out->truncated_tail = true;
-      break;
+      if (i + 1 == segments.size()) {
+        // A torn tail in the final segment is the normal shape of a crash
+        // mid-append; the intact prefix is everything durable.
+        out->truncated_tail = true;
+      } else {
+        // Corruption mid-history: frame boundaries are lost for the rest
+        // of THIS segment, but later segments are independent files —
+        // keep going so their intact records still restore state
+        // (records are absolute-valued, so the restored suffix stays
+        // self-consistent).
+        out->corrupt_segments++;
+      }
     }
   }
   return Status::OK();
@@ -495,6 +549,10 @@ Status SlateChangelog::WriteManifestFile(const std::string& dir,
   if (ec) {
     return Status::IOError("slatelog: manifest rename: " + ec.message());
   }
+  // The rename itself is a directory mutation: without a dir fsync a power
+  // loss can undo it after covered segments were already unlinked, leaving
+  // a stale cursor pointing at deleted history.
+  SyncDir(dir);
   return Status::OK();
 }
 
@@ -559,6 +617,19 @@ bool DedupTable::Contains(uint64_t id) const {
 }
 
 void DedupTable::Seed(uint64_t id) { (void)CheckAndInsert(id); }
+
+void DedupTable::Remove(uint64_t id) {
+  MutexLock lock(mutex_);
+  if (present_.erase(id) == 0) return;
+  // Unwinds almost always target the most recent reservation: search from
+  // the back.
+  for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+    if (*it == id) {
+      fifo_.erase(std::next(it).base());
+      break;
+    }
+  }
+}
 
 void DedupTable::Clear() {
   MutexLock lock(mutex_);

@@ -166,10 +166,13 @@ using LogDeviceFactory = std::function<std::unique_ptr<LogDevice>()>;
 
 // Replay statistics surfaced as muppet_slatelog_* counters.
 struct SlateLogReplayStats {
-  uint64_t records = 0;        // records delivered to the callback
-  uint64_t skipped = 0;        // records at or below the replay floor
-  uint64_t segments = 0;       // segment files visited
-  bool truncated_tail = false;  // stopped at a torn/corrupt frame
+  uint64_t records = 0;   // records delivered to the callback
+  uint64_t skipped = 0;   // records at or below the replay floor
+  uint64_t segments = 0;  // segment files visited
+  // Non-final segments whose scan hit a corrupt frame (the rest of that
+  // segment is unreachable, but replay continues with later segments).
+  uint64_t corrupt_segments = 0;
+  bool truncated_tail = false;  // final segment ended at a torn frame
 };
 
 class SlateChangelog {
@@ -188,7 +191,12 @@ class SlateChangelog {
   SlateChangelog& operator=(const SlateChangelog&) = delete;
 
   // Scan existing segments (continuing the lsn sequence after a restart)
-  // and open the active segment for append.
+  // and open the active segment for append. The manifest cursor floors the
+  // lsn sequence — a checkpoint may have dropped every segment carrying
+  // the highest lsns, and reissued lsns at or below the cursor would be
+  // skipped by Replay() forever. A torn tail on the active segment is
+  // truncated to the last intact frame so post-recovery appends stay
+  // reachable.
   Status Open();
 
   // Append one record; assigns and returns its lsn. Syncs every
@@ -218,9 +226,12 @@ class SlateChangelog {
   uint64_t active_segment() const;
   uint64_t segment_count() const;
 
-  // Replay every intact record with lsn > `from_lsn` across all segments in
-  // order, stopping at the first torn/corrupt frame (normal after a crash;
-  // counted in stats->truncated_tail).
+  // Replay every intact record with lsn > `from_lsn` across all segments
+  // in order. A torn frame in the final segment is the normal post-crash
+  // tail (stats->truncated_tail); a corrupt frame in an earlier segment
+  // skips the rest of that segment only (stats->corrupt_segments) — later
+  // segments are independent files and their records still restore state,
+  // since records carry absolute values.
   static Status Replay(const std::string& dir, uint64_t machine,
                        uint64_t from_lsn,
                        const std::function<void(const SlateLogRecord&)>& cb,
@@ -279,6 +290,11 @@ class DedupTable {
 
   // Replay seeding: identical to CheckAndInsert but named for intent.
   void Seed(uint64_t id);
+
+  // Unwind a reservation made by CheckAndInsert when the guarded action
+  // was declined (e.g. a queue-full push the sender will retry). A no-op
+  // for absent ids.
+  void Remove(uint64_t id);
 
   void Clear();
 

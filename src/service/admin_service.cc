@@ -86,6 +86,7 @@ Json StatuszDocument(Engine* engine, MachineId machine) {
   durability["slatelog_replays"] = stats.slatelog_replays;
   durability["slatelog_replayed_records"] = stats.slatelog_replayed_records;
   durability["slatelog_torn_tails"] = stats.slatelog_torn_tails;
+  durability["slatelog_corrupt_segments"] = stats.slatelog_corrupt_segments;
   durability["checkpoints"] = stats.checkpoints;
   durability["events_deduped"] = stats.events_deduped;
   doc["durability"] = std::move(durability);

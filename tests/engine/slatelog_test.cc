@@ -338,13 +338,48 @@ TEST(SlateChangelog, TornWriteMidAppendTruncatesCleanly) {
   EXPECT_TRUE(stats.truncated_tail);
 
   // Recovery continues past the torn tail: a fresh changelog reopens the
-  // directory and keeps appending with a continuous lsn sequence.
+  // directory (truncating the torn frame) and keeps appending with a
+  // continuous lsn sequence.
   SlateChangelog recovered(dir.path(), 0, {});
   ASSERT_OK(recovered.Open());
   Result<uint64_t> lsn = recovered.Append(MakeRecord(8));
   ASSERT_OK(lsn);
-  EXPECT_GT(lsn.value(), 7u);
+  EXPECT_EQ(lsn.value(), 8u);
   ASSERT_OK(recovered.Close());
+
+  // The post-recovery append must be reachable: had the torn frame been
+  // left in place, replay would stop at it and lose all later history.
+  SlateLogReplayStats after;
+  replayed = ReplayAll(dir.path(), 0, 0, &after);
+  ASSERT_EQ(replayed.size(), 8u);
+  EXPECT_EQ(replayed.back().lsn, 8u);
+  EXPECT_FALSE(after.truncated_tail);
+}
+
+TEST(SlateChangelog, ReopenTruncatesBitFlippedActiveTail) {
+  TempDir dir;
+  FaultyLogDevice::Script script;
+  script.fault = FaultyLogDevice::Fault::kBitFlipFrame;
+  script.fault_at = 4;  // the 5th record's frame is corrupted on disk
+  {
+    SlateChangelog log(dir.path(), 0, FaultyOptions(&script));
+    ASSERT_OK(log.Open());
+    for (uint64_t i = 0; i < 8; ++i) ASSERT_OK(log.Append(MakeRecord(i)));
+    log.CrashClose();
+  }
+  // Reopen truncates at the last intact frame (records 5..8 behind the
+  // flip were unreachable anyway), so new appends land on a clean tail.
+  SlateChangelog log(dir.path(), 0, {});
+  ASSERT_OK(log.Open());
+  Result<uint64_t> lsn = log.Append(MakeRecord(50));
+  ASSERT_OK(lsn);
+  ASSERT_OK(log.Close());
+
+  SlateLogReplayStats stats;
+  std::vector<SlateLogRecord> replayed = ReplayAll(dir.path(), 0, 0, &stats);
+  ASSERT_EQ(replayed.size(), 5u);
+  EXPECT_EQ(replayed.back().lsn, lsn.value());
+  EXPECT_FALSE(stats.truncated_tail);
 }
 
 TEST(SlateChangelog, BitFlippedFrameStopsReplayAtTheFlip) {
@@ -432,6 +467,74 @@ TEST(SlateChangelog, DropNeverTouchesTheActiveSegment) {
   ASSERT_OK(log.Close());
 }
 
+TEST(SlateChangelog, LsnSequenceFlooredByManifestAfterCheckpointDrop) {
+  TempDir dir;
+  {
+    SlateChangelog log(dir.path(), 0, {});
+    ASSERT_OK(log.Open());
+    for (uint64_t i = 0; i < 10; ++i) ASSERT_OK(log.Append(MakeRecord(i)));
+    ASSERT_OK(log.Sync());
+
+    // A full checkpoint cycle: cursor at 10, rotate to a fresh segment,
+    // drop everything covered. The active segment is now empty.
+    CheckpointManifest manifest;
+    manifest.machine = 0;
+    manifest.lsn = 10;
+    ASSERT_OK(log.RotateSegment());
+    manifest.segment = log.active_segment();
+    ASSERT_OK(SlateChangelog::WriteManifestFile(dir.path(), manifest));
+    Result<int> dropped = log.DropSegmentsCoveredBy(10);
+    ASSERT_OK(dropped);
+    EXPECT_EQ(dropped.value(), 1);
+
+    // Crash before the first synced append to the fresh segment: the only
+    // trace of lsns 1..10 left on disk is the manifest cursor.
+    log.CrashClose();
+  }
+
+  // Reopen must floor the sequence at the cursor — restarting at lsn 1
+  // would make every new durable append invisible to replay (lsn <= 10)
+  // and eligible for the next covered-segment drop.
+  SlateChangelog log(dir.path(), 0, {});
+  ASSERT_OK(log.Open());
+  Result<uint64_t> lsn = log.Append(MakeRecord(77));
+  ASSERT_OK(lsn);
+  EXPECT_EQ(lsn.value(), 11u);
+  ASSERT_OK(log.Close());
+
+  SlateLogReplayStats stats;
+  std::vector<SlateLogRecord> replayed = ReplayAll(dir.path(), 0, 10, &stats);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed.front().lsn, 11u);
+}
+
+TEST(SlateChangelog, CorruptMiddleSegmentDoesNotDiscardLaterSegments) {
+  TempDir dir;
+  FaultyLogDevice::Script script;
+  script.fault = FaultyLogDevice::Fault::kBitFlipFrame;
+  script.fault_at = 6;  // lsn 7: the middle segment's 2nd record
+  SlateChangelog log(dir.path(), 0, FaultyOptions(&script));
+  ASSERT_OK(log.Open());
+  for (uint64_t i = 0; i < 5; ++i) ASSERT_OK(log.Append(MakeRecord(i)));
+  ASSERT_OK(log.RotateSegment());
+  for (uint64_t i = 5; i < 10; ++i) ASSERT_OK(log.Append(MakeRecord(i)));
+  ASSERT_OK(log.RotateSegment());
+  for (uint64_t i = 10; i < 15; ++i) ASSERT_OK(log.Append(MakeRecord(i)));
+  ASSERT_OK(log.Close());
+
+  // Segment 2 is unreadable past lsn 6 (lsns 8..10 are lost behind the
+  // flip), but segment 3 is an independent file: its 5 records must
+  // survive a single mid-history bit-flip.
+  SlateLogReplayStats stats;
+  std::vector<SlateLogRecord> replayed = ReplayAll(dir.path(), 0, 0, &stats);
+  ASSERT_EQ(replayed.size(), 11u);
+  EXPECT_EQ(replayed[5].lsn, 6u);
+  EXPECT_EQ(replayed[6].lsn, 11u);
+  EXPECT_EQ(replayed.back().lsn, 15u);
+  EXPECT_EQ(stats.corrupt_segments, 1u);
+  EXPECT_FALSE(stats.truncated_tail);
+}
+
 TEST(SlateChangelog, ManifestFileRoundTripAndMissingIsZero) {
   TempDir dir;
   CheckpointManifest manifest;
@@ -494,6 +597,22 @@ TEST(DedupTable, EvictsOldestExactlyAtCapacity) {
   EXPECT_FALSE(table.CheckAndInsert(kCapacity + 1));
   EXPECT_EQ(table.size(), kCapacity);
   EXPECT_TRUE(table.Contains(2));
+}
+
+TEST(DedupTable, RemoveUnwindsAReservation) {
+  DedupTable table(4);
+  EXPECT_TRUE(table.CheckAndInsert(7));
+  EXPECT_TRUE(table.CheckAndInsert(8));
+  // The delivery guarded by id 7 was declined: unwinding the reservation
+  // lets the sender's retry through instead of deduping it.
+  table.Remove(7);
+  EXPECT_FALSE(table.Contains(7));
+  EXPECT_TRUE(table.Contains(8));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.CheckAndInsert(7));
+
+  table.Remove(999);  // absent id: no-op
+  EXPECT_EQ(table.size(), 2u);
 }
 
 TEST(DedupTable, SeedAndClearBehaveLikeInsert) {
