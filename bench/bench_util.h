@@ -120,12 +120,13 @@ class JsonReport {
     return doc_["rows"].AsArray().back();
   }
 
-  // Copy the engine's latency percentiles into `row` (the p50/p95/p99
-  // series every bench is expected to expose).
+  // Copy the engine's latency percentiles into `row` (the p50/p95/p99/
+  // p999 series every bench is expected to expose).
   static void PutLatency(const EngineStats& stats, Json* row) {
     (*row)["latency_p50_us"] = stats.latency_p50_us;
     (*row)["latency_p95_us"] = stats.latency_p95_us;
     (*row)["latency_p99_us"] = stats.latency_p99_us;
+    (*row)["latency_p999_us"] = stats.latency_p999_us;
   }
 
   void Write() const {

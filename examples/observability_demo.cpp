@@ -9,10 +9,13 @@
 //   curl http://127.0.0.1:$PORT/metrics   # Prometheus text v0.0.4
 //   curl http://127.0.0.1:$PORT/statusz   # queue depths, ring ownership
 //   curl http://127.0.0.1:$PORT/tracez    # recent + slowest traces
+//   curl http://127.0.0.1:$PORT/healthz   # liveness + readiness checks
+//   curl http://127.0.0.1:$PORT/sloz      # latency objectives, burn rates
 //   curl http://127.0.0.1:$PORT/status    # slate service counters
 //
-// The CI observability smoke step boots this binary and validates
-// /metrics with tools/check_prom.py.
+// The CI observability smoke step boots this binary, validates /metrics
+// with tools/check_prom.py (including the SLO/watchdog families), and
+// runs tools/muppet_doctor.py against the live endpoints.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -74,6 +77,11 @@ int main(int argc, char** argv) {
   options.num_machines = 2;
   options.threads_per_machine = 2;
   options.trace.sample_period = 1;  // demo: trace every event
+  // Declare the paper's sub-2s objective on the input stream so /sloz
+  // has a verdict and burn rates to show.
+  muppet::SloObjective objective;
+  objective.stream = "lines";
+  options.slo.objectives.push_back(objective);
   muppet::Muppet2Engine engine(config, options);
   if (!engine.Start().ok()) return 1;
 
@@ -112,8 +120,10 @@ int main(int argc, char** argv) {
     std::ofstream f("admin_port.txt");
     f << server.port() << "\n";
   }
-  std::printf("serving /metrics /statusz /tracez /status for %ds ...\n",
-              serve_seconds);
+  std::printf(
+      "serving /metrics /statusz /tracez /healthz /sloz /status for "
+      "%ds ...\n",
+      serve_seconds);
   std::fflush(stdout);
   std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
 

@@ -116,7 +116,8 @@ std::string Histogram::Summary() const {
   std::ostringstream os;
   os << "count=" << count() << " mean=" << Mean()
      << " p50=" << Percentile(0.50) << " p95=" << Percentile(0.95)
-     << " p99=" << Percentile(0.99) << " max=" << max();
+     << " p99=" << Percentile(0.99) << " p999=" << Percentile(0.999)
+     << " max=" << max();
   return os.str();
 }
 

@@ -75,7 +75,7 @@ class Histogram {
   // Merge another histogram's samples into this one.
   void MergeFrom(const Histogram& other);
 
-  // "count=... mean=... p50=... p95=... p99=... max=..."
+  // "count=... mean=... p50=... p95=... p99=... p999=... max=..."
   std::string Summary() const;
 
   static constexpr int kNumBuckets = 256;

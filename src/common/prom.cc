@@ -80,6 +80,13 @@ std::string PromSanitizeName(const std::string& name) {
 std::string PrometheusText(const MetricsRegistry& registry) {
   std::ostringstream os;
   std::string current_family;
+  // Companion p999 gauges: the bucket ladder above is too coarse to read
+  // a p999 off a dashboard, so each histogram family also exports
+  // `<name>_p999{...}` from the native 256-bucket histogram. Collected
+  // here and emitted after the main loop so every `_p999` family stays
+  // contiguous under its own # TYPE line (valid exposition).
+  std::ostringstream p999;
+  std::string current_p999_family;
   for (const MetricsRegistry::Sample& s : registry.Snapshot()) {
     const std::string name = PromSanitizeName(s.name);
     if (name != current_family) {
@@ -102,12 +109,21 @@ std::string PrometheusText(const MetricsRegistry& registry) {
       os << name << "_count";
       AppendLabels(os, s.labels);
       os << ' ' << h.count() << '\n';
+      const std::string p999_name = name + "_p999";
+      if (p999_name != current_p999_family) {
+        current_p999_family = p999_name;
+        p999 << "# TYPE " << p999_name << " gauge\n";
+      }
+      p999 << p999_name;
+      AppendLabels(p999, s.labels);
+      p999 << ' ' << h.Percentile(0.999) << '\n';
     } else {
       os << name;
       AppendLabels(os, s.labels);
       os << ' ' << s.value << '\n';
     }
   }
+  os << p999.str();
   return os.str();
 }
 

@@ -57,6 +57,9 @@
 //                           (appended under a slate-stripe lock on the
 //                           update path; synced from the flusher thread)
 //    115   service          HttpServer worker-thread registry
+//    117   slo              SloTracker per-stream latency/burn state (reads
+//                           trace stripes and registry cells while held)
+//    118   incidents        IncidentLog watchdog incident ring
 //    120   metrics          MetricsRegistry name->counter maps
 //    122   trace-stripe     TraceSink per-stripe trace ring buffers
 //    124   trace-slowest    TraceSink slowest-N retention list
@@ -145,6 +148,8 @@ enum class LockLevel : int {
   kJournal = 110,
   kSlateChangelog = 112,
   kService = 115,
+  kSlo = 117,
+  kIncidents = 118,
   kMetrics = 120,
   kTraceStripe = 122,
   kTraceSlowest = 124,

@@ -1,0 +1,14 @@
+// Build identity for the `muppet_build_info` gauge and /statusz. A single
+// constant (not generated) keeps the build hermetic; bump alongside the PR
+// sequence in CHANGES.md.
+#ifndef MUPPET_COMMON_VERSION_H_
+#define MUPPET_COMMON_VERSION_H_
+
+namespace muppet {
+
+// Repo-level version: 0.<PR sequence>.0.
+inline constexpr char kMuppetVersion[] = "0.9.0";
+
+}  // namespace muppet
+
+#endif  // MUPPET_COMMON_VERSION_H_

@@ -36,7 +36,7 @@ std::string EngineStats::ToString() const {
      << "\n"
      << "latency us: mean=" << latency_mean_us << " p50=" << latency_p50_us
      << " p95=" << latency_p95_us << " p99=" << latency_p99_us
-     << " max=" << latency_max_us;
+     << " p999=" << latency_p999_us << " max=" << latency_max_us;
   return os.str();
 }
 

@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/slo.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "core/slate.h"
@@ -22,6 +23,7 @@
 #include "engine/overflow.h"
 #include "engine/slatelog.h"
 #include "engine/throttle.h"
+#include "engine/watchdog.h"
 #include "net/transport.h"
 
 namespace muppet {
@@ -84,6 +86,16 @@ struct EngineOptions {
   // Clock for timestamps/latency (nullptr -> system clock).
   Clock* clock = nullptr;
 
+  // End-to-end latency SLOs (common/slo.h): per-stream objectives the
+  // SloTracker evaluates assembled traces against; /sloz and the
+  // muppet_slo_* metric families surface the verdicts.
+  SloOptions slo;
+
+  // Stall watchdog (engine/watchdog.h): wedged-queue / stuck-drain /
+  // changelog-stall / stuck-recovery detection feeding the incident log,
+  // /healthz, and the flight recorder.
+  WatchdogOptions watchdog;
+
   // Sampled distributed tracing (common/trace.h).
   struct TraceOptions {
     // Master switch; when false no spans are recorded and events carry a
@@ -142,6 +154,7 @@ struct EngineStats {
   int64_t latency_p50_us = 0;
   int64_t latency_p95_us = 0;
   int64_t latency_p99_us = 0;
+  int64_t latency_p999_us = 0;
   int64_t latency_max_us = 0;
   double latency_mean_us = 0.0;
 
@@ -170,6 +183,10 @@ struct HotKeyInfo {
 struct MachineStatus {
   MachineId machine = 0;
   bool crashed = false;
+  // Between Master::BeginRecovery and ClearFailure: transport may be live
+  // for replay traffic but the machine is not routable — /healthz reports
+  // it not-ready (DESIGN.md §14).
+  bool recovering = false;
   // Depth of each worker queue on the machine (Muppet 2.0: one per
   // thread; Muppet 1.0: one per worker process hosted there).
   std::vector<size_t> queue_depths;
@@ -266,6 +283,23 @@ class Engine {
 
   // Events accepted but not yet fully processed.
   virtual int64_t InflightEvents() const { return 0; }
+
+  // --- Health & SLO plane (DESIGN.md §14; defaults inert).
+
+  // End-to-end SLO tracker; nullptr when the engine does not run one.
+  virtual SloTracker* slo() { return nullptr; }
+
+  // Pull newly completed traces from every machine's sink into the SLO
+  // tracker now (the /sloz handler calls this so the page is fresh and a
+  // drained engine's traces are observed without waiting for the settle
+  // window). No-op without a tracker.
+  virtual void HarvestSlo() {}
+
+  // Watchdog incident log; nullptr when the engine does not run one.
+  virtual const IncidentLog* incidents() const { return nullptr; }
+
+  // Microseconds since Start() on the engine clock; 0 before Start().
+  virtual Timestamp UptimeMicros() const { return 0; }
 };
 
 }  // namespace muppet

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/version.h"
 #include "engine/wire.h"
 
 namespace muppet {
@@ -197,6 +198,7 @@ Muppet1Engine::Muppet1Engine(const AppConfig& config, EngineOptions options)
       }()),
       ring_(options.ring_vnodes, options.ring_seed),
       throttle_(options.throttle, clock_),
+      incident_log_(options.watchdog.incident_capacity),
       published_(metrics_.GetCounter("muppet_events_published_total")),
       processed_(metrics_.GetCounter("muppet_events_processed_total")),
       emitted_(metrics_.GetCounter("muppet_events_emitted_total")),
@@ -368,6 +370,16 @@ Status Muppet1Engine::Start() {
     }
   }
 
+  // Health & SLO plane (DESIGN.md §14): the tracker shares the engine
+  // registry so /sloz and /metrics read the same cells; incidents dump
+  // flight-recorder artifacts on the chaos artifact path.
+  slo_ = std::make_unique<SloTracker>(options_.slo, &metrics_, clock_);
+  incident_log_.SetDumpHook([this](const Incident& incident) {
+    std::vector<TraceSink*> sinks;
+    for (const auto& m : machines_) sinks.push_back(m->trace_sink.get());
+    (void)DumpWatchdogArtifacts("muppet1", incident, sinks, &metrics_);
+  });
+
   // Spin up conductors and per-machine flushers.
   for (auto& worker : workers_) {
     Worker* w = worker.get();
@@ -377,7 +389,12 @@ Status Muppet1Engine::Start() {
     MachineCtx* m = machine.get();
     m->flusher = std::thread([this, m] { FlusherLoop(m); });
   }
+  if (options_.watchdog.enabled) {
+    watchdog_ = std::make_unique<Watchdog>(options_.watchdog, &incident_log_);
+    wd_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
 
+  started_at_.store(clock_->Now(), std::memory_order_release);
   started_ = true;
   return Status::OK();
 }
@@ -935,10 +952,14 @@ void Muppet1Engine::DecInflight(int64_t n) {
 
 Status Muppet1Engine::Drain() {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  MutexLock lock(drain_mutex_);
-  while (inflight_.load(std::memory_order_acquire) > 0) {
-    drain_cv_.Wait(drain_mutex_);
+  drain_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    MutexLock lock(drain_mutex_);
+    while (inflight_.load(std::memory_order_acquire) > 0) {
+      drain_cv_.Wait(drain_mutex_);
+    }
   }
+  drain_waiters_.fetch_sub(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -948,7 +969,11 @@ Status Muppet1Engine::Stop() {
 
   // Let in-flight work finish, flush slates, then tear down.
   (void)Drain();
+  // Final SLO harvest: the engine is drained, so every sampled trace is
+  // complete and can be observed before the sinks are torn down.
+  HarvestSlo();
   shutdown_.store(true, std::memory_order_release);
+  if (wd_thread_.joinable()) wd_thread_.join();
   for (auto& machine : machines_) {
     if (machine->flusher.joinable()) machine->flusher.join();
   }
@@ -1121,6 +1146,7 @@ EngineStats Muppet1Engine::Stats() const {
   stats.latency_p50_us = latency_->Percentile(0.50);
   stats.latency_p95_us = latency_->Percentile(0.95);
   stats.latency_p99_us = latency_->Percentile(0.99);
+  stats.latency_p999_us = latency_->Percentile(0.999);
   stats.latency_max_us = latency_->max();
   stats.latency_mean_us = latency_->Mean();
   stats.operator_instances = operator_instances_->Get();
@@ -1134,6 +1160,7 @@ std::vector<MachineStatus> Muppet1Engine::MachineStatuses() const {
     MachineStatus ms;
     ms.machine = machine->id;
     ms.crashed = machine->crashed.load(std::memory_order_acquire);
+    ms.recovering = master_.IsRecovering(machine->id);
     for (const Worker* worker : machine->workers) {
       ms.queue_depths.push_back(worker->queue->size());
       // 1.0 scatters the machine's slate cache across its updater
@@ -1188,7 +1215,90 @@ std::vector<HotKeyInfo> Muppet1Engine::HotKeys() const {
   return out;
 }
 
+void Muppet1Engine::HarvestSlo() {
+  if (slo_ == nullptr) return;
+  std::vector<TraceSink*> sinks;
+  sinks.reserve(machines_.size());
+  for (const auto& machine : machines_) {
+    sinks.push_back(machine->trace_sink.get());
+  }
+  slo_->Harvest(sinks, clock_->Now(),
+                inflight_.load(std::memory_order_acquire) == 0);
+}
+
+Timestamp Muppet1Engine::UptimeMicros() const {
+  const Timestamp started = started_at_.load(std::memory_order_acquire);
+  if (started == 0 && !started_.load(std::memory_order_acquire)) return 0;
+  return clock_->Now() - started;
+}
+
+WatchdogSignals Muppet1Engine::GatherWatchdogSignals() const {
+  WatchdogSignals signals;
+  signals.now = clock_->Now();
+  for (const auto& machine : machines_) {
+    WatchdogSignals::Machine m;
+    m.machine = machine->id;
+    m.crashed = machine->crashed.load(std::memory_order_acquire);
+    m.recovering = master_.IsRecovering(machine->id);
+    if (machine->changelog != nullptr) {
+      m.changelog_lsn = machine->changelog->last_lsn();
+      m.changelog_synced_lsn = machine->changelog->synced_lsn();
+    }
+    signals.machines.push_back(std::move(m));
+    // 1.0 queues are per-worker, not per-thread-slot; index by the
+    // worker's position on its machine so incident details are stable.
+    for (size_t i = 0; i < machine->workers.size(); ++i) {
+      const Worker* worker = machine->workers[i];
+      WatchdogSignals::Queue q;
+      q.machine = machine->id;
+      q.queue_index = static_cast<int32_t>(i);
+      q.depth = worker->queue->size();
+      q.capacity = worker->queue->capacity();
+      q.pops = worker->queue->pops();
+      signals.queues.push_back(q);
+    }
+  }
+  signals.draining = drain_waiters_.load(std::memory_order_acquire) > 0;
+  signals.inflight = inflight_.load(std::memory_order_acquire);
+  return signals;
+}
+
+void Muppet1Engine::WatchdogLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    clock_->SleepFor(options_.watchdog.tick_micros);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    watchdog_->Tick(GatherWatchdogSignals());
+    // Opportunistic SLO harvest on the same cadence, so burn windows
+    // advance and settle without requiring a /sloz scrape.
+    HarvestSlo();
+  }
+}
+
 void Muppet1Engine::RegisterCallbackMetrics() {
+  // Scrape hygiene: a constant-1 gauge whose labels carry the build and
+  // config identity, plus engine uptime — what muppet-doctor keys off to
+  // tell apart machines running different builds or knobs.
+  metrics_.RegisterCallback(
+      "muppet_build_info",
+      {{"version", kMuppetVersion},
+       {"engine", "muppet1"},
+       {"consistency", ConsistencyName(options_.durability.consistency)}},
+      MetricType::kGauge, [] { return 1; });
+  metrics_.RegisterCallback(
+      "muppet_uptime_seconds", {}, MetricType::kGauge,
+      [this] { return UptimeMicros() / kMicrosPerSecond; });
+  // Watchdog incident families (DESIGN.md §14 incident taxonomy).
+  for (int k = 0; k < kNumIncidentKinds; ++k) {
+    const IncidentKind kind = static_cast<IncidentKind>(k);
+    metrics_.RegisterCallback(
+        "muppet_watchdog_incidents_total", {{"kind", IncidentKindName(kind)}},
+        MetricType::kCounter,
+        [this, kind] { return incident_log_.opened(kind); });
+  }
+  metrics_.RegisterCallback(
+      "muppet_watchdog_open_incidents", {}, MetricType::kGauge,
+      [this] { return static_cast<int64_t>(incident_log_.open_count()); });
+
   // Transport-level counters: owned by the transport, surfaced here so
   // /metrics carries the datapath and fault-injection counters.
   metrics_.RegisterCallback(

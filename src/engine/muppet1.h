@@ -97,6 +97,10 @@ class Muppet1Engine final : public Engine {
   int64_t InflightEvents() const override {
     return inflight_.load(std::memory_order_acquire);
   }
+  SloTracker* slo() override { return slo_.get(); }
+  void HarvestSlo() override;
+  const IncidentLog* incidents() const override { return &incident_log_; }
+  Timestamp UptimeMicros() const override;
 
   // Observe events published to `stream` (tests/examples; invoked inline
   // on the publishing thread). Register before Start().
@@ -152,6 +156,8 @@ class Muppet1Engine final : public Engine {
 
   void ConductorLoop(Worker* worker);
   void FlusherLoop(MachineCtx* machine);
+  void WatchdogLoop();
+  WatchdogSignals GatherWatchdogSignals() const;
   Status ProcessOne(Worker* worker, const Event& event, uint64_t dedup);
 
   // --- Durability plane (engine/slatelog.h; DESIGN.md §12). Same
@@ -232,6 +238,16 @@ class Muppet1Engine final : public Engine {
   std::atomic<uint64_t> seq_{1};
   std::atomic<int64_t> inflight_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Health & SLO plane (DESIGN.md §14). Declared before metrics_ users
+  // but after the registry dependencies; incident_log_ is initialized in
+  // the ctor from options_.watchdog.
+  std::unique_ptr<SloTracker> slo_;
+  IncidentLog incident_log_;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::thread wd_thread_;
+  std::atomic<int> drain_waiters_{0};
+  std::atomic<Timestamp> started_at_{0};
 
   Mutex drain_mutex_{LockLevel::kDrain};
   CondVar drain_cv_;

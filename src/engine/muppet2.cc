@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/version.h"
 #include "engine/placement.h"
 #include "engine/wire.h"
 
@@ -157,6 +158,7 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
       }()),
       ring_(options.ring_vnodes, options.ring_seed),
       throttle_(options.throttle, clock_),
+      incident_log_(options.watchdog.incident_capacity),
       published_(metrics_.GetCounter("muppet_events_published_total")),
       processed_(metrics_.GetCounter("muppet_events_processed_total")),
       emitted_(metrics_.GetCounter("muppet_events_emitted_total")),
@@ -360,6 +362,16 @@ Status Muppet2Engine::Start() {
     }
   }
 
+  // Health & SLO plane (DESIGN.md §14): the tracker shares the engine
+  // registry so /sloz and /metrics read the same cells; incidents dump
+  // flight-recorder artifacts on the chaos artifact path.
+  slo_ = std::make_unique<SloTracker>(options_.slo, &metrics_, clock_);
+  incident_log_.SetDumpHook([this](const Incident& incident) {
+    std::vector<TraceSink*> sinks;
+    for (const auto& m : machines_) sinks.push_back(m->trace_sink.get());
+    (void)DumpWatchdogArtifacts("muppet2", incident, sinks, &metrics_);
+  });
+
   for (auto& machine : machines_) {
     MachineCtx* m = machine.get();
     for (auto& thread_ctx : m->threads) {
@@ -373,7 +385,12 @@ Status Muppet2Engine::Start() {
     lm_controller_ = std::make_unique<LoadController>(options_.load_manager);
     lm_thread_ = std::thread([this] { LoadManagerLoop(); });
   }
+  if (options_.watchdog.enabled) {
+    watchdog_ = std::make_unique<Watchdog>(options_.watchdog, &incident_log_);
+    wd_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
 
+  started_at_.store(clock_->Now(), std::memory_order_release);
   started_ = true;
   return Status::OK();
 }
@@ -1355,10 +1372,14 @@ void Muppet2Engine::DecInflight(int64_t n) {
 
 Status Muppet2Engine::Drain() {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  MutexLock lock(drain_mutex_);
-  while (inflight_.load(std::memory_order_acquire) > 0) {
-    drain_cv_.Wait(drain_mutex_);
+  drain_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    MutexLock lock(drain_mutex_);
+    while (inflight_.load(std::memory_order_acquire) > 0) {
+      drain_cv_.Wait(drain_mutex_);
+    }
   }
+  drain_waiters_.fetch_sub(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -1367,8 +1388,12 @@ Status Muppet2Engine::Stop() {
   stopped_ = true;
 
   (void)Drain();
+  // Final SLO harvest: the engine is drained, so every sampled trace is
+  // complete and can be observed before the sinks are torn down.
+  HarvestSlo();
   shutdown_.store(true, std::memory_order_release);
   if (lm_thread_.joinable()) lm_thread_.join();
+  if (wd_thread_.joinable()) wd_thread_.join();
   for (auto& machine : machines_) {
     if (machine->flusher.joinable()) machine->flusher.join();
   }
@@ -1579,6 +1604,7 @@ EngineStats Muppet2Engine::Stats() const {
   stats.latency_p50_us = latency_->Percentile(0.50);
   stats.latency_p95_us = latency_->Percentile(0.95);
   stats.latency_p99_us = latency_->Percentile(0.99);
+  stats.latency_p999_us = latency_->Percentile(0.999);
   stats.latency_max_us = latency_->max();
   stats.latency_mean_us = latency_->Mean();
   stats.operator_instances = operator_instances_->Get();
@@ -1592,6 +1618,7 @@ std::vector<MachineStatus> Muppet2Engine::MachineStatuses() const {
     MachineStatus ms;
     ms.machine = machine->id;
     ms.crashed = machine->crashed.load(std::memory_order_acquire);
+    ms.recovering = master_.IsRecovering(machine->id);
     for (const auto& thread_ctx : machine->threads) {
       ms.queue_depths.push_back(thread_ctx->queue->size());
     }
@@ -1623,6 +1650,62 @@ std::vector<MachineStatus> Muppet2Engine::MachineStatuses() const {
     out.push_back(std::move(ms));
   }
   return out;
+}
+
+void Muppet2Engine::HarvestSlo() {
+  if (slo_ == nullptr) return;
+  std::vector<TraceSink*> sinks;
+  sinks.reserve(machines_.size());
+  for (const auto& machine : machines_) {
+    sinks.push_back(machine->trace_sink.get());
+  }
+  slo_->Harvest(sinks, clock_->Now(),
+                inflight_.load(std::memory_order_acquire) == 0);
+}
+
+Timestamp Muppet2Engine::UptimeMicros() const {
+  const Timestamp started = started_at_.load(std::memory_order_acquire);
+  if (started == 0 && !started_.load(std::memory_order_acquire)) return 0;
+  return clock_->Now() - started;
+}
+
+WatchdogSignals Muppet2Engine::GatherWatchdogSignals() const {
+  WatchdogSignals signals;
+  signals.now = clock_->Now();
+  for (const auto& machine : machines_) {
+    WatchdogSignals::Machine m;
+    m.machine = machine->id;
+    m.crashed = machine->crashed.load(std::memory_order_acquire);
+    m.recovering = master_.IsRecovering(machine->id);
+    if (machine->changelog != nullptr) {
+      m.changelog_lsn = machine->changelog->last_lsn();
+      m.changelog_synced_lsn = machine->changelog->synced_lsn();
+    }
+    signals.machines.push_back(std::move(m));
+    for (const auto& thread_ctx : machine->threads) {
+      WatchdogSignals::Queue q;
+      q.machine = machine->id;
+      q.queue_index = thread_ctx->index;
+      q.depth = thread_ctx->queue->size();
+      q.capacity = thread_ctx->queue->capacity();
+      q.pops = thread_ctx->queue->pops();
+      signals.queues.push_back(q);
+    }
+  }
+  signals.draining = drain_waiters_.load(std::memory_order_acquire) > 0;
+  signals.inflight = inflight_.load(std::memory_order_acquire);
+  return signals;
+}
+
+void Muppet2Engine::WatchdogLoop() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    clock_->SleepFor(options_.watchdog.tick_micros);
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    watchdog_->Tick(GatherWatchdogSignals());
+    // Opportunistic SLO harvest on the same cadence, so burn windows
+    // advance and settle without requiring a /sloz scrape.
+    HarvestSlo();
+  }
 }
 
 void Muppet2Engine::LoadManagerLoop() {
@@ -1862,6 +1945,30 @@ std::vector<HotKeyInfo> Muppet2Engine::HotKeys() const {
 }
 
 void Muppet2Engine::RegisterCallbackMetrics() {
+  // Scrape hygiene: a constant-1 gauge whose labels carry the build and
+  // config identity, plus engine uptime — what muppet-doctor keys off to
+  // tell apart machines running different builds or knobs.
+  metrics_.RegisterCallback(
+      "muppet_build_info",
+      {{"version", kMuppetVersion},
+       {"engine", "muppet2"},
+       {"consistency", ConsistencyName(options_.durability.consistency)}},
+      MetricType::kGauge, [] { return 1; });
+  metrics_.RegisterCallback(
+      "muppet_uptime_seconds", {}, MetricType::kGauge,
+      [this] { return UptimeMicros() / kMicrosPerSecond; });
+  // Watchdog incident families (DESIGN.md §14 incident taxonomy).
+  for (int k = 0; k < kNumIncidentKinds; ++k) {
+    const IncidentKind kind = static_cast<IncidentKind>(k);
+    metrics_.RegisterCallback(
+        "muppet_watchdog_incidents_total", {{"kind", IncidentKindName(kind)}},
+        MetricType::kCounter,
+        [this, kind] { return incident_log_.opened(kind); });
+  }
+  metrics_.RegisterCallback(
+      "muppet_watchdog_open_incidents", {}, MetricType::kGauge,
+      [this] { return static_cast<int64_t>(incident_log_.open_count()); });
+
   // Transport-level counters: owned by the transport, surfaced here so
   // /metrics carries the PR-1 datapath and PR-3 fault counters.
   metrics_.RegisterCallback(

@@ -74,6 +74,10 @@ class Muppet2Engine final : public Engine {
   int64_t InflightEvents() const override {
     return inflight_.load(std::memory_order_acquire);
   }
+  SloTracker* slo() override { return slo_.get(); }
+  void HarvestSlo() override;
+  const IncidentLog* incidents() const override { return &incident_log_; }
+  Timestamp UptimeMicros() const override;
 
   // Observe events published to `stream` (register before Start()).
   void TapStream(const std::string& stream,
@@ -232,6 +236,12 @@ class Muppet2Engine final : public Engine {
   void SendControl(MachineId from, uint64_t sender_work, BytesView route_key,
                    RoutedEvent re);
 
+  // Stall-watchdog control loop (one engine-wide thread) and its signal
+  // collection pass — all lock-free reads (queue sizes/pops, inflight,
+  // changelog cursors), so the watchdog never blocks the data path.
+  void WatchdogLoop();
+  WatchdogSignals GatherWatchdogSignals() const;
+
   // Self-tuning load-management control loop (one engine-wide thread).
   void LoadManagerLoop();
   void LoadManagerTick(int tick);
@@ -357,6 +367,16 @@ class Muppet2Engine final : public Engine {
   };
   // muppet-lint: allow(guarded): confined to the load-manager thread
   std::map<std::pair<int32_t, Bytes>, MergeProgress> merge_progress_;
+
+  // --- Health & SLO plane (DESIGN.md §14).
+  std::unique_ptr<SloTracker> slo_;
+  IncidentLog incident_log_;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::thread wd_thread_;
+  // Live Drain() waiters — the watchdog's drain-stall signal.
+  std::atomic<int> drain_waiters_{0};
+  // Engine clock reading at Start(); 0 before Start().
+  std::atomic<Timestamp> started_at_{0};
 
   // Shared registry backing /metrics; the counters below are registry
   // children so the admin endpoints and EngineStats read the same cells.

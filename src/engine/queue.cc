@@ -51,6 +51,7 @@ bool EventQueue::Pop(RoutedEvent* out) {
   *out = std::move(items_.front());
   items_.pop_front();
   size_.store(items_.size(), std::memory_order_release);
+  pops_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -65,6 +66,7 @@ bool EventQueue::PopBatch(std::vector<RoutedEvent>* out, size_t max) {
     items_.pop_front();
   }
   size_.store(items_.size(), std::memory_order_release);
+  pops_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
   return true;
 }
 
@@ -74,6 +76,7 @@ bool EventQueue::TryPop(RoutedEvent* out) {
   *out = std::move(items_.front());
   items_.pop_front();
   size_.store(items_.size(), std::memory_order_release);
+  pops_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 

@@ -122,6 +122,9 @@ class EventQueue {
   // while a push/pop is mid-flight.
   size_t size() const { return size_.load(std::memory_order_acquire); }
   size_t capacity() const { return capacity_; }
+  // Cumulative events dequeued (Pop/PopBatch/TryPop). Lock-free read; the
+  // watchdog compares successive values as its queue-progress signal.
+  int64_t pops() const { return pops_.load(std::memory_order_relaxed); }
   bool stopped() const MUPPET_EXCLUDES(mutex_);
 
   // Level this queue's mutex occupies in the global lock hierarchy
@@ -134,6 +137,7 @@ class EventQueue {
   CondVar not_empty_;
   std::deque<RoutedEvent> items_ MUPPET_GUARDED_BY(mutex_);
   std::atomic<size_t> size_{0};
+  std::atomic<int64_t> pops_{0};
   bool stopped_ MUPPET_GUARDED_BY(mutex_) = false;
 };
 

@@ -4,7 +4,10 @@
 #include <cstdio>
 
 #include "common/prom.h"
+#include "common/slo.h"
 #include "common/trace.h"
+#include "common/version.h"
+#include "engine/watchdog.h"
 
 namespace muppet {
 namespace {
@@ -13,6 +16,22 @@ std::string HexId(uint64_t id) {
   char buf[20];
   std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
   return std::string(buf);
+}
+
+Json CriticalPathToJson(const CriticalPath& path) {
+  Json j = Json::MakeObject();
+  j["trace_id"] = HexId(path.trace_id);
+  if (!path.stream.empty()) j["stream"] = path.stream;
+  j["total_us"] = path.total_us;
+  j["publish_us"] = path.publish_us;
+  j["queue_wait_us"] = path.queue_wait_us;
+  j["exec_us"] = path.exec_us;
+  j["slate_fetch_us"] = path.slate_fetch_us;
+  j["net_hop_us"] = path.net_hop_us;
+  j["unattributed_us"] = path.unattributed_us;
+  j["spans"] = static_cast<int64_t>(path.spans);
+  j["machines"] = static_cast<int64_t>(path.machines);
+  return j;
 }
 
 Json SpanToJson(const Span& span) {
@@ -36,6 +55,9 @@ Json TraceToJson(const TraceSink::TraceRecord& record) {
   Json spans = Json::MakeArray();
   for (const Span& span : record.spans) spans.Append(SpanToJson(span));
   j["spans"] = std::move(spans);
+  // Where the time went (DESIGN.md §14): the same per-kind reduction
+  // /sloz applies to its worst traces, inline on every trace.
+  j["critical_path"] = CriticalPathToJson(ComputeCriticalPath(record.spans));
   return j;
 }
 
@@ -66,6 +88,8 @@ Json TracezDocument(Engine* engine, MachineId machine) {
 Json StatuszDocument(Engine* engine, MachineId machine) {
   Json doc = Json::MakeObject();
   doc["serving_machine"] = static_cast<int64_t>(machine);
+  doc["version"] = kMuppetVersion;
+  doc["uptime_us"] = engine->UptimeMicros();
   doc["inflight"] = engine->InflightEvents();
 
   const EngineStats stats = engine->Stats();
@@ -96,6 +120,7 @@ Json StatuszDocument(Engine* engine, MachineId machine) {
     Json jm = Json::MakeObject();
     jm["machine"] = static_cast<int64_t>(ms.machine);
     jm["crashed"] = ms.crashed;
+    jm["recovering"] = ms.recovering;
     Json depths = Json::MakeArray();
     for (size_t d : ms.queue_depths) depths.Append(static_cast<int64_t>(d));
     jm["queue_depths"] = std::move(depths);
@@ -143,6 +168,150 @@ Json StatuszDocument(Engine* engine, MachineId machine) {
     hot.Append(std::move(jh));
   }
   doc["hot_keys"] = std::move(hot);
+
+  // Incident panel (engine/watchdog.h): the flight-recorder ring, newest
+  // first. Always present so dashboards need no feature probe.
+  Json incidents = Json::MakeArray();
+  int64_t open_incidents = 0;
+  if (const IncidentLog* log = engine->incidents(); log != nullptr) {
+    for (const Incident& incident : log->Incidents()) {
+      if (incident.open()) ++open_incidents;
+      incidents.Append(IncidentToJson(incident));
+    }
+  }
+  doc["incidents"] = std::move(incidents);
+  doc["open_incidents"] = open_incidents;
+  return doc;
+}
+
+Json HealthzDocument(Engine* engine, MachineId machine) {
+  Json doc = Json::MakeObject();
+  doc["serving_machine"] = static_cast<int64_t>(machine);
+  // Liveness: the process answered, which is the whole liveness claim.
+  doc["live"] = true;
+
+  bool crashed = false;
+  bool recovering = false;
+  for (const MachineStatus& ms : engine->MachineStatuses()) {
+    if (ms.machine != machine) continue;
+    crashed = ms.crashed;
+    recovering = ms.recovering;
+    break;
+  }
+
+  // Open incidents scoped to this machine (or engine-wide, machine = -1).
+  int64_t queue_stalls = 0;
+  int64_t drain_stalls = 0;
+  int64_t changelog_stalls = 0;
+  if (const IncidentLog* log = engine->incidents(); log != nullptr) {
+    for (const Incident& incident : log->Incidents()) {
+      if (!incident.open()) continue;
+      if (incident.machine != machine &&
+          incident.machine != kInvalidMachine) {
+        continue;
+      }
+      switch (incident.kind) {
+        case IncidentKind::kQueueStall:
+          ++queue_stalls;
+          break;
+        case IncidentKind::kDrainStall:
+          ++drain_stalls;
+          break;
+        case IncidentKind::kChangelogStall:
+          ++changelog_stalls;
+          break;
+        case IncidentKind::kRecoveryStuck:
+          break;  // subsumed by the recovery check below
+      }
+    }
+  }
+
+  // Readiness: the machine is routable — not crashed, and not between
+  // BeginRecovery and ClearFailure (Master holds new traffic off a
+  // machine until its slates are restored; a probe must do the same).
+  struct Check {
+    const char* name;
+    bool ok;
+    std::string detail;
+  };
+  const Check checks[] = {
+      {"machine", !crashed, crashed ? "machine crashed" : "up"},
+      {"recovery", !recovering,
+       recovering ? "recovering (BeginRecovery, not yet ClearFailure)"
+                  : "not recovering"},
+      {"queues", queue_stalls == 0,
+       queue_stalls == 0 ? "no open queue-stall incidents"
+                         : std::to_string(queue_stalls) +
+                               " open queue-stall incident(s)"},
+      {"drain", drain_stalls == 0,
+       drain_stalls == 0
+           ? "no open drain-stall incidents"
+           : std::to_string(drain_stalls) + " open drain-stall incident(s)"},
+      {"changelog", changelog_stalls == 0,
+       changelog_stalls == 0 ? "no open changelog-stall incidents"
+                             : std::to_string(changelog_stalls) +
+                                   " open changelog-stall incident(s)"},
+  };
+  bool ready = true;
+  Json jchecks = Json::MakeArray();
+  for (const Check& check : checks) {
+    ready = ready && check.ok;
+    Json jc = Json::MakeObject();
+    jc["name"] = check.name;
+    jc["ok"] = check.ok;
+    jc["detail"] = check.detail;
+    jchecks.Append(std::move(jc));
+  }
+  doc["checks"] = std::move(jchecks);
+  doc["ready"] = ready;
+  return doc;
+}
+
+Json SlozDocument(Engine* engine, MachineId machine) {
+  Json doc = Json::MakeObject();
+  doc["serving_machine"] = static_cast<int64_t>(machine);
+  Json streams = Json::MakeArray();
+  SloTracker* slo = engine->slo();
+  if (slo != nullptr) {
+    doc["traces_observed"] = slo->traces_observed();
+    doc["traces_unattributed"] = slo->traces_unattributed();
+    for (const SloTracker::StreamSnapshot& snap : slo->Snapshot()) {
+      Json js = Json::MakeObject();
+      js["stream"] = snap.stream;
+      js["events"] = snap.events;
+      js["breaches"] = snap.breaches;
+      js["mean_us"] = snap.mean_us;
+      js["p50_us"] = snap.p50_us;
+      js["p95_us"] = snap.p95_us;
+      js["p99_us"] = snap.p99_us;
+      js["p999_us"] = snap.p999_us;
+      js["max_us"] = snap.max_us;
+      if (snap.has_objective) {
+        Json jo = Json::MakeObject();
+        jo["target_p99_us"] = snap.objective.target_p99_us;
+        jo["window_micros"] = snap.objective.window_micros;
+        js["objective"] = std::move(jo);
+        js["meeting_objective"] = snap.meeting_objective;
+        Json burns = Json::MakeArray();
+        for (const SloTracker::BurnSnapshot& burn : snap.burn) {
+          Json jb = Json::MakeObject();
+          jb["window_micros"] = burn.window_micros;
+          jb["rate"] = burn.rate;
+          jb["events"] = burn.events;
+          jb["breaches"] = burn.breaches;
+          burns.Append(std::move(jb));
+        }
+        js["burn"] = std::move(burns);
+      }
+      Json worst = Json::MakeArray();
+      for (const CriticalPath& path : snap.worst) {
+        worst.Append(CriticalPathToJson(path));
+      }
+      js["worst_critical_paths"] = std::move(worst);
+      streams.Append(std::move(js));
+    }
+  }
+  doc["streams"] = std::move(streams);
   return doc;
 }
 
@@ -172,6 +341,23 @@ HttpResponse AdminService::Tracez() const {
   return response;
 }
 
+HttpResponse AdminService::Healthz() const {
+  HttpResponse response;
+  Json doc = HealthzDocument(engine_, machine_);
+  if (!doc.GetBool("ready")) response.status = 503;
+  response.body = doc.Dump();
+  return response;
+}
+
+HttpResponse AdminService::Sloz() const {
+  // Pull just-completed traces out of the sinks first, so a scrape after
+  // a drain reflects everything the engine processed.
+  engine_->HarvestSlo();
+  HttpResponse response;
+  response.body = SlozDocument(engine_, machine_).Dump();
+  return response;
+}
+
 void AdminService::AttachTo(HttpServer* server) {
   server->RegisterHandler(
       "/metrics", [this](const HttpRequest&) { return Metrics(); });
@@ -179,6 +365,10 @@ void AdminService::AttachTo(HttpServer* server) {
       "/statusz", [this](const HttpRequest&) { return Statusz(); });
   server->RegisterHandler("/tracez",
                           [this](const HttpRequest&) { return Tracez(); });
+  server->RegisterHandler("/healthz",
+                          [this](const HttpRequest&) { return Healthz(); });
+  server->RegisterHandler("/sloz",
+                          [this](const HttpRequest&) { return Sloz(); });
 }
 
 }  // namespace muppet

@@ -7,7 +7,13 @@
 //   /statusz  - JSON runtime state: queue depths, slate-cache occupancy,
 //               hash-ring ownership, failed set, inflight count
 //   /tracez   - JSON dump of the machine's TraceSink: recent + slowest
-//               traces with their spans
+//               traces with their spans and critical-path breakdowns
+//   /healthz  - liveness + readiness probe (DESIGN.md §14): 200 when the
+//               serving machine is routable, 503 while it is crashed or
+//               mid-recovery (BeginRecovery -> ClearFailure), with
+//               per-subsystem checks in the JSON body
+//   /sloz     - per-stream end-to-end latency percentiles vs the declared
+//               objective, burn rates, and worst critical paths
 //
 // Engine-agnostic: everything flows through the Engine interface, so both
 // generations (and future engines) get the same endpoints for free.
@@ -31,6 +37,15 @@ Json TracezDocument(Engine* engine, MachineId machine);
 // which machine served it).
 Json StatuszDocument(Engine* engine, MachineId machine);
 
+// The /healthz document for `machine`. `ready`/`live` summarize the
+// per-subsystem checks; callers map !ready to HTTP 503.
+Json HealthzDocument(Engine* engine, MachineId machine);
+
+// The /sloz document: one entry per stream with observed percentiles,
+// objective verdict, burn rates, and worst critical paths. Callers should
+// HarvestSlo() first so just-completed traces are included.
+Json SlozDocument(Engine* engine, MachineId machine);
+
 class AdminService {
  public:
   // `engine` must outlive the service. `machine` scopes /tracez (and the
@@ -42,9 +57,11 @@ class AdminService {
   HttpResponse Metrics() const;
   HttpResponse Statusz() const;
   HttpResponse Tracez() const;
+  HttpResponse Healthz() const;
+  HttpResponse Sloz() const;
 
-  // Mount /metrics, /statusz, /tracez. Call before server->Start(); the
-  // service must outlive the server.
+  // Mount /metrics, /statusz, /tracez, /healthz, /sloz. Call before
+  // server->Start(); the service must outlive the server.
   void AttachTo(HttpServer* server);
 
  private:

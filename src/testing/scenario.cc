@@ -63,6 +63,24 @@ void DumpFlightRecorder(const ScenarioOptions& options, Engine* engine,
   std::ofstream(base + "-traces.json") << result->trace_dump;
   std::ofstream(base + "-metrics.prom") << result->metrics_dump;
 
+  // Health & SLO plane (DESIGN.md §14): the incident ring and the
+  // per-stream SLO verdicts, so a nightly violation ships its own
+  // diagnosis alongside the traces.
+  engine->HarvestSlo();
+  Json ops = Json::MakeObject();
+  ops["engine"] = EngineName(options.engine);
+  ops["fault_seed"] = options.plan.seed;
+  ops["sloz"] = SlozDocument(engine, 0);
+  ops["healthz"] = HealthzDocument(engine, 0);
+  Json incidents = Json::MakeArray();
+  if (const IncidentLog* log = engine->incidents(); log != nullptr) {
+    for (const Incident& incident : log->Incidents()) {
+      incidents.Append(IncidentToJson(incident));
+    }
+  }
+  ops["incidents"] = std::move(incidents);
+  std::ofstream(base + "-slo.json") << ops.Dump() << "\n";
+
   // Durable runs also preserve the changelog segments and checkpoint
   // manifests: with them plus the seeds, a violation can be replayed AND
   // the recovered state independently re-derived offline.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/metrics.h"
+#include "common/slo.h"
 #include "common/trace.h"
 #include "core/hash_ring.h"
 #include "core/heat.h"
@@ -17,6 +18,7 @@
 #include "engine/muppet2.h"
 #include "engine/queue.h"
 #include "engine/throttle.h"
+#include "engine/watchdog.h"
 #include "kvstore/memtable.h"
 #include "kvstore/node.h"
 #include "kvstore/wal.h"
@@ -272,6 +274,8 @@ TEST(LockHierarchyTest, SubsystemsAssignTheDocumentedLevels) {
   EXPECT_EQ(DedupTable::kLockLevel, LockLevel::kDedupTable);
   EXPECT_EQ(SlateChangelog::kLockLevel, LockLevel::kSlateChangelog);
   EXPECT_EQ(HttpServer::kLockLevel, LockLevel::kService);
+  EXPECT_EQ(SloTracker::kLockLevel, LockLevel::kSlo);
+  EXPECT_EQ(IncidentLog::kLockLevel, LockLevel::kIncidents);
   EXPECT_EQ(MetricsRegistry::kLockLevel, LockLevel::kMetrics);
   EXPECT_EQ(TraceSink::kStripeLockLevel, LockLevel::kTraceStripe);
   EXPECT_EQ(TraceSink::kSlowestLockLevel, LockLevel::kTraceSlowest);
@@ -331,6 +335,13 @@ TEST(LockHierarchyTest, DocumentedOrderingHolds) {
   EXPECT_TRUE(lt(LockLevel::kStoreIo, LockLevel::kJournal));
   EXPECT_TRUE(lt(LockLevel::kJournal, LockLevel::kService));
   EXPECT_TRUE(lt(LockLevel::kService, LockLevel::kMetrics));
+  // Health & SLO plane (DESIGN.md Â§14): the SLO tracker registers burn
+  // gauges while holding its own lock, and the admin service reads both
+  // the tracker and the incident log under the server lock.
+  EXPECT_TRUE(lt(LockLevel::kService, LockLevel::kSlo));
+  EXPECT_TRUE(lt(LockLevel::kSlo, LockLevel::kMetrics));
+  EXPECT_TRUE(lt(LockLevel::kService, LockLevel::kIncidents));
+  EXPECT_TRUE(lt(LockLevel::kIncidents, LockLevel::kMetrics));
   // Spans are recorded under subsystem locks (queue, slate stripes), and
   // a stripe eviction may push into the slowest-N list.
   EXPECT_TRUE(lt(LockLevel::kMetrics, LockLevel::kTraceStripe));

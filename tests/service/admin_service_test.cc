@@ -8,7 +8,9 @@
 #include <memory>
 #include <string>
 
+#include "common/clock.h"
 #include "common/prom.h"
+#include "common/slo.h"
 #include "engine/muppet1.h"
 #include "engine/muppet2.h"
 #include "gtest/gtest.h"
@@ -149,7 +151,163 @@ TEST_F(AdminServiceTest, EndpointsMountOnHttpServer) {
   EXPECT_NE(statusz.find("\"machines\""), std::string::npos);
   const std::string tracez = HttpGet(server.port(), "/tracez");
   EXPECT_NE(tracez.find("\"recent\""), std::string::npos);
+  const std::string healthz = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("200"), std::string::npos);
+  EXPECT_NE(healthz.find("\"ready\""), std::string::npos);
+  const std::string sloz = HttpGet(server.port(), "/sloz");
+  EXPECT_NE(sloz.find("\"streams\""), std::string::npos);
   ASSERT_OK(server.Stop());
+}
+
+// /healthz readiness across the full failure lifecycle: ready, crashed
+// (503), recovering after BeginRecovery (still 503 — the machine is not
+// routable until its slates are restored), ready again after
+// RestartMachine runs ClearFailure. Peer machines stay ready throughout.
+TEST(AdminServiceHealthzTest, ReadinessFollowsRecoveryLifecycle) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options;
+  options.num_machines = 2;
+  options.threads_per_machine = 2;
+  Muppet2Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(engine.Publish("in", "k" + std::to_string(i % 3), "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+
+  AdminService admin1(&engine, /*machine=*/1);
+  AdminService admin0(&engine, /*machine=*/0);
+
+  // Healthy cluster: both machines live and ready.
+  HttpResponse healthz = admin1.Healthz();
+  EXPECT_EQ(healthz.status, 200);
+  {
+    Result<Json> parsed = Json::Parse(healthz.body);
+    ASSERT_OK(parsed.status());
+    EXPECT_TRUE(parsed.value().GetBool("live", false));
+    EXPECT_TRUE(parsed.value().GetBool("ready", false));
+    ASSERT_TRUE(parsed.value()["checks"].is_array());
+    for (const Json& check : parsed.value()["checks"].AsArray()) {
+      EXPECT_TRUE(check.GetBool("ok", false)) << check.Dump();
+    }
+  }
+
+  // Crashed: liveness holds (the process still answers) but readiness
+  // drops and the handler maps it to 503.
+  ASSERT_OK(engine.CrashMachine(1));
+  healthz = admin1.Healthz();
+  EXPECT_EQ(healthz.status, 503);
+  {
+    Result<Json> parsed = Json::Parse(healthz.body);
+    ASSERT_OK(parsed.status());
+    EXPECT_TRUE(parsed.value().GetBool("live", false));
+    EXPECT_FALSE(parsed.value().GetBool("ready", true));
+    bool machine_check_failed = false;
+    for (const Json& check : parsed.value()["checks"].AsArray()) {
+      if (check.GetString("name", "") == "machine") {
+        machine_check_failed = !check.GetBool("ok", true);
+      }
+    }
+    EXPECT_TRUE(machine_check_failed);
+  }
+  // The surviving machine is unaffected.
+  EXPECT_EQ(admin0.Healthz().status, 200);
+
+  // Mid-recovery: BeginRecovery marks the intermediate state. The
+  // machine must stay not-ready until ClearFailure — traffic routed to
+  // it now would read unrestored slates. (ReportFailure first: with no
+  // post-crash traffic, no sender noticed the crash, and BeginRecovery
+  // is a no-op without a failure record.)
+  (void)engine.master().ReportFailure(1);
+  EXPECT_TRUE(engine.master().BeginRecovery(1));
+  Json doc = HealthzDocument(&engine, /*machine=*/1);
+  EXPECT_FALSE(doc.GetBool("ready", true));
+  bool recovery_check_failed = false;
+  for (const Json& check : doc["checks"].AsArray()) {
+    if (check.GetString("name", "") == "recovery") {
+      recovery_check_failed = !check.GetBool("ok", true);
+    }
+  }
+  EXPECT_TRUE(recovery_check_failed);
+
+  // ClearFailure (inside RestartMachine) completes the arc: ready again.
+  ASSERT_OK(engine.RestartMachine(1));
+  healthz = admin1.Healthz();
+  EXPECT_EQ(healthz.status, 200);
+  {
+    Result<Json> parsed = Json::Parse(healthz.body);
+    ASSERT_OK(parsed.status());
+    EXPECT_TRUE(parsed.value().GetBool("ready", false));
+  }
+  ASSERT_OK(engine.Stop());
+}
+
+// /sloz surfaces per-stream percentiles, the declared objective with its
+// burn windows, and the worst critical paths once traffic has drained.
+TEST(AdminServiceSlozTest, SlozReportsObjectiveVerdictAfterDrain) {
+  AppConfig config;
+  BuildCountingApp(&config);
+  EngineOptions options;
+  options.num_machines = 2;
+  options.threads_per_machine = 2;
+  options.trace.sample_period = 1;
+  SloObjective objective;
+  objective.stream = "in";
+  objective.target_p99_us = 30 * kMicrosPerSecond;  // generous: never breached
+  options.slo.objectives.push_back(objective);
+  Muppet2Engine engine(config, options);
+  ASSERT_OK(engine.Start());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(engine.Publish("in", "key" + std::to_string(i % 4), "", i + 1));
+  }
+  ASSERT_OK(engine.Drain());
+
+  AdminService admin(&engine);
+  const HttpResponse response = admin.Sloz();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  Result<Json> parsed = Json::Parse(response.body);
+  ASSERT_OK(parsed.status());
+  const Json& doc = parsed.value();
+  EXPECT_GT(doc.GetInt("traces_observed", 0), 0);
+  ASSERT_TRUE(doc["streams"].is_array());
+  ASSERT_GT(doc["streams"].size(), 0u);
+  bool saw_in = false;
+  for (const Json& stream : doc["streams"].AsArray()) {
+    if (stream.GetString("stream", "") != "in") continue;
+    saw_in = true;
+    EXPECT_GT(stream.GetInt("events", 0), 0);
+    EXPECT_GE(stream.GetInt("p99_us", -1), stream.GetInt("p50_us", 0));
+    EXPECT_GE(stream.GetInt("p999_us", -1), stream.GetInt("p99_us", 0));
+    EXPECT_GE(stream.GetInt("max_us", -1), stream.GetInt("p999_us", 0));
+    // The declared objective comes back with its verdict and one burn
+    // entry per configured window.
+    EXPECT_EQ(stream["objective"].GetInt("target_p99_us", -1),
+              30 * kMicrosPerSecond);
+    EXPECT_TRUE(stream.GetBool("meeting_objective", false));
+    EXPECT_EQ(stream.GetInt("breaches", -1), 0);
+    ASSERT_TRUE(stream["burn"].is_array());
+    EXPECT_EQ(stream["burn"].size(), options.slo.burn_windows.size());
+    for (const Json& burn : stream["burn"].AsArray()) {
+      EXPECT_EQ(burn.GetInt("breaches", -1), 0);
+    }
+    // Worst critical paths: present, slowest first, buckets sum to total.
+    ASSERT_TRUE(stream["worst_critical_paths"].is_array());
+    ASSERT_GT(stream["worst_critical_paths"].size(), 0u);
+    const Json& worst = stream["worst_critical_paths"].AsArray().front();
+    EXPECT_GT(worst.GetInt("total_us", -1), 0);
+    EXPECT_GT(worst.GetInt("spans", 0), 0);
+    const int64_t attributed = worst.GetInt("publish_us", 0) +
+                               worst.GetInt("queue_wait_us", 0) +
+                               worst.GetInt("exec_us", 0) +
+                               worst.GetInt("slate_fetch_us", 0) +
+                               worst.GetInt("net_hop_us", 0) +
+                               worst.GetInt("unattributed_us", 0);
+    EXPECT_EQ(attributed, worst.GetInt("total_us", -1));
+  }
+  EXPECT_TRUE(saw_in);
+  ASSERT_OK(engine.Stop());
 }
 
 TEST(AdminServiceMuppet1Test, EndpointsWorkOnTheLegacyEngine) {

@@ -31,6 +31,7 @@ import sys
 METRIC_KEYS = frozenset({
     "events_per_sec", "elapsed_us", "events",
     "latency_p50_us", "latency_p95_us", "latency_p99_us",
+    "latency_p999_us",
     "queue_wait_p99_us",
     "secondary_dispatches", "slate_contentions",
     "key_splits", "key_merges",

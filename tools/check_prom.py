@@ -4,6 +4,11 @@
 Usage:
     check_prom.py FILE          # validate a scrape saved to a file
     ... | check_prom.py -       # validate stdin
+    check_prom.py FILE --require FAMILY [--require FAMILY ...]
+                                # additionally fail unless each named
+                                # family has at least one sample; a
+                                # trailing '*' matches any suffix
+                                # (e.g. --require 'muppet_slo_*')
 
 Checks, per the exposition-format spec:
   * every line is a comment (# HELP / # TYPE), a sample, or blank
@@ -207,19 +212,43 @@ def validate(text):
                 f"_count {h['count']}"
             )
 
-    return errors, len(seen_samples)
+    return errors, len(seen_samples), seen_samples
+
+
+def check_required(required, seen_samples, errors):
+    """Each required family (exact, or prefix via a trailing '*') must
+    have at least one sample in the scrape."""
+    families = {base_family(s.split("{")[0]) for s in seen_samples}
+    for req in required:
+        if req.endswith("*"):
+            prefix = req[:-1]
+            if not any(f.startswith(prefix) for f in families):
+                errors.append(f"required family {req!r}: no sample with "
+                              "that prefix")
+        elif req not in families:
+            errors.append(f"required family {req!r}: no samples")
 
 
 def main(argv):
-    if len(argv) != 2:
+    args = argv[1:]
+    required = []
+    while "--require" in args:
+        i = args.index("--require")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        required.append(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    if argv[1] == "-":
+    if args[0] == "-":
         text = sys.stdin.read()
     else:
-        with open(argv[1], "r", encoding="utf-8") as f:
+        with open(args[0], "r", encoding="utf-8") as f:
             text = f.read()
-    errors, samples = validate(text)
+    errors, samples, seen_samples = validate(text)
+    check_required(required, seen_samples, errors)
     for e in errors:
         print(f"check_prom: {e}", file=sys.stderr)
     if errors:

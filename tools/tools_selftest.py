@@ -61,6 +61,17 @@ def main() -> int:
     check("cumulative" in out.lower() or "bucket" in out.lower(),
           "non-cumulative histogram ladder reported")
 
+    # --require: present families (exact and wildcard) pass, missing fail.
+    good = os.path.join(TESTDATA, "check_prom", "good.prom")
+    rc, out = run("check_prom.py", good,
+                  "--require", "muppet_events_total",
+                  "--require", "muppet_latency_*")
+    check(rc == 0, f"check_prom --require accepts present families (rc={rc})")
+    rc, out = run("check_prom.py", good,
+                  "--require", "muppet_build_info")
+    check(rc == 1, f"check_prom --require rejects a missing family (rc={rc})")
+    check("muppet_build_info" in out, "missing required family named")
+
     if _failures:
         print(f"\ntools_selftest: {len(_failures)} failure(s)",
               file=sys.stderr)
