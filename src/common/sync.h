@@ -132,6 +132,8 @@ enum class LockLevel : int {
   kRingOverride = 25,
   kDedupTable = 26,
   kTransport = 30,
+  kTcpState = 31,
+  kTcpWriteQueue = 32,
   kTransportRng = 35,
   kFaultInjector = 36,
   kFaultHold = 38,

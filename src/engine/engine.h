@@ -6,6 +6,7 @@
 #define MUPPET_ENGINE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -76,8 +77,29 @@ struct EngineOptions {
   // Background flusher cadence for SlateFlushPolicy::kInterval updaters.
   Timestamp flush_poll_micros = 10 * kMicrosPerMilli;
 
-  // Simulated network between machines.
+  // Simulated network between machines (used only when the engine builds
+  // its own in-memory fabric, i.e. transport_backend is null).
   TransportOptions transport;
+
+  // --- Multi-process deployment (net/tcp_transport.h, apps/muppetd.cc).
+  // External transport backend carrying cross-machine frames. Not owned;
+  // must outlive the engine and be Start()ed by the caller AFTER
+  // Engine::Start() has registered its handlers. nullptr -> the engine
+  // builds its own deterministic InMemoryTransport from `transport`.
+  Transport* transport_backend = nullptr;
+  // Machine ids hosted by THIS process. Empty -> all ids in
+  // [0, num_machines) (the single-process default). The hash ring still
+  // spans all num_machines ids — every muppetd process derives the same
+  // ring from the shared cluster config — but only hosted machines get
+  // queues, worker threads, caches, and transport registrations here.
+  // Muppet 2.0 only.
+  std::vector<MachineId> hosted_machines;
+  // Cross-process slate fetch: FetchSlate for a key owned by a non-hosted
+  // machine delegates here (muppetd wires an HTTP fetch against the
+  // owner's admin endpoint). nullptr -> such fetches fail Unavailable.
+  std::function<Result<Bytes>(MachineId owner, const std::string& updater,
+                              BytesView key)>
+      remote_fetch;
 
   // Hash ring shape.
   int ring_vnodes = 128;

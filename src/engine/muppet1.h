@@ -216,7 +216,7 @@ class Muppet1Engine final : public Engine {
   const AppConfig& config_;
   EngineOptions options_;
   Clock* clock_;
-  Transport transport_;
+  InMemoryTransport transport_;
   Master master_;
   HashRing ring_;
   ThrottleGovernor throttle_;

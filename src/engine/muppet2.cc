@@ -137,25 +137,6 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
       options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : SystemClock::Default()),
-      transport_([&] {
-        TransportOptions t = options.transport;
-        if (t.clock == nullptr) t.clock = options.clock;
-        // Settle fault-injection deliveries that bypass the synchronous
-        // send path: late losses debit the in-flight count, duplicate
-        // copies pre-charge it, so Drain() stays balanced under chaos.
-        if (t.on_async_loss == nullptr) {
-          t.on_async_loss = [this](int64_t n) {
-            lost_failure_->Add(n);
-            DecInflight(n);
-          };
-        }
-        if (t.on_extra_delivery == nullptr) {
-          t.on_extra_delivery = [this](int64_t n) {
-            inflight_.fetch_add(n, std::memory_order_acq_rel);
-          };
-        }
-        return t;
-      }()),
       ring_(options.ring_vnodes, options.ring_seed),
       throttle_(options.throttle, clock_),
       incident_log_(options.watchdog.incident_capacity),
@@ -192,7 +173,32 @@ Muppet2Engine::Muppet2Engine(const AppConfig& config, EngineOptions options)
       checkpoints_(metrics_.GetCounter("muppet_checkpoints_total")),
       deduped_(metrics_.GetCounter("muppet_events_deduped_total")),
       latency_(metrics_.GetHistogram("muppet_e2e_latency_us")),
-      queue_wait_(metrics_.GetHistogram("muppet_queue_wait_us")) {}
+      queue_wait_(metrics_.GetHistogram("muppet_queue_wait_us")) {
+  if (options_.transport_backend != nullptr) {
+    // External backend (muppetd's TcpTransport): not owned, carries its
+    // own loss accounting, started by the caller after Start().
+    transport_ = options_.transport_backend;
+  } else {
+    TransportOptions t = options_.transport;
+    if (t.clock == nullptr) t.clock = options_.clock;
+    // Settle fault-injection deliveries that bypass the synchronous
+    // send path: late losses debit the in-flight count, duplicate
+    // copies pre-charge it, so Drain() stays balanced under chaos.
+    if (t.on_async_loss == nullptr) {
+      t.on_async_loss = [this](int64_t n) {
+        lost_failure_->Add(n);
+        DecInflight(n);
+      };
+    }
+    if (t.on_extra_delivery == nullptr) {
+      t.on_extra_delivery = [this](int64_t n) {
+        inflight_.fetch_add(n, std::memory_order_acq_rel);
+      };
+    }
+    owned_transport_ = std::make_unique<InMemoryTransport>(t);
+    transport_ = owned_transport_.get();
+  }
+}
 
 Muppet2Engine::~Muppet2Engine() { (void)Stop(); }
 
@@ -213,6 +219,31 @@ Status Muppet2Engine::Start() {
   MUPPET_RETURN_IF_ERROR(config_.Validate());
   if (options_.num_machines < 1 || options_.threads_per_machine < 1) {
     return Status::InvalidArgument("engine: bad cluster shape");
+  }
+  // Hosted subset (multi-process deployment): this process builds worker
+  // state only for the listed ids; the ring still spans all num_machines,
+  // every process deriving the same ring from the shared cluster config.
+  std::vector<bool> hosted(static_cast<size_t>(options_.num_machines),
+                           options_.hosted_machines.empty());
+  if (!options_.hosted_machines.empty()) {
+    for (const MachineId id : options_.hosted_machines) {
+      if (id < 0 || id >= options_.num_machines) {
+        return Status::InvalidArgument(
+            "engine: hosted machine " + std::to_string(id) +
+            " outside [0, num_machines)");
+      }
+      hosted[static_cast<size_t>(id)] = true;
+    }
+  }
+  publish_machine_ = kInvalidMachine;
+  for (int m = 0; m < options_.num_machines; ++m) {
+    if (hosted[static_cast<size_t>(m)]) {
+      publish_machine_ = m;
+      break;
+    }
+  }
+  if (publish_machine_ == kInvalidMachine) {
+    return Status::InvalidArgument("engine: hosts no machines");
   }
   if (options_.overflow.policy == OverflowPolicy::kOverflowStream &&
       !config_.HasStream(options_.overflow.overflow_stream)) {
@@ -248,7 +279,20 @@ Status Muppet2Engine::Start() {
     }
   }
 
+  // Every machine hosts every function; the ring routes keys among all
+  // num_machines ids, hosted here or not.
+  for (const auto& [name, spec] : config_.operators()) {
+    (void)spec;
+    for (int mm = 0; mm < options_.num_machines; ++mm) {
+      ring_.AddWorker(name, WorkerRef{mm, 0});
+    }
+  }
+
   for (int m = 0; m < options_.num_machines; ++m) {
+    if (!hosted[static_cast<size_t>(m)]) {
+      machines_.push_back(nullptr);
+      continue;
+    }
     auto machine = std::make_unique<MachineCtx>();
     machine->id = m;
 
@@ -277,13 +321,6 @@ Status Muppet2Engine::Start() {
         machine->updaters[fid] = spec.updater_factory(config_, spec.name);
       }
       operator_instances_->Add();
-      // Every machine hosts every function; the ring routes keys among
-      // machines.
-      if (m == 0) {
-        for (int mm = 0; mm < options_.num_machines; ++mm) {
-          ring_.AddWorker(spec.name, WorkerRef{mm, 0});
-        }
-      }
     }
 
     if (options_.load_manager.enabled) {
@@ -323,20 +360,22 @@ Status Muppet2Engine::Start() {
   RegisterCallbackMetrics();
 
   for (auto& machine : machines_) {
+    if (machine == nullptr) continue;
     const MachineId id = machine->id;
-    MUPPET_RETURN_IF_ERROR(transport_.RegisterMachine(
-        id, [this, id](MachineId /*from*/, BytesView payload) {
-          return HandleIncoming(id, payload);
+    MUPPET_RETURN_IF_ERROR(transport_->RegisterMachine(
+        id, [this, id](MachineId from, BytesView payload) {
+          return HandleIncoming(from, id, payload);
         }));
-    MUPPET_RETURN_IF_ERROR(transport_.RegisterBatchHandler(
-        id, [this, id](MachineId /*from*/, BytesView frame, size_t count,
+    MUPPET_RETURN_IF_ERROR(transport_->RegisterBatchHandler(
+        id, [this, id](MachineId from, BytesView frame, size_t count,
                        size_t* accepted) {
-          return HandleIncomingFrame(id, frame, count, accepted);
+          return HandleIncomingFrame(from, id, frame, count, accepted);
         }));
   }
 
   master_.AddListener([this](MachineId failed) {
     for (auto& machine : machines_) {
+      if (machine == nullptr) continue;
       MutexLock lock(machine->failed_mutex);
       machine->failed.insert(failed);
       machine->failed_count.store(machine->failed.size(),
@@ -345,6 +384,7 @@ Status Muppet2Engine::Start() {
   });
   master_.AddRecoveryListener([this](MachineId recovered) {
     for (auto& machine : machines_) {
+      if (machine == nullptr) continue;
       MutexLock lock(machine->failed_mutex);
       machine->failed.erase(recovered);
       machine->failed_count.store(machine->failed.size(),
@@ -358,6 +398,7 @@ Status Muppet2Engine::Start() {
   // nothing past the last sync.
   if (durable()) {
     for (auto& machine : machines_) {
+      if (machine == nullptr) continue;
       MUPPET_RETURN_IF_ERROR(ReplayChangelog(machine.get()));
     }
   }
@@ -368,11 +409,14 @@ Status Muppet2Engine::Start() {
   slo_ = std::make_unique<SloTracker>(options_.slo, &metrics_, clock_);
   incident_log_.SetDumpHook([this](const Incident& incident) {
     std::vector<TraceSink*> sinks;
-    for (const auto& m : machines_) sinks.push_back(m->trace_sink.get());
+    for (const auto& m : machines_) {
+      if (m != nullptr) sinks.push_back(m->trace_sink.get());
+    }
     (void)DumpWatchdogArtifacts("muppet2", incident, sinks, &metrics_);
   });
 
   for (auto& machine : machines_) {
+    if (machine == nullptr) continue;
     MachineCtx* m = machine.get();
     for (auto& thread_ctx : m->threads) {
       ThreadCtx* t = thread_ctx.get();
@@ -410,8 +454,8 @@ void Muppet2Engine::RunTaps(const Event& event) {
 }
 
 std::set<MachineId> Muppet2Engine::FailedSetFor(MachineId machine) const {
-  if (machine >= 0 && machine < static_cast<MachineId>(machines_.size())) {
-    const MachineCtx* m = machines_[static_cast<size_t>(machine)].get();
+  const MachineCtx* m = Ctx(machine);
+  if (m != nullptr) {
     MutexLock lock(m->failed_mutex);
     return m->failed;
   }
@@ -450,15 +494,15 @@ Status Muppet2Engine::Publish(const std::string& stream, BytesView key,
   if (options_.trace.enabled &&
       TraceSampled(Fnv1a64(event.key), options_.trace.sample_period)) {
     event.trace.trace_id = MakeTraceId(Fnv1a64(event.key), event.seq);
-    TraceSink* sink = SinkFor(0);
+    TraceSink* sink = SinkFor(publish_machine_);
     if (sink != nullptr) {
-      // Root span: the external publish itself (machine 0 accepts all
-      // external events in this in-process cluster).
+      // Root span: the external publish itself (the lowest machine this
+      // process hosts accepts all external events published here).
       Span root;
       root.trace_id = event.trace.trace_id;
       root.span_id = NextSpanId();
       root.kind = SpanKind::kPublish;
-      root.machine = 0;
+      root.machine = publish_machine_;
       root.name = stream;
       root.start_us = event.origin_ts;
       root.end_us = clock_->Now();
@@ -466,7 +510,8 @@ Status Muppet2Engine::Publish(const std::string& stream, BytesView key,
       sink->Record(std::move(root));
     }
   }
-  DeliverEvent(/*from=*/0, /*sender_work=*/0, std::move(event));
+  DeliverEvent(/*from=*/publish_machine_, /*sender_work=*/0,
+               std::move(event));
   return Status::OK();
 }
 
@@ -484,10 +529,7 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
   // once per event (the function half was hashed at Start()).
   const uint64_t key_hash = Fnv1a64(event.key);
 
-  const MachineCtx* sender =
-      (from >= 0 && from < static_cast<MachineId>(machines_.size()))
-          ? machines_[static_cast<size_t>(from)].get()
-          : nullptr;
+  const MachineCtx* sender = Ctx(from);
   std::set<MachineId> failed_copy;
   const std::set<MachineId>* failed = &kNoFailed;
   if (sender == nullptr) {
@@ -503,7 +545,7 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
   // machine so the sketches shard naturally with the event flow.
   HeatTracker* heat = nullptr;
   if (options_.load_manager.enabled) {
-    heat = (sender != nullptr ? sender : machines_.front().get())->heat.get();
+    heat = (sender != nullptr ? sender : Ctx(publish_machine_))->heat.get();
   }
 
   // Remote targets coalesce into one frame per destination machine.
@@ -598,7 +640,12 @@ void Muppet2Engine::DeliverEvent(MachineId from, uint64_t sender_work,
 
 void Muppet2Engine::LocalDeliver(MachineId machine_id, uint64_t sender_work,
                                  RoutedEvent re) {
-  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
+  MachineCtx* machine = Ctx(machine_id);
+  if (machine == nullptr) {
+    // Only reachable for a hosted sender (to == from implies hosted).
+    lost_failure_->Add();
+    return;
+  }
   if (machine->crashed.load(std::memory_order_acquire)) {
     // Matches the transport Unavailable path: a failed delivery is how
     // crashes are detected (§4.3).
@@ -606,7 +653,7 @@ void Muppet2Engine::LocalDeliver(MachineId machine_id, uint64_t sender_work,
     lost_failure_->Add();
     return;
   }
-  transport_.CountLocalDelivery();
+  transport_->CountLocalDelivery();
 
   int attempts = 0;
   const int kMaxThrottleRetries = 50;
@@ -676,8 +723,15 @@ void Muppet2Engine::FlushRemoteBatch(MachineId from, uint64_t sender_work,
     }
   }
 
-  inflight_.fetch_add(static_cast<int64_t>(n), std::memory_order_acq_rel);
-  Status s = transport_.SendBatch(from, to, frame, n, &accepted,
+  // Cross-process destinations settle in the receiving process: its
+  // handler charges its own inflight_ per event, so the sender counting
+  // too would double-book (and Drain() here could never observe the
+  // remote completion anyway).
+  const bool tracked = Hosted(to);
+  if (tracked) {
+    inflight_.fetch_add(static_cast<int64_t>(n), std::memory_order_acq_rel);
+  }
+  Status s = transport_->SendBatch(from, to, frame, n, &accepted,
                                   FrameFaultSignature(batch));
   if (hop_start != 0) {
     const Timestamp hop_end = clock_->Now();
@@ -696,7 +750,7 @@ void Muppet2Engine::FlushRemoteBatch(MachineId from, uint64_t sender_work,
     }
   }
   if (s.ok()) return;
-  DecInflight(static_cast<int64_t>(n - accepted));
+  if (tracked) DecInflight(static_cast<int64_t>(n - accepted));
 
   if (s.IsUnavailable()) {
     master_.ReportFailure(to);
@@ -732,14 +786,15 @@ void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
   hop.Begin(SinkFor(from), clock_, re.event.trace, SpanKind::kNetHop, from,
             "->m" + std::to_string(to));
 
+  const bool tracked = Hosted(to);
   int attempts = 0;
   const int kMaxThrottleRetries = 50;
   while (true) {
     size_t accepted = 0;
-    inflight_.fetch_add(1, std::memory_order_acq_rel);
-    Status s = transport_.SendBatch(from, to, frame, 1, &accepted, signature);
+    if (tracked) inflight_.fetch_add(1, std::memory_order_acq_rel);
+    Status s = transport_->SendBatch(from, to, frame, 1, &accepted, signature);
     if (s.ok()) return;
-    DecInflight(1);
+    if (tracked) DecInflight(1);
 
     if (s.IsUnavailable()) {
       master_.ReportFailure(to);
@@ -783,8 +838,12 @@ void Muppet2Engine::RemoteDeliverOne(MachineId from, uint64_t sender_work,
   }
 }
 
-Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
-  MachineCtx* machine = machines_[static_cast<size_t>(to)].get();
+Status Muppet2Engine::HandleIncoming(MachineId from, MachineId to,
+                                     BytesView payload) {
+  MachineCtx* machine = Ctx(to);
+  if (machine == nullptr) {
+    return Status::Unavailable("machine not hosted here");
+  }
   if (machine->crashed.load()) {
     return Status::Unavailable("machine crashed");
   }
@@ -795,6 +854,12 @@ Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
   re.function_id = fid;
   re.work = CombineWork(ops_[static_cast<size_t>(fid)].name_hash,
                         Fnv1a64(re.event.key));
+  // A sender in another process never touched this engine's inflight_;
+  // charge it here so Drain()/watchdog accounting tracks the event until
+  // a worker settles it (the DecInflight calls below balance this charge
+  // exactly as they balance an in-process sender's).
+  const bool external = !Hosted(from);
+  if (external) inflight_.fetch_add(1, std::memory_order_acq_rel);
   const uint64_t dedup_id =
       (re.ctl == kCtlNone && machine->dedup != nullptr) ? re.dedup : 0;
   // Reserve the identity atomically before dispatch: a check-then-record
@@ -809,25 +874,49 @@ Status Muppet2Engine::HandleIncoming(MachineId to, BytesView payload) {
   Status s = Dispatch(machine, &re);
   // A declined push (queue full) is retried by the sender; unwind the
   // reservation so the retry is not mistaken for a duplicate.
-  if (!s.ok() && dedup_id != 0) machine->dedup->Remove(dedup_id);
+  if (!s.ok()) {
+    if (dedup_id != 0) machine->dedup->Remove(dedup_id);
+    if (external) DecInflight(1);
+  }
   return s;
 }
 
-Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
-                                          size_t count, size_t* accepted) {
+Status Muppet2Engine::HandleIncomingFrame(MachineId from, MachineId to,
+                                          BytesView frame, size_t count,
+                                          size_t* accepted) {
   (void)count;
-  *accepted = 0;
-  MachineCtx* machine = machines_[static_cast<size_t>(to)].get();
+  // *accepted carries the resume offset IN: events at the head of the frame
+  // that a previous partial delivery of this exact frame already settled
+  // (the TCP backend re-presents a frame after a queue-full decline; the
+  // in-memory transport always passes 0). Those are skipped wholesale —
+  // re-running them through dedup would double-count deduped_ and, for
+  // control events with no dedup identity, double-apply them.
+  const size_t skip = *accepted;
+  MachineCtx* machine = Ctx(to);
+  if (machine == nullptr) {
+    return Status::Unavailable("machine not hosted here");
+  }
   if (machine->crashed.load()) {
     return Status::Unavailable("machine crashed");
   }
+  // A sender in another process never touched this engine's inflight_;
+  // charge each event here so Drain()/watchdog accounting tracks it until
+  // a worker settles it. In-process senders pre-charged in FlushRemoteBatch.
+  const bool external = !Hosted(from);
   RoutedEventFrameReader reader(frame);
   RoutedEvent re;
+  size_t index = 0;
   while (reader.Next(&re)) {
+    if (index < skip) {
+      ++index;
+      continue;
+    }
+    ++index;
     if (re.function_id < 0 ||
         static_cast<size_t>(re.function_id) >= ops_.size()) {
       return Status::Corruption("wire: frame names unknown function id");
     }
+    if (external) inflight_.fetch_add(1, std::memory_order_acq_rel);
     // Exactly-once suppression: a data event whose delivery identity this
     // machine already processed (a redelivered batch after the recovery
     // epoch cut, or an injector duplicate) settles here as deduped. The
@@ -846,6 +935,7 @@ Status Muppet2Engine::HandleIncomingFrame(MachineId to, BytesView frame,
     Status s = Dispatch(machine, &re);
     if (!s.ok()) {
       if (dedup_id != 0) machine->dedup->Remove(dedup_id);
+      if (external) DecInflight(1);
       return s;
     }
     ++*accepted;
@@ -1395,9 +1485,11 @@ Status Muppet2Engine::Stop() {
   if (lm_thread_.joinable()) lm_thread_.join();
   if (wd_thread_.joinable()) wd_thread_.join();
   for (auto& machine : machines_) {
+    if (machine == nullptr) continue;
     if (machine->flusher.joinable()) machine->flusher.join();
   }
   for (auto& machine : machines_) {
+    if (machine == nullptr) continue;
     if (!machine->crashed.load()) {
       (void)machine->cache->FlushDirty(INT64_MAX);
       // Graceful shutdown syncs the changelog tail: a stop/start cycle in
@@ -1409,10 +1501,11 @@ Status Muppet2Engine::Stop() {
     }
   }
   for (auto& machine : machines_) {
+    if (machine == nullptr) continue;
     for (auto& thread_ctx : machine->threads) {
       if (thread_ctx->thread.joinable()) thread_ctx->thread.join();
     }
-    transport_.UnregisterMachine(machine->id);
+    transport_->UnregisterMachine(machine->id);
   }
   return Status::OK();
 }
@@ -1423,8 +1516,20 @@ Status Muppet2Engine::FetchRoutedSlate(const std::string& updater,
                                        Bytes* slate) {
   Result<WorkerRef> target = ring_.Route(updater, key, failed);
   if (!target.ok()) return target.status();
-  MachineCtx* machine =
-      machines_[static_cast<size_t>(target.value().machine)].get();
+  MachineCtx* machine = Ctx(target.value().machine);
+  if (machine == nullptr) {
+    // The ring routed the key to a machine hosted by another process. A
+    // deployment (muppetd) supplies remote_fetch to proxy the read; without
+    // it the caller learns the slate is not locally readable.
+    if (options_.remote_fetch != nullptr) {
+      Result<Bytes> remote =
+          options_.remote_fetch(target.value().machine, updater, key);
+      if (!remote.ok()) return remote.status();
+      *slate = std::move(remote).value();
+      return Status::OK();
+    }
+    return Status::Unavailable("slate owner hosted remotely");
+  }
   return FetchSlateOnMachine(machine, updater, key, slate);
 }
 
@@ -1437,7 +1542,7 @@ Result<Bytes> Muppet2Engine::FetchSlate(const std::string& updater,
   }
   std::set<MachineId> failed = master_.failed();
   for (const auto& m : machines_) {
-    if (m->crashed.load()) failed.insert(m->id);
+    if (m != nullptr && m->crashed.load()) failed.insert(m->id);
   }
 
   // A split key's state is spread over the base slate plus one slate per
@@ -1475,14 +1580,13 @@ Result<Bytes> Muppet2Engine::FetchSlate(const std::string& updater,
 
 Status Muppet2Engine::CrashMachine(MachineId machine_id) {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  if (machine_id < 0 ||
-      machine_id >= static_cast<MachineId>(machines_.size())) {
-    return Status::InvalidArgument("no such machine");
+  MachineCtx* machine = Ctx(machine_id);
+  if (machine == nullptr) {
+    return Status::InvalidArgument("no such machine hosted here");
   }
-  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
   if (machine->crashed.exchange(true)) return Status::OK();
 
-  transport_.Crash(machine_id);
+  transport_->Crash(machine_id);
   int64_t lost_total = 0;
   for (auto& thread_ctx : machine->threads) {
     const size_t lost = thread_ctx->queue->Clear();
@@ -1507,11 +1611,10 @@ Status Muppet2Engine::CrashMachine(MachineId machine_id) {
 
 Status Muppet2Engine::RestartMachine(MachineId machine_id) {
   if (!started_) return Status::FailedPrecondition("engine not started");
-  if (machine_id < 0 ||
-      machine_id >= static_cast<MachineId>(machines_.size())) {
-    return Status::InvalidArgument("no such machine");
+  MachineCtx* machine = Ctx(machine_id);
+  if (machine == nullptr) {
+    return Status::InvalidArgument("no such machine hosted here");
   }
-  MachineCtx* machine = machines_[static_cast<size_t>(machine_id)].get();
   if (!machine->crashed.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("machine not crashed");
   }
@@ -1546,7 +1649,7 @@ Status Muppet2Engine::RestartMachine(MachineId machine_id) {
     t->thread = std::thread([this, machine, t] { WorkerLoop(machine, t); });
   }
   machine->flusher = std::thread([this, machine] { FlusherLoop(machine); });
-  transport_.Restore(machine_id);
+  transport_->Restore(machine_id);
   master_.ClearFailure(machine_id);
   return Status::OK();
 }
@@ -1554,6 +1657,7 @@ Status Muppet2Engine::RestartMachine(MachineId machine_id) {
 size_t Muppet2Engine::LargestQueueDepth() const {
   size_t largest = 0;
   for (const auto& machine : machines_) {
+    if (machine == nullptr) continue;
     for (const auto& thread_ctx : machine->threads) {
       largest = std::max(largest, thread_ctx->queue->size());
     }
@@ -1572,6 +1676,7 @@ EngineStats Muppet2Engine::Stats() const {
   stats.throttle_signals = throttle_.overflow_signals();
   stats.deadlocks_avoided = deadlocks_avoided_->Get();
   for (const auto& machine : machines_) {
+    if (machine == nullptr) continue;
     stats.slate_cache_hits += machine->cache->hits();
     stats.slate_cache_misses += machine->cache->misses();
     stats.slate_cache_evictions += machine->cache->evictions();
@@ -1583,7 +1688,7 @@ EngineStats Muppet2Engine::Stats() const {
   // synced_lsn counts durable records exactly (lsns are dense and survive
   // restarts), so the sum across machines is the synced-record total.
   for (const auto& machine : machines_) {
-    if (machine->changelog != nullptr) {
+    if (machine != nullptr && machine->changelog != nullptr) {
       stats.slatelog_synced_records +=
           static_cast<int64_t>(machine->changelog->synced_lsn());
     }
@@ -1594,13 +1699,13 @@ EngineStats Muppet2Engine::Stats() const {
   stats.slatelog_corrupt_segments = slatelog_corrupt_segments_->Get();
   stats.checkpoints = checkpoints_->Get();
   stats.events_deduped = deduped_->Get();
-  stats.transport_messages_sent = transport_.messages_sent();
-  stats.transport_messages_local = transport_.messages_local();
-  stats.transport_frames_sent = transport_.frames_sent();
-  stats.transport_bytes_sent = transport_.bytes_sent();
-  stats.faults_dropped = transport_.messages_dropped();
-  stats.faults_duplicated = transport_.messages_duplicated();
-  stats.faults_held = transport_.messages_held();
+  stats.transport_messages_sent = transport_->messages_sent();
+  stats.transport_messages_local = transport_->messages_local();
+  stats.transport_frames_sent = transport_->frames_sent();
+  stats.transport_bytes_sent = transport_->bytes_sent();
+  stats.faults_dropped = transport_->messages_dropped();
+  stats.faults_duplicated = transport_->messages_duplicated();
+  stats.faults_held = transport_->messages_held();
   stats.latency_p50_us = latency_->Percentile(0.50);
   stats.latency_p95_us = latency_->Percentile(0.95);
   stats.latency_p99_us = latency_->Percentile(0.99);
@@ -1615,6 +1720,7 @@ std::vector<MachineStatus> Muppet2Engine::MachineStatuses() const {
   std::vector<MachineStatus> out;
   if (!started_) return out;
   for (const auto& machine : machines_) {
+    if (machine == nullptr) continue;
     MachineStatus ms;
     ms.machine = machine->id;
     ms.crashed = machine->crashed.load(std::memory_order_acquire);
@@ -1657,7 +1763,7 @@ void Muppet2Engine::HarvestSlo() {
   std::vector<TraceSink*> sinks;
   sinks.reserve(machines_.size());
   for (const auto& machine : machines_) {
-    sinks.push_back(machine->trace_sink.get());
+    if (machine != nullptr) sinks.push_back(machine->trace_sink.get());
   }
   slo_->Harvest(sinks, clock_->Now(),
                 inflight_.load(std::memory_order_acquire) == 0);
@@ -1673,6 +1779,7 @@ WatchdogSignals Muppet2Engine::GatherWatchdogSignals() const {
   WatchdogSignals signals;
   signals.now = clock_->Now();
   for (const auto& machine : machines_) {
+    if (machine == nullptr) continue;
     WatchdogSignals::Machine m;
     m.machine = machine->id;
     m.crashed = machine->crashed.load(std::memory_order_acquire);
@@ -1749,7 +1856,7 @@ void Muppet2Engine::LoadManagerTick(int tick) {
   LoadSignals signals;
   std::map<std::pair<int32_t, Bytes>, int64_t> agg;
   for (const auto& machine : machines_) {
-    if (machine->heat == nullptr ||
+    if (machine == nullptr || machine->heat == nullptr ||
         machine->crashed.load(std::memory_order_acquire)) {
       continue;
     }
@@ -1768,6 +1875,7 @@ void Muppet2Engine::LoadManagerTick(int tick) {
                      return a.count > b.count;
                    });
   for (const auto& machine : machines_) {
+    if (machine == nullptr) continue;
     if (machine->crashed.load(std::memory_order_acquire)) continue;
     for (const auto& thread_ctx : machine->threads) {
       const double occ =
@@ -1861,9 +1969,10 @@ void Muppet2Engine::InjectMergeSweeps(int32_t function_id, const Bytes& key,
     re.ctl = kCtlMergeSweep;
     re.event.key = key;
     re.event.seq = NextSeq();
-    // Machine 0 originates engine-wide control traffic (it is also the
-    // publisher machine, §4.1, and is never a chaos crash victim).
-    SendControl(/*from=*/0, /*sender_work=*/0, shard_key, std::move(re));
+    // The publisher machine (lowest hosted id; §4.1, never a chaos crash
+    // victim) originates engine-wide control traffic.
+    SendControl(publish_machine_, /*sender_work=*/0, shard_key,
+                std::move(re));
   }
 }
 
@@ -1872,7 +1981,7 @@ void Muppet2Engine::ApplyPlacement() {
   PlacementAdvisor advisor(options_.num_machines,
                            opt.placement_balance_slack);
   for (const auto& machine : machines_) {
-    if (machine->heat == nullptr) continue;
+    if (machine == nullptr || machine->heat == nullptr) continue;
     for (const HeatEntry& e : machine->heat->TopK(opt.heat.capacity)) {
       if (e.function_id < 0 ||
           static_cast<size_t>(e.function_id) >= ops_.size()) {
@@ -1910,7 +2019,7 @@ std::vector<HotKeyInfo> Muppet2Engine::HotKeys() const {
   if (!started_) return out;
   std::map<std::pair<int32_t, Bytes>, int64_t> agg;
   for (const auto& machine : machines_) {
-    if (machine->heat == nullptr) continue;
+    if (machine == nullptr || machine->heat == nullptr) continue;
     for (HeatEntry& e :
          machine->heat->TopK(options_.load_manager.heat.capacity)) {
       agg[{e.function_id, std::move(e.key)}] += e.count;
@@ -1973,28 +2082,28 @@ void Muppet2Engine::RegisterCallbackMetrics() {
   // /metrics carries the PR-1 datapath and PR-3 fault counters.
   metrics_.RegisterCallback(
       "muppet_transport_messages_sent_total", {}, MetricType::kCounter,
-      [this] { return transport_.messages_sent(); });
+      [this] { return transport_->messages_sent(); });
   metrics_.RegisterCallback(
       "muppet_transport_messages_local_total", {}, MetricType::kCounter,
-      [this] { return transport_.messages_local(); });
+      [this] { return transport_->messages_local(); });
   metrics_.RegisterCallback(
       "muppet_transport_messages_dropped_total", {}, MetricType::kCounter,
-      [this] { return transport_.messages_dropped(); });
+      [this] { return transport_->messages_dropped(); });
   metrics_.RegisterCallback(
       "muppet_transport_messages_declined_total", {}, MetricType::kCounter,
-      [this] { return transport_.messages_declined(); });
+      [this] { return transport_->messages_declined(); });
   metrics_.RegisterCallback("muppet_transport_frames_sent_total", {},
                             MetricType::kCounter,
-                            [this] { return transport_.frames_sent(); });
+                            [this] { return transport_->frames_sent(); });
   metrics_.RegisterCallback("muppet_transport_bytes_sent_total", {},
                             MetricType::kCounter,
-                            [this] { return transport_.bytes_sent(); });
+                            [this] { return transport_->bytes_sent(); });
   metrics_.RegisterCallback(
       "muppet_faults_duplicated_total", {}, MetricType::kCounter,
-      [this] { return transport_.messages_duplicated(); });
+      [this] { return transport_->messages_duplicated(); });
   metrics_.RegisterCallback("muppet_faults_held_total", {},
                             MetricType::kCounter,
-                            [this] { return transport_.messages_held(); });
+                            [this] { return transport_->messages_held(); });
   metrics_.RegisterCallback(
       "muppet_inflight_events", {}, MetricType::kGauge,
       [this] { return inflight_.load(std::memory_order_acquire); });
@@ -2019,6 +2128,7 @@ void Muppet2Engine::RegisterCallbackMetrics() {
       [this] { return static_cast<int64_t>(ring_.override_count()); });
 
   for (const auto& machine_ptr : machines_) {
+    if (machine_ptr == nullptr) continue;
     MachineCtx* machine = machine_ptr.get();
     const MetricLabels m_label = {{"machine", std::to_string(machine->id)}};
     metrics_.RegisterCallback("muppet_machine_up", m_label,

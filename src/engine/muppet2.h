@@ -84,7 +84,7 @@ class Muppet2Engine final : public Engine {
                  std::function<void(const Event&)> tap);
 
   // Test/bench introspection.
-  Transport& transport() { return transport_; }
+  Transport& transport() { return *transport_; }
   Master& master() { return master_; }
   ThrottleGovernor& throttle() { return throttle_; }
   // Events that went to their secondary rather than primary queue.
@@ -94,7 +94,7 @@ class Muppet2Engine final : public Engine {
   int64_t slate_contentions() const { return slate_contention_->Get(); }
   // Same-machine deliveries that took the zero-serialization fast path.
   int64_t local_fast_path_deliveries() const {
-    return transport_.messages_local();
+    return transport_->messages_local();
   }
   // Status endpoint data (§4.5: "basic status information (such as the
   // event count of the largest event queues)").
@@ -258,10 +258,15 @@ class Muppet2Engine final : public Engine {
   Status Dispatch(MachineCtx* machine, RoutedEvent* re);
 
   // Legacy name-addressed single-event payloads (Muppet 1.0 wire format).
-  Status HandleIncoming(MachineId to, BytesView payload);
-  // Id-addressed batch frames — the 2.0 cross-machine format.
-  Status HandleIncomingFrame(MachineId to, BytesView frame, size_t count,
-                             size_t* accepted);
+  // `from` distinguishes in-process senders (which pre-charged inflight_)
+  // from remote processes (the receiver charges it here).
+  Status HandleIncoming(MachineId from, MachineId to, BytesView payload);
+  // Id-addressed batch frames — the 2.0 cross-machine format. *accepted
+  // is in-out (the Transport::BatchHandler resume contract): events below
+  // the entry value were accepted by an earlier partial delivery of this
+  // same frame and are skipped, not re-applied.
+  Status HandleIncomingFrame(MachineId from, MachineId to, BytesView frame,
+                             size_t count, size_t* accepted);
 
   // Fan an event out to its stream's subscribers: same-machine targets go
   // straight to Dispatch (zero serialization); remote targets are grouped
@@ -292,10 +297,22 @@ class Muppet2Engine final : public Engine {
                           const std::set<MachineId>& failed, Bytes* slate);
 
   TraceSink* SinkFor(MachineId machine) const {
-    if (machine < 0 || machine >= static_cast<MachineId>(machines_.size())) {
+    if (machine < 0 || machine >= static_cast<MachineId>(machines_.size()) ||
+        machines_[static_cast<size_t>(machine)] == nullptr) {
       return nullptr;
     }
     return machines_[static_cast<size_t>(machine)]->trace_sink.get();
+  }
+
+  // True when machine `m` runs in THIS process (has a MachineCtx). With
+  // the default single-process deployment every id is hosted; under
+  // muppetd only the slots named in options_.hosted_machines are.
+  bool Hosted(MachineId m) const {
+    return m >= 0 && m < static_cast<MachineId>(machines_.size()) &&
+           machines_[static_cast<size_t>(m)] != nullptr;
+  }
+  MachineCtx* Ctx(MachineId m) const {
+    return Hosted(m) ? machines_[static_cast<size_t>(m)].get() : nullptr;
   }
 
   // Register the callback-backed gauges/counters (queue depths, cache
@@ -316,7 +333,11 @@ class Muppet2Engine final : public Engine {
   const AppConfig& config_;
   EngineOptions options_;
   Clock* clock_;
-  Transport transport_;
+  // Owned only in the single-process default; with an external
+  // transport_backend the unique_ptr stays null and transport_ aliases
+  // the caller's backend.
+  std::unique_ptr<Transport> owned_transport_;
+  Transport* transport_ = nullptr;
   Master master_;
   HashRing ring_;
   ThrottleGovernor throttle_;
@@ -324,7 +345,12 @@ class Muppet2Engine final : public Engine {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
+  // Sized num_machines; slots for machines hosted by other processes stay
+  // null (see Hosted()).
   std::vector<std::unique_ptr<MachineCtx>> machines_;
+  // Where external Publish() and engine-manufactured control events enter
+  // the cluster: the lowest hosted machine id (0 in single-process runs).
+  MachineId publish_machine_ = 0;
 
   // Built once at Start(), read-only afterwards (lock-free on hot path).
   NameInterner op_names_;

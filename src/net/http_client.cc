@@ -1,0 +1,104 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace muppet {
+namespace {
+
+Status Request(const std::string& host, int port, const std::string& text,
+               HttpClientResponse* out, int64_t timeout_micros) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError("socket");
+  if (timeout_micros > 0) {
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeout_micros / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(timeout_micros % 1000000);
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Status::Unavailable("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n =
+        ::send(fd.get(), text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("http send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::TimedOut("http read failed/timed out");
+    }
+    if (n == 0) break;  // server closes after the response (HTTP/1.0)
+    raw.append(buf, static_cast<size_t>(n));
+  }
+
+  // Parse "HTTP/1.x <status> ...\r\n...\r\n\r\n<body>".
+  const size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Corruption("malformed http response");
+  }
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return Status::Corruption("malformed http status line");
+  }
+  out->status = std::atoi(raw.c_str() + sp + 1);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Corruption("truncated http headers");
+  }
+  out->body = raw.substr(header_end + 4);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status HttpGet(const std::string& host, int port, const std::string& path,
+               HttpClientResponse* out, int64_t timeout_micros) {
+  const std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  return Request(host, port, req, out, timeout_micros);
+}
+
+Status HttpPost(const std::string& host, int port, const std::string& path,
+                const std::string& body, HttpClientResponse* out,
+                int64_t timeout_micros) {
+  const std::string req = "POST " + path + " HTTP/1.0\r\nHost: " + host +
+                          "\r\nConnection: close\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+  return Request(host, port, req, out, timeout_micros);
+}
+
+}  // namespace muppet

@@ -1,0 +1,33 @@
+// Minimal blocking HTTP/1.0 client for intra-cluster calls: muppetd's
+// cross-process slate fetches against a peer's admin plane, and
+// muppet_loadgen's publish stream. One request per connection (matching
+// service/http_server.h, which closes after each response); both calls
+// bound the whole exchange with a socket timeout so a hung peer cannot
+// wedge the caller.
+#ifndef MUPPET_NET_HTTP_CLIENT_H_
+#define MUPPET_NET_HTTP_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace muppet {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+// GET `path` from host:port. `timeout_micros` bounds connect + send +
+// receive together (0 = no timeout).
+Status HttpGet(const std::string& host, int port, const std::string& path,
+               HttpClientResponse* out, int64_t timeout_micros = 0);
+
+// POST `body` to `path`.
+Status HttpPost(const std::string& host, int port, const std::string& path,
+                const std::string& body, HttpClientResponse* out,
+                int64_t timeout_micros = 0);
+
+}  // namespace muppet
+
+#endif  // MUPPET_NET_HTTP_CLIENT_H_

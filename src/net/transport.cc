@@ -6,13 +6,13 @@
 
 namespace muppet {
 
-Transport::Transport(TransportOptions options)
+InMemoryTransport::InMemoryTransport(TransportOptions options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : SystemClock::Default()),
       rng_(options.seed) {}
 
-Status Transport::RegisterMachine(MachineId id, Handler handler) {
+Status InMemoryTransport::RegisterMachine(MachineId id, Handler handler) {
   if (handler == nullptr) {
     return Status::InvalidArgument("transport: null handler");
   }
@@ -27,7 +27,7 @@ Status Transport::RegisterMachine(MachineId id, Handler handler) {
   return Status::OK();
 }
 
-Status Transport::RegisterBatchHandler(MachineId id, BatchHandler handler) {
+Status InMemoryTransport::RegisterBatchHandler(MachineId id, BatchHandler handler) {
   if (handler == nullptr) {
     return Status::InvalidArgument("transport: null batch handler");
   }
@@ -41,12 +41,12 @@ Status Transport::RegisterBatchHandler(MachineId id, BatchHandler handler) {
   return Status::OK();
 }
 
-void Transport::UnregisterMachine(MachineId id) {
+void InMemoryTransport::UnregisterMachine(MachineId id) {
   WriterMutexLock lock(mutex_);
   machines_.erase(id);
 }
 
-std::shared_ptr<Transport::MachineState> Transport::FindMachine(
+std::shared_ptr<InMemoryTransport::MachineState> InMemoryTransport::FindMachine(
     MachineId id) const {
   ReaderMutexLock lock(mutex_);
   auto it = machines_.find(id);
@@ -54,7 +54,7 @@ std::shared_ptr<Transport::MachineState> Transport::FindMachine(
   return it->second;
 }
 
-Status Transport::ChargeHop() {
+Status InMemoryTransport::ChargeHop() {
   if (options_.loss_probability > 0.0) {
     bool drop;
     {
@@ -72,7 +72,7 @@ Status Transport::ChargeHop() {
   return Status::OK();
 }
 
-void Transport::ApplyDueFaultActions() {
+void InMemoryTransport::ApplyDueFaultActions() {
   for (const FaultAction& a :
        options_.faults->TakeDueActions(clock_->Now())) {
     switch (a.kind) {
@@ -91,12 +91,12 @@ void Transport::ApplyDueFaultActions() {
   }
 }
 
-void Transport::HoldMessage(HeldMessage held) {
+void InMemoryTransport::HoldMessage(HeldMessage held) {
   MutexLock lock(hold_mutex_);
   holdback_[{held.from, held.to}].push_back(std::move(held));
 }
 
-void Transport::ReleaseDueHeld(MachineId from, MachineId to) {
+void InMemoryTransport::ReleaseDueHeld(MachineId from, MachineId to) {
   std::vector<HeldMessage> due;
   {
     MutexLock lock(hold_mutex_);
@@ -120,7 +120,7 @@ void Transport::ReleaseDueHeld(MachineId from, MachineId to) {
   for (HeldMessage& h : due) DeliverHeld(std::move(h));
 }
 
-void Transport::DeliverHeld(HeldMessage held) {
+void InMemoryTransport::DeliverHeld(HeldMessage held) {
   std::shared_ptr<MachineState> state = FindMachine(held.to);
   int64_t lost = 0;
   if (state == nullptr || !state->up.load(std::memory_order_acquire)) {
@@ -154,7 +154,7 @@ void Transport::DeliverHeld(HeldMessage held) {
   }
 }
 
-void Transport::DeliverDuplicate(MachineState* state, MachineId from,
+void InMemoryTransport::DeliverDuplicate(MachineState* state, MachineId from,
                                  BytesView data, size_t count,
                                  bool is_frame) {
   messages_duplicated_.Add(static_cast<int64_t>(count));
@@ -180,7 +180,7 @@ void Transport::DeliverDuplicate(MachineState* state, MachineId from,
   }
 }
 
-void Transport::FlushHeld() {
+void InMemoryTransport::FlushHeld() {
   std::vector<HeldMessage> all;
   {
     MutexLock lock(hold_mutex_);
@@ -192,7 +192,7 @@ void Transport::FlushHeld() {
   for (HeldMessage& h : all) DeliverHeld(std::move(h));
 }
 
-Status Transport::Send(MachineId from, MachineId to, BytesView payload,
+Status InMemoryTransport::Send(MachineId from, MachineId to, BytesView payload,
                        uint64_t fault_signature) {
   FaultInjector* faults = options_.faults;
   if (faults != nullptr && options_.poll_fault_actions &&
@@ -266,7 +266,7 @@ Status Transport::Send(MachineId from, MachineId to, BytesView payload,
   return s;
 }
 
-Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
+Status InMemoryTransport::SendBatch(MachineId from, MachineId to, BytesView frame,
                             size_t count, size_t* accepted,
                             uint64_t fault_signature) {
   *accepted = 0;
@@ -352,13 +352,13 @@ Status Transport::SendBatch(MachineId from, MachineId to, BytesView frame,
   return s;
 }
 
-int64_t Transport::SendAttemptsTo(MachineId id) const {
+int64_t InMemoryTransport::SendAttemptsTo(MachineId id) const {
   std::shared_ptr<MachineState> state = FindMachine(id);
   if (state == nullptr) return 0;
   return state->attempts.load(std::memory_order_relaxed);
 }
 
-void Transport::Crash(MachineId id) {
+void InMemoryTransport::Crash(MachineId id) {
   WriterMutexLock lock(mutex_);
   auto it = machines_.find(id);
   if (it != machines_.end()) {
@@ -366,7 +366,7 @@ void Transport::Crash(MachineId id) {
   }
 }
 
-void Transport::Restore(MachineId id) {
+void InMemoryTransport::Restore(MachineId id) {
   WriterMutexLock lock(mutex_);
   auto it = machines_.find(id);
   if (it != machines_.end()) {
@@ -374,14 +374,14 @@ void Transport::Restore(MachineId id) {
   }
 }
 
-bool Transport::IsUp(MachineId id) const {
+bool InMemoryTransport::IsUp(MachineId id) const {
   ReaderMutexLock lock(mutex_);
   auto it = machines_.find(id);
   return it != machines_.end() &&
          it->second->up.load(std::memory_order_acquire);
 }
 
-std::vector<MachineId> Transport::Machines() const {
+std::vector<MachineId> InMemoryTransport::Machines() const {
   ReaderMutexLock lock(mutex_);
   std::vector<MachineId> out;
   out.reserve(machines_.size());

@@ -1,16 +1,24 @@
-// Simulated cluster transport.
+// Cluster transport seam.
 //
 // The paper runs Muppet on "a cluster of commodity machines ... linked by
-// inexpensive gigabit Ethernet" (§6). This repo substitutes an in-process
-// simulation (see DESIGN.md §5): each logical machine registers a delivery
-// handler, and Send() routes a serialized payload to the destination
-// machine's handler, applying a configurable per-hop latency and failure
-// model. Everything the paper's control plane needs is preserved:
+// inexpensive gigabit Ethernet" (§6). This repo offers two backends behind
+// one abstract `Transport` interface (see DESIGN.md §5 and §12):
+//
+//  * `InMemoryTransport` — the deterministic in-process fabric the chaos
+//    harness and tests replay bit-for-bit: each logical machine registers
+//    a delivery handler, Send() routes a serialized payload to the
+//    destination machine's handler, applying a configurable per-hop
+//    latency and failure model.
+//  * `TcpTransport` (net/tcp_transport.h) — an epoll-based async backend
+//    that carries the same id-addressed frames over real sockets for the
+//    `muppetd` multi-process deployment mode.
+//
+// Everything the paper's control plane needs is preserved by both:
 //
 //  * peer-to-peer sends with no master on the data path (§4.1);
-//  * a send to a crashed machine fails, which is how workers *detect*
-//    failures ("If A cannot contact B, then it assumes the machine hosting
-//    B has failed", §4.3);
+//  * a send to a crashed/unreachable machine fails, which is how workers
+//    *detect* failures ("If A cannot contact B, then it assumes the
+//    machine hosting B has failed", §4.3);
 //  * the receiver may decline a message (queue full), which triggers the
 //    sender's queue-overflow mechanism (§4.3).
 #ifndef MUPPET_NET_TRANSPORT_H_
@@ -72,88 +80,129 @@ struct TransportOptions {
   std::function<void(int64_t)> on_extra_delivery;
 };
 
-// Thread-safe message fabric between simulated machines.
+// Abstract thread-safe message fabric between machines. Handlers always
+// run with no transport lock held, so they may re-enter the transport
+// (e.g. to forward) and take engine locks freely.
 class Transport {
  public:
-  // Handler invoked on the *caller's* thread when a payload arrives for the
-  // machine. Return OK to accept; ResourceExhausted to decline (queue full);
-  // any other error is reported to the sender verbatim.
+  // Handler invoked when a payload arrives for the machine (on the
+  // sender's thread for the in-memory fabric, on the IO thread for the
+  // socket backend). Return OK to accept; ResourceExhausted to decline
+  // (queue full); any other error is reported to the sender verbatim.
   using Handler = std::function<Status(MachineId from, BytesView payload)>;
 
   // Handler for batch frames (SendBatch). `frame` packs `count` logical
-  // messages; the handler accepts a *prefix* of them, reporting how many
-  // via *accepted. Return OK when all were accepted; ResourceExhausted
-  // when it stopped at a declined message; other errors verbatim.
+  // messages; the handler accepts a *prefix* of them. *accepted is
+  // IN-OUT: on entry it carries the resume offset — how many leading
+  // messages of this exact frame a previous partial delivery already
+  // accepted (the in-memory fabric never redelivers, so it always passes
+  // 0; the TCP backend retries a declined frame from where it stopped).
+  // On return it holds the TOTAL accepted prefix, including the skipped
+  // part. Return OK when all `count` were accepted; ResourceExhausted
+  // when the handler stopped at a declined message; other errors
+  // verbatim.
   using BatchHandler =
       std::function<Status(MachineId from, BytesView frame, size_t count,
                            size_t* accepted)>;
 
-  explicit Transport(TransportOptions options = {});
+  virtual ~Transport() = default;
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
 
-  // Register a machine and its delivery handler. Fails with AlreadyExists
-  // if the id is taken.
-  Status RegisterMachine(MachineId id, Handler handler);
+  // Lifecycle. The in-memory fabric is born started; socket backends
+  // bind their listener and begin dialing peers here. Stop() is
+  // idempotent and joins any IO threads.
+  virtual Status Start() { return Status::OK(); }
+  virtual void Stop() {}
+
+  // Register a machine hosted by THIS transport instance and its delivery
+  // handler. Fails with AlreadyExists if the id is taken locally.
+  virtual Status RegisterMachine(MachineId id, Handler handler) = 0;
 
   // Optionally attach a batch-frame handler to a registered machine
   // (required before SendBatch can target it).
-  Status RegisterBatchHandler(MachineId id, BatchHandler handler);
+  virtual Status RegisterBatchHandler(MachineId id, BatchHandler handler) = 0;
 
   // Remove a machine entirely (shutdown, not crash).
-  void UnregisterMachine(MachineId id);
+  virtual void UnregisterMachine(MachineId id) = 0;
 
-  // Deliver `payload` to machine `to`. Local sends (from == to) bypass the
-  // latency/loss model — Muppet 2.0 passes events between threads of one
-  // machine without any network hop (§4.5).
+  // Deliver `payload` to machine `to`. Local sends (from == to) bypass
+  // the latency/loss model — Muppet 2.0 passes events between threads of
+  // one machine without any network hop (§4.5).
   // Errors: Unavailable (crashed/unknown/dropped/partitioned),
-  // ResourceExhausted (receiver declined), or whatever the handler
-  // returned. `fault_signature` is the content signature handed to the
-  // fault injector (0 = hash the payload); irrelevant without faults.
-  Status Send(MachineId from, MachineId to, BytesView payload,
-              uint64_t fault_signature = 0);
+  // ResourceExhausted (receiver declined / send queue full), or whatever
+  // the handler returned. `fault_signature` is the content signature
+  // handed to the fault injector (0 = hash the payload); irrelevant
+  // without faults.
+  virtual Status Send(MachineId from, MachineId to, BytesView payload,
+                      uint64_t fault_signature = 0) = 0;
 
   // Deliver a batch frame of `count` logical messages in one network hop:
   // one registry lookup, one latency charge, one loss roll for the whole
   // frame. *accepted receives how many messages the receiver took (0 when
-  // the frame never arrived). Remote-hop amortization for Muppet 2.0's
-  // send coalescer. Fault rules treat the frame as one message (whole-
-  // frame drop/duplicate/hold), matching whole-frame loss semantics.
-  Status SendBatch(MachineId from, MachineId to, BytesView frame,
-                   size_t count, size_t* accepted,
-                   uint64_t fault_signature = 0);
+  // the frame never arrived). For async backends OK means the frame was
+  // durably queued for the peer (*accepted = count); delivery failures
+  // surface on a later send as Unavailable once the peer is declared
+  // down. Remote-hop amortization for Muppet 2.0's send coalescer. Fault
+  // rules treat the frame as one message (whole-frame drop/duplicate/
+  // hold), matching whole-frame loss semantics.
+  virtual Status SendBatch(MachineId from, MachineId to, BytesView frame,
+                           size_t count, size_t* accepted,
+                           uint64_t fault_signature = 0) = 0;
 
-  // Deliver every message still held back by reorder faults, regardless of
-  // remaining window. Chaos harnesses call this before Drain() so no
-  // accepted-but-undelivered message outlives the run. Held messages whose
-  // destination has crashed are counted through on_async_loss.
-  void FlushHeld();
+  // Crash a machine: subsequent sends to it fail with Unavailable. The
+  // handler is retained so the machine can be restored (tests of
+  // recovery). Socket backends apply this to locally hosted machines
+  // only; remote reachability is governed by the connection state.
+  virtual void Crash(MachineId id) = 0;
 
-  // Account a same-machine delivery that legitimately bypassed the fabric
-  // (the Muppet 2.0 zero-copy fast path): keeps message counters
+  // Bring a crashed machine back.
+  virtual void Restore(MachineId id) = 0;
+
+  virtual bool IsUp(MachineId id) const = 0;
+
+  // All machine ids this transport can currently address (up or
+  // crashed), sorted.
+  virtual std::vector<MachineId> Machines() const = 0;
+
+  // Deliver every message still held back by reorder faults, regardless
+  // of remaining window. Chaos harnesses call this before Drain() so no
+  // accepted-but-undelivered message outlives the run. No-op for
+  // backends without a fault plan.
+  virtual void FlushHeld() {}
+
+  // Block until every queued outbound byte for every peer is handed to
+  // the kernel, or `timeout_micros` elapses (TimedOut). No-op
+  // for synchronous backends. Clean-shutdown aid for muppetd.
+  virtual Status FlushOutbound(Timestamp timeout_micros) {
+    (void)timeout_micros;
+    return Status::OK();
+  }
+
+  // Cross-machine send/frame attempts routed at machine `id` since
+  // Start, whatever their outcome; held-message releases do not count
+  // (they were attempted when first sent). The chaos harness asserts
+  // this stops growing once a machine's failure is known cluster-wide —
+  // the "ring reroutes send nothing to a dead machine" invariant. 0 for
+  // unknown ids (and for backends that don't track it).
+  virtual int64_t SendAttemptsTo(MachineId id) const {
+    (void)id;
+    return 0;
+  }
+
+  // Account a same-machine delivery that legitimately bypassed the
+  // fabric (the Muppet 2.0 zero-copy fast path): keeps message counters
   // meaningful for status endpoints without touching registry locks.
   void CountLocalDelivery() {
     messages_sent_.Add();
     messages_local_.Add();
   }
 
-  // Crash a machine: subsequent sends to it fail with Unavailable. The
-  // handler is retained so the machine can be restored (tests of recovery).
-  void Crash(MachineId id);
-
-  // Bring a crashed machine back.
-  void Restore(MachineId id);
-
-  bool IsUp(MachineId id) const;
-
-  // All currently registered machine ids (up or crashed), sorted.
-  std::vector<MachineId> Machines() const;
-
-  // Fabric-wide delivery stats. messages_* count logical messages (each
-  // event in a batch frame counts once); frames_sent counts physical
-  // cross-machine frames; messages_local counts fast-path deliveries that
-  // never serialized.
+  // Fabric-wide delivery stats, maintained by every backend. messages_*
+  // count logical messages (each event in a batch frame counts once);
+  // frames_sent counts physical cross-machine frames; messages_local
+  // counts fast-path deliveries that never serialized.
   int64_t messages_sent() const { return messages_sent_.Get(); }
   int64_t messages_dropped() const { return messages_dropped_.Get(); }
   int64_t messages_declined() const { return messages_declined_.Get(); }
@@ -166,12 +215,40 @@ class Transport {
   // Logical messages accepted into the reorder holdback buffer.
   int64_t messages_held() const { return messages_held_.Get(); }
 
-  // Cross-machine send/frame attempts routed at machine `id` since Start,
-  // whatever their outcome; held-message releases do not count (they were
-  // attempted when first sent). The chaos harness asserts this stops
-  // growing once a machine's failure is known cluster-wide — the "ring
-  // reroutes send nothing to a dead machine" invariant. 0 for unknown ids.
-  int64_t SendAttemptsTo(MachineId id) const;
+ protected:
+  Transport() = default;
+
+  Counter messages_sent_;
+  Counter messages_dropped_;
+  Counter messages_declined_;
+  Counter messages_local_;
+  Counter frames_sent_;
+  Counter bytes_sent_;
+  Counter messages_duplicated_;
+  Counter messages_held_;
+};
+
+// The deterministic in-process fabric (the default backend, and the only
+// one the chaos harness drives — its latency/loss/fault model is seeded
+// and replayable).
+class InMemoryTransport : public Transport {
+ public:
+  explicit InMemoryTransport(TransportOptions options = {});
+
+  Status RegisterMachine(MachineId id, Handler handler) override;
+  Status RegisterBatchHandler(MachineId id, BatchHandler handler) override;
+  void UnregisterMachine(MachineId id) override;
+  Status Send(MachineId from, MachineId to, BytesView payload,
+              uint64_t fault_signature = 0) override;
+  Status SendBatch(MachineId from, MachineId to, BytesView frame,
+                   size_t count, size_t* accepted,
+                   uint64_t fault_signature = 0) override;
+  void FlushHeld() override;
+  void Crash(MachineId id) override;
+  void Restore(MachineId id) override;
+  bool IsUp(MachineId id) const override;
+  std::vector<MachineId> Machines() const override;
+  int64_t SendAttemptsTo(MachineId id) const override;
 
   const TransportOptions& options() const { return options_; }
 
@@ -250,15 +327,6 @@ class Transport {
   // (from, to) -> held messages in arrival order.
   std::map<std::pair<MachineId, MachineId>, std::vector<HeldMessage>>
       holdback_ MUPPET_GUARDED_BY(hold_mutex_);
-
-  Counter messages_sent_;
-  Counter messages_dropped_;
-  Counter messages_declined_;
-  Counter messages_local_;
-  Counter frames_sent_;
-  Counter bytes_sent_;
-  Counter messages_duplicated_;
-  Counter messages_held_;
 };
 
 }  // namespace muppet

@@ -23,6 +23,7 @@
 #include "kvstore/node.h"
 #include "kvstore/wal.h"
 #include "net/fault.h"
+#include "net/tcp_transport.h"
 #include "net/transport.h"
 #include "service/bulk_slates.h"
 #include "service/http_server.h"
@@ -257,10 +258,12 @@ TEST(LockHierarchyTest, SubsystemsAssignTheDocumentedLevels) {
   EXPECT_EQ(HeatTracker::kLockLevel, LockLevel::kHeat);
   EXPECT_EQ(Muppet2Engine::kFailedSetLockLevel, LockLevel::kFailedSet);
   EXPECT_EQ(Muppet2Engine::kDrainLockLevel, LockLevel::kDrain);
-  EXPECT_EQ(Transport::kRegistryLockLevel, LockLevel::kTransport);
-  EXPECT_EQ(Transport::kRngLockLevel, LockLevel::kTransportRng);
+  EXPECT_EQ(InMemoryTransport::kRegistryLockLevel, LockLevel::kTransport);
+  EXPECT_EQ(TcpTransport::kStateLockLevel, LockLevel::kTcpState);
+  EXPECT_EQ(TcpTransport::kWriteQueueLockLevel, LockLevel::kTcpWriteQueue);
+  EXPECT_EQ(InMemoryTransport::kRngLockLevel, LockLevel::kTransportRng);
   EXPECT_EQ(FaultInjector::kLockLevel, LockLevel::kFaultInjector);
-  EXPECT_EQ(Transport::kHoldLockLevel, LockLevel::kFaultHold);
+  EXPECT_EQ(InMemoryTransport::kHoldLockLevel, LockLevel::kFaultHold);
   EXPECT_EQ(EventQueue::kLockLevel, LockLevel::kQueue);
   EXPECT_EQ(Master::kLockLevel, LockLevel::kMaster);
   EXPECT_EQ(ThrottleGovernor::kLockLevel, LockLevel::kThrottle);
@@ -302,6 +305,11 @@ TEST(LockHierarchyTest, DocumentedOrderingHolds) {
   EXPECT_TRUE(lt(LockLevel::kFaultHold, LockLevel::kHeat));
   EXPECT_TRUE(lt(LockLevel::kHeat, LockLevel::kQueue));
   EXPECT_TRUE(lt(LockLevel::kTaps, LockLevel::kTransport));
+  // TCP transport: epoll-loop state may take a peer's write-queue lock
+  // while holding the state lock (DrainPeerWrites), never the reverse.
+  EXPECT_TRUE(lt(LockLevel::kTransport, LockLevel::kTcpState));
+  EXPECT_TRUE(lt(LockLevel::kTcpState, LockLevel::kTcpWriteQueue));
+  EXPECT_TRUE(lt(LockLevel::kTcpWriteQueue, LockLevel::kTransportRng));
   EXPECT_TRUE(lt(LockLevel::kTransport, LockLevel::kTransportRng));
   // Fault path: the injector's decision lock and the reorder holdback lock
   // are leaves between the rng and the receiver's queues; both are

@@ -24,7 +24,7 @@ struct FaultFixture {
     options.faults = &injector;
     options.on_async_loss = [this](int64_t n) { async_lost += n; };
     options.on_extra_delivery = [this](int64_t n) { extra_delivered += n; };
-    transport = std::make_unique<Transport>(options);
+    transport = std::make_unique<InMemoryTransport>(options);
     for (MachineId m = 0; m < machines; ++m) {
       EXPECT_TRUE(transport
                       ->RegisterMachine(m,
@@ -39,7 +39,7 @@ struct FaultFixture {
 
   SimulatedClock clock{0};
   FaultInjector injector;
-  std::unique_ptr<Transport> transport;
+  std::unique_ptr<InMemoryTransport> transport;
   std::map<MachineId, std::vector<std::string>> received;
   int64_t async_lost = 0;
   int64_t extra_delivered = 0;

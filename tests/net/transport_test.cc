@@ -12,7 +12,7 @@ namespace muppet {
 namespace {
 
 TEST(TransportTest, DeliversToHandler) {
-  Transport transport;
+  InMemoryTransport transport;
   std::vector<std::string> received;
   ASSERT_OK(transport.RegisterMachine(
       1, [&received](MachineId from, BytesView payload) {
@@ -27,7 +27,7 @@ TEST(TransportTest, DeliversToHandler) {
 }
 
 TEST(TransportTest, DuplicateRegistrationRejected) {
-  Transport transport;
+  InMemoryTransport transport;
   auto handler = [](MachineId, BytesView) { return Status::OK(); };
   ASSERT_OK(transport.RegisterMachine(1, handler));
   EXPECT_EQ(transport.RegisterMachine(1, handler).code(),
@@ -36,13 +36,13 @@ TEST(TransportTest, DuplicateRegistrationRejected) {
 }
 
 TEST(TransportTest, SendToUnknownMachineUnavailable) {
-  Transport transport;
+  InMemoryTransport transport;
   EXPECT_TRUE(transport.Send(0, 99, "x").IsUnavailable());
   EXPECT_EQ(transport.messages_dropped(), 1);
 }
 
 TEST(TransportTest, CrashedMachineUnreachableUntilRestored) {
-  Transport transport;
+  InMemoryTransport transport;
   int delivered = 0;
   ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
     ++delivered;
@@ -59,7 +59,7 @@ TEST(TransportTest, CrashedMachineUnreachableUntilRestored) {
 }
 
 TEST(TransportTest, DeclineCountsAndPropagates) {
-  Transport transport;
+  InMemoryTransport transport;
   ASSERT_OK(transport.RegisterMachine(1, [](MachineId, BytesView) {
     return Status::ResourceExhausted("queue full");
   }));
@@ -69,7 +69,7 @@ TEST(TransportTest, DeclineCountsAndPropagates) {
 }
 
 TEST(TransportTest, HandlerErrorPropagatesVerbatim) {
-  Transport transport;
+  InMemoryTransport transport;
   ASSERT_OK(transport.RegisterMachine(1, [](MachineId, BytesView) {
     return Status::Corruption("bad payload");
   }));
@@ -80,7 +80,7 @@ TEST(TransportTest, LossModelDropsSome) {
   TransportOptions options;
   options.loss_probability = 0.5;
   options.seed = 7;
-  Transport transport(options);
+  InMemoryTransport transport(options);
   int delivered = 0;
   ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
     ++delivered;
@@ -98,7 +98,7 @@ TEST(TransportTest, LossModelDropsSome) {
 TEST(TransportTest, LocalSendSkipsLossAndLatency) {
   TransportOptions options;
   options.loss_probability = 1.0;  // all cross-machine sends fail
-  Transport transport(options);
+  InMemoryTransport transport(options);
   int delivered = 0;
   ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
     ++delivered;
@@ -115,7 +115,7 @@ TEST(TransportTest, HopLatencyChargedOnSimulatedClock) {
   TransportOptions options;
   options.hop_latency_micros = 150;
   options.clock = &clock;
-  Transport transport(options);
+  InMemoryTransport transport(options);
   ASSERT_OK(transport.RegisterMachine(
       1, [](MachineId, BytesView) { return Status::OK(); }));
   ASSERT_OK(transport.Send(0, 1, "x"));
@@ -125,7 +125,7 @@ TEST(TransportTest, HopLatencyChargedOnSimulatedClock) {
 }
 
 TEST(TransportTest, MachinesListedSorted) {
-  Transport transport;
+  InMemoryTransport transport;
   auto handler = [](MachineId, BytesView) { return Status::OK(); };
   ASSERT_OK(transport.RegisterMachine(3, handler));
   ASSERT_OK(transport.RegisterMachine(1, handler));
@@ -139,7 +139,7 @@ TEST(TransportTest, MachinesListedSorted) {
 }
 
 TEST(TransportTest, BatchFrameCountsFrameOnceAndMessagesPerEvent) {
-  Transport transport;
+  InMemoryTransport transport;
   ASSERT_OK(transport.RegisterMachine(
       1, [](MachineId, BytesView) { return Status::OK(); }));
   ASSERT_OK(transport.RegisterBatchHandler(
@@ -157,7 +157,7 @@ TEST(TransportTest, BatchFrameCountsFrameOnceAndMessagesPerEvent) {
 }
 
 TEST(TransportTest, BatchPartialDeclineReportsAcceptedPrefix) {
-  Transport transport;
+  InMemoryTransport transport;
   ASSERT_OK(transport.RegisterMachine(
       1, [](MachineId, BytesView) { return Status::OK(); }));
   ASSERT_OK(transport.RegisterBatchHandler(
@@ -174,7 +174,7 @@ TEST(TransportTest, BatchPartialDeclineReportsAcceptedPrefix) {
 }
 
 TEST(TransportTest, BatchToCrashedMachineDropsWholeFrame) {
-  Transport transport;
+  InMemoryTransport transport;
   ASSERT_OK(transport.RegisterMachine(
       1, [](MachineId, BytesView) { return Status::OK(); }));
   ASSERT_OK(transport.RegisterBatchHandler(
@@ -190,7 +190,7 @@ TEST(TransportTest, BatchToCrashedMachineDropsWholeFrame) {
 }
 
 TEST(TransportTest, BatchWithoutBatchHandlerFailsPrecondition) {
-  Transport transport;
+  InMemoryTransport transport;
   ASSERT_OK(transport.RegisterMachine(
       1, [](MachineId, BytesView) { return Status::OK(); }));
   size_t accepted = 0;
@@ -199,7 +199,7 @@ TEST(TransportTest, BatchWithoutBatchHandlerFailsPrecondition) {
 }
 
 TEST(TransportTest, LocalDeliveryCountsAsSentAndLocal) {
-  Transport transport;
+  InMemoryTransport transport;
   EXPECT_EQ(transport.messages_local(), 0);
   transport.CountLocalDelivery();
   transport.CountLocalDelivery();
@@ -208,7 +208,7 @@ TEST(TransportTest, LocalDeliveryCountsAsSentAndLocal) {
 }
 
 TEST(TransportTest, ConcurrentSendsAreSafe) {
-  Transport transport;
+  InMemoryTransport transport;
   std::atomic<int> delivered{0};
   ASSERT_OK(transport.RegisterMachine(1, [&](MachineId, BytesView) {
     delivered.fetch_add(1);

@@ -188,6 +188,29 @@ TEST(HttpServerTest, OversizedAndGarbageRequestsSurvive) {
   ASSERT_OK(server.Stop());
 }
 
+// muppetd binds every admin plane with port 0 in tests and reads the
+// kernel-assigned port back through port(): the reported port must be
+// real (reachable), stable while running, and distinct per server.
+TEST(HttpServerTest, EphemeralPortIsReportedAndReachable) {
+  HttpServer a, b;
+  const auto ok = [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  };
+  a.RegisterHandler("/", ok);
+  b.RegisterHandler("/", ok);
+  ASSERT_OK(a.Start(0));
+  ASSERT_OK(b.Start(0));
+  ASSERT_GT(a.port(), 0);
+  ASSERT_GT(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+  const int seen = a.port();
+  EXPECT_NE(HttpGet(a.port(), "/").find("200"), std::string::npos);
+  EXPECT_NE(HttpGet(b.port(), "/").find("200"), std::string::npos);
+  EXPECT_EQ(a.port(), seen);  // stable across requests
+  ASSERT_OK(a.Stop());
+  ASSERT_OK(b.Stop());
+}
+
 TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
   HttpServer server;
   server.RegisterHandler("/", [](const HttpRequest&) {

@@ -30,6 +30,7 @@ import sys
 # identify the row.
 METRIC_KEYS = frozenset({
     "events_per_sec", "elapsed_us", "events",
+    "http_errors",
     "latency_p50_us", "latency_p95_us", "latency_p99_us",
     "latency_p999_us",
     "queue_wait_p99_us",

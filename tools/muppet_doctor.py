@@ -12,7 +12,9 @@ Usage:
     muppet_doctor.py --from-dir DIR     # saved scrape: healthz.json,
                                         # statusz.json, sloz.json,
                                         # metrics.prom (chaos artifacts
-                                        # and CI smoke dumps fit)
+                                        # and CI smoke dumps fit); a DIR
+                                        # holding node*/ subdirectories
+                                        # is diagnosed per cluster node
     muppet_doctor.py --selftest         # fixture-driven self-check
 
 Exit status: 0 = healthy or warnings only, 1 = at least one critical
@@ -204,6 +206,29 @@ def diagnose(healthz, statusz, sloz, samples, where="cluster"):
                 CRIT, where,
                 f"{int(open_gauge)} open watchdog incident(s) (metrics)",
                 "scrape /statusz for the incident panel"))
+        # Cross-process transport health (muppetd deployments): dropped
+        # sends mark the paper's §4.3 failed-send detection window;
+        # declines mark write-queue / receiver backpressure.
+        dropped = metric_value(
+            samples, "muppet_transport_messages_dropped_total")
+        if dropped:
+            findings.append(Finding(
+                WARN, where,
+                f"{int(dropped)} cross-machine message(s) dropped at the "
+                "transport",
+                "sends to an unreachable peer fail until the ring reroutes "
+                "(§4.3); if the count keeps growing a peer connection is "
+                "flapping — check that node's muppetd process and network"))
+        declined = metric_value(
+            samples, "muppet_transport_messages_declined_total")
+        if declined:
+            findings.append(Finding(
+                WARN, where,
+                f"{int(declined)} message(s) declined by transport "
+                "backpressure",
+                "a peer's TCP write queue (or its receiver queue) is full; "
+                "the overflow policy is engaged — scale out the slow node "
+                "or raise the queue caps"))
 
     findings.sort(key=lambda f: _SEV_RANK[f.severity])
     return findings
@@ -274,6 +299,15 @@ def load_dir(path):
 
 
 def diagnose_docs(docs, where):
+    # A node that produced NO document at all is a finding, not a silent
+    # pass: in a multi-node scrape a dead muppetd must not read as
+    # healthy just because there was nothing to diagnose.
+    if not any(docs.get(k) for k in ("healthz", "statusz", "sloz",
+                                     "metrics")):
+        return [Finding(
+            CRIT, where, "node unreachable (no admin endpoint answered)",
+            "the muppetd process is down or the admin address is wrong; "
+            "restart the node and check the cluster config")]
     healthz = (load_json(docs["healthz"], "healthz")
                if docs.get("healthz") else None)
     statusz = (load_json(docs["statusz"], "statusz")
@@ -281,6 +315,25 @@ def diagnose_docs(docs, where):
     sloz = load_json(docs["sloz"], "sloz") if docs.get("sloz") else None
     samples = parse_metrics(docs["metrics"]) if docs.get("metrics") else []
     return diagnose(healthz, statusz, sloz, samples, where)
+
+
+def diagnose_tree(path, where):
+    """Diagnose a saved scrape. A flat directory holds one node's
+    documents; a directory with node*/ subdirectories holds one saved
+    scrape per cluster node (the net-smoke and chaos artifact layout),
+    diagnosed per node with findings merged most-severe-first."""
+    subdirs = sorted(
+        d for d in (os.listdir(path) if os.path.isdir(path) else [])
+        if d.startswith("node") and os.path.isdir(os.path.join(path, d)))
+    if not subdirs:
+        return diagnose_docs(load_dir(path), where)
+    findings = []
+    for sub in subdirs:
+        findings.extend(
+            diagnose_docs(load_dir(os.path.join(path, sub)),
+                          f"{where}/{sub}"))
+    findings.sort(key=lambda f: _SEV_RANK[f.severity])
+    return findings
 
 
 def report(findings):
@@ -317,7 +370,7 @@ def selftest():
         with open(os.path.join(case_dir, "expected.json"),
                   encoding="utf-8") as f:
             expected = json.load(f)
-        findings = diagnose_docs(load_dir(case_dir), case)
+        findings = diagnose_tree(case_dir, case)
         rendered = "\n".join(f.render() for f in findings)
         crit = sum(1 for f in findings if f.severity == CRIT)
         warn = sum(1 for f in findings if f.severity == WARN)
@@ -344,7 +397,7 @@ def main(argv):
     if len(argv) >= 2 and argv[1] == "--selftest":
         return selftest()
     if len(argv) == 3 and argv[1] == "--from-dir":
-        return report(diagnose_docs(load_dir(argv[2]), argv[2]))
+        return report(diagnose_tree(argv[2], argv[2]))
     if len(argv) < 2 or argv[1].startswith("-"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
